@@ -1,0 +1,194 @@
+// Package cdpu is the public API of this repository: a reproduction of
+// "CDPU: Co-designing Compression and Decompression Processing Units for
+// Hyperscale Systems" (ISCA 2023) as a functional-plus-timing simulator
+// written in pure Go.
+//
+// The package exposes four layers:
+//
+//   - Generated CDPU instances: NewCompressor and NewDecompressor build
+//     parameterized accelerator pipelines (algorithm, placement, history
+//     SRAM, hash table shape, Huffman speculation, FSE accuracy — the
+//     paper's §5.8 parameters). Calls run the real codecs and return both
+//     payload bytes and a modeled cycle count plus a silicon-area breakdown.
+//
+//   - Software codecs: Compress and Decompress run the from-scratch Snappy
+//     (wire-compatible) and zstdlite (ZStd-architecture) implementations, as
+//     the Xeon baseline would.
+//
+//   - The synthetic fleet: NewFleetModel samples GWP-style call records
+//     whose distributions are calibrated to the paper's Section 3 profiling
+//     study.
+//
+//   - HyperCompressBench: GenerateBenchmark builds fleet-representative
+//     benchmark suites (Section 4).
+//
+// The cmd/ binaries drive the full experiment matrix; see DESIGN.md for the
+// per-figure index and EXPERIMENTS.md for paper-vs-measured results.
+package cdpu
+
+import (
+	"io"
+
+	"cdpu/internal/chain"
+	"cdpu/internal/comp"
+	"cdpu/internal/core"
+	"cdpu/internal/fleet"
+	"cdpu/internal/hcbench"
+	"cdpu/internal/lz77"
+	"cdpu/internal/memsys"
+	"cdpu/internal/snappy"
+	"cdpu/internal/zstdlite"
+)
+
+// Algorithm identifies a fleet (de)compression algorithm.
+type Algorithm = comp.Algorithm
+
+// Fleet algorithms (§2.2). The CDPU generator builds Snappy and ZStd units;
+// all six run in software and in the fleet model.
+const (
+	Snappy  = comp.Snappy
+	ZStd    = comp.ZStd
+	Flate   = comp.Flate
+	Brotli  = comp.Brotli
+	Gipfeli = comp.Gipfeli
+	LZO     = comp.LZO
+)
+
+// Op is a compression direction.
+type Op = comp.Op
+
+// Directions.
+const (
+	OpCompress   = comp.Compress
+	OpDecompress = comp.Decompress
+)
+
+// Placement locates a CDPU in the system (§5.8.1).
+type Placement = memsys.Placement
+
+// Placements.
+const (
+	PlacementRoCC           = memsys.RoCC
+	PlacementChiplet        = memsys.Chiplet
+	PlacementPCIeLocalCache = memsys.PCIeLocalCache
+	PlacementPCIeNoCache    = memsys.PCIeNoCache
+)
+
+// Config parameterizes a generated CDPU pipeline; see core.Config for field
+// documentation. The zero value (plus an Algo) is the paper's default
+// near-core 64 KiB instance.
+type Config = core.Config
+
+// Compressor is a generated compression pipeline (paper Figure 10).
+type Compressor = core.Compressor
+
+// Decompressor is a generated decompression pipeline (paper Figure 9).
+type Decompressor = core.Decompressor
+
+// Result reports one accelerator call: output bytes, modeled cycles, and a
+// per-stage breakdown.
+type Result = core.Result
+
+// HashFunc selects the LZ77 hash function (§5.8.3).
+type HashFunc = lz77.HashFunc
+
+// Hash functions.
+const (
+	HashFibonacci = lz77.HashFibonacci
+	HashXorShift  = lz77.HashXorShift
+	HashTrivial   = lz77.HashTrivial
+)
+
+// NewCompressor generates a compressor instance.
+func NewCompressor(cfg Config) (*Compressor, error) { return core.NewCompressor(cfg) }
+
+// NewDecompressor generates a decompressor instance.
+func NewDecompressor(cfg Config) (*Decompressor, error) { return core.NewDecompressor(cfg) }
+
+// Compress runs the software implementation of an algorithm (level and
+// windowLog 0 take the algorithm defaults).
+func Compress(a Algorithm, level, windowLog int, src []byte) ([]byte, error) {
+	return comp.CompressCall(a, level, windowLog, src)
+}
+
+// Decompress runs the software decoder for an algorithm.
+func Decompress(a Algorithm, src []byte) ([]byte, error) {
+	return comp.DecompressCall(a, src)
+}
+
+// FleetModel is the synthetic fleet of Section 3.
+type FleetModel = fleet.Model
+
+// FleetCall is one sampled (de)compression call record.
+type FleetCall = fleet.CallRecord
+
+// NewFleetModel returns a deterministic synthetic fleet sampler.
+func NewFleetModel(seed int64) *FleetModel { return fleet.NewModel(seed) }
+
+// AnalyzeFleet aggregates call records with the paper's Section 3 analyses.
+func AnalyzeFleet(calls []FleetCall) *fleet.Analysis { return fleet.Analyze(calls) }
+
+// BenchmarkSpec parameterizes HyperCompressBench generation.
+type BenchmarkSpec = hcbench.Spec
+
+// BenchmarkSuite is a generated HyperCompressBench suite.
+type BenchmarkSuite = hcbench.Suite
+
+// GenerateBenchmark builds a fleet-representative benchmark suite
+// (Section 4) from the built-in synthetic corpus.
+func GenerateBenchmark(spec BenchmarkSpec) (*BenchmarkSuite, error) {
+	return hcbench.Generate(spec)
+}
+
+// Device is a CDPU integration with one or more pipelines behind a shared
+// interface, servicing queued jobs FCFS.
+type Device = core.Device
+
+// Job is one queued device call; JobResult and DeviceStats report latency.
+type (
+	Job         = core.Job
+	JobResult   = core.JobResult
+	DeviceStats = core.DeviceStats
+)
+
+// NewDevice builds a device with n identical pipelines (Config.Op selects
+// compression or decompression).
+func NewDevice(cfg Config, pipelines int) (*Device, error) {
+	return core.NewDevice(cfg, pipelines)
+}
+
+// ChainConfig describes a chained accelerator operation (§3.5.2); ChainStage
+// is one accelerated step.
+type (
+	ChainConfig = chain.Config
+	ChainStage  = chain.Stage
+	ChainResult = chain.Result
+)
+
+// RunChain computes the end-to-end latency of a chained operation.
+func RunChain(cfg ChainConfig, inputBytes int) (*ChainResult, error) {
+	return chain.Run(cfg, inputBytes)
+}
+
+// NewSnappyFrameWriter returns a streaming compressor emitting the Snappy
+// framing format (CRC-32C-checksummed chunks).
+func NewSnappyFrameWriter(w io.Writer) io.WriteCloser { return snappy.NewFrameWriter(w) }
+
+// NewSnappyFrameReader returns a streaming decompressor for the Snappy
+// framing format.
+func NewSnappyFrameReader(r io.Reader) io.Reader { return snappy.NewFrameReader(r) }
+
+// ZStdParams parameterizes zstdlite encoders (level, window log, preset
+// dictionary, entropy accuracies).
+type ZStdParams = zstdlite.Params
+
+// NewZStdWriter returns a streaming zstdlite compressor.
+func NewZStdWriter(w io.Writer, p ZStdParams) (io.WriteCloser, error) {
+	return zstdlite.NewWriter(w, p)
+}
+
+// NewZStdReader returns a streaming zstdlite decompressor; dict may be nil
+// for frames that do not require a preset dictionary.
+func NewZStdReader(r io.Reader, dict []byte) io.Reader {
+	return zstdlite.NewReader(r, dict)
+}

@@ -1,0 +1,97 @@
+// Command cdpubench runs the CDPU design-space exploration of the paper's
+// Section 6, regenerating Figures 11-15, the §6.6 summary, and the ablations
+// DESIGN.md calls out.
+//
+// Usage:
+//
+//	cdpubench -fig 11              # one figure (11,12,13,14,15,7)
+//	cdpubench -summary             # §6.6 key results
+//	cdpubench -ablation hash       # hash|fse|stats
+//	cdpubench -all                 # everything
+//	cdpubench -files 500 -seed 2   # scale/seed overrides
+//	cdpubench -csv out/            # also write each table as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cdpu/internal/exp"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate: 7, 11, 12, 13, 14 or 15")
+	summary := flag.Bool("summary", false, "print the §6.6 design-space summary")
+	ablation := flag.String("ablation", "", "ablation to run: hash, fse or stats")
+	all := flag.Bool("all", false, "run every DSE experiment")
+	files := flag.Int("files", 0, "HyperCompressBench files per suite (default 500; paper uses 8000-10000)")
+	maxFile := flag.Int("maxfile", 0, "max benchmark file size in bytes (default 4 MiB)")
+	seed := flag.Int64("seed", 0, "generation seed (default 1)")
+	csvDir := flag.String("csv", "", "directory to write per-table CSV files into")
+	flag.Parse()
+
+	cfg := exp.DefaultConfig()
+	if *files > 0 {
+		cfg.SuiteFiles = *files
+	}
+	if *maxFile > 0 {
+		cfg.MaxFileBytes = *maxFile
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		ids = []string{"fig7", "fig11", "fig12", "fig13", "fig14", "fig15", "dse-summary",
+			"ablation-hash", "ablation-fse", "ablation-stats",
+			"chaining", "pipelines", "deployment", "levels"}
+	case *summary:
+		ids = []string{"dse-summary"}
+	case *ablation != "":
+		ids = []string{"ablation-" + *ablation}
+	case *fig != "":
+		ids = []string{"fig" + *fig}
+	default:
+		fmt.Fprintln(os.Stderr, "specify -fig N, -summary, -ablation NAME or -all; available experiments:")
+		for _, id := range exp.IDs() {
+			fmt.Fprintln(os.Stderr, "  "+id)
+		}
+		os.Exit(2)
+	}
+
+	for _, id := range ids {
+		if err := runOne(id, cfg, *csvDir); err != nil {
+			fmt.Fprintf(os.Stderr, "cdpubench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func runOne(id string, cfg exp.Config, csvDir string) error {
+	e, err := exp.ByID(id)
+	if err != nil {
+		return err
+	}
+	tables, err := e.Run(cfg)
+	if err != nil {
+		return fmt.Errorf("%s: %w", id, err)
+	}
+	for i, t := range tables {
+		fmt.Println(t.String())
+		if csvDir != "" {
+			if err := os.MkdirAll(csvDir, 0o755); err != nil {
+				return err
+			}
+			name := fmt.Sprintf("%s-%d.csv", strings.ReplaceAll(id, "/", "_"), i)
+			if err := os.WriteFile(filepath.Join(csvDir, name), []byte(t.CSV()), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

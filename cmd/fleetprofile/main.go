@@ -1,0 +1,63 @@
+// Command fleetprofile runs the synthetic-fleet profiling study of the
+// paper's Section 3, regenerating Figures 1-6 and the headline statistics.
+//
+// Usage:
+//
+//	fleetprofile -fig 1            # one figure (1, 2a, 2b, 2c, 3, 4, 5, 6)
+//	fleetprofile -summary          # Section 3 headline statistics
+//	fleetprofile -all
+//	fleetprofile -samples 1000000  # GWP-style sample count
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cdpu/internal/exp"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate: 1, 2a, 2b, 2c, 3, 4, 5 or 6")
+	summary := flag.Bool("summary", false, "print Section 3 headline statistics")
+	all := flag.Bool("all", false, "run every profiling experiment")
+	samples := flag.Int("samples", 0, "fleet call samples (default 300000)")
+	seed := flag.Int64("seed", 0, "sampling seed (default 1)")
+	flag.Parse()
+
+	cfg := exp.DefaultConfig()
+	if *samples > 0 {
+		cfg.FleetSamples = *samples
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		ids = []string{"fig1", "fig2a", "fig2b", "fig2c", "fig3", "fig4", "fig5", "fig6", "fleet-summary"}
+	case *summary:
+		ids = []string{"fleet-summary"}
+	case *fig != "":
+		ids = []string{"fig" + *fig}
+	default:
+		fmt.Fprintln(os.Stderr, "specify -fig N, -summary or -all")
+		os.Exit(2)
+	}
+	for _, id := range ids {
+		e, err := exp.ByID(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fleetprofile: %v\n", err)
+			os.Exit(1)
+		}
+		tables, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fleetprofile: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t.String())
+		}
+	}
+}

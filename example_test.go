@@ -1,0 +1,99 @@
+package cdpu_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+
+	"cdpu"
+)
+
+// ExampleNewCompressor generates a near-core Snappy CDPU and compresses a
+// payload, reporting the modeled cycle count's plausibility rather than its
+// exact value (the payload here is tiny).
+func ExampleNewCompressor() {
+	c, err := cdpu.NewCompressor(cdpu.Config{Algo: cdpu.Snappy})
+	if err != nil {
+		log.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("hyperscale compression "), 1000)
+	res, err := c.Compress(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("compressed:", res.Ratio() > 10)
+	fmt.Println("cycles modeled:", res.Cycles > 0)
+	// Output:
+	// compressed: true
+	// cycles modeled: true
+}
+
+// ExampleNewDecompressor shows a placement/SRAM-parameterized instance.
+func ExampleNewDecompressor() {
+	d, err := cdpu.NewDecompressor(cdpu.Config{
+		Algo:        cdpu.Snappy,
+		Placement:   cdpu.PlacementChiplet,
+		HistorySRAM: 8 << 10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc, _ := cdpu.Compress(cdpu.Snappy, 0, 0, []byte("hello hello hello hello hello"))
+	res, err := d.Decompress(enc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s\n", res.Output[:5])
+	// Output:
+	// hello
+}
+
+// ExampleCompress runs the software codecs directly.
+func ExampleCompress() {
+	data := bytes.Repeat([]byte("abcdefgh"), 512)
+	enc, err := cdpu.Compress(cdpu.ZStd, 3, 0, data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := cdpu.Decompress(cdpu.ZStd, enc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("round trip:", bytes.Equal(out, data))
+	// Output:
+	// round trip: true
+}
+
+// ExampleNewZStdWriter streams through the heavyweight codec.
+func ExampleNewZStdWriter() {
+	var buf bytes.Buffer
+	w, err := cdpu.NewZStdWriter(&buf, cdpu.ZStdParams{Level: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		fmt.Fprintf(w, "record %d: payload payload payload\n", i)
+	}
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
+	out, err := io.ReadAll(cdpu.NewZStdReader(&buf, nil))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(bytes.Count(out, []byte("record")))
+	// Output:
+	// 100
+}
+
+// ExampleNewFleetModel samples the synthetic fleet and re-derives a
+// Section 3 statistic.
+func ExampleNewFleetModel() {
+	m := cdpu.NewFleetModel(1)
+	a := cdpu.AnalyzeFleet(m.SampleCalls(50000))
+	frac := a.DecompressionCycleFraction()
+	fmt.Println("decompression share near 56%:", frac > 0.45 && frac < 0.65)
+	// Output:
+	// decompression share near 56%: true
+}

@@ -1,0 +1,63 @@
+// coldstorage models the paper's §3.3 resource-tradeoff argument: data
+// written to cold storage is compressed once and kept for years, so
+// compression ratio is capacity money — but services stay on lightweight
+// algorithms because heavyweight CPU cost is untenable. The example
+// compresses a storage batch with (1) software snappy, (2) software zstd at
+// a high level, and (3) the ZStd CDPU, then compares compute cost against
+// stored bytes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cdpu"
+	"cdpu/internal/corpus"
+	"cdpu/internal/xeon"
+)
+
+func main() {
+	batch := corpus.Generate(corpus.Log, 8<<20, 7)
+	fmt.Printf("storage batch: %.1f MB of service logs\n\n", float64(len(batch))/1e6)
+	fmt.Printf("%-28s %12s %14s %12s\n", "pipeline", "stored-MB", "CPU-ms/batch", "ratio")
+
+	report := func(name string, stored int, seconds float64) {
+		fmt.Printf("%-28s %12.2f %14.2f %12.2f\n",
+			name, float64(stored)/1e6, seconds*1e3, float64(len(batch))/float64(stored))
+	}
+
+	// Option 1: lightweight software (the fleet's status quo: 64% of
+	// compressed bytes).
+	snappySW, err := cdpu.Compress(cdpu.Snappy, 0, 0, batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("snappy (software)", len(snappySW),
+		xeon.Seconds(xeon.Cycles(cdpu.Snappy, cdpu.OpCompress, 0, len(batch))))
+
+	// Option 2: heavyweight software at a high level — the ratio services
+	// want at a CPU cost they refuse (§3.3.4).
+	zstdSW, err := cdpu.Compress(cdpu.ZStd, 19, 0, batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("zstd -19 (software)", len(zstdSW),
+		xeon.Seconds(xeon.Cycles(cdpu.ZStd, cdpu.OpCompress, 19, len(batch))))
+
+	// Option 3: the ZStd CDPU — heavyweight-format output at a fraction of
+	// a core's time (the accelerator's LZ77 stage costs ~16% of software's
+	// ratio, §6.5, but still beats snappy).
+	c, err := cdpu.NewCompressor(cdpu.Config{Algo: cdpu.ZStd})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := c.Compress(batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("zstd CDPU (near-core)", res.OutputBytes, res.Seconds(2.0))
+
+	fmt.Println("\nThe CDPU changes the tradeoff: heavyweight-class ratios at")
+	fmt.Println("lightweight-class compute cost, which is how hardware can cut")
+	fmt.Println("storage/network/memory spend rather than only CPU cycles.")
+}

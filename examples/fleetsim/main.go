@@ -1,0 +1,39 @@
+// fleetsim replays fleet-shaped (de)compression traffic for one service
+// against simulated CDPU devices at several offered loads and placements:
+// the end-to-end deployment picture — caller latency, device utilization,
+// baseline Xeon cores retired, and silicon spent.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cdpu/internal/memsys"
+	"cdpu/internal/sim"
+)
+
+func main() {
+	fmt.Println("service replay: fleet-sampled Snappy/ZStd calls through CDPU devices")
+	fmt.Printf("%-8s %-14s %10s %10s %12s %12s %10s\n",
+		"GB/s", "placement", "mean-us", "p99-us", "sw-mean-us", "xeon-cores", "mm2")
+	for _, load := range []float64{0.5, 2.0, 6.0} {
+		for _, placement := range []memsys.Placement{memsys.RoCC, memsys.PCIeNoCache} {
+			r, err := sim.Run(sim.Config{
+				Seed:        11,
+				Calls:       150,
+				OfferedGBps: load,
+				Pipelines:   1,
+				Placement:   placement,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-8.1f %-14v %10.1f %10.1f %12.1f %12.2f %10.2f\n",
+				load, placement, r.MeanLatencyUs, r.P99LatencyUs,
+				r.SoftwareMeanLatencyUs, r.XeonCoresNeeded, r.AreaMM2)
+		}
+	}
+	fmt.Println("\nNear-core devices hold microsecond latencies until the load")
+	fmt.Println("saturates a pipeline; the same devices across PCIe start with a")
+	fmt.Println("latency floor hundreds of microseconds higher on small calls.")
+}

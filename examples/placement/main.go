@@ -1,0 +1,69 @@
+// placement runs a miniature design-space exploration over a user-shaped
+// workload: every placement x history-SRAM point for a Snappy decompressor,
+// printing the speedup/area frontier — the Figure 11 methodology, usable on
+// your own data by swapping the payload generator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cdpu"
+	"cdpu/internal/corpus"
+	"cdpu/internal/xeon"
+)
+
+func main() {
+	// The workload: a mix of page-sized and megabyte-sized reads.
+	var plain [][]byte
+	for i := 0; i < 24; i++ {
+		size := 16 << 10
+		if i%3 == 0 {
+			size = 1 << 20
+		}
+		plain = append(plain, corpus.Generate(corpus.HTML, size, int64(i)))
+	}
+	var compressed [][]byte
+	totalBytes := 0
+	xeonCycles := 0.0
+	for _, p := range plain {
+		enc, err := cdpu.Compress(cdpu.Snappy, 0, 0, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		compressed = append(compressed, enc)
+		totalBytes += len(p)
+		xeonCycles += xeon.Cycles(cdpu.Snappy, cdpu.OpDecompress, 0, len(p))
+	}
+	xeonSec := xeon.Seconds(xeonCycles)
+	fmt.Printf("workload: %d reads, %.1f MB decompressed; Xeon baseline %.2f GB/s\n\n",
+		len(plain), float64(totalBytes)/1e6, float64(totalBytes)/xeonSec/1e9)
+	fmt.Printf("%-16s %8s %10s %10s\n", "placement", "SRAM", "speedup", "area-mm2")
+
+	for _, placement := range []cdpu.Placement{
+		cdpu.PlacementRoCC, cdpu.PlacementChiplet,
+		cdpu.PlacementPCIeLocalCache, cdpu.PlacementPCIeNoCache,
+	} {
+		for _, sram := range []int{64 << 10, 8 << 10, 2 << 10} {
+			d, err := cdpu.NewDecompressor(cdpu.Config{
+				Algo: cdpu.Snappy, Placement: placement, HistorySRAM: sram,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			cycles := 0.0
+			for _, enc := range compressed {
+				res, err := d.Decompress(enc)
+				if err != nil {
+					log.Fatal(err)
+				}
+				cycles += res.Cycles
+			}
+			fmt.Printf("%-16s %7dK %9.2fx %10.3f\n",
+				placement, sram>>10, xeonSec/(cycles/2.0e9), d.Area().Total())
+		}
+	}
+	fmt.Println("\nPick the smallest instance on the frontier that meets your")
+	fmt.Println("throughput target; near-core placements keep the SRAM-shrinking")
+	fmt.Println("trick working because history fallbacks stay on-die.")
+}

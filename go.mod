@@ -1,0 +1,3 @@
+module cdpu
+
+go 1.22

@@ -1,0 +1,123 @@
+// Package area estimates CDPU silicon area for a commercial 16 nm-class
+// process, per block, calibrated against the instance areas the paper
+// publishes: Snappy decompressor 0.431 mm² (64 KiB history), Snappy
+// compressor 0.851 mm² (64 KiB + 2^14-entry hash table), ZStd decompressor
+// 1.9 mm² (64 KiB, 16-way Huffman speculation), ZStd compressor 3.48 mm²,
+// against a 17.98 mm² Xeon core tile (§6.2-§6.5).
+package area
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Process constants (mm²).
+const (
+	// SRAMPerByte is the density of the small, multi-ported buffer SRAMs the
+	// CDPU uses. Derived from the paper's history-SRAM sweeps: 62 KiB of
+	// history is worth ~0.165 mm² on both the Snappy compressor and
+	// decompressor.
+	SRAMPerByte = 2.65e-6
+	// HashEntryPerWay is the area of one hash-table way (offset, tag and
+	// lookup logic). Derived from the paper's HT14→HT9 sweep (Figure 13).
+	HashEntryPerWay = 24.5e-6
+	// XeonCoreTile is the area of a modern Xeon core tile for comparison
+	// (Skylake-server, 14 nm, per wikichip — the paper's §6.2 reference).
+	XeonCoreTile = 17.98
+)
+
+// Block logic areas (mm², excluding the SRAM/table terms above).
+const (
+	SystemInterface   = 0.080 // command router + memloaders + memwriters
+	LZ77DecoderLogic  = 0.182 // command parse, history write, copy engine
+	LZ77EncoderLogic  = 0.200 // hash pipeline, match extension, emit
+	HuffExpanderBase  = 0.300 // serial decode core + control
+	HuffSpecPerWay    = 0.0212
+	HuffDecTableBytes = 2 << 11 // 2^11-entry, 2-byte decode table
+	FSEExpanderLogic  = 0.500   // table walk + 3 decode lanes
+	ZstdDecodeControl = 0.290   // frame/section sequencing, extras datapath
+	HuffDictBuilder   = 0.200
+	HuffEncoderLogic  = 0.260
+	FSEDictBuilder    = 0.280 // per instance; the ZStd compressor has 3
+	FSEEncoderLogic   = 0.500
+	SeqToCodePQ       = 0.540 // SeqToCode converter, PQ, copy expander
+	StatsPerByteLane  = 0.008 // incremental area per byte/cycle of symbol-stats width
+)
+
+// Breakdown is a per-block area report.
+type Breakdown struct {
+	blocks map[string]float64
+}
+
+// NewBreakdown returns an empty breakdown.
+func NewBreakdown() *Breakdown {
+	return &Breakdown{blocks: make(map[string]float64)}
+}
+
+// Add records a block's area, accumulating if the name repeats.
+func (b *Breakdown) Add(name string, mm2 float64) {
+	b.blocks[name] += mm2
+}
+
+// Total returns the summed area in mm². Blocks are summed in sorted name
+// order so the floating-point result is reproducible run to run.
+func (b *Breakdown) Total() float64 {
+	t := 0.0
+	for _, name := range b.Blocks() {
+		t += b.blocks[name]
+	}
+	return t
+}
+
+// Blocks returns the block names in sorted order.
+func (b *Breakdown) Blocks() []string {
+	out := make([]string, 0, len(b.blocks))
+	for name := range b.blocks {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Of returns one block's area.
+func (b *Breakdown) Of(name string) float64 { return b.blocks[name] }
+
+// FracOfXeonCore returns the breakdown total as a fraction of a Xeon core
+// tile, the paper's headline area metric.
+func (b *Breakdown) FracOfXeonCore() float64 { return b.Total() / XeonCoreTile }
+
+// String renders the breakdown.
+func (b *Breakdown) String() string {
+	s := ""
+	for _, name := range b.Blocks() {
+		s += fmt.Sprintf("%-24s %8.4f mm²\n", name, b.blocks[name])
+	}
+	s += fmt.Sprintf("%-24s %8.4f mm² (%.1f%% of Xeon core)\n", "TOTAL", b.Total(), 100*b.FracOfXeonCore())
+	return s
+}
+
+// SRAM returns the area of n bytes of buffer SRAM.
+func SRAM(n int) float64 { return float64(n) * SRAMPerByte }
+
+// HashTable returns the area of a hash table with entries buckets of ways.
+func HashTable(entries, ways int) float64 {
+	return float64(entries*ways) * HashEntryPerWay
+}
+
+// HuffExpander returns the speculative Huffman expander area for a given
+// speculation width.
+func HuffExpander(speculation int) float64 {
+	return HuffExpanderBase + float64(speculation)*HuffSpecPerWay + SRAM(HuffDecTableBytes)
+}
+
+// FSETables returns the area of n FSE table SRAMs at the given accuracy,
+// with entryBytes per cell.
+func FSETables(n, tableLog, entryBytes int) float64 {
+	return float64(n) * SRAM((1<<tableLog)*entryBytes)
+}
+
+// StatsLanes returns the incremental area of a symbol-statistics unit that
+// consumes width bytes per cycle (§5.8.5-§5.8.6).
+func StatsLanes(width int) float64 {
+	return float64(width) * StatsPerByteLane
+}

@@ -1,0 +1,75 @@
+package area
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBreakdownAccumulates(t *testing.T) {
+	b := NewBreakdown()
+	b.Add("x", 0.5)
+	b.Add("y", 0.25)
+	b.Add("x", 0.5)
+	if math.Abs(b.Total()-1.25) > 1e-12 {
+		t.Errorf("total = %f", b.Total())
+	}
+	if b.Of("x") != 1.0 {
+		t.Errorf("x = %f", b.Of("x"))
+	}
+	if got := b.Blocks(); len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Errorf("blocks = %v", got)
+	}
+}
+
+func TestFracOfXeonCore(t *testing.T) {
+	b := NewBreakdown()
+	b.Add("all", XeonCoreTile)
+	if math.Abs(b.FracOfXeonCore()-1.0) > 1e-12 {
+		t.Errorf("frac = %f", b.FracOfXeonCore())
+	}
+}
+
+func TestSRAMLinear(t *testing.T) {
+	if SRAM(0) != 0 {
+		t.Error("zero SRAM has area")
+	}
+	if math.Abs(SRAM(128<<10)-2*SRAM(64<<10)) > 1e-12 {
+		t.Error("SRAM not linear")
+	}
+}
+
+func TestHashTableScalesWithWays(t *testing.T) {
+	if HashTable(1<<14, 2) != 2*HashTable(1<<14, 1) {
+		t.Error("hash table not linear in ways")
+	}
+}
+
+func TestHuffExpanderMonotoneInSpeculation(t *testing.T) {
+	prev := 0.0
+	for _, s := range []int{1, 4, 16, 32, 64} {
+		a := HuffExpander(s)
+		if a <= prev {
+			t.Errorf("expander area not increasing at spec %d", s)
+		}
+		prev = a
+	}
+}
+
+func TestFSETablesScale(t *testing.T) {
+	if FSETables(3, 9, 4) != 3*FSETables(1, 9, 4) {
+		t.Error("FSE tables not linear in count")
+	}
+	if FSETables(1, 10, 4) != 2*FSETables(1, 9, 4) {
+		t.Error("FSE tables not exponential in log")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	b := NewBreakdown()
+	b.Add("history-sram", SRAM(64<<10))
+	s := b.String()
+	if !strings.Contains(s, "history-sram") || !strings.Contains(s, "TOTAL") {
+		t.Errorf("render missing fields: %q", s)
+	}
+}

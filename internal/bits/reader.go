@@ -1,0 +1,85 @@
+package bits
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOverread is returned when a Reader is asked for more bits than remain.
+var ErrOverread = errors.New("bits: read past end of stream")
+
+// Reader consumes bits LSB-first from a byte slice produced by Writer.
+type Reader struct {
+	buf  []byte
+	pos  int    // next byte index in buf
+	acc  uint64 // buffered bits, LSB-aligned
+	nacc uint   // number of valid bits in acc
+	err  error
+}
+
+// NewReader returns a Reader over buf. The Reader does not copy buf.
+func NewReader(buf []byte) *Reader {
+	return &Reader{buf: buf}
+}
+
+// fill ensures at least n (≤ 56) bits are buffered if the stream has them.
+func (r *Reader) fill(n uint) {
+	for r.nacc < n && r.pos < len(r.buf) {
+		r.acc |= uint64(r.buf[r.pos]) << r.nacc
+		r.pos++
+		r.nacc += 8
+	}
+}
+
+// ReadBits consumes and returns the next n bits (n ≤ 56). On overread it
+// records ErrOverread and returns 0.
+func (r *Reader) ReadBits(n uint) uint64 {
+	if n > 56 {
+		panic("bits: ReadBits count out of range")
+	}
+	r.fill(n)
+	if r.nacc < n {
+		if r.err == nil {
+			r.err = fmt.Errorf("%w: want %d bits, have %d", ErrOverread, n, r.nacc)
+		}
+		return 0
+	}
+	v := r.acc & ((1 << n) - 1)
+	r.acc >>= n
+	r.nacc -= n
+	return v
+}
+
+// PeekBits returns the next n bits without consuming them. If fewer than n
+// bits remain, the missing high bits are zero; no error is recorded. This
+// mirrors how a hardware speculative Huffman decoder reads past the end of a
+// bitstream during the final symbols.
+func (r *Reader) PeekBits(n uint) uint64 {
+	if n > 56 {
+		panic("bits: PeekBits count out of range")
+	}
+	r.fill(n)
+	return r.acc & ((1 << n) - 1)
+}
+
+// Skip consumes n bits, which must already be available via PeekBits or the
+// stream; otherwise ErrOverread is recorded.
+func (r *Reader) Skip(n uint) { r.ReadBits(n) }
+
+// ReadBool consumes a single bit.
+func (r *Reader) ReadBool() bool { return r.ReadBits(1) == 1 }
+
+// Align discards bits up to the next byte boundary.
+func (r *Reader) Align() {
+	drop := r.nacc % 8
+	r.acc >>= drop
+	r.nacc -= drop
+}
+
+// BitsRemaining reports how many unread bits remain in the stream.
+func (r *Reader) BitsRemaining() int {
+	return (len(r.buf)-r.pos)*8 + int(r.nacc)
+}
+
+// Err returns the first overread error encountered, if any.
+func (r *Reader) Err() error { return r.err }

@@ -1,0 +1,37 @@
+package bits
+
+import "errors"
+
+// ErrVarint is returned for malformed or overlong varints.
+var ErrVarint = errors.New("bits: malformed varint")
+
+// AppendUvarint appends x to dst in base-128 little-endian varint form (the
+// same encoding Snappy uses for its uncompressed-length header).
+func AppendUvarint(dst []byte, x uint64) []byte {
+	for x >= 0x80 {
+		dst = append(dst, byte(x)|0x80)
+		x >>= 7
+	}
+	return append(dst, byte(x))
+}
+
+// Uvarint decodes a varint from the front of src, returning the value and the
+// number of bytes consumed. It rejects encodings longer than 10 bytes.
+func Uvarint(src []byte) (uint64, int, error) {
+	var x uint64
+	var shift uint
+	for i, b := range src {
+		if i == 10 {
+			return 0, 0, ErrVarint
+		}
+		if b < 0x80 {
+			if i == 9 && b > 1 {
+				return 0, 0, ErrVarint
+			}
+			return x | uint64(b)<<shift, i + 1, nil
+		}
+		x |= uint64(b&0x7f) << shift
+		shift += 7
+	}
+	return 0, 0, ErrVarint
+}

@@ -1,0 +1,42 @@
+package brotlidict
+
+import (
+	"bytes"
+	"testing"
+
+	"cdpu/internal/zstdlite"
+)
+
+func TestDictDeterministicAndSized(t *testing.T) {
+	a := Dict()
+	b := Dict()
+	if &a[0] != &b[0] {
+		t.Error("Dict should return the shared instance")
+	}
+	if len(a) < 4<<10 || len(a) > 128<<10 {
+		t.Errorf("dictionary size %d out of expected range", len(a))
+	}
+}
+
+func TestDictHelpsSmallWebPayloads(t *testing.T) {
+	// The static dictionary's raison d'être: small web-content payloads
+	// compress better with it than without.
+	payload := []byte(`<html><head><meta charset="utf-8"></head><body>` +
+		`<div class="content"><p>The information service will make the ` +
+		`request and the response data available for the user account.</p>` +
+		`<a href="https://www.example.com/index.html">more information</a>` +
+		`</div></body></html>`)
+	plain := zstdlite.Encode(payload)
+	enc, err := zstdlite.NewEncoder(zstdlite.Params{Dict: Dict()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withDict := enc.Encode(payload)
+	if len(withDict) >= len(plain) {
+		t.Errorf("dictionary did not help: %d vs %d bytes", len(withDict), len(plain))
+	}
+	got, err := zstdlite.DecodeWithDict(withDict, Dict())
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("dictionary round trip: %v", err)
+	}
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+
+	"cdpu/internal/area"
+	"cdpu/internal/comp"
+	"cdpu/internal/lz77"
+	"cdpu/internal/memsys"
+	"cdpu/internal/snappy"
+	"cdpu/internal/soc"
+	"cdpu/internal/zstdlite"
+)
+
+// Encoder-side throughput constants.
+const (
+	// matchExtendBytesPerCycle is the match-extension compare width.
+	matchExtendBytesPerCycle = 8
+	// litPassBytesPerCycle is the literal passthrough width.
+	litPassBytesPerCycle = 16
+	// huffCodeAssignCycles covers sorting counts and assigning canonical
+	// codes after statistics collection.
+	huffCodeAssignCycles = 300
+	// extrasPackPerCycle is sequences whose extra bits pack per cycle.
+	extrasPackPerCycle = 2
+)
+
+// Compressor is a generated compression pipeline (Figure 10).
+type Compressor struct {
+	cfg   Config
+	sys   *memsys.System
+	iface *soc.Interface
+
+	snap *snappy.Encoder
+	zstd *zstdlite.Encoder
+}
+
+// NewCompressor generates a compressor instance from cfg (Op is forced to
+// Compress).
+func NewCompressor(cfg Config) (*Compressor, error) {
+	cfg.Op = comp.Compress
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sys, err := memsys.New(cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+	c := &Compressor{cfg: cfg, sys: sys, iface: soc.New(sys)}
+	switch cfg.Algo {
+	case comp.Snappy:
+		c.snap, err = snappy.NewEncoder(snappy.EncoderConfig{
+			TableEntries:  cfg.HashTableEntries,
+			Associativity: cfg.HashAssociativity,
+			WindowSize:    min(cfg.HistorySRAM, snappy.MaxBlockWindow),
+			Hash:          cfg.HashFunc,
+			Contents:      cfg.TableContents,
+			// Hardware probes every position: skipping saves nothing at one
+			// position per cycle, which is why the 64K instance slightly
+			// beats software's compression ratio (§6.3).
+			SkipIncompressible: false,
+		})
+	case comp.ZStd:
+		// The ZStd compressor re-uses the LZ77 encoder block exactly as
+		// configured for Snappy (min-match 4, greedy), which is why it
+		// reaches only ~84% of software ZStd's compression ratio (§6.5).
+		lzCfg := lz77.Config{
+			WindowSize:    cfg.HistorySRAM,
+			TableEntries:  cfg.HashTableEntries,
+			Associativity: cfg.HashAssociativity,
+			MinMatch:      4,
+			Hash:          cfg.HashFunc,
+			Contents:      cfg.TableContents,
+		}
+		c.zstd, err = zstdlite.NewEncoder(zstdlite.Params{
+			WindowLog:   log2(cfg.HistorySRAM),
+			TableLog:    cfg.FSETableLog,
+			HuffMaxBits: DefaultHuffTableBits,
+			LZ:          &lzCfg,
+		})
+	default:
+		err = fmt.Errorf("core: compressor algo %v", cfg.Algo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Config returns the instance configuration.
+func (c *Compressor) Config() Config { return c.cfg }
+
+// Area returns the instance's silicon area breakdown.
+func (c *Compressor) Area() *area.Breakdown {
+	b := area.NewBreakdown()
+	b.Add("system-interface", area.SystemInterface)
+	b.Add("lz77-encoder", area.LZ77EncoderLogic)
+	b.Add("history-sram", area.SRAM(c.cfg.HistorySRAM))
+	b.Add("hash-table", area.HashTable(c.cfg.HashTableEntries, c.cfg.HashAssociativity))
+	if c.cfg.Algo == comp.ZStd {
+		b.Add("huff-dict-builder", area.HuffDictBuilder+area.StatsLanes(c.cfg.StatsWidth))
+		b.Add("huff-encoder", area.HuffEncoderLogic)
+		b.Add("fse-dict-builders", 3*(area.FSEDictBuilder+area.StatsLanes(c.cfg.StatsWidth)))
+		b.Add("fse-encoder", area.FSEEncoderLogic)
+		b.Add("fse-tables", area.FSETables(3, c.cfg.FSETableLog, 8))
+		b.Add("seq-pq-expander", area.SeqToCodePQ)
+	}
+	return b
+}
+
+// lzCycles charges the LZ77 hash-matcher pipeline: one probe per considered
+// position, match extension at the compare width, literal passthrough.
+func lzCycles(s lz77.Stats, res *Result) float64 {
+	c := float64(s.Positions) +
+		float64(s.MatchBytes)/matchExtendBytesPerCycle +
+		float64(s.LiteralBytes)/litPassBytesPerCycle
+	res.addStage(StageLZ77, c)
+	return c
+}
+
+// Compress runs one accelerator call over a plaintext payload, returning the
+// compressed bytes and the modeled call latency.
+func (c *Compressor) Compress(src []byte) (*Result, error) {
+	res := &Result{InputBytes: len(src), UncompressedBytes: len(src)}
+	switch c.cfg.Algo {
+	case comp.Snappy:
+		res.Output = c.snap.Encode(src)
+		res.Cycles = lzCycles(c.snap.Stats(), res)
+	case comp.ZStd:
+		res.Output = c.zstd.Encode(src)
+		exec := lzCycles(c.zstd.LZStats(), res)
+		entropy, err := c.zstdEntropyCycles(res.Output, res)
+		if err != nil {
+			return nil, fmt.Errorf("core: self-inspection failed: %w", err)
+		}
+		exec += entropy
+		res.Cycles = exec
+	default:
+		return nil, fmt.Errorf("core: compressor algo %v", c.cfg.Algo)
+	}
+	res.OutputBytes = len(res.Output)
+	c.finishCall(res)
+	return res, nil
+}
+
+// zstdEntropyCycles derives the entropy-stage costs by inspecting the frame
+// the functional pipeline just produced: literal counts and sequence counts
+// per block determine the dictionary-builder, table-build and encode times
+// (§5.6-§5.7).
+func (c *Compressor) zstdEntropyCycles(frame []byte, res *Result) (float64, error) {
+	info, err := zstdlite.Inspect(frame)
+	if err != nil {
+		return 0, err
+	}
+	exec := 0.0
+	for i := range info.Blocks {
+		b := &info.Blocks[i]
+		exec += blockHeaderCycles
+		res.addStage(StageHeader, blockHeaderCycles)
+		if !b.IsCompressed() {
+			continue
+		}
+		lits := float64(b.LitCount)
+		if b.LitCount > 0 {
+			// Huffman dictionary builder: statistics at StatsWidth bytes per
+			// cycle, then code assignment; encoder emits DefaultHuffEncLanes
+			// symbols per cycle.
+			build := lits/float64(c.cfg.StatsWidth) + huffCodeAssignCycles
+			encode := lits / DefaultHuffEncLanes
+			res.addStage(StageHuffBuild, build)
+			res.addStage(StageHuff, encode)
+			exec += build + encode
+		}
+		if n := float64(len(b.Seqs)); n > 0 {
+			// Three FSE dictionary builders run in parallel (Figure 10),
+			// each walking its normalized-count table; the encoder then
+			// processes one sequence per cycle, with extras packing
+			// alongside.
+			build := n/float64(c.cfg.StatsWidth) + float64(int(1)<<c.cfg.FSETableLog)
+			encode := n + n/extrasPackPerCycle
+			res.addStage(StageFSEBuild, build)
+			res.addStage(StageFSE, encode)
+			exec += build + encode
+		}
+	}
+	return exec, nil
+}
+
+// finishCall adds invocation, first-access and link-occupancy costs, as for
+// decompression. Compression has no intermediate traffic: PCIeLocalCache and
+// PCIeNoCache behave identically (§6.3).
+func (c *Compressor) finishCall(res *Result) {
+	inv := c.iface.InvocationCycles(c.cfg.Placement)
+	first := c.sys.RTT(c.cfg.Placement, memsys.ClassRaw)
+	linkBytes := res.InputBytes + res.OutputBytes
+	stream := float64(linkBytes) / c.sys.StreamBandwidth(c.cfg.Placement, memsys.ClassRaw)
+	res.addStage(StageInvocation, inv)
+	res.addStage(StageFirstAccess, first)
+	res.addStage(StageStream, stream)
+	if stream > res.Cycles {
+		res.Cycles = stream
+	}
+	res.Cycles += inv + first
+}

@@ -1,0 +1,496 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"cdpu/internal/comp"
+	"cdpu/internal/corpus"
+	"cdpu/internal/memsys"
+	"cdpu/internal/snappy"
+	"cdpu/internal/zstdlite"
+)
+
+func mustDecompressor(t *testing.T, cfg Config) *Decompressor {
+	t.Helper()
+	d, err := NewDecompressor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func mustCompressor(t *testing.T, cfg Config) *Compressor {
+	t.Helper()
+	c, err := NewCompressor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// --- Functional correctness -------------------------------------------------
+
+func TestSnappyDecompressorMatchesSoftware(t *testing.T) {
+	d := mustDecompressor(t, Config{Algo: comp.Snappy})
+	for _, f := range corpus.SmallSuite() {
+		enc := snappy.Encode(f.Data)
+		res, err := d.Decompress(enc)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		if !bytes.Equal(res.Output, f.Data) {
+			t.Fatalf("%s: output mismatch", f.Name)
+		}
+		if res.Cycles <= 0 {
+			t.Fatalf("%s: nonpositive cycles", f.Name)
+		}
+	}
+}
+
+func TestZStdDecompressorMatchesSoftware(t *testing.T) {
+	d := mustDecompressor(t, Config{Algo: comp.ZStd})
+	for _, f := range corpus.SmallSuite() {
+		enc := zstdlite.Encode(f.Data)
+		res, err := d.Decompress(enc)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		if !bytes.Equal(res.Output, f.Data) {
+			t.Fatalf("%s: output mismatch", f.Name)
+		}
+	}
+}
+
+func TestCompressorOutputDecodableBySoftware(t *testing.T) {
+	data := corpus.Generate(corpus.Log, 200<<10, 71)
+	for _, algo := range []comp.Algorithm{comp.Snappy, comp.ZStd} {
+		c := mustCompressor(t, Config{Algo: algo})
+		res, err := c.Compress(data)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		got, err := comp.DecompressCall(algo, res.Output)
+		if err != nil {
+			t.Fatalf("%v: software decode of hardware output: %v", algo, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("%v: hardware/software interop mismatch", algo)
+		}
+	}
+}
+
+func TestHardwareRoundTrip(t *testing.T) {
+	data := corpus.Generate(corpus.JSON, 150<<10, 72)
+	for _, algo := range []comp.Algorithm{comp.Snappy, comp.ZStd} {
+		c := mustCompressor(t, Config{Algo: algo})
+		d := mustDecompressor(t, Config{Algo: algo})
+		cres, err := c.Compress(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dres, err := d.Decompress(cres.Output)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dres.Output, data) {
+			t.Fatalf("%v: hardware round trip mismatch", algo)
+		}
+	}
+}
+
+func TestDecompressorOutputIndependentOfSRAM(t *testing.T) {
+	// History SRAM size affects timing, never correctness: small windows
+	// fall back to memory (§5.2).
+	data := corpus.Generate(corpus.Text, 256<<10, 73)
+	enc := snappy.Encode(data)
+	for _, sram := range []int{2 << 10, 8 << 10, 64 << 10} {
+		d := mustDecompressor(t, Config{Algo: comp.Snappy, HistorySRAM: sram})
+		res, err := d.Decompress(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(res.Output, data) {
+			t.Fatalf("sram %d: output mismatch", sram)
+		}
+	}
+}
+
+func TestDecompressRejectsCorrupt(t *testing.T) {
+	d := mustDecompressor(t, Config{Algo: comp.Snappy})
+	if _, err := d.Decompress([]byte{0xff, 0xff}); err == nil {
+		t.Error("corrupt snappy accepted")
+	}
+	z := mustDecompressor(t, Config{Algo: comp.ZStd})
+	if _, err := z.Decompress([]byte("garbage")); err == nil {
+		t.Error("corrupt zstd accepted")
+	}
+}
+
+// --- Configuration ----------------------------------------------------------
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Algo: comp.Flate},
+		{Algo: comp.Snappy, HistorySRAM: 100},
+		{Algo: comp.Snappy, HistorySRAM: 3 << 10},
+		{Algo: comp.Snappy, HashTableEntries: 1000},
+		{Algo: comp.Snappy, HashAssociativity: 99},
+		{Algo: comp.ZStd, Speculation: 100},
+		{Algo: comp.ZStd, FSETableLog: 30},
+		{Algo: comp.Snappy, StatsWidth: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewDecompressor(cfg); err == nil {
+			t.Errorf("case %d: decompressor accepted %+v", i, cfg)
+		}
+		if _, err := NewCompressor(cfg); err == nil {
+			t.Errorf("case %d: compressor accepted %+v", i, cfg)
+		}
+	}
+}
+
+func TestConfigNames(t *testing.T) {
+	c := Config{Algo: comp.ZStd, Op: comp.Decompress, Speculation: 32}
+	if got := c.Name(); got != "ZSTD-D-RoCC-64K-spec32" {
+		t.Errorf("name = %q", got)
+	}
+	c2 := Config{Algo: comp.Snappy, Op: comp.Compress, HashTableEntries: 1 << 9}
+	if got := c2.Name(); got != "Snappy-C-RoCC-64K-ht9" {
+		t.Errorf("name = %q", got)
+	}
+}
+
+// --- Timing shape -----------------------------------------------------------
+
+func decompCycles(t *testing.T, cfg Config, enc []byte) float64 {
+	t.Helper()
+	d := mustDecompressor(t, cfg)
+	res, err := d.Decompress(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Cycles
+}
+
+func TestPlacementOrderingDecompression(t *testing.T) {
+	data := corpus.Generate(corpus.Text, 128<<10, 74)
+	enc := snappy.Encode(data)
+	rocc := decompCycles(t, Config{Algo: comp.Snappy, Placement: memsys.RoCC}, enc)
+	chiplet := decompCycles(t, Config{Algo: comp.Snappy, Placement: memsys.Chiplet}, enc)
+	pcie := decompCycles(t, Config{Algo: comp.Snappy, Placement: memsys.PCIeNoCache}, enc)
+	if !(rocc < chiplet && chiplet < pcie) {
+		t.Errorf("placement ordering violated: rocc=%f chiplet=%f pcie=%f", rocc, chiplet, pcie)
+	}
+	if pcie/rocc < 2 {
+		t.Errorf("PCIe only %.2fx slower than RoCC on medium call", pcie/rocc)
+	}
+}
+
+func TestSmallerSRAMSlowerDecompression(t *testing.T) {
+	data := corpus.Generate(corpus.Text, 256<<10, 75)
+	enc := snappy.Encode(data)
+	big := decompCycles(t, Config{Algo: comp.Snappy, HistorySRAM: 64 << 10}, enc)
+	small := decompCycles(t, Config{Algo: comp.Snappy, HistorySRAM: 2 << 10}, enc)
+	if small <= big {
+		t.Errorf("2K SRAM (%f) not slower than 64K (%f)", small, big)
+	}
+	// Near-core fallback is cheap enough that even this worst case (a large
+	// text call whose offsets almost all exceed 2 KiB) must not collapse;
+	// the paper's fleet-mix aggregate shows only ~4% (§6.2), dominated by
+	// calls too small to fall back at all.
+	if small > big*4 {
+		t.Errorf("near-core fallback too expensive: %f vs %f", small, big)
+	}
+}
+
+func TestSRAMFallbackCollapsesOverPCIeNoCache(t *testing.T) {
+	// §6.2: PCIeNoCache cannot exploit the SRAM-shrinking trick because
+	// fallbacks cross PCIe; PCIeLocalCache can, because intermediate traffic
+	// stays on-card.
+	data := corpus.Generate(corpus.Text, 256<<10, 76)
+	enc := snappy.Encode(data)
+	noCache64 := decompCycles(t, Config{Algo: comp.Snappy, Placement: memsys.PCIeNoCache, HistorySRAM: 64 << 10}, enc)
+	noCache2 := decompCycles(t, Config{Algo: comp.Snappy, Placement: memsys.PCIeNoCache, HistorySRAM: 2 << 10}, enc)
+	local64 := decompCycles(t, Config{Algo: comp.Snappy, Placement: memsys.PCIeLocalCache, HistorySRAM: 64 << 10}, enc)
+	local2 := decompCycles(t, Config{Algo: comp.Snappy, Placement: memsys.PCIeLocalCache, HistorySRAM: 2 << 10}, enc)
+	noCachePenalty := noCache2 / noCache64
+	localPenalty := local2 / local64
+	if noCachePenalty <= localPenalty {
+		t.Errorf("no-cache SRAM penalty %.3f not worse than local-cache %.3f", noCachePenalty, localPenalty)
+	}
+	if math.Abs(local64-noCache64) > local64*0.01 {
+		t.Errorf("identical 64K speedups expected: local=%f nocache=%f", local64, noCache64)
+	}
+}
+
+func TestSpeculationSpeedsUpZStdDecompression(t *testing.T) {
+	// Skewed data produces large Huffman-coded literal sections, the
+	// workload the speculation knob exists for.
+	data := corpus.Generate(corpus.Skewed, 256<<10, 77)
+	enc := zstdlite.Encode(data)
+	spec4 := decompCycles(t, Config{Algo: comp.ZStd, Speculation: 4}, enc)
+	spec16 := decompCycles(t, Config{Algo: comp.ZStd, Speculation: 16}, enc)
+	spec32 := decompCycles(t, Config{Algo: comp.ZStd, Speculation: 32}, enc)
+	if !(spec32 < spec16 && spec16 < spec4) {
+		t.Errorf("speculation ordering violated: %f %f %f", spec4, spec16, spec32)
+	}
+	if spec4/spec16 < 1.3 {
+		t.Errorf("spec4/spec16 = %.2f, expected a large swing (§6.4)", spec4/spec16)
+	}
+}
+
+func TestSnappyDecompressorThroughputBallpark(t *testing.T) {
+	// Paper: 11.4 GB/s at 2 GHz on the fleet mix (§6.2). A large text call
+	// should land within 2x of that.
+	data := corpus.Generate(corpus.Text, 4<<20, 78)
+	d := mustDecompressor(t, Config{Algo: comp.Snappy})
+	res, err := d.Decompress(snappy.Encode(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.ThroughputGBps(2.0)
+	if got < 5 || got > 25 {
+		t.Errorf("snappy decomp throughput %.1f GB/s, want ~11", got)
+	}
+}
+
+func TestSnappyCompressorThroughputBallpark(t *testing.T) {
+	// Paper: 5.84 GB/s (§6.3).
+	data := corpus.Generate(corpus.Text, 4<<20, 79)
+	c := mustCompressor(t, Config{Algo: comp.Snappy})
+	res, err := c.Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.ThroughputGBps(2.0)
+	if got < 2.5 || got > 12 {
+		t.Errorf("snappy comp throughput %.1f GB/s, want ~5.8", got)
+	}
+}
+
+func TestZStdThroughputsBallpark(t *testing.T) {
+	data := corpus.Generate(corpus.Text, 4<<20, 80)
+	c := mustCompressor(t, Config{Algo: comp.ZStd})
+	cres, err := c.Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cres.ThroughputGBps(2.0); got < 1.5 || got > 8 {
+		t.Errorf("zstd comp throughput %.1f GB/s, want ~3.5", got)
+	}
+	d := mustDecompressor(t, Config{Algo: comp.ZStd})
+	dres, err := d.Decompress(cres.Output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dres.ThroughputGBps(2.0); got < 1.8 || got > 9 {
+		t.Errorf("zstd decomp throughput %.1f GB/s, want ~4", got)
+	}
+}
+
+func TestZStdSlowerThanSnappyDecompression(t *testing.T) {
+	// The entropy stages make the ZStd decompressor slower than Snappy's on
+	// the same data (§6.4).
+	data := corpus.Generate(corpus.Log, 512<<10, 81)
+	sc := decompCycles(t, Config{Algo: comp.Snappy}, snappy.Encode(data))
+	zc := decompCycles(t, Config{Algo: comp.ZStd}, zstdlite.Encode(data))
+	if zc <= sc {
+		t.Errorf("zstd decomp (%f) not slower than snappy (%f)", zc, sc)
+	}
+}
+
+func TestSmallCallsDominatedByInvocation(t *testing.T) {
+	d := mustDecompressor(t, Config{Algo: comp.Snappy, Placement: memsys.PCIeNoCache})
+	res, err := d.Decompress(snappy.Encode([]byte("tiny payload")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stages[StageInvocation] < res.Cycles/3 {
+		t.Errorf("invocation %f of %f cycles; small PCIe call should be overhead-bound",
+			res.Stages[StageInvocation], res.Cycles)
+	}
+}
+
+// --- Compression ratio knobs --------------------------------------------------
+
+func TestCompressorSRAMAffectsRatio(t *testing.T) {
+	data := corpus.Generate(corpus.Log, 256<<10, 82)
+	big := mustCompressor(t, Config{Algo: comp.Snappy, HistorySRAM: 64 << 10})
+	small := mustCompressor(t, Config{Algo: comp.Snappy, HistorySRAM: 2 << 10})
+	bres, _ := big.Compress(data)
+	sres, _ := small.Compress(data)
+	if sres.Ratio() > bres.Ratio() {
+		t.Errorf("2K SRAM ratio %.3f beats 64K ratio %.3f", sres.Ratio(), bres.Ratio())
+	}
+}
+
+func TestCompressorHashEntriesAffectRatio(t *testing.T) {
+	data := corpus.Generate(corpus.Text, 256<<10, 83)
+	big := mustCompressor(t, Config{Algo: comp.Snappy, HashTableEntries: 1 << 14})
+	small := mustCompressor(t, Config{Algo: comp.Snappy, HashTableEntries: 1 << 9})
+	bres, _ := big.Compress(data)
+	sres, _ := small.Compress(data)
+	if sres.Ratio() > bres.Ratio() {
+		t.Errorf("HT9 ratio %.3f beats HT14 ratio %.3f", sres.Ratio(), bres.Ratio())
+	}
+}
+
+func TestHardwareZStdRatioBelowSoftware(t *testing.T) {
+	// §6.5: the hardware ZStd compressor reaches ~84% of software's ratio
+	// because it reuses the Snappy-configured LZ77 block.
+	data := corpus.Generate(corpus.Text, 512<<10, 84)
+	hw := mustCompressor(t, Config{Algo: comp.ZStd})
+	hres, _ := hw.Compress(data)
+	sw := zstdlite.Encode(data)
+	hwRatio := float64(len(data)) / float64(len(hres.Output))
+	swRatio := float64(len(data)) / float64(len(sw))
+	rel := hwRatio / swRatio
+	if rel > 1.02 {
+		t.Errorf("hardware zstd ratio %.3f exceeds software %.3f", hwRatio, swRatio)
+	}
+	if rel < 0.6 {
+		t.Errorf("hardware zstd ratio collapsed: %.2f of software", rel)
+	}
+}
+
+// --- Area ---------------------------------------------------------------------
+
+func TestAreaCalibrationSnappyDecompressor(t *testing.T) {
+	d := mustDecompressor(t, Config{Algo: comp.Snappy, HistorySRAM: 64 << 10})
+	got := d.Area().Total()
+	if math.Abs(got-0.431)/0.431 > 0.05 {
+		t.Errorf("snappy decomp 64K area = %.3f mm², paper 0.431", got)
+	}
+	small := mustDecompressor(t, Config{Algo: comp.Snappy, HistorySRAM: 2 << 10})
+	saving := 1 - small.Area().Total()/got
+	if saving < 0.30 || saving > 0.45 {
+		t.Errorf("2K SRAM area saving %.1f%%, paper ~38%%", 100*saving)
+	}
+}
+
+func TestAreaCalibrationSnappyCompressor(t *testing.T) {
+	c := mustCompressor(t, Config{Algo: comp.Snappy})
+	got := c.Area().Total()
+	if math.Abs(got-0.851)/0.851 > 0.05 {
+		t.Errorf("snappy comp 64K/HT14 area = %.3f mm², paper 0.851", got)
+	}
+	tiny := mustCompressor(t, Config{Algo: comp.Snappy, HistorySRAM: 2 << 10, HashTableEntries: 1 << 9})
+	frac := tiny.Area().Total() / got
+	if frac < 0.28 || frac > 0.42 {
+		t.Errorf("HT9/2K area fraction %.2f, paper ~0.34", frac)
+	}
+}
+
+func TestAreaCalibrationZStd(t *testing.T) {
+	d := mustDecompressor(t, Config{Algo: comp.ZStd})
+	got := d.Area().Total()
+	if math.Abs(got-1.9)/1.9 > 0.07 {
+		t.Errorf("zstd decomp area = %.3f mm², paper ~1.9", got)
+	}
+	c := mustCompressor(t, Config{Algo: comp.ZStd})
+	gotC := c.Area().Total()
+	if math.Abs(gotC-3.48)/3.48 > 0.07 {
+		t.Errorf("zstd comp area = %.3f mm², paper ~3.48", gotC)
+	}
+}
+
+func TestAreaSpeculationSwing(t *testing.T) {
+	base := mustDecompressor(t, Config{Algo: comp.ZStd, Speculation: 16}).Area().Total()
+	spec32 := mustDecompressor(t, Config{Algo: comp.ZStd, Speculation: 32}).Area().Total()
+	spec4 := mustDecompressor(t, Config{Algo: comp.ZStd, Speculation: 4}).Area().Total()
+	up := spec32/base - 1
+	down := 1 - spec4/base
+	if up < 0.10 || up > 0.25 {
+		t.Errorf("spec32 area increase %.1f%%, paper ~18%%", 100*up)
+	}
+	if down < 0.05 || down > 0.20 {
+		t.Errorf("spec4 area saving %.1f%%, paper ~10%%", 100*down)
+	}
+}
+
+func TestAreaFractionOfXeon(t *testing.T) {
+	d := mustDecompressor(t, Config{Algo: comp.Snappy})
+	if frac := d.Area().FracOfXeonCore(); frac > 0.03 {
+		t.Errorf("snappy decomp is %.1f%% of a Xeon core, paper <2.4%%", 100*frac)
+	}
+	c := mustCompressor(t, Config{Algo: comp.Snappy})
+	if frac := c.Area().FracOfXeonCore(); frac > 0.055 {
+		t.Errorf("snappy comp is %.1f%% of a Xeon core, paper ~4.7%%", 100*frac)
+	}
+}
+
+// --- Results ------------------------------------------------------------------
+
+func TestResultAccounting(t *testing.T) {
+	data := corpus.Generate(corpus.JSON, 64<<10, 85)
+	c := mustCompressor(t, Config{Algo: comp.ZStd})
+	res, err := c.Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InputBytes != len(data) || res.UncompressedBytes != len(data) {
+		t.Error("input accounting wrong")
+	}
+	if res.OutputBytes != len(res.Output) {
+		t.Error("output accounting wrong")
+	}
+	if res.Ratio() < 1 {
+		t.Errorf("ratio %.2f < 1 on compressible data", res.Ratio())
+	}
+	if len(res.Stages) < 4 {
+		t.Errorf("expected a rich stage breakdown, got %v", res.Stages)
+	}
+	if res.StageString() == "" {
+		t.Error("empty stage string")
+	}
+	if res.Seconds(2.0) <= 0 {
+		t.Error("nonpositive seconds")
+	}
+}
+
+func TestCompressionPCIeVariantsIdentical(t *testing.T) {
+	// §6.3: with no intermediate data accesses, PCIeNoCache and
+	// PCIeLocalCache are identical placements for compression.
+	data := corpus.Generate(corpus.Log, 200<<10, 86)
+	a := mustCompressor(t, Config{Algo: comp.Snappy, Placement: memsys.PCIeLocalCache})
+	b := mustCompressor(t, Config{Algo: comp.Snappy, Placement: memsys.PCIeNoCache})
+	ra, err := a.Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Cycles != rb.Cycles {
+		t.Errorf("PCIe compression variants differ: %f vs %f", ra.Cycles, rb.Cycles)
+	}
+}
+
+func TestDeepHistoryFallbackCostsDRAM(t *testing.T) {
+	// Frames with multi-MiB windows reach past the L2's capacity: the
+	// fallback should charge DRAM latency, making deep offsets more
+	// expensive than near ones even off-SRAM.
+	unit := corpus.Generate(corpus.Random, 96<<10, 87)
+	// redundancy at ~3 MiB distance
+	data := append(append(append([]byte{}, unit...),
+		corpus.Generate(corpus.Text, 3<<20, 88)...), unit...)
+	e, err := zstdlite.NewEncoder(zstdlite.Params{WindowLog: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := e.Encode(data)
+	d := mustDecompressor(t, Config{Algo: comp.ZStd})
+	res, err := d.Decompress(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Output, data) {
+		t.Fatal("deep-window round trip failed")
+	}
+	if res.Stages[StageHistFall] <= 0 {
+		t.Error("no history fallback charged for multi-MiB offsets")
+	}
+}

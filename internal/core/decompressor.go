@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"cdpu/internal/area"
+	"cdpu/internal/comp"
+	"cdpu/internal/lz77"
+	"cdpu/internal/memsys"
+	"cdpu/internal/snappy"
+	"cdpu/internal/soc"
+	"cdpu/internal/zstdlite"
+)
+
+// Per-block throughput constants (units: bytes or items per cycle at the
+// CDPU clock). These model the datapath widths of the generated RTL blocks.
+const (
+	// literalBytesPerCycle is the LZ77 writer's literal move width.
+	literalBytesPerCycle = 16
+	// historyBytesPerCycle is the history SRAM read/copy width.
+	historyBytesPerCycle = 16
+	// fallbackChunkBytes is the burst size of one off-chip history lookup.
+	fallbackChunkBytes = 32
+	// fallbackOverlap is the number of outstanding off-chip history lookups
+	// the Off-Chip History Lookup block keeps in flight (Figure 9): copy
+	// commands with far offsets are independent of each other most of the
+	// time, so their fetches pipeline up to this depth.
+	fallbackOverlap = 8
+	// rawMoveBytesPerCycle is the passthrough width for raw/RLE blocks.
+	rawMoveBytesPerCycle = 32
+	// huffTableFillPerCycle is decode-table cells written per cycle.
+	huffTableFillPerCycle = 8
+	// blockHeaderCycles covers per-block frame/section parsing.
+	blockHeaderCycles = 30
+	// elementParseCycles is the Snappy element decoder's rate (1/cycle).
+	elementParseCycles = 1
+)
+
+// Decompressor is a generated decompression pipeline (Figure 9).
+type Decompressor struct {
+	cfg   Config
+	sys   *memsys.System
+	iface *soc.Interface
+}
+
+// NewDecompressor generates a decompressor instance from cfg (Op is forced
+// to Decompress).
+func NewDecompressor(cfg Config) (*Decompressor, error) {
+	cfg.Op = comp.Decompress
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sys, err := memsys.New(cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+	return &Decompressor{cfg: cfg, sys: sys, iface: soc.New(sys)}, nil
+}
+
+// Config returns the instance configuration.
+func (d *Decompressor) Config() Config { return d.cfg }
+
+// Area returns the instance's silicon area breakdown.
+func (d *Decompressor) Area() *area.Breakdown {
+	b := area.NewBreakdown()
+	b.Add("system-interface", area.SystemInterface)
+	b.Add("lz77-decoder", area.LZ77DecoderLogic)
+	b.Add("history-sram", area.SRAM(d.cfg.HistorySRAM))
+	if d.cfg.Algo == comp.ZStd {
+		b.Add("huff-expander", area.HuffExpander(d.cfg.Speculation))
+		b.Add("fse-expander", area.FSEExpanderLogic)
+		b.Add("fse-tables", area.FSETables(3, d.cfg.FSETableLog, 4))
+		b.Add("zstd-control", area.ZstdDecodeControl)
+	}
+	return b
+}
+
+// Decompress runs one accelerator call over a compressed payload, returning
+// the decompressed bytes and the modeled call latency.
+func (d *Decompressor) Decompress(src []byte) (*Result, error) {
+	res := &Result{InputBytes: len(src)}
+	var err error
+	switch d.cfg.Algo {
+	case comp.Snappy:
+		err = d.snappyCall(src, res)
+	case comp.ZStd:
+		err = d.zstdCall(src, res)
+	default:
+		err = fmt.Errorf("core: decompressor algo %v", d.cfg.Algo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.OutputBytes = len(res.Output)
+	res.UncompressedBytes = res.OutputBytes
+	d.finishCall(res)
+	return res, nil
+}
+
+// copyCycles models the LZ77 decoder executing one copy command: history
+// SRAM hits stream at the history port width; more distant offsets fall back
+// to serial off-chip lookups (§5.2, §3.6).
+func (d *Decompressor) copyCycles(offset, length int, res *Result) float64 {
+	if offset <= d.cfg.HistorySRAM {
+		c := float64(length) / historyBytesPerCycle
+		res.addStage(StageLZ77, c)
+		return c
+	}
+	chunks := math.Ceil(float64(length) / fallbackChunkBytes)
+	c := chunks * d.sys.AccessCyclesAt(d.cfg.Placement, memsys.ClassIntermediate, offset) / fallbackOverlap
+	res.addStage(StageHistFall, c)
+	return c
+}
+
+// execSeqs charges the LZ77 decoder for a command stream.
+func (d *Decompressor) execSeqs(seqs []lz77.Seq, res *Result) float64 {
+	exec := 0.0
+	for _, s := range seqs {
+		exec += elementParseCycles
+		if s.LitLen > 0 {
+			c := float64(s.LitLen) / literalBytesPerCycle
+			res.addStage(StageLZ77, c)
+			exec += c
+		}
+		if s.MatchLen > 0 {
+			exec += d.copyCycles(s.Offset, s.MatchLen, res)
+		}
+	}
+	res.addStage(StageLZ77, float64(len(seqs))*elementParseCycles)
+	return exec
+}
+
+func (d *Decompressor) snappyCall(src []byte, res *Result) error {
+	seqs, literals, n, err := snappy.DecodeSeqs(src)
+	if err != nil {
+		return err
+	}
+	out, err := lz77.Reconstruct(seqs, literals, 0, n)
+	if err != nil {
+		return err
+	}
+	res.Output = out
+	res.Cycles = d.execSeqs(seqs, res)
+	return nil
+}
+
+func (d *Decompressor) zstdCall(src []byte, res *Result) error {
+	info, err := zstdlite.Inspect(src)
+	if err != nil {
+		return err
+	}
+	out, err := zstdlite.Materialize(info)
+	if err != nil {
+		return err
+	}
+	res.Output = out
+	exec := 0.0
+	for i := range info.Blocks {
+		b := &info.Blocks[i]
+		exec += blockHeaderCycles
+		res.addStage(StageHeader, blockHeaderCycles)
+		if !b.IsCompressed() {
+			c := float64(b.RawSize) / rawMoveBytesPerCycle
+			res.addStage(StageLZ77, c)
+			exec += c
+			continue
+		}
+		// Literals section: build the decode table, then expand. The
+		// speculative expander advances Speculation bit positions per cycle,
+		// so its symbol rate is speculation / mean code length (§5.3).
+		if b.LitCount > 0 {
+			if b.HuffMaxBits > 0 {
+				build := float64(len(b.HuffLens)) + float64(int(1)<<b.HuffMaxBits)/huffTableFillPerCycle
+				res.addStage(StageHuffBuild, build)
+				avgBits := float64(b.LitPayload*8) / float64(b.LitCount)
+				if avgBits < 1 {
+					avgBits = 1
+				}
+				symsPerCycle := float64(d.cfg.Speculation) / avgBits
+				expand := float64(b.LitCount) / symsPerCycle
+				res.addStage(StageHuff, expand)
+				exec += build + expand
+			} else {
+				c := float64(b.LitCount) / literalBytesPerCycle
+				res.addStage(StageLZ77, c)
+				exec += c
+			}
+		}
+		// Sequence streams: FSE table builds are serial walks of the state
+		// table; the three decode lanes then run in parallel at one
+		// sequence per cycle (§5.4).
+		if len(b.Seqs) > 0 {
+			for s := 0; s < 3; s++ {
+				if b.FSETableLogs[s] > 0 {
+					build := float64(int(1) << b.FSETableLogs[s])
+					res.addStage(StageFSEBuild, build)
+					exec += build
+				}
+			}
+			dec := float64(len(b.Seqs))
+			res.addStage(StageFSE, dec)
+			exec += dec
+			exec += d.execSeqs(b.Seqs, res)
+		}
+	}
+	res.Cycles = exec
+	return nil
+}
+
+// finishCall adds the call-granularity costs shared by all algorithms:
+// invocation, first-access latency, and the raw-traffic link-occupancy bound
+// that throttles remote placements.
+func (d *Decompressor) finishCall(res *Result) {
+	inv := d.iface.InvocationCycles(d.cfg.Placement)
+	first := d.sys.RTT(d.cfg.Placement, memsys.ClassRaw)
+	linkBytes := res.InputBytes + res.OutputBytes
+	stream := float64(linkBytes) / d.sys.StreamBandwidth(d.cfg.Placement, memsys.ClassRaw)
+	res.addStage(StageInvocation, inv)
+	res.addStage(StageFirstAccess, first)
+	res.addStage(StageStream, stream)
+	if stream > res.Cycles {
+		res.Cycles = stream
+	}
+	res.Cycles += inv + first
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cdpu/internal/area"
+	"cdpu/internal/comp"
+)
+
+// Device models a CDPU integration with one or more identical pipelines
+// behind a shared command router and memory interface. The paper reports
+// single-pipeline areas and notes hyperscale deployments would provision for
+// service throughput; a Device answers the follow-on question of how many
+// pipelines a service's offered load needs before queueing delay erodes the
+// accelerator's latency advantage (decompression sits on client-visible read
+// paths, §3.3.1).
+type Device struct {
+	cfg       Config
+	pipelines int
+	comp      *Compressor
+	decomp    *Decompressor
+}
+
+// NewDevice builds a device with n identical pipelines of the given
+// configuration. The Config's Op selects the direction served.
+func NewDevice(cfg Config, pipelines int) (*Device, error) {
+	if pipelines < 1 || pipelines > 64 {
+		return nil, fmt.Errorf("core: pipeline count %d out of [1,64]", pipelines)
+	}
+	d := &Device{cfg: cfg, pipelines: pipelines}
+	var err error
+	switch cfg.Op {
+	case comp.Compress:
+		d.comp, err = NewCompressor(cfg)
+	default:
+		d.decomp, err = NewDecompressor(cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Pipelines returns the pipeline count.
+func (d *Device) Pipelines() int { return d.pipelines }
+
+// Area returns the device's silicon area: pipelines share the system
+// interface (command router, memloaders/memwriters), so replication adds
+// only the per-pipeline blocks.
+func (d *Device) Area() *area.Breakdown {
+	var one *area.Breakdown
+	if d.comp != nil {
+		one = d.comp.Area()
+	} else {
+		one = d.decomp.Area()
+	}
+	b := area.NewBreakdown()
+	for _, name := range one.Blocks() {
+		if name == "system-interface" {
+			b.Add(name, one.Of(name))
+			continue
+		}
+		b.Add(name, one.Of(name)*float64(d.pipelines))
+	}
+	return b
+}
+
+// Job is one queued accelerator call.
+type Job struct {
+	// Arrival is the submission time in device cycles.
+	Arrival float64
+	// Payload is the call input (plaintext for compression devices,
+	// compressed bytes for decompression devices).
+	Payload []byte
+}
+
+// JobResult reports one completed job.
+type JobResult struct {
+	// Queue is cycles spent waiting for a pipeline.
+	Queue float64
+	// Service is the pipeline occupancy (the call's modeled cycles).
+	Service float64
+	// Latency is Queue + Service.
+	Latency float64
+	// Result is the underlying call result.
+	Result *Result
+}
+
+// DeviceStats aggregates a batch.
+type DeviceStats struct {
+	Jobs        int
+	Utilization float64 // busy pipeline-cycles / (pipelines * makespan)
+	MeanLatency float64
+	P50Latency  float64
+	P99Latency  float64
+	Makespan    float64 // last completion minus first arrival
+}
+
+// Run services jobs FCFS across the device's pipelines (jobs must be sorted
+// by arrival time) and reports per-job latency plus batch statistics.
+func (d *Device) Run(jobs []Job) ([]JobResult, DeviceStats, error) {
+	if len(jobs) == 0 {
+		return nil, DeviceStats{}, nil
+	}
+	free := make([]float64, d.pipelines) // next-free time per pipeline
+	results := make([]JobResult, len(jobs))
+	busy := 0.0
+	first := jobs[0].Arrival
+	lastDone := 0.0
+	for i, job := range jobs {
+		if i > 0 && job.Arrival < jobs[i-1].Arrival {
+			return nil, DeviceStats{}, fmt.Errorf("core: jobs not sorted by arrival")
+		}
+		var res *Result
+		var err error
+		if d.comp != nil {
+			res, err = d.comp.Compress(job.Payload)
+		} else {
+			res, err = d.decomp.Decompress(job.Payload)
+		}
+		if err != nil {
+			return nil, DeviceStats{}, fmt.Errorf("core: job %d: %w", i, err)
+		}
+		// Earliest-free pipeline.
+		p := 0
+		for k := 1; k < d.pipelines; k++ {
+			if free[k] < free[p] {
+				p = k
+			}
+		}
+		start := math.Max(job.Arrival, free[p])
+		done := start + res.Cycles
+		free[p] = done
+		busy += res.Cycles
+		if done > lastDone {
+			lastDone = done
+		}
+		results[i] = JobResult{
+			Queue:   start - job.Arrival,
+			Service: res.Cycles,
+			Latency: done - job.Arrival,
+			Result:  res,
+		}
+	}
+	stats := DeviceStats{Jobs: len(jobs), Makespan: lastDone - first}
+	if stats.Makespan > 0 {
+		stats.Utilization = busy / (float64(d.pipelines) * stats.Makespan)
+	}
+	lat := make([]float64, len(results))
+	sum := 0.0
+	for i, r := range results {
+		lat[i] = r.Latency
+		sum += r.Latency
+	}
+	sort.Float64s(lat)
+	stats.MeanLatency = sum / float64(len(lat))
+	stats.P50Latency = lat[len(lat)/2]
+	stats.P99Latency = lat[min(len(lat)-1, len(lat)*99/100)]
+	return results, stats, nil
+}

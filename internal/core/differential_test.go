@@ -1,0 +1,75 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cdpu/internal/comp"
+	"cdpu/internal/lz77"
+	"cdpu/internal/memsys"
+)
+
+// TestDifferentialHardwareSoftware cross-checks randomly-configured hardware
+// instances against the software codecs on randomly-shaped data: every
+// hardware compressor's output must decode identically in software, and
+// every hardware decompressor must reproduce software-compressed payloads,
+// for any legal parameter point of the generator.
+func TestDifferentialHardwareSoftware(t *testing.T) {
+	f := func(seed int64, algoSel, placeSel, sramSel, htSel, assocSel, hashSel, specSel uint8, sizeSel uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		algo := []comp.Algorithm{comp.Snappy, comp.ZStd}[int(algoSel)%2]
+		cfg := Config{
+			Algo:              algo,
+			Placement:         memsys.Placements[int(placeSel)%len(memsys.Placements)],
+			HistorySRAM:       1 << (10 + int(sramSel)%7), // 1K..64K
+			HashTableEntries:  1 << (8 + int(htSel)%8),    // 2^8..2^15
+			HashAssociativity: []int{1, 2, 4}[int(assocSel)%3],
+			HashFunc:          []lz77.HashFunc{lz77.HashFibonacci, lz77.HashXorShift}[int(hashSel)%2],
+			Speculation:       []int{4, 16, 32}[int(specSel)%3],
+		}
+		// Random compressible-ish data.
+		size := int(sizeSel)%50000 + 1
+		data := make([]byte, size)
+		unit := 1 + rng.Intn(300)
+		for i := range data {
+			if i >= unit && rng.Intn(4) > 0 {
+				data[i] = data[i-unit]
+			} else {
+				data[i] = byte(rng.Intn(256))
+			}
+		}
+
+		c, err := NewCompressor(cfg)
+		if err != nil {
+			return false
+		}
+		cres, err := c.Compress(data)
+		if err != nil {
+			return false
+		}
+		swOut, err := comp.DecompressCall(algo, cres.Output)
+		if err != nil || !bytes.Equal(swOut, data) {
+			return false
+		}
+
+		swEnc, err := comp.CompressCall(algo, 0, 0, data)
+		if err != nil {
+			return false
+		}
+		d, err := NewDecompressor(cfg)
+		if err != nil {
+			return false
+		}
+		dres, err := d.Decompress(swEnc)
+		if err != nil || !bytes.Equal(dres.Output, data) {
+			return false
+		}
+		// Timing sanity at every point: positive cycles, positive area.
+		return cres.Cycles > 0 && dres.Cycles > 0 && c.Area().Total() > 0 && d.Area().Total() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stage names used in cycle breakdowns, one per hardware block of Figures 9
+// and 10 that contributes call latency.
+const (
+	StageInvocation  = "invocation"    // RoCC dispatch + setup + doorbell RTTs
+	StageStream      = "stream"        // memloader/memwriter link occupancy bound
+	StageFirstAccess = "first-access"  // initial request latency before data flows
+	StageLZ77        = "lz77"          // encoder hash pipeline or decoder copy engine
+	StageHistFall    = "hist-fallback" // off-chip history lookups (decode only)
+	StageHuffBuild   = "huff-table"    // Huffman table build (either direction)
+	StageHuff        = "huffman"       // Huffman encode/expand
+	StageFSEBuild    = "fse-table"     // FSE table build
+	StageFSE         = "fse"           // FSE encode/expand
+	StageHeader      = "header"        // frame/block/section parsing or emission
+)
+
+// Result reports one accelerator call.
+type Result struct {
+	// Output is the produced payload (compressed or decompressed bytes).
+	Output []byte
+	// InputBytes and OutputBytes are payload sizes.
+	InputBytes  int
+	OutputBytes int
+	// UncompressedBytes is the plaintext size of the call regardless of
+	// direction, the normalizer for throughput metrics.
+	UncompressedBytes int
+	// Cycles is the modeled end-to-end call latency in accelerator cycles,
+	// "from the perspective of software" (§6.1): invocation through
+	// completion, no request overlapping.
+	Cycles float64
+	// Stages is the per-block cycle breakdown. The pipeline-parallel stage
+	// cycles sum to more than the critical path when streaming overlaps
+	// execution; Cycles is authoritative.
+	Stages map[string]float64
+}
+
+// Seconds converts the result's cycles to wall-clock seconds at freqGHz.
+func (r *Result) Seconds(freqGHz float64) float64 {
+	return r.Cycles / (freqGHz * 1e9)
+}
+
+// ThroughputGBps returns uncompressed-bytes-per-second in GB/s at freqGHz.
+func (r *Result) ThroughputGBps(freqGHz float64) float64 {
+	s := r.Seconds(freqGHz)
+	if s == 0 {
+		return 0
+	}
+	return float64(r.UncompressedBytes) / s / 1e9
+}
+
+// Ratio returns the compression ratio of the call (uncompressed/compressed).
+func (r *Result) Ratio() float64 {
+	c := r.InputBytes
+	u := r.OutputBytes
+	if u < c {
+		c, u = u, c
+	}
+	if c == 0 {
+		return 0
+	}
+	return float64(u) / float64(c)
+}
+
+// StageString renders the per-stage cycle breakdown, largest first.
+func (r *Result) StageString() string {
+	type kv struct {
+		k string
+		v float64
+	}
+	var items []kv
+	for k, v := range r.Stages {
+		items = append(items, kv{k, v})
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].v > items[j].v })
+	s := ""
+	for _, it := range items {
+		s += fmt.Sprintf("%-14s %12.0f cycles\n", it.k, it.v)
+	}
+	return s
+}
+
+// addStage accumulates a stage's cycles into the result.
+func (r *Result) addStage(name string, cycles float64) {
+	if r.Stages == nil {
+		r.Stages = make(map[string]float64)
+	}
+	r.Stages[name] += cycles
+}

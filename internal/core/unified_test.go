@@ -1,0 +1,108 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"cdpu/internal/comp"
+	"cdpu/internal/corpus"
+	"cdpu/internal/snappy"
+	"cdpu/internal/zstdlite"
+)
+
+func TestUnifiedDecompressorRoutesBothFormats(t *testing.T) {
+	u, err := NewUnifiedDecompressor(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := corpus.Generate(corpus.JSON, 80<<10, 1)
+	for _, enc := range [][]byte{snappy.Encode(data), zstdlite.Encode(data)} {
+		res, err := u.Decompress(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(res.Output, data) {
+			t.Fatal("unified decompression mismatch")
+		}
+	}
+}
+
+func TestUnifiedDecompressAsExplicitRouting(t *testing.T) {
+	u, err := NewUnifiedDecompressor(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := corpus.Generate(corpus.Text, 32<<10, 2)
+	res, err := u.DecompressAs(comp.Snappy, snappy.Encode(data))
+	if err != nil || !bytes.Equal(res.Output, data) {
+		t.Fatalf("explicit snappy routing: %v", err)
+	}
+	if _, err := u.DecompressAs(comp.Flate, nil); err == nil {
+		t.Error("unsupported algorithm accepted")
+	}
+}
+
+func TestUnifiedAreaEqualsZStdInstance(t *testing.T) {
+	// The reuse story: supporting both algorithms costs no more silicon
+	// than the ZStd instance alone, because the Snappy blocks are shared.
+	u, err := NewUnifiedDecompressor(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := NewDecompressor(Config{Algo: comp.ZStd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewDecompressor(Config{Algo: comp.Snappy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Area().Total() != z.Area().Total() {
+		t.Errorf("unified area %.3f != zstd instance %.3f", u.Area().Total(), z.Area().Total())
+	}
+	if u.Area().Total() >= z.Area().Total()+s.Area().Total() {
+		t.Error("unified unit not cheaper than two separate instances")
+	}
+}
+
+func TestUnifiedCompressorBothAlgorithms(t *testing.T) {
+	u, err := NewUnifiedCompressor(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := corpus.Generate(corpus.Log, 100<<10, 3)
+	for _, a := range []comp.Algorithm{comp.Snappy, comp.ZStd} {
+		res, err := u.Compress(a, data)
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		got, err := comp.DecompressCall(a, res.Output)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("%v round trip: %v", a, err)
+		}
+	}
+	if _, err := u.Compress(comp.LZO, data); err == nil {
+		t.Error("unsupported algorithm accepted")
+	}
+}
+
+func TestUnifiedSnappyCallsFasterThanZStdCalls(t *testing.T) {
+	// On one unified unit, Snappy calls skip the entropy stages and should
+	// complete in fewer cycles for the same payload.
+	u, err := NewUnifiedDecompressor(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := corpus.Generate(corpus.Text, 256<<10, 4)
+	sres, err := u.Decompress(snappy.Encode(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zres, err := u.Decompress(zstdlite.Encode(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Cycles >= zres.Cycles {
+		t.Errorf("snappy call (%.0f cycles) not faster than zstd call (%.0f)", sres.Cycles, zres.Cycles)
+	}
+}

@@ -1,0 +1,114 @@
+package corpus
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestGenerateSizes(t *testing.T) {
+	for _, k := range Kinds {
+		for _, size := range []int{0, 1, 100, 64 << 10} {
+			got := Generate(k, size, 42)
+			if len(got) != size {
+				t.Errorf("Generate(%v, %d): len = %d", k, size, len(got))
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, k := range Kinds {
+		a := Generate(k, 32<<10, 7)
+		b := Generate(k, 32<<10, 7)
+		if !bytes.Equal(a, b) {
+			t.Errorf("Generate(%v) not deterministic", k)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	for _, k := range Kinds {
+		if k == Zeros {
+			continue
+		}
+		a := Generate(k, 32<<10, 1)
+		b := Generate(k, 32<<10, 2)
+		if bytes.Equal(a, b) {
+			t.Errorf("Generate(%v) identical across seeds", k)
+		}
+	}
+}
+
+// entropy8 approximates compressibility with a 0-order byte histogram check:
+// count distinct bytes as a cheap proxy.
+func distinctBytes(b []byte) int {
+	var seen [256]bool
+	n := 0
+	for _, c := range b {
+		if !seen[c] {
+			seen[c] = true
+			n++
+		}
+	}
+	return n
+}
+
+func TestKindsSpanEntropyRange(t *testing.T) {
+	z := Generate(Zeros, 16<<10, 1)
+	r := Generate(Random, 16<<10, 1)
+	tx := Generate(Text, 16<<10, 1)
+	if distinctBytes(z) != 1 {
+		t.Errorf("zeros has %d distinct bytes", distinctBytes(z))
+	}
+	if distinctBytes(r) < 250 {
+		t.Errorf("random has only %d distinct bytes", distinctBytes(r))
+	}
+	dt := distinctBytes(tx)
+	if dt < 20 || dt > 100 {
+		t.Errorf("text distinct bytes = %d, want letter-ish alphabet", dt)
+	}
+}
+
+func TestStandardSuite(t *testing.T) {
+	files := StandardSuite()
+	if len(files) < 10 {
+		t.Fatalf("suite too small: %d", len(files))
+	}
+	var total int
+	for _, f := range files {
+		if len(f.Data) == 0 {
+			t.Errorf("%s empty", f.Name)
+		}
+		total += len(f.Data)
+	}
+	if total < 16<<20 {
+		t.Errorf("suite total %d bytes, want >= 16 MiB", total)
+	}
+}
+
+func TestSmallSuiteCoversAllKinds(t *testing.T) {
+	files := SmallSuite()
+	if len(files) != len(Kinds) {
+		t.Fatalf("small suite has %d files, want %d", len(files), len(Kinds))
+	}
+	seen := map[Kind]bool{}
+	for _, f := range files {
+		seen[f.Kind] = true
+	}
+	for _, k := range Kinds {
+		if !seen[k] {
+			t.Errorf("kind %v missing", k)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range Kinds {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", int(k))
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Errorf("unknown kind string = %q", Kind(99).String())
+	}
+}

@@ -1,0 +1,620 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"cdpu/internal/comp"
+	"cdpu/internal/core"
+	"cdpu/internal/fleet"
+	"cdpu/internal/hcbench"
+	"cdpu/internal/lz77"
+	"cdpu/internal/memsys"
+	"cdpu/internal/xeon"
+)
+
+func init() {
+	register(Experiment{ID: "fig7", Title: "HyperCompressBench call-size validation", Run: runFig7})
+	register(Experiment{ID: "fig11", Title: "Snappy decompression DSE: SRAM x placement", Run: runFig11})
+	register(Experiment{ID: "fig12", Title: "Snappy compression DSE: SRAM x placement (HT14)", Run: runFig12})
+	register(Experiment{ID: "fig13", Title: "Snappy compression DSE: SRAM x placement (HT9)", Run: runFig13})
+	register(Experiment{ID: "fig14", Title: "ZStd decompression DSE: SRAM x placement + speculation", Run: runFig14})
+	register(Experiment{ID: "fig15", Title: "ZStd compression DSE: SRAM x placement (HT14)", Run: runFig15})
+	register(Experiment{ID: "dse-summary", Title: "Section 6.6 design-space summary", Run: runDSESummary})
+	register(Experiment{ID: "ablation-hash", Title: "Ablation: hash function and associativity", Run: runAblationHash})
+	register(Experiment{ID: "ablation-fse", Title: "Ablation: FSE table accuracy", Run: runAblationFSE})
+	register(Experiment{ID: "ablation-stats", Title: "Ablation: symbol-stats width", Run: runAblationStats})
+}
+
+// sramSweep is the Figures 11-15 x-axis.
+var sramSweep = []int{64 << 10, 32 << 10, 16 << 10, 8 << 10, 4 << 10, 2 << 10}
+
+func sramLabel(b int) string { return fmt.Sprintf("%dK", b>>10) }
+
+// suite caching: pool construction and assembly dominate experiment setup,
+// and the four suites are shared by several experiments.
+var suiteCache = map[string]*hcbench.Suite{}
+
+func getSuite(cfg Config, algo comp.Algorithm, op comp.Op) (*hcbench.Suite, error) {
+	key := fmt.Sprintf("%v-%v-%d-%d-%d", algo, op, cfg.SuiteFiles, cfg.MaxFileBytes, cfg.Seed)
+	if s, ok := suiteCache[key]; ok {
+		return s, nil
+	}
+	s, err := hcbench.Generate(hcbench.Spec{
+		Algo: algo, Op: op, N: cfg.SuiteFiles,
+		MaxFileBytes: cfg.MaxFileBytes, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	suiteCache[key] = s
+	return s, nil
+}
+
+// compressedSuite holds a decompression workload: each benchmark file
+// compressed in software with its recorded parameters.
+type compressedSuite struct {
+	suite      *hcbench.Suite
+	compressed [][]byte
+	xeonCycles float64 // total Xeon decompression cycles over the suite
+}
+
+var compCache = map[string]*compressedSuite{}
+
+func getCompressedSuite(cfg Config, algo comp.Algorithm) (*compressedSuite, error) {
+	key := fmt.Sprintf("%v-%d-%d-%d", algo, cfg.SuiteFiles, cfg.MaxFileBytes, cfg.Seed)
+	if s, ok := compCache[key]; ok {
+		return s, nil
+	}
+	suite, err := getSuite(cfg, algo, comp.Decompress)
+	if err != nil {
+		return nil, err
+	}
+	cs := &compressedSuite{suite: suite}
+	for _, f := range suite.Files {
+		// Full fleet-sampled window logs: frames may carry offsets far
+		// beyond any on-accelerator SRAM, exercising the off-chip history
+		// fallback exactly as §3.6 argues.
+		enc, err := comp.CompressCall(f.Algo, f.Level, f.WindowLog, f.Data)
+		if err != nil {
+			return nil, err
+		}
+		cs.compressed = append(cs.compressed, enc)
+		cs.xeonCycles += xeon.Cycles(algo, comp.Decompress, f.Level, len(f.Data))
+	}
+	compCache[key] = cs
+	return cs, nil
+}
+
+// xeonSeconds converts Xeon cycles to seconds at the Xeon clock.
+func xeonSeconds(cycles float64) float64 { return xeon.Seconds(cycles) }
+
+// cdpuSeconds converts CDPU cycles to seconds at the SoC clock (2 GHz).
+func cdpuSeconds(cycles float64) float64 { return cycles / 2.0e9 }
+
+// dseWorkers bounds the suite-runner parallelism. Results are reduced in
+// file-index order, so totals are bit-identical regardless of scheduling.
+var dseWorkers = max(1, min(8, runtime.NumCPU()-1))
+
+// parallelFiles runs fn over [0,n) on a bounded worker pool and returns the
+// first error.
+func parallelFiles(n int, fn func(i int) error) error {
+	sem := make(chan struct{}, dseWorkers)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("file %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// runDecompConfig runs a decompression suite through one CDPU configuration,
+// returning total accelerator cycles. Each worker gets its own instance
+// (instances are not safe for concurrent use); cycles are deterministic
+// per call, so the index-ordered sum is reproducible.
+func runDecompConfig(cs *compressedSuite, cfg core.Config) (float64, error) {
+	perFile := make([]float64, len(cs.compressed))
+	pool := make(chan *core.Decompressor, dseWorkers)
+	for w := 0; w < dseWorkers; w++ {
+		d, err := core.NewDecompressor(cfg)
+		if err != nil {
+			return 0, err
+		}
+		pool <- d
+	}
+	err := parallelFiles(len(cs.compressed), func(i int) error {
+		d := <-pool
+		defer func() { pool <- d }()
+		res, err := d.Decompress(cs.compressed[i])
+		if err != nil {
+			return err
+		}
+		if res.OutputBytes != len(cs.suite.Files[i].Data) {
+			return fmt.Errorf("functional mismatch")
+		}
+		perFile[i] = res.Cycles
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, c := range perFile {
+		total += c
+	}
+	return total, nil
+}
+
+// runCompConfig runs a compression suite through one CDPU configuration,
+// returning total cycles and the achieved aggregate ratio, reduced in file
+// order for reproducibility.
+func runCompConfig(suite *hcbench.Suite, cfg core.Config) (cycles, ratio float64, err error) {
+	type out struct {
+		cycles float64
+		outLen int
+	}
+	perFile := make([]out, len(suite.Files))
+	pool := make(chan *core.Compressor, dseWorkers)
+	for w := 0; w < dseWorkers; w++ {
+		c, err := core.NewCompressor(cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		pool <- c
+	}
+	err = parallelFiles(len(suite.Files), func(i int) error {
+		c := <-pool
+		defer func() { pool <- c }()
+		res, err := c.Compress(suite.Files[i].Data)
+		if err != nil {
+			return err
+		}
+		perFile[i] = out{cycles: res.Cycles, outLen: res.OutputBytes}
+		return nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	var u, comp2 float64
+	for i, o := range perFile {
+		cycles += o.cycles
+		u += float64(len(suite.Files[i].Data))
+		comp2 += float64(o.outLen)
+	}
+	return cycles, u / comp2, nil
+}
+
+// softwareRatio computes the suite-aggregate software compression ratio.
+var swRatioCache = map[string]float64{}
+
+func softwareRatio(cfg Config, suite *hcbench.Suite) (float64, error) {
+	key := fmt.Sprintf("%v-%v-%d-%d-%d", suite.Algo, suite.Op, cfg.SuiteFiles, cfg.MaxFileBytes, cfg.Seed)
+	if r, ok := swRatioCache[key]; ok {
+		return r, nil
+	}
+	r, err := suite.MeasuredAggregateRatio()
+	if err != nil {
+		return 0, err
+	}
+	swRatioCache[key] = r
+	return r, nil
+}
+
+func runFig7(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	var out []*Table
+	summary := &Table{
+		Title:   "Figure 7: HyperCompressBench vs fleet call-size distributions",
+		Note:    "Gap is the max CDF distance below the file-size cap; the paper notes the largest bins are undersampled by construction.",
+		Columns: []string{"suite", "files", "total-MB", "max-CDF-gap(<=cap)", "aggregate-ratio"},
+	}
+	for _, ao := range []fleet.AlgoOp{
+		{Algo: comp.Snappy, Op: comp.Compress},
+		{Algo: comp.ZStd, Op: comp.Compress},
+		{Algo: comp.Snappy, Op: comp.Decompress},
+		{Algo: comp.ZStd, Op: comp.Decompress},
+	} {
+		s, err := getSuite(cfg, ao.Algo, ao.Op)
+		if err != nil {
+			return nil, err
+		}
+		capBin := 0
+		for b := 0; (1 << b) <= cfg.MaxFileBytes; b++ {
+			capBin = b
+		}
+		ratio, err := softwareRatio(cfg, s)
+		if err != nil {
+			return nil, err
+		}
+		summary.AddRow(
+			fmt.Sprintf("%v-%v", ao.Algo, ao.Op),
+			fmt.Sprintf("%d", len(s.Files)),
+			f1(float64(s.TotalUncompressedBytes())/1e6),
+			f3(s.FleetCDFGap(capBin-1)),
+			f2(ratio),
+		)
+		out = append(out, cdfTable(
+			fmt.Sprintf("Figure 7: %v-%v HCB call-size CDF", ao.Algo, ao.Op),
+			s.CallSizeCDF(), fleet.CallSizes(ao).CDF()))
+	}
+	return append([]*Table{summary}, out...), nil
+}
+
+// decompSweepTable runs the Figure 11/14 shape: speedup vs Xeon across SRAM
+// sizes and placements, plus normalized area.
+func decompSweepTable(cfg Config, algo comp.Algorithm, title string, speculation int) (*Table, error) {
+	cs, err := getCompressedSuite(cfg, algo)
+	if err != nil {
+		return nil, err
+	}
+	xeonS := xeonSeconds(cs.xeonCycles)
+	t := &Table{
+		Title:   title,
+		Note:    fmt.Sprintf("Suite: %d files, %.1f MB uncompressed; speedup = Xeon time / CDPU time.", len(cs.suite.Files), float64(cs.suite.TotalUncompressedBytes())/1e6),
+		Columns: []string{"SRAM", "RoCC", "Chiplet", "PCIeLocalCache", "PCIeNoCache", "area-mm2", "area-vs-64K"},
+	}
+	base := 0.0
+	for _, sram := range sramSweep {
+		row := []string{sramLabel(sram)}
+		var areaTotal float64
+		for _, p := range memsys.Placements {
+			c := core.Config{Algo: algo, Placement: p, HistorySRAM: sram, Speculation: speculation}
+			cyc, err := runDecompConfig(cs, c)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f2(xeonS/cdpuSeconds(cyc))+"x")
+			if p == memsys.RoCC {
+				d, _ := core.NewDecompressor(c)
+				areaTotal = d.Area().Total()
+			}
+		}
+		if base == 0 {
+			base = areaTotal
+		}
+		row = append(row, f3(areaTotal), f3(areaTotal/base))
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+func runFig11(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	t, err := decompSweepTable(cfg, comp.Snappy,
+		"Figure 11: Snappy decompression speedup vs Xeon (by SRAM size and placement)", 0)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{t}, nil
+}
+
+// compSweepTable runs the Figure 12/13/15 shape.
+func compSweepTable(cfg Config, algo comp.Algorithm, hashEntries int, title string) (*Table, error) {
+	suite, err := getSuite(cfg, algo, comp.Compress)
+	if err != nil {
+		return nil, err
+	}
+	swRatio, err := softwareRatio(cfg, suite)
+	if err != nil {
+		return nil, err
+	}
+	var xeonCyc float64
+	for _, f := range suite.Files {
+		xeonCyc += xeon.Cycles(algo, comp.Compress, f.Level, len(f.Data))
+	}
+	xeonS := xeonSeconds(xeonCyc)
+	t := &Table{
+		Title: title,
+		Note: fmt.Sprintf("Suite: %d files, %.1f MB; ratio normalized to software's %.2f. Area normalized to the 64K/HT14 instance.",
+			len(suite.Files), float64(suite.TotalUncompressedBytes())/1e6, swRatio),
+		Columns: []string{"SRAM", "RoCC", "Chiplet", "PCIeNoCache", "ratio-vs-SW", "area-mm2", "area-vs-64K14HT"},
+	}
+	// Area normalizer: the full-size HT14 instance.
+	full, err := core.NewCompressor(core.Config{Algo: algo, HistorySRAM: 64 << 10, HashTableEntries: 1 << 14})
+	if err != nil {
+		return nil, err
+	}
+	baseArea := full.Area().Total()
+	for _, sram := range sramSweep {
+		row := []string{sramLabel(sram)}
+		var hwRatio float64
+		var areaTotal float64
+		for _, p := range []memsys.Placement{memsys.RoCC, memsys.Chiplet, memsys.PCIeNoCache} {
+			c := core.Config{Algo: algo, Placement: p, HistorySRAM: sram, HashTableEntries: hashEntries}
+			cyc, ratio, err := runCompConfig(suite, c)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f2(xeonS/cdpuSeconds(cyc))+"x")
+			if p == memsys.RoCC {
+				hwRatio = ratio
+				cc, _ := core.NewCompressor(c)
+				areaTotal = cc.Area().Total()
+			}
+		}
+		row = append(row, f3(hwRatio/swRatio), f3(areaTotal), f3(areaTotal/baseArea))
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+func runFig12(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	t, err := compSweepTable(cfg, comp.Snappy, 1<<14,
+		"Figure 12: Snappy compression speedup/ratio/area (HT=2^14)")
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{t}, nil
+}
+
+func runFig13(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	t, err := compSweepTable(cfg, comp.Snappy, 1<<9,
+		"Figure 13: Snappy compression speedup/ratio/area (HT=2^9)")
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{t}, nil
+}
+
+func runFig14(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	t, err := decompSweepTable(cfg, comp.ZStd,
+		"Figure 14: ZStd decompression speedup vs Xeon (by SRAM size and placement, spec=16)", 16)
+	if err != nil {
+		return nil, err
+	}
+	// Speculation sweep at 64K (the paper's §6.4 text numbers).
+	cs, err := getCompressedSuite(cfg, comp.ZStd)
+	if err != nil {
+		return nil, err
+	}
+	xeonS := xeonSeconds(cs.xeonCycles)
+	spec := &Table{
+		Title:   "Figure 14 (text): ZStd decompression Huffman speculation sweep at 64K SRAM",
+		Columns: []string{"speculation", "speedup-vs-Xeon", "area-mm2", "area-vs-spec16"},
+	}
+	base := 0.0
+	for _, s := range []int{4, 16, 32} {
+		c := core.Config{Algo: comp.ZStd, HistorySRAM: 64 << 10, Speculation: s}
+		cyc, err := runDecompConfig(cs, c)
+		if err != nil {
+			return nil, err
+		}
+		d, _ := core.NewDecompressor(c)
+		a := d.Area().Total()
+		if s == 16 {
+			base = a
+		}
+		spec.AddRow(fmt.Sprintf("%d", s), f2(xeonS/cdpuSeconds(cyc))+"x", f3(a), "")
+	}
+	// Fill normalized column now that the base is known.
+	for i, s := range []int{4, 16, 32} {
+		c := core.Config{Algo: comp.ZStd, HistorySRAM: 64 << 10, Speculation: s}
+		d, _ := core.NewDecompressor(c)
+		spec.Rows[i][3] = f3(d.Area().Total() / base)
+	}
+	return []*Table{t, spec}, nil
+}
+
+func runFig15(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	t, err := compSweepTable(cfg, comp.ZStd, 1<<14,
+		"Figure 15: ZStd compression speedup/ratio/area (HT=2^14)")
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{t}, nil
+}
+
+func runDSESummary(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Title:   "Section 6.6: key design-space results",
+		Columns: []string{"statistic", "measured", "paper"},
+	}
+	// Best-case speedups per unit (RoCC, full-size).
+	snapD, err := getCompressedSuite(cfg, comp.Snappy)
+	if err != nil {
+		return nil, err
+	}
+	zstdD, err := getCompressedSuite(cfg, comp.ZStd)
+	if err != nil {
+		return nil, err
+	}
+	snapC, err := getSuite(cfg, comp.Snappy, comp.Compress)
+	if err != nil {
+		return nil, err
+	}
+	zstdC, err := getSuite(cfg, comp.ZStd, comp.Compress)
+	if err != nil {
+		return nil, err
+	}
+
+	speedups := map[string]float64{}
+	record := func(name string, xeonCyc, cdpuCyc float64) {
+		speedups[name] = xeonSeconds(xeonCyc) / cdpuSeconds(cdpuCyc)
+	}
+	cyc, err := runDecompConfig(snapD, core.Config{Algo: comp.Snappy})
+	if err != nil {
+		return nil, err
+	}
+	record("snappy-D RoCC 64K", snapD.xeonCycles, cyc)
+	cyc, err = runDecompConfig(snapD, core.Config{Algo: comp.Snappy, Placement: memsys.PCIeNoCache})
+	if err != nil {
+		return nil, err
+	}
+	record("snappy-D PCIe 64K", snapD.xeonCycles, cyc)
+	cyc, err = runDecompConfig(zstdD, core.Config{Algo: comp.ZStd})
+	if err != nil {
+		return nil, err
+	}
+	record("zstd-D RoCC 64K", zstdD.xeonCycles, cyc)
+	cyc, err = runDecompConfig(zstdD, core.Config{Algo: comp.ZStd, Placement: memsys.PCIeNoCache})
+	if err != nil {
+		return nil, err
+	}
+	record("zstd-D PCIe 64K", zstdD.xeonCycles, cyc)
+
+	var snapCXeon, zstdCXeon float64
+	for _, f := range snapC.Files {
+		snapCXeon += xeon.Cycles(comp.Snappy, comp.Compress, f.Level, len(f.Data))
+	}
+	for _, f := range zstdC.Files {
+		zstdCXeon += xeon.Cycles(comp.ZStd, comp.Compress, f.Level, len(f.Data))
+	}
+	cyc, _, err = runCompConfig(snapC, core.Config{Algo: comp.Snappy})
+	if err != nil {
+		return nil, err
+	}
+	record("snappy-C RoCC 64K14HT", snapCXeon, cyc)
+	cyc, _, err = runCompConfig(zstdC, core.Config{Algo: comp.ZStd})
+	if err != nil {
+		return nil, err
+	}
+	record("zstd-C RoCC 64K14HT", zstdCXeon, cyc)
+	cyc, _, err = runCompConfig(snapC, core.Config{Algo: comp.Snappy, Placement: memsys.PCIeNoCache})
+	if err != nil {
+		return nil, err
+	}
+	record("snappy-C PCIe 64K14HT", snapCXeon, cyc)
+	cyc, err = runDecompConfig(zstdD, core.Config{Algo: comp.ZStd, Speculation: 4, Placement: memsys.PCIeNoCache, HistorySRAM: 2 << 10})
+	if err != nil {
+		return nil, err
+	}
+	record("zstd-D worst (PCIe 2K spec4)", zstdD.xeonCycles, cyc)
+
+	t.AddRow("Snappy decompression, near-core", f2(speedups["snappy-D RoCC 64K"])+"x", "10.4x")
+	t.AddRow("Snappy decompression, PCIe", f2(speedups["snappy-D PCIe 64K"])+"x", "~1.8x")
+	t.AddRow("ZStd decompression, near-core", f2(speedups["zstd-D RoCC 64K"])+"x", "4.2x")
+	t.AddRow("ZStd decompression, PCIe", f2(speedups["zstd-D PCIe 64K"])+"x", "~1.4x")
+	t.AddRow("Snappy compression, near-core", f2(speedups["snappy-C RoCC 64K14HT"])+"x", "16.2x")
+	t.AddRow("Snappy compression, PCIe", f2(speedups["snappy-C PCIe 64K14HT"])+"x", "~6.6x")
+	t.AddRow("ZStd compression, near-core", f2(speedups["zstd-C RoCC 64K14HT"])+"x", "15.8x")
+
+	// Speedup span across the explored space (paper: 46x).
+	maxS, minS := 0.0, 1e18
+	for _, v := range speedups {
+		if v > maxS {
+			maxS = v
+		}
+		if v < minS {
+			minS = v
+		}
+	}
+	t.AddRow("speedup span across DSE", f1(maxS/minS)+"x", "46x")
+
+	// Area fractions.
+	dArea, _ := core.NewDecompressor(core.Config{Algo: comp.Snappy})
+	cArea, _ := core.NewCompressor(core.Config{Algo: comp.Snappy})
+	t.AddRow("Snappy decompressor area vs Xeon core", pct(dArea.Area().FracOfXeonCore()), "2.4%")
+	t.AddRow("Snappy compressor area vs Xeon core", pct(cArea.Area().FracOfXeonCore()), "4.7%")
+	zd, _ := core.NewDecompressor(core.Config{Algo: comp.ZStd})
+	zc, _ := core.NewCompressor(core.Config{Algo: comp.ZStd})
+	t.AddRow("ZStd decompressor area (mm2, 16nm)", f2(zd.Area().Total()), "1.9")
+	t.AddRow("ZStd compressor area (mm2, 16nm)", f2(zc.Area().Total()), "3.48")
+	t.AddRow("Snappy pipeline pair area (mm2)", f2(dArea.Area().Total()+cArea.Area().Total()), "~1.3")
+	t.AddRow("ZStd pipeline pair area (mm2)", f2(zd.Area().Total()+zc.Area().Total()), "~5.7")
+	return []*Table{t}, nil
+}
+
+func runAblationHash(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	suite, err := getSuite(cfg, comp.Snappy, comp.Compress)
+	if err != nil {
+		return nil, err
+	}
+	swRatio, err := softwareRatio(cfg, suite)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Ablation: LZ77 hash function x associativity (Snappy compressor, 2K SRAM, HT9)",
+		Note:    "Small tables make collisions the binding constraint; associativity and hash quality buy ratio back.",
+		Columns: []string{"hash", "assoc", "ratio-vs-SW", "area-mm2"},
+	}
+	for _, h := range []lz77.HashFunc{lz77.HashFibonacci, lz77.HashXorShift, lz77.HashTrivial} {
+		for _, assoc := range []int{1, 2, 4} {
+			c := core.Config{
+				Algo: comp.Snappy, HistorySRAM: 2 << 10,
+				HashTableEntries: 1 << 9, HashAssociativity: assoc, HashFunc: h,
+			}
+			_, ratio, err := runCompConfig(suite, c)
+			if err != nil {
+				return nil, err
+			}
+			cc, _ := core.NewCompressor(c)
+			t.AddRow(h.String(), fmt.Sprintf("%d", assoc), f3(ratio/swRatio), f3(cc.Area().Total()))
+		}
+	}
+	return []*Table{t}, nil
+}
+
+func runAblationFSE(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	suite, err := getSuite(cfg, comp.ZStd, comp.Compress)
+	if err != nil {
+		return nil, err
+	}
+	var xeonCyc float64
+	for _, f := range suite.Files {
+		xeonCyc += xeon.Cycles(comp.ZStd, comp.Compress, f.Level, len(f.Data))
+	}
+	t := &Table{
+		Title:   "Ablation: FSE table accuracy (ZStd compressor, 64K/HT14)",
+		Note:    "Higher accuracy buys entropy-coding efficiency at table-SRAM and build-time cost.",
+		Columns: []string{"tableLog", "speedup-vs-Xeon", "achieved-ratio", "area-mm2"},
+	}
+	for _, tl := range []int{5, 7, 9, 11} {
+		c := core.Config{Algo: comp.ZStd, FSETableLog: tl}
+		cyc, ratio, err := runCompConfig(suite, c)
+		if err != nil {
+			return nil, err
+		}
+		cc, _ := core.NewCompressor(c)
+		t.AddRow(fmt.Sprintf("%d", tl),
+			f2(xeonSeconds(xeonCyc)/cdpuSeconds(cyc))+"x", f3(ratio), f3(cc.Area().Total()))
+	}
+	return []*Table{t}, nil
+}
+
+func runAblationStats(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	suite, err := getSuite(cfg, comp.ZStd, comp.Compress)
+	if err != nil {
+		return nil, err
+	}
+	var xeonCyc float64
+	for _, f := range suite.Files {
+		xeonCyc += xeon.Cycles(comp.ZStd, comp.Compress, f.Level, len(f.Data))
+	}
+	t := &Table{
+		Title:   "Ablation: symbol-statistics width (ZStd compressor dictionary builders)",
+		Columns: []string{"bytes/cycle", "speedup-vs-Xeon", "area-mm2"},
+	}
+	for _, w := range []int{1, 2, 4, 8, 16, 32} {
+		c := core.Config{Algo: comp.ZStd, StatsWidth: w}
+		cyc, _, err := runCompConfig(suite, c)
+		if err != nil {
+			return nil, err
+		}
+		cc, _ := core.NewCompressor(c)
+		t.AddRow(fmt.Sprintf("%d", w),
+			f2(xeonSeconds(xeonCyc)/cdpuSeconds(cyc))+"x", f3(cc.Area().Total()))
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,271 @@
+package exp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// run executes an experiment at test scale.
+func run(t *testing.T, id string) []*Table {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := e.Run(QuickConfig())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(tables) == 0 {
+		t.Fatalf("%s: no tables", id)
+	}
+	return tables
+}
+
+func TestRegistryComplete(t *testing.T) {
+	wanted := []string{
+		"fig1", "fig2a", "fig2b", "fig2c", "fig3", "fig4", "fig5", "fig6",
+		"fig7", "fig11", "fig12", "fig13", "fig14", "fig15",
+		"fleet-summary", "dse-summary",
+		"ablation-hash", "ablation-fse", "ablation-stats",
+		"chaining", "pipelines", "deployment", "levels",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range wanted {
+		if !have[id] {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "T", Columns: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	s := tab.String()
+	if !strings.Contains(s, "== T ==") || !strings.Contains(s, "bb") {
+		t.Errorf("render: %q", s)
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "a,bb\n1,2\n") {
+		t.Errorf("csv: %q", csv)
+	}
+}
+
+func TestFleetExperimentsRun(t *testing.T) {
+	for _, id := range []string{"fig1", "fig2a", "fig2b", "fig2c", "fig4", "fig5", "fig6", "fleet-summary"} {
+		tables := run(t, id)
+		for _, tab := range tables {
+			if len(tab.Rows) == 0 {
+				t.Errorf("%s: empty table %q", id, tab.Title)
+			}
+		}
+	}
+}
+
+func TestFig3ProducesFourCDFs(t *testing.T) {
+	tables := run(t, "fig3")
+	if len(tables) != 4 {
+		t.Fatalf("fig3 produced %d tables", len(tables))
+	}
+}
+
+func TestFig7Validation(t *testing.T) {
+	tables := run(t, "fig7")
+	summary := tables[0]
+	if len(summary.Rows) != 4 {
+		t.Fatalf("fig7 summary has %d suites", len(summary.Rows))
+	}
+	// At QuickConfig's 25 files the byte-weighted CDF is noise-dominated (a
+	// couple of clamped 1 MiB files carry most of the mass), so this is a
+	// sanity bound only; distribution fidelity at realistic file counts is
+	// asserted in internal/hcbench's TestSuiteCallSizeMatchesFleet.
+	for _, row := range summary.Rows {
+		gap, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("bad gap cell %q", row[3])
+		}
+		if gap > 0.8 {
+			t.Errorf("suite %s call-size gap %.3f out of sanity range", row[0], gap)
+		}
+	}
+}
+
+// parseSpeedup extracts the numeric part of a "12.34x" cell.
+func parseSpeedup(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "x"), 64)
+	if err != nil {
+		t.Fatalf("bad speedup cell %q", cell)
+	}
+	return v
+}
+
+func TestFig11Shape(t *testing.T) {
+	tab := run(t, "fig11")[0]
+	if len(tab.Rows) != 6 {
+		t.Fatalf("fig11 has %d SRAM rows", len(tab.Rows))
+	}
+	// Row 0 = 64K. Columns: SRAM, RoCC, Chiplet, PCIeLocalCache, PCIeNoCache, area...
+	rocc64 := parseSpeedup(t, tab.Rows[0][1])
+	chiplet64 := parseSpeedup(t, tab.Rows[0][2])
+	pcie64 := parseSpeedup(t, tab.Rows[0][4])
+	if !(rocc64 > chiplet64 && chiplet64 > pcie64) {
+		t.Errorf("placement ordering violated at 64K: %v", tab.Rows[0])
+	}
+	if rocc64 < 4 {
+		t.Errorf("RoCC speedup %.1fx implausibly low", rocc64)
+	}
+	if pcie64 > rocc64/1.5 {
+		t.Errorf("PCIe (%.1fx) too close to RoCC (%.1fx); paper sees a 5.6x gap", pcie64, rocc64)
+	}
+	// Smaller SRAM must not speed things up near-core, and area must shrink.
+	rocc2 := parseSpeedup(t, tab.Rows[5][1])
+	if rocc2 > rocc64*1.01 {
+		t.Errorf("2K SRAM faster than 64K near-core: %f vs %f", rocc2, rocc64)
+	}
+	area64, _ := strconv.ParseFloat(tab.Rows[0][5], 64)
+	area2, _ := strconv.ParseFloat(tab.Rows[5][5], 64)
+	if area2 >= area64 {
+		t.Errorf("area did not shrink: %f vs %f", area2, area64)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	tab := run(t, "fig12")[0]
+	rocc64 := parseSpeedup(t, tab.Rows[0][1])
+	pcie64 := parseSpeedup(t, tab.Rows[0][3])
+	if rocc64 < 5 {
+		t.Errorf("compression RoCC speedup %.1fx too low", rocc64)
+	}
+	// §6.3: compression is less placement-sensitive than decompression.
+	if pcie64 < rocc64/4 {
+		t.Errorf("compression PCIe speedup collapsed: %.1f vs %.1f", pcie64, rocc64)
+	}
+	// 64K ratio should be ~1.0x software (paper: 1.011).
+	ratio64, _ := strconv.ParseFloat(tab.Rows[0][4], 64)
+	if ratio64 < 0.95 || ratio64 > 1.10 {
+		t.Errorf("64K hw/sw ratio = %.3f, want ~1.0", ratio64)
+	}
+	// 2K ratio lower than 64K ratio.
+	ratio2, _ := strconv.ParseFloat(tab.Rows[5][4], 64)
+	if ratio2 >= ratio64 {
+		t.Errorf("2K ratio %.3f not below 64K %.3f", ratio2, ratio64)
+	}
+}
+
+func TestFig13SmallTableCheaper(t *testing.T) {
+	t12 := run(t, "fig12")[0]
+	t13 := run(t, "fig13")[0]
+	// HT9 area (any row) below HT14 area.
+	a14, _ := strconv.ParseFloat(t12.Rows[5][5], 64)
+	a9, _ := strconv.ParseFloat(t13.Rows[5][5], 64)
+	if a9 >= a14 {
+		t.Errorf("HT9 area %.3f not below HT14 %.3f", a9, a14)
+	}
+	// HT9 ratio no better than HT14 at the same SRAM.
+	r14, _ := strconv.ParseFloat(t12.Rows[0][4], 64)
+	r9, _ := strconv.ParseFloat(t13.Rows[0][4], 64)
+	if r9 > r14+0.005 {
+		t.Errorf("HT9 ratio %.3f beats HT14 %.3f", r9, r14)
+	}
+}
+
+func TestFig14SpeculationTable(t *testing.T) {
+	tables := run(t, "fig14")
+	if len(tables) != 2 {
+		t.Fatalf("fig14 produced %d tables", len(tables))
+	}
+	spec := tables[1]
+	s4 := parseSpeedup(t, spec.Rows[0][1])
+	s16 := parseSpeedup(t, spec.Rows[1][1])
+	s32 := parseSpeedup(t, spec.Rows[2][1])
+	if !(s4 < s16 && s16 < s32) {
+		t.Errorf("speculation speedups not ordered: %f %f %f", s4, s16, s32)
+	}
+	a4, _ := strconv.ParseFloat(spec.Rows[0][3], 64)
+	a32, _ := strconv.ParseFloat(spec.Rows[2][3], 64)
+	if !(a4 < 1 && a32 > 1) {
+		t.Errorf("speculation area normalization wrong: %f %f", a4, a32)
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	tab := run(t, "fig15")[0]
+	rocc64 := parseSpeedup(t, tab.Rows[0][1])
+	if rocc64 < 4 {
+		t.Errorf("zstd compression speedup %.1fx too low", rocc64)
+	}
+	// §6.5: hardware reaches only ~84% of software's ratio.
+	ratio64, _ := strconv.ParseFloat(tab.Rows[0][4], 64)
+	if ratio64 > 1.0 || ratio64 < 0.6 {
+		t.Errorf("zstd hw/sw ratio = %.3f, want ~0.84", ratio64)
+	}
+}
+
+func TestDSESummaryRuns(t *testing.T) {
+	tab := run(t, "dse-summary")[0]
+	if len(tab.Rows) < 10 {
+		t.Fatalf("summary has only %d rows", len(tab.Rows))
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	for _, id := range []string{"ablation-hash", "ablation-fse", "ablation-stats"} {
+		tables := run(t, id)
+		if len(tables[0].Rows) < 3 {
+			t.Errorf("%s produced only %d rows", id, len(tables[0].Rows))
+		}
+	}
+}
+
+func TestExtendedExperimentsRun(t *testing.T) {
+	for _, id := range []string{"chaining", "pipelines", "deployment"} {
+		tables := run(t, id)
+		if len(tables[0].Rows) < 3 {
+			t.Errorf("%s produced only %d rows", id, len(tables[0].Rows))
+		}
+	}
+}
+
+func TestDeploymentEstimatesSane(t *testing.T) {
+	tab := run(t, "deployment")[0]
+	var cpuSaved, byteSaved float64
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case "fleet-wide CPU cycles saved":
+			fmt.Sscanf(row[1], "%f%%", &cpuSaved)
+		case "compressed-byte reduction if lightweight upgrades":
+			fmt.Sscanf(row[1], "%f%%", &byteSaved)
+		}
+	}
+	// Offloading ~81% of a 2.9% tax at ~5-16x speedups saves ~2-2.5% of
+	// fleet cycles; upgrading lightweight output to the hardware ZStd format
+	// saves a meaningful double-digit byte share.
+	if cpuSaved < 1.5 || cpuSaved > 2.9 {
+		t.Errorf("CPU savings %.2f%% out of plausible range", cpuSaved)
+	}
+	if byteSaved < 5 || byteSaved > 50 {
+		t.Errorf("byte savings %.2f%% out of plausible range", byteSaved)
+	}
+}
+
+func TestLevelsExperiment(t *testing.T) {
+	tab := run(t, "levels")[0]
+	if len(tab.Rows) != 9 {
+		t.Fatalf("levels table has %d rows", len(tab.Rows))
+	}
+	// Ratios should not decrease from the fastest to the strongest level.
+	first, _ := strconv.ParseFloat(tab.Rows[0][1], 64)
+	last, _ := strconv.ParseFloat(tab.Rows[len(tab.Rows)-1][1], 64)
+	if last < first {
+		t.Errorf("level 22 ratio %.3f below level -5's %.3f", last, first)
+	}
+}

@@ -1,0 +1,221 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cdpu/internal/chain"
+	"cdpu/internal/comp"
+	"cdpu/internal/core"
+	"cdpu/internal/corpus"
+	"cdpu/internal/fleet"
+	"cdpu/internal/memsys"
+	"cdpu/internal/snappy"
+	"cdpu/internal/xeon"
+)
+
+func init() {
+	register(Experiment{ID: "chaining", Title: "Accelerator chaining vs placement (§3.5.2)", Run: runChaining})
+	register(Experiment{ID: "pipelines", Title: "Pipeline provisioning: latency vs load", Run: runPipelines})
+	register(Experiment{ID: "deployment", Title: "Fleet deployment: cycle and byte savings (§3.3)", Run: runDeployment})
+}
+
+// runChaining quantifies §3.5.2: a serialize-then-compress data-access
+// operation across placements, showing the compounding offload overhead of
+// remote accelerators.
+func runChaining(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Title: "Chained serialize+compress operation latency by placement (§3.5.2)",
+		Note:  "Chain penalty = chained latency / lone-compression latency at the same placement.",
+		Columns: []string{"payload", "placement", "chain-us", "single-us",
+			"chain-penalty", "interlude-transfer-cycles"},
+	}
+	for _, payload := range []int{4 << 10, 64 << 10, 1 << 20} {
+		for _, p := range []memsys.Placement{memsys.RoCC, memsys.Chiplet, memsys.PCIeNoCache} {
+			chained, err := chain.Run(chain.WritePath(p, 3.0, 2.0), payload)
+			if err != nil {
+				return nil, err
+			}
+			single := chain.Config{Placement: p, Stages: []chain.Stage{chain.Compressor(3.0, 2.0)}}
+			lone, err := chain.Run(single, payload)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(
+				fmt.Sprintf("%dK", payload>>10),
+				p.String(),
+				f1(chained.Cycles/2000), // cycles at 2 GHz -> microseconds
+				f1(lone.Cycles/2000),
+				f2(chained.Cycles/lone.Cycles),
+				fmt.Sprintf("%.0f", chained.InterludeTransfer),
+			)
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// runPipelines sweeps device pipeline counts against offered load, the
+// provisioning question behind deploying CDPUs for latency-sensitive
+// decompression (§3.3.1 notes decompression sits on client-visible reads).
+func runPipelines(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Title:   "Snappy decompression device: latency percentiles vs pipelines and load",
+		Note:    "Load 1.0 = arrivals matching one pipeline's capacity. Latencies in microseconds at 2 GHz.",
+		Columns: []string{"load", "pipelines", "utilization", "mean-us", "p99-us"},
+	}
+	// A job mix of fleet-shaped small reads.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var payloads [][]byte
+	var totalService float64
+	probe, err := core.NewDecompressor(core.Config{Algo: comp.Snappy})
+	if err != nil {
+		return nil, err
+	}
+	n := 150
+	for i := 0; i < n; i++ {
+		data := corpus.Generate(corpus.JSON, 4<<10+rng.Intn(60<<10), int64(i))
+		enc := snappy.Encode(data)
+		payloads = append(payloads, enc)
+		res, err := probe.Decompress(enc)
+		if err != nil {
+			return nil, err
+		}
+		totalService += res.Cycles
+	}
+	meanService := totalService / float64(n)
+	for _, load := range []float64{0.5, 0.9, 1.5} {
+		gap := meanService / load
+		for _, pipes := range []int{1, 2, 4} {
+			dev, err := core.NewDevice(core.Config{Algo: comp.Snappy, Op: comp.Decompress}, pipes)
+			if err != nil {
+				return nil, err
+			}
+			jobs := make([]core.Job, n)
+			at := 0.0
+			jrng := rand.New(rand.NewSource(cfg.Seed + int64(load*100)))
+			for i := range jobs {
+				jobs[i] = core.Job{Arrival: at, Payload: payloads[i]}
+				at += gap * (0.25 + 1.5*jrng.Float64())
+			}
+			_, stats, err := dev.Run(jobs)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(f2(load), fmt.Sprintf("%d", pipes), f2(stats.Utilization),
+				f1(stats.MeanLatency/2000), f1(stats.P99Latency/2000))
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// runDeployment estimates the fleet-level resource savings of deploying
+// CDPUs — the paper's §3.3 motivation turned into numbers: CPU cycles
+// offloaded, and compressed-byte reductions when services move to
+// heavyweight-format output at accelerator cost.
+func runDeployment(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	// Measured accelerator speedups and ratios from the DSE at this scale.
+	snapD, err := getCompressedSuite(cfg, comp.Snappy)
+	if err != nil {
+		return nil, err
+	}
+	zstdD, err := getCompressedSuite(cfg, comp.ZStd)
+	if err != nil {
+		return nil, err
+	}
+	snapC, err := getSuite(cfg, comp.Snappy, comp.Compress)
+	if err != nil {
+		return nil, err
+	}
+	zstdC, err := getSuite(cfg, comp.ZStd, comp.Compress)
+	if err != nil {
+		return nil, err
+	}
+	speedup := map[fleet.AlgoOp]float64{}
+	measure := func(ao fleet.AlgoOp, xeonCyc, cdpuCyc float64) {
+		speedup[ao] = xeonSeconds(xeonCyc) / cdpuSeconds(cdpuCyc)
+	}
+	cyc, err := runDecompConfig(snapD, core.Config{Algo: comp.Snappy})
+	if err != nil {
+		return nil, err
+	}
+	measure(fleet.AlgoOp{Algo: comp.Snappy, Op: comp.Decompress}, snapD.xeonCycles, cyc)
+	cyc, err = runDecompConfig(zstdD, core.Config{Algo: comp.ZStd})
+	if err != nil {
+		return nil, err
+	}
+	measure(fleet.AlgoOp{Algo: comp.ZStd, Op: comp.Decompress}, zstdD.xeonCycles, cyc)
+	var snapCXeon, zstdCXeon float64
+	for _, f := range snapC.Files {
+		snapCXeon += xeon.Cycles(comp.Snappy, comp.Compress, f.Level, len(f.Data))
+	}
+	for _, f := range zstdC.Files {
+		zstdCXeon += xeon.Cycles(comp.ZStd, comp.Compress, f.Level, len(f.Data))
+	}
+	cyc, _, err = runCompConfig(snapC, core.Config{Algo: comp.Snappy})
+	if err != nil {
+		return nil, err
+	}
+	measure(fleet.AlgoOp{Algo: comp.Snappy, Op: comp.Compress}, snapCXeon, cyc)
+	cyc, zstdHWRatio, err := runCompConfig(zstdC, core.Config{Algo: comp.ZStd})
+	if err != nil {
+		return nil, err
+	}
+	measure(fleet.AlgoOp{Algo: comp.ZStd, Op: comp.Compress}, zstdCXeon, cyc)
+
+	// CPU savings: Snappy/ZStd calls (81% of (de)compression cycles) move to
+	// CDPUs at the measured speedups; the fleet spends 2.9% of all cycles on
+	// (de)compression.
+	cs := fleet.CycleShares()
+	offloadable := 0.0
+	residual := 0.0
+	for ao, share := range cs {
+		if s, ok := speedup[ao]; ok {
+			offloadable += share
+			residual += share / s
+		}
+	}
+	cpuSaved := fleet.FleetCompressionCycleFraction * (offloadable - residual)
+
+	// Byte savings: compression bytes currently split between Snappy-class
+	// output (fleet aggregate ratio 2.05) and ZStd-class; with CDPUs, Snappy
+	// calls can move to the ZStd compressor's format at hardware ratio.
+	bytes := fleet.OpByteShares(comp.Compress)
+	curCompressed := 0.0
+	for a, share := range bytes {
+		curCompressed += share / fleet.RatioFor(a, a.DefaultLevel())
+	}
+	newCompressed := 0.0
+	zstdSuiteRatio, err := softwareRatio(cfg, zstdC)
+	if err != nil {
+		return nil, err
+	}
+	// Scale the fleet's ZStd aggregate by the measured hw/sw ratio factor.
+	hwFleetZstdRatio := fleet.RatioFor(comp.ZStd, 3) * (zstdHWRatio / zstdSuiteRatio)
+	for a, share := range bytes {
+		ratio := fleet.RatioFor(a, a.DefaultLevel())
+		if !a.Heavyweight() {
+			ratio = hwFleetZstdRatio // lightweight callers upgrade to the ZStd CDPU
+		}
+		newCompressed += share / ratio
+	}
+	byteSaving := 1 - newCompressed/curCompressed
+
+	t := &Table{
+		Title:   "Fleet deployment estimate: near-core CDPUs at measured speedups",
+		Columns: []string{"quantity", "value", "basis"},
+	}
+	t.AddRow("offloadable (de)compression cycle share", pct(offloadable), "Snappy+ZStd rows of Fig.1")
+	for _, ao := range []fleet.AlgoOp{
+		{Algo: comp.Snappy, Op: comp.Compress}, {Algo: comp.ZStd, Op: comp.Compress},
+		{Algo: comp.Snappy, Op: comp.Decompress}, {Algo: comp.ZStd, Op: comp.Decompress},
+	} {
+		t.AddRow(fmt.Sprintf("measured speedup %v-%v", ao.Algo, ao.Op), f2(speedup[ao])+"x", "DSE, RoCC 64K")
+	}
+	t.AddRow("fleet-wide CPU cycles saved", pct(cpuSaved), "of all fleet cycles (2.9% baseline)")
+	t.AddRow("hw ZStd fleet-equivalent ratio", f2(hwFleetZstdRatio), "fleet 3.00 x measured hw/sw")
+	t.AddRow("compressed-byte reduction if lightweight upgrades", pct(byteSaving), "storage/network bytes")
+	return []*Table{t}, nil
+}

@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Config scales experiment cost. Zero values take defaults.
+type Config struct {
+	// SuiteFiles is the number of HyperCompressBench files per suite. The
+	// paper uses 8,000-10,000; the default here keeps full DSE runs in
+	// minutes rather than machine-days.
+	SuiteFiles int
+	// MaxFileBytes caps individual benchmark file sizes.
+	MaxFileBytes int
+	// FleetSamples is the number of GWP-style call samples for the Section 3
+	// experiments.
+	FleetSamples int
+	// Seed makes every experiment deterministic.
+	Seed int64
+}
+
+// DefaultConfig returns the standard experiment scale.
+func DefaultConfig() Config {
+	return Config{
+		SuiteFiles:   500,
+		MaxFileBytes: 4 << 20,
+		FleetSamples: 300000,
+		Seed:         1,
+	}
+}
+
+// QuickConfig returns a reduced scale for tests.
+func QuickConfig() Config {
+	return Config{
+		SuiteFiles:   25,
+		MaxFileBytes: 1 << 20,
+		FleetSamples: 40000,
+		Seed:         1,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.SuiteFiles == 0 {
+		c.SuiteFiles = d.SuiteFiles
+	}
+	if c.MaxFileBytes == 0 {
+		c.MaxFileBytes = d.MaxFileBytes
+	}
+	if c.FleetSamples == 0 {
+		c.FleetSamples = d.FleetSamples
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	return c
+}
+
+// Experiment regenerates one paper table/figure.
+type Experiment struct {
+	ID    string // e.g. "fig11"
+	Title string
+	Run   func(Config) ([]*Table, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("exp: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// ByID returns a registered experiment.
+func ByID(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("exp: unknown experiment %q (have %v)", id, IDs())
+	}
+	return e, nil
+}
+
+// IDs lists registered experiment IDs in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,83 @@
+// Package exp is the experiment harness: one registered experiment per
+// table/figure of the paper's evaluation, each regenerating the figure's
+// rows or series as text and CSV. cmd/fleetprofile drives the Section 3
+// profiling experiments (Figures 1-6), cmd/hcbgen drives benchmark
+// generation and validation (Figure 7), and cmd/cdpubench drives the
+// Section 6 design-space exploration (Figures 11-15) plus the summary
+// statistics and the ablations DESIGN.md calls out.
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's output: the rows/series behind a paper figure.
+type Table struct {
+	Title   string
+	Note    string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n", t.Note)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (cells are simple
+// formatted numbers and identifiers; no quoting needed).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

@@ -1,0 +1,182 @@
+package fleet
+
+import (
+	"math/rand"
+
+	"cdpu/internal/comp"
+	"cdpu/internal/stats"
+	"cdpu/internal/xeon"
+)
+
+// Service describes one fleet service's relationship to (de)compression.
+// The paper finds sixteen services constitute about half of fleet-wide
+// Snappy/ZStd (de)compression cycles, with compression fractions of their
+// own cycles ranging from ~10% to ~50% (§3.2).
+type Service struct {
+	Name string
+	// CompCycleShare is the service's share of fleet (de)compression cycles.
+	CompCycleShare float64
+	// CompFraction is the fraction of the service's own cycles spent on
+	// (de)compression.
+	CompFraction float64
+}
+
+// Services returns the synthetic service population. The leading sixteen
+// sum to ~50% of (de)compression cycles; the long tail absorbs the rest.
+func Services() []Service {
+	svcs := []Service{
+		{"bigtable-like", 0.072, 0.50},
+		{"columnar-store", 0.058, 0.36},
+		{"log-pipeline", 0.046, 0.24},
+		{"blob-store", 0.042, 0.22},
+		{"web-index", 0.038, 0.20},
+		{"rpc-frontdoor", 0.034, 0.17},
+		{"ads-batch", 0.030, 0.15},
+		{"ml-dataset", 0.028, 0.14},
+		{"stream-join", 0.026, 0.12},
+		{"kv-cache", 0.024, 0.11},
+		{"mapreduce-shuffle", 0.022, 0.09},
+		{"backup-cold", 0.020, 0.08},
+		{"mail-store", 0.018, 0.07},
+		{"photo-meta", 0.016, 0.06},
+		{"doc-conv", 0.014, 0.05},
+		{"geo-tiles", 0.012, 0.045},
+	}
+	// Long tail: 60 small services share the remaining cycles.
+	total := 0.0
+	for _, s := range svcs {
+		total += s.CompCycleShare
+	}
+	rest := 1.0 - total
+	for i := 0; i < 60; i++ {
+		svcs = append(svcs, Service{
+			Name:           tailName(i),
+			CompCycleShare: rest / 60,
+			CompFraction:   0.005 + 0.0005*float64(i%20),
+		})
+	}
+	return svcs
+}
+
+func tailName(i int) string {
+	return "tail-svc-" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+}
+
+// CallRecord is one sampled (de)compression call, the unit the call-sampling
+// framework collects (§3.1.2): algorithm, direction, sizes, level, window,
+// calling library, owning service, and the software cycles attributed.
+type CallRecord struct {
+	Algo              comp.Algorithm
+	Op                comp.Op
+	UncompressedBytes int
+	CompressedBytes   int
+	Level             int
+	WindowLog         int
+	Library           string
+	Service           string
+	Cycles            float64
+}
+
+// Model is a sampleable synthetic fleet.
+type Model struct {
+	rng       *rand.Rand
+	algoOps   *stats.Weighted[AlgoOp]
+	callSizes map[AlgoOp]*stats.LogBins
+	levels    *stats.Weighted[int]
+	windows   map[comp.Op]*stats.LogBins
+	libraries *stats.Weighted[string]
+	services  *stats.Weighted[string]
+}
+
+// NewModel builds a fleet model with deterministic sampling under seed.
+//
+// Calls are drawn so that byte volumes follow Figure 2a/3 and cycles follow
+// Figure 1: the sampler picks an algorithm/op by byte share, then a call
+// size from that pair's size distribution, then attributes software cycles
+// via the Xeon cost model — which reproduces the cycle shares because the
+// cost model carries each algorithm's cycles-per-byte.
+func NewModel(seed int64) *Model {
+	m := &Model{
+		rng:       rand.New(rand.NewSource(seed)),
+		callSizes: make(map[AlgoOp]*stats.LogBins),
+		levels:    ZStdLevels(),
+		windows:   make(map[comp.Op]*stats.LogBins),
+	}
+	// The published figures are byte-weighted; the sampler draws calls, so
+	// algorithm weights and size distributions are converted to call-count
+	// form (dividing by expected call size) and analyses re-weight by bytes.
+	byteShares := ByteShares()
+	aos := AllAlgoOps() // fixed order: sampling must be deterministic
+	weights := make([]float64, len(aos))
+	for i, ao := range aos {
+		// Divide by the expected size *per call* (the count-weighted mean),
+		// so that byte-weighted re-aggregation of samples reproduces the
+		// byte shares.
+		weights[i] = byteShares[ao] / CallSizes(ao).CountWeighted().MeanValue()
+	}
+	m.algoOps = stats.MustWeighted(aos, weights)
+	for _, ao := range AllAlgoOps() {
+		m.callSizes[ao] = CallSizes(ao).CountWeighted()
+	}
+	for _, op := range comp.Ops {
+		m.windows[op] = ZStdWindows(op)
+	}
+	libs := LibraryShares()
+	libNames := make([]string, len(libs))
+	libWeights := make([]float64, len(libs))
+	for i, l := range libs {
+		libNames[i] = l.Name
+		libWeights[i] = l.Percent
+	}
+	m.libraries = stats.MustWeighted(libNames, libWeights)
+	svcs := Services()
+	svcNames := make([]string, len(svcs))
+	svcWeights := make([]float64, len(svcs))
+	for i, s := range svcs {
+		svcNames[i] = s.Name
+		svcWeights[i] = s.CompCycleShare
+	}
+	m.services = stats.MustWeighted(svcNames, svcWeights)
+	return m
+}
+
+// SampleCall draws one call record. Sampling is byte-weighted: drawing n
+// calls approximates the fleet's byte distribution, and cycle aggregates
+// follow from each record's Cycles field.
+func (m *Model) SampleCall() CallRecord {
+	ao := m.algoOps.Sample(m.rng)
+	size := m.callSizes[ao].Sample(m.rng)
+	rec := CallRecord{
+		Algo:              ao.Algo,
+		Op:                ao.Op,
+		UncompressedBytes: size,
+		Library:           m.libraries.Sample(m.rng),
+		Service:           m.services.Sample(m.rng),
+	}
+	if ao.Algo == comp.ZStd {
+		rec.Level = m.levels.Sample(m.rng)
+		rec.WindowLog = stats.BinOf(m.windows[ao.Op].Sample(m.rng))
+	} else {
+		rec.Level = ao.Algo.DefaultLevel()
+		rec.WindowLog = 16 // lightweight algorithms: fixed 64 KiB window
+	}
+	ratio := RatioFor(rec.Algo, rec.Level)
+	rec.CompressedBytes = int(float64(size) / ratio)
+	if rec.CompressedBytes < 1 {
+		rec.CompressedBytes = 1
+	}
+	// Fleet-observed cost-per-byte (self-consistent with Figures 1 and 2a),
+	// scaled by the fleet-observed level-bin cost factor (§3.3.4).
+	rec.Cycles = xeon.CallOverheadCycles +
+		FleetCostPerByte(ao)*FleetLevelCostFactor(rec.Algo, rec.Op, rec.Level)*float64(size)
+	return rec
+}
+
+// SampleCalls draws n call records.
+func (m *Model) SampleCalls(n int) []CallRecord {
+	out := make([]CallRecord, n)
+	for i := range out {
+		out[i] = m.SampleCall()
+	}
+	return out
+}

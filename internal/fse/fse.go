@@ -1,0 +1,395 @@
+// Package fse implements Finite State Entropy coding (tabled Asymmetric
+// Numeral Systems, tANS), the entropy coder ZStd uses for sequence codes and
+// the functional model behind the CDPU's FSE compressor and expander blocks
+// (§5.4, §5.7 of the paper).
+//
+// The implementation follows the classic FSE construction: symbol counts are
+// normalized to a power-of-two table size (1 << TableLog, the "accuracy" knob
+// that is compile-time parameter 12 of the hardware generator), symbols are
+// spread across the state table with the standard coprime-step walk, and
+// encoding runs backward over the data so that decoding streams forward.
+package fse
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	ibits "cdpu/internal/bits"
+)
+
+// Limits on table accuracy. ZStd uses 5-9 bits for sequence tables; hardware
+// accuracy is bounded by the FSE table SRAM size.
+const (
+	MinTableLog = 5
+	MaxTableLog = 12
+)
+
+// Errors returned by table construction and coding.
+var (
+	ErrEmptyInput   = errors.New("fse: empty input")
+	ErrBadCounts    = errors.New("fse: invalid normalized counts")
+	ErrBadStream    = errors.New("fse: corrupt stream")
+	ErrBadSymbol    = errors.New("fse: symbol out of alphabet")
+	ErrBadTableLog  = errors.New("fse: table log out of range")
+	ErrSingleSymbol = errors.New("fse: degenerate single-symbol alphabet")
+)
+
+// Normalize scales a histogram so it sums to exactly 1<<tableLog, keeping
+// every present symbol at count >= 1. It returns ErrSingleSymbol when only
+// one symbol is present (callers should RLE-encode instead, as ZStd does).
+func Normalize(hist []int, tableLog int) ([]int, error) {
+	if tableLog < MinTableLog || tableLog > MaxTableLog {
+		return nil, fmt.Errorf("%w: %d", ErrBadTableLog, tableLog)
+	}
+	total := 0
+	present := 0
+	for _, c := range hist {
+		if c < 0 {
+			return nil, fmt.Errorf("%w: negative count", ErrBadCounts)
+		}
+		if c > 0 {
+			present++
+		}
+		total += c
+	}
+	if total == 0 {
+		return nil, ErrEmptyInput
+	}
+	if present == 1 {
+		return nil, ErrSingleSymbol
+	}
+	size := 1 << tableLog
+	if present > size {
+		return nil, fmt.Errorf("%w: %d symbols exceed table size %d", ErrBadCounts, present, size)
+	}
+	norm := make([]int, len(hist))
+	// Largest-remainder scaling with a floor of 1 for present symbols.
+	assigned := 0
+	type rem struct {
+		sym  int
+		frac float64
+	}
+	var rems []rem
+	for s, c := range hist {
+		if c == 0 {
+			continue
+		}
+		exact := float64(c) * float64(size) / float64(total)
+		n := int(exact)
+		if n < 1 {
+			n = 1
+		}
+		norm[s] = n
+		assigned += n
+		rems = append(rems, rem{s, exact - float64(n)})
+	}
+	// Distribute or reclaim the difference, preferring symbols with the
+	// largest fractional remainder (to add) or the largest count (to remove).
+	for assigned < size {
+		best := -1
+		var bestFrac float64 = -1
+		for i, r := range rems {
+			if r.frac > bestFrac {
+				bestFrac = r.frac
+				best = i
+			}
+		}
+		norm[rems[best].sym]++
+		rems[best].frac -= 1
+		assigned++
+	}
+	for assigned > size {
+		best := -1
+		bestCount := 1
+		for s, n := range norm {
+			if n > bestCount {
+				bestCount = n
+				best = s
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("%w: cannot reduce to table size", ErrBadCounts)
+		}
+		norm[best]--
+		assigned--
+	}
+	return norm, nil
+}
+
+// checkNorm validates that norm sums to 1<<tableLog with ≥2 present symbols.
+func checkNorm(norm []int, tableLog int) error {
+	if tableLog < MinTableLog || tableLog > MaxTableLog {
+		return fmt.Errorf("%w: %d", ErrBadTableLog, tableLog)
+	}
+	sum, present := 0, 0
+	for _, n := range norm {
+		if n < 0 {
+			return fmt.Errorf("%w: negative", ErrBadCounts)
+		}
+		if n > 0 {
+			present++
+		}
+		sum += n
+	}
+	if sum != 1<<tableLog {
+		return fmt.Errorf("%w: sum %d != %d", ErrBadCounts, sum, 1<<tableLog)
+	}
+	if present < 2 {
+		return ErrSingleSymbol
+	}
+	return nil
+}
+
+// spread distributes symbols across the state table using the standard
+// coprime-step walk ((size>>1)+(size>>3)+3).
+func spread(norm []int, tableLog int) []uint8 {
+	size := 1 << tableLog
+	mask := size - 1
+	step := size>>1 + size>>3 + 3
+	tableSymbol := make([]uint8, size)
+	pos := 0
+	for s, n := range norm {
+		for i := 0; i < n; i++ {
+			tableSymbol[pos] = uint8(s)
+			pos = (pos + step) & mask
+		}
+	}
+	return tableSymbol
+}
+
+// EncTable is a built FSE encoding table.
+type EncTable struct {
+	tableLog       int
+	stateTable     []uint16 // indexed by cumulative rank
+	deltaNbBits    []uint32 // per symbol
+	deltaFindState []int32  // per symbol
+	norm           []int
+}
+
+// NewEncTable builds an encoding table from normalized counts.
+func NewEncTable(norm []int, tableLog int) (*EncTable, error) {
+	if err := checkNorm(norm, tableLog); err != nil {
+		return nil, err
+	}
+	size := 1 << tableLog
+	tableSymbol := spread(norm, tableLog)
+
+	cumul := make([]int, len(norm)+1)
+	for s, n := range norm {
+		cumul[s+1] = cumul[s] + n
+	}
+	stateTable := make([]uint16, size)
+	next := append([]int(nil), cumul[:len(norm)]...)
+	for u := 0; u < size; u++ {
+		s := tableSymbol[u]
+		stateTable[next[s]] = uint16(size + u)
+		next[s]++
+	}
+
+	deltaNbBits := make([]uint32, len(norm))
+	deltaFindState := make([]int32, len(norm))
+	total := 0
+	for s, n := range norm {
+		switch {
+		case n == 0:
+			deltaNbBits[s] = uint32(tableLog+1) << 16 // poisoned
+		case n == 1:
+			deltaNbBits[s] = uint32(tableLog)<<16 - uint32(size)
+			deltaFindState[s] = int32(total - 1)
+			total++
+		default:
+			// highbit(n-1) = bits.Len32(n-1) - 1.
+			maxBitsOut := tableLog - (bits.Len32(uint32(n-1)) - 1)
+			minStatePlus := uint32(n) << uint(maxBitsOut)
+			deltaNbBits[s] = uint32(maxBitsOut)<<16 - minStatePlus
+			deltaFindState[s] = int32(total - n)
+			total += n
+		}
+	}
+	return &EncTable{
+		tableLog:       tableLog,
+		stateTable:     stateTable,
+		deltaNbBits:    deltaNbBits,
+		deltaFindState: deltaFindState,
+		norm:           append([]int(nil), norm...),
+	}, nil
+}
+
+// TableLog returns the table accuracy.
+func (t *EncTable) TableLog() int { return t.tableLog }
+
+// Norm returns the normalized counts the table was built from.
+func (t *EncTable) Norm() []int { return t.norm }
+
+// bitGroup is one deferred bit emission produced during backward encoding.
+type bitGroup struct {
+	val uint32
+	n   uint8
+}
+
+// Encode appends the FSE encoding of symbols to w. The emitted layout is
+// forward-decodable: first the final encoder state (tableLog bits), then one
+// bit group per symbol in decode order.
+func (t *EncTable) Encode(w *ibits.Writer, symbols []uint8) error {
+	if len(symbols) == 0 {
+		return ErrEmptyInput
+	}
+	size := 1 << t.tableLog
+	groups := make([]bitGroup, 0, len(symbols))
+	// Initialize the state to one that decodes to the last symbol: the
+	// decoder's final emitted symbol comes straight from this state, so the
+	// last symbol costs no bits beyond the flushed state itself.
+	last := symbols[len(symbols)-1]
+	if int(last) >= len(t.norm) || t.norm[last] == 0 {
+		return fmt.Errorf("%w: %d", ErrBadSymbol, last)
+	}
+	state := uint32(t.firstState(last))
+	for i := len(symbols) - 2; i >= 0; i-- {
+		s := symbols[i]
+		if int(s) >= len(t.norm) || t.norm[s] == 0 {
+			return fmt.Errorf("%w: %d", ErrBadSymbol, s)
+		}
+		nb := (state + t.deltaNbBits[s]) >> 16
+		groups = append(groups, bitGroup{val: state & (1<<nb - 1), n: uint8(nb)})
+		state = uint32(t.stateTable[(state>>nb)+uint32(t.deltaFindState[s])])
+	}
+	// Forward layout: final state, then groups reversed (decode order).
+	w.WriteBits(uint64(state)-uint64(size), uint(t.tableLog))
+	for i := len(groups) - 1; i >= 0; i-- {
+		w.WriteBits(uint64(groups[i].val), uint(groups[i].n))
+	}
+	return nil
+}
+
+// firstState returns the lowest state value assigned to symbol s.
+func (t *EncTable) firstState(s uint8) uint16 {
+	return t.stateTable[t.deltaFindState[s]+int32(t.norm[s])]
+}
+
+// EncodedBits estimates the encoded size of symbols in bits (excluding the
+// table header) without building the output.
+func (t *EncTable) EncodedBits(symbols []uint8) int {
+	if len(symbols) == 0 {
+		return 0
+	}
+	state := uint32(t.firstState(symbols[len(symbols)-1]))
+	total := t.tableLog
+	for i := len(symbols) - 2; i >= 0; i-- {
+		s := symbols[i]
+		nb := (state + t.deltaNbBits[s]) >> 16
+		total += int(nb)
+		state = uint32(t.stateTable[(state>>nb)+uint32(t.deltaFindState[s])])
+	}
+	return total
+}
+
+// decEntry is one decode-table cell.
+type decEntry struct {
+	newState uint16
+	sym      uint8
+	nbBits   uint8
+}
+
+// DecTable is a built FSE decoding table.
+type DecTable struct {
+	tableLog int
+	entries  []decEntry
+}
+
+// NewDecTable builds a decoding table from normalized counts.
+func NewDecTable(norm []int, tableLog int) (*DecTable, error) {
+	if err := checkNorm(norm, tableLog); err != nil {
+		return nil, err
+	}
+	size := 1 << tableLog
+	tableSymbol := spread(norm, tableLog)
+	entries := make([]decEntry, size)
+	symbolNext := make([]int, len(norm))
+	copy(symbolNext, norm)
+	for u := 0; u < size; u++ {
+		s := tableSymbol[u]
+		x := symbolNext[s]
+		symbolNext[s]++
+		nb := tableLog - (bits.Len32(uint32(x)) - 1)
+		entries[u] = decEntry{
+			sym:      s,
+			nbBits:   uint8(nb),
+			newState: uint16(x<<uint(nb) - size),
+		}
+	}
+	return &DecTable{tableLog: tableLog, entries: entries}, nil
+}
+
+// TableLog returns the table accuracy.
+func (t *DecTable) TableLog() int { return t.tableLog }
+
+// Entries reports the number of decode-table cells (for area/timing models).
+func (t *DecTable) Entries() int { return len(t.entries) }
+
+// Decode reads n symbols from r, appending them to dst.
+func (t *DecTable) Decode(r *ibits.Reader, dst []uint8, n int) ([]uint8, error) {
+	if n == 0 {
+		return dst, nil
+	}
+	state := uint32(r.ReadBits(uint(t.tableLog)))
+	if r.Err() != nil {
+		return dst, fmt.Errorf("%w: %v", ErrBadStream, r.Err())
+	}
+	for i := 0; i < n; i++ {
+		e := t.entries[state]
+		dst = append(dst, e.sym)
+		if i == n-1 {
+			break
+		}
+		state = uint32(e.newState) + uint32(r.ReadBits(uint(e.nbBits)))
+		if r.Err() != nil {
+			return dst, fmt.Errorf("%w: %v", ErrBadStream, r.Err())
+		}
+		if int(state) >= len(t.entries) {
+			return dst, ErrBadStream
+		}
+	}
+	return dst, nil
+}
+
+// WriteNorm serializes normalized counts: 8-bit alphabet size, 4-bit
+// tableLog, then (tableLog+1)-bit counts per symbol.
+func WriteNorm(w *ibits.Writer, norm []int, tableLog int) error {
+	if err := checkNorm(norm, tableLog); err != nil {
+		return err
+	}
+	n := len(norm)
+	for n > 0 && norm[n-1] == 0 {
+		n--
+	}
+	if n > 256 {
+		return fmt.Errorf("%w: alphabet %d too large", ErrBadCounts, n)
+	}
+	w.WriteBits(uint64(n-1), 8)
+	w.WriteBits(uint64(tableLog), 4)
+	for i := 0; i < n; i++ {
+		w.WriteBits(uint64(norm[i]), uint(tableLog+1))
+	}
+	return nil
+}
+
+// ReadNorm deserializes counts written by WriteNorm.
+func ReadNorm(r *ibits.Reader) (norm []int, tableLog int, err error) {
+	n := int(r.ReadBits(8)) + 1
+	tableLog = int(r.ReadBits(4))
+	if tableLog < MinTableLog || tableLog > MaxTableLog {
+		return nil, 0, fmt.Errorf("%w: %d", ErrBadTableLog, tableLog)
+	}
+	norm = make([]int, n)
+	for i := range norm {
+		norm[i] = int(r.ReadBits(uint(tableLog + 1)))
+	}
+	if r.Err() != nil {
+		return nil, 0, r.Err()
+	}
+	if err := checkNorm(norm, tableLog); err != nil {
+		return nil, 0, err
+	}
+	return norm, tableLog, nil
+}

@@ -1,0 +1,18 @@
+package gipfeli
+
+import (
+	"testing"
+
+	"cdpu/internal/corpus"
+	"cdpu/internal/testutil"
+)
+
+func TestDecoderCorruptionRobustness(t *testing.T) {
+	data := corpus.Generate(corpus.Text, 24<<10, 1)
+	testutil.CheckCorruptionRobustness(t, "gipfeli", Encode(data), Decode, 300, 2)
+}
+
+func TestDecoderTruncationRobustness(t *testing.T) {
+	data := corpus.Generate(corpus.Log, 24<<10, 3)
+	testutil.CheckTruncationRobustness(t, "gipfeli", data, Encode(data), Decode)
+}

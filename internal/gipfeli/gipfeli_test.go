@@ -1,0 +1,109 @@
+package gipfeli
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cdpu/internal/corpus"
+	"cdpu/internal/snappy"
+)
+
+func roundTrip(t *testing.T, src []byte) []byte {
+	t.Helper()
+	enc := Encode(src)
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("round trip mismatch: %d vs %d bytes", len(got), len(src))
+	}
+	return enc
+}
+
+func TestRoundTripCorpora(t *testing.T) {
+	for _, f := range corpus.SmallSuite() {
+		t.Run(f.Name, func(t *testing.T) { roundTrip(t, f.Data) })
+	}
+}
+
+func TestRoundTripEdgeInputs(t *testing.T) {
+	for _, in := range [][]byte{nil, {}, {9}, []byte("abc"), []byte("aaaaaaaaaaaaaaaa")} {
+		roundTrip(t, in)
+	}
+}
+
+func TestEntropyStageBeatsSnappyOnSkewedLiterals(t *testing.T) {
+	// Gipfeli's distinguishing feature is its static entropy stage. On data
+	// with a skewed byte distribution but little long-range redundancy,
+	// Snappy stores ~8 bits per literal while Gipfeli's class coding stores
+	// ~7; Gipfeli must win there.
+	rng := rand.New(rand.NewSource(41))
+	data := make([]byte, 256<<10)
+	for i := range data {
+		u := rng.Float64()
+		data[i] = byte(int(u * u * 40))
+	}
+	g := len(Encode(data))
+	s := len(snappy.Encode(data))
+	if g >= s {
+		t.Errorf("gipfeli %d >= snappy %d on skewed literals", g, s)
+	}
+}
+
+func TestNearSnappyOnMatchDenseText(t *testing.T) {
+	// On match-dominated data the two lightweight codecs should land close:
+	// gipfeli's copies cost a couple more bits than snappy's.
+	data := corpus.Generate(corpus.Text, 256<<10, 41)
+	g := len(Encode(data))
+	s := len(snappy.Encode(data))
+	if g > s*120/100 {
+		t.Errorf("gipfeli %d more than 20%% worse than snappy %d on text", g, s)
+	}
+}
+
+func TestCorruptInputs(t *testing.T) {
+	valid := roundTrip(t, corpus.Generate(corpus.Text, 8<<10, 42))
+	cases := map[string][]byte{
+		"empty":            {},
+		"bad header":       {0x80},
+		"missing alphabet": {10, 1, 2},
+		"truncated body":   valid[:len(valid)-4],
+	}
+	for name, in := range cases {
+		if _, err := Decode(in); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, sizeSel uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := make([]byte, int(sizeSel)%8192)
+		for i := range src {
+			if i > 8 && rng.Intn(3) > 0 {
+				src[i] = src[i-8]
+			} else {
+				src[i] = byte(rng.Intn(200))
+			}
+		}
+		got, err := Decode(Encode(src))
+		return err == nil && bytes.Equal(got, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowBoundaryOffset(t *testing.T) {
+	// Regression: a match at offset exactly 65536 cannot fit the 16-bit
+	// offset fields and must fall back to literal coding.
+	probe := []byte("0123456789abcdefORDERED?")
+	src := append([]byte{}, probe...)
+	src = append(src, corpus.Generate(corpus.Random, 65536-len(probe), 99)...)
+	src = append(src, probe...)
+	roundTrip(t, src)
+}

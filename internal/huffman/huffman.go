@@ -1,0 +1,346 @@
+// Package huffman implements canonical, length-limited Huffman coding over
+// byte alphabets. It is the entropy-coding stage used by zstdlite's literal
+// section and the functional model behind the CDPU's Huffman compressor and
+// expander blocks (§5.3, §5.6 of the paper).
+//
+// Codes are canonical (assigned in (length, symbol) order) so a code table is
+// fully described by its code lengths, which is how the wire formats ship it.
+// Decoding uses a single-level lookup table indexed by MaxBits stream bits —
+// the same structure the hardware's "Huff Table Reader" holds in SRAM.
+package huffman
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+
+	ibits "cdpu/internal/bits"
+)
+
+// MaxBitsLimit is the largest supported code length. 11 matches zstd's
+// literal-table limit and keeps the hardware decode SRAM at 2^11 entries.
+const MaxBitsLimit = 15
+
+// ErrEmptyAlphabet is returned when no symbol has a nonzero frequency.
+var ErrEmptyAlphabet = errors.New("huffman: empty alphabet")
+
+// ErrBadLengths is returned when a set of code lengths is not a valid
+// (complete or over-subscribed) Kraft assignment.
+var ErrBadLengths = errors.New("huffman: invalid code lengths")
+
+// CodeTable holds a canonical code assignment for symbols 0..NumSymbols-1.
+type CodeTable struct {
+	Lens    []uint8  // code length per symbol; 0 = symbol absent
+	codes   []uint16 // canonical code per symbol, MSB-first convention
+	MaxBits int      // largest code length present
+}
+
+// Build constructs a length-limited canonical code table from freqs. Symbols
+// with zero frequency receive no code. maxBits bounds the code length
+// (1..MaxBitsLimit). At least one symbol must have nonzero frequency; a
+// single-symbol alphabet yields a 1-bit code.
+func Build(freqs []int, maxBits int) (*CodeTable, error) {
+	if maxBits < 1 || maxBits > MaxBitsLimit {
+		return nil, fmt.Errorf("huffman: maxBits %d out of range", maxBits)
+	}
+	if len(freqs) > 1<<maxBits {
+		// A complete code over n symbols needs depth >= log2(n).
+		nz := 0
+		for _, f := range freqs {
+			if f > 0 {
+				nz++
+			}
+		}
+		if nz > 1<<maxBits {
+			return nil, fmt.Errorf("huffman: %d symbols cannot fit in %d-bit codes", nz, maxBits)
+		}
+	}
+	work := make([]int, len(freqs))
+	copy(work, freqs)
+	for attempt := 0; ; attempt++ {
+		lens, err := huffmanLengths(work)
+		if err != nil {
+			return nil, err
+		}
+		over := false
+		for _, l := range lens {
+			if int(l) > maxBits {
+				over = true
+				break
+			}
+		}
+		if !over {
+			return FromLengths(lens)
+		}
+		if attempt > 32 {
+			return nil, fmt.Errorf("huffman: length limiting failed to converge")
+		}
+		// Flatten the distribution and retry; halving with a +1 floor
+		// strictly reduces the ratio between extreme frequencies, so depth
+		// shrinks toward log2(n) and the loop terminates.
+		for i, f := range work {
+			if f > 0 {
+				work[i] = f/2 + 1
+			}
+		}
+	}
+}
+
+// huffmanLengths computes unrestricted Huffman code lengths via pairwise
+// merging (heap-free two-queue method over sorted leaves).
+func huffmanLengths(freqs []int) ([]uint8, error) {
+	type node struct {
+		freq        int
+		sym         int // leaf symbol, -1 for internal
+		left, right int // node indices
+	}
+	var nodes []node
+	var leaves []int
+	for s, f := range freqs {
+		if f > 0 {
+			nodes = append(nodes, node{freq: f, sym: s, left: -1, right: -1})
+			leaves = append(leaves, len(nodes)-1)
+		}
+	}
+	if len(leaves) == 0 {
+		return nil, ErrEmptyAlphabet
+	}
+	lens := make([]uint8, len(freqs))
+	if len(leaves) == 1 {
+		lens[nodes[leaves[0]].sym] = 1
+		return lens, nil
+	}
+	sort.Slice(leaves, func(a, b int) bool {
+		na, nb := nodes[leaves[a]], nodes[leaves[b]]
+		if na.freq != nb.freq {
+			return na.freq < nb.freq
+		}
+		return na.sym < nb.sym
+	})
+	// Two-queue merge: leaves (sorted) and internal nodes (produced in
+	// non-decreasing freq order).
+	var internals []int
+	li, ii := 0, 0
+	pop := func() int {
+		if li < len(leaves) && (ii >= len(internals) || nodes[leaves[li]].freq <= nodes[internals[ii]].freq) {
+			li++
+			return leaves[li-1]
+		}
+		ii++
+		return internals[ii-1]
+	}
+	remaining := len(leaves)
+	for remaining > 1 {
+		a := pop()
+		b := pop()
+		nodes = append(nodes, node{freq: nodes[a].freq + nodes[b].freq, sym: -1, left: a, right: b})
+		internals = append(internals, len(nodes)-1)
+		remaining--
+	}
+	root := pop()
+	// Iterative depth assignment.
+	type item struct{ n, depth int }
+	stack := []item{{root, 0}}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := nodes[it.n]
+		if nd.sym >= 0 {
+			d := it.depth
+			if d == 0 {
+				d = 1
+			}
+			lens[nd.sym] = uint8(d)
+			continue
+		}
+		stack = append(stack, item{nd.left, it.depth + 1}, item{nd.right, it.depth + 1})
+	}
+	return lens, nil
+}
+
+// FromLengths builds a canonical table from code lengths, validating the
+// Kraft inequality (the assignment must not be over-subscribed, and must be
+// complete unless only one symbol is present).
+func FromLengths(lens []uint8) (*CodeTable, error) {
+	maxBits := 0
+	nz := 0
+	for _, l := range lens {
+		if int(l) > maxBits {
+			maxBits = int(l)
+		}
+		if l > 0 {
+			nz++
+		}
+	}
+	if nz == 0 {
+		return nil, ErrEmptyAlphabet
+	}
+	if maxBits > MaxBitsLimit {
+		return nil, fmt.Errorf("%w: length %d exceeds limit", ErrBadLengths, maxBits)
+	}
+	// Kraft sum in units of 2^-maxBits.
+	var kraft uint64
+	for _, l := range lens {
+		if l > 0 {
+			kraft += 1 << (maxBits - int(l))
+		}
+	}
+	full := uint64(1) << maxBits
+	if kraft > full {
+		return nil, fmt.Errorf("%w: oversubscribed", ErrBadLengths)
+	}
+	if kraft < full && nz > 1 {
+		return nil, fmt.Errorf("%w: incomplete", ErrBadLengths)
+	}
+	// Canonical assignment: firstCode[l] advances through (length, symbol).
+	var countPerLen [MaxBitsLimit + 1]int
+	for _, l := range lens {
+		countPerLen[l]++
+	}
+	// Standard canonical recurrence: codes for length l start where the
+	// previous length's codes ended, left-shifted one bit.
+	var nextCode [MaxBitsLimit + 2]uint16
+	code := uint16(0)
+	for l := 1; l <= maxBits; l++ {
+		nextCode[l] = code
+		code = (code + uint16(countPerLen[l])) << 1
+	}
+	codes := make([]uint16, len(lens))
+	for s, l := range lens {
+		if l == 0 {
+			continue
+		}
+		codes[s] = nextCode[l]
+		nextCode[l]++
+	}
+	return &CodeTable{Lens: append([]uint8(nil), lens...), codes: codes, MaxBits: maxBits}, nil
+}
+
+// Code returns the canonical code and length for symbol s; length 0 means the
+// symbol has no code.
+func (t *CodeTable) Code(s int) (code uint16, length uint8) {
+	return t.codes[s], t.Lens[s]
+}
+
+// EncodedBits returns the total encoded size in bits of data under t,
+// excluding any table header.
+func (t *CodeTable) EncodedBits(data []byte) int {
+	var hist [256]int
+	for _, b := range data {
+		hist[b]++
+	}
+	total := 0
+	for s, n := range hist {
+		if n > 0 && s < len(t.Lens) {
+			total += n * int(t.Lens[s])
+		}
+	}
+	return total
+}
+
+// Encoder writes symbols under a code table.
+type Encoder struct {
+	table *CodeTable
+	// rev holds bit-reversed codes so emission is LSB-first.
+	rev []uint16
+}
+
+// NewEncoder prepares an encoder for t.
+func NewEncoder(t *CodeTable) *Encoder {
+	rev := make([]uint16, len(t.codes))
+	for s, l := range t.Lens {
+		if l == 0 {
+			continue
+		}
+		rev[s] = uint16(bits.Reverse16(t.codes[s]) >> (16 - l))
+	}
+	return &Encoder{table: t, rev: rev}
+}
+
+// Encode appends the code for each byte of data to w. It returns an error if
+// a byte has no code (caller supplied a table built from other data).
+func (e *Encoder) Encode(w *ibits.Writer, data []byte) error {
+	for _, b := range data {
+		l := e.table.Lens[b]
+		if l == 0 {
+			return fmt.Errorf("huffman: symbol %#x has no code", b)
+		}
+		w.WriteBits(uint64(e.rev[b]), uint(l))
+	}
+	return nil
+}
+
+// Decoder performs table-driven decoding: one MaxBits-wide peek resolves any
+// symbol, mirroring the hardware decode-table SRAM.
+type Decoder struct {
+	table   []uint16 // packed entries: sym<<4 | len
+	maxBits int
+}
+
+// NewDecoder builds the lookup table for t.
+func NewDecoder(t *CodeTable) *Decoder {
+	d := &Decoder{maxBits: t.MaxBits, table: make([]uint16, 1<<t.MaxBits)}
+	for s, l := range t.Lens {
+		if l == 0 {
+			continue
+		}
+		revCode := uint32(bits.Reverse16(t.codes[s]) >> (16 - l))
+		step := 1 << l
+		for idx := int(revCode); idx < len(d.table); idx += step {
+			d.table[idx] = uint16(s)<<4 | uint16(l)
+		}
+	}
+	return d
+}
+
+// TableEntries reports the decode table size (2^MaxBits), which the area and
+// timing models use for the expander's SRAM cost.
+func (d *Decoder) TableEntries() int { return len(d.table) }
+
+// Decode reads n symbols from r into dst, returning dst.
+func (d *Decoder) Decode(r *ibits.Reader, dst []byte, n int) ([]byte, error) {
+	for i := 0; i < n; i++ {
+		peek := r.PeekBits(uint(d.maxBits))
+		entry := d.table[peek]
+		l := uint(entry & 0xf)
+		if l == 0 {
+			return dst, fmt.Errorf("huffman: invalid code at symbol %d", i)
+		}
+		if r.BitsRemaining() < int(l) {
+			return dst, ibits.ErrOverread
+		}
+		r.Skip(l)
+		dst = append(dst, byte(entry>>4))
+	}
+	return dst, nil
+}
+
+// WriteTable serializes the table's code lengths to w: a 9-bit symbol count
+// followed by 4-bit lengths. FromLengths-compatible.
+func (t *CodeTable) WriteTable(w *ibits.Writer) {
+	n := len(t.Lens)
+	for n > 0 && t.Lens[n-1] == 0 {
+		n--
+	}
+	w.WriteBits(uint64(n), 9)
+	for i := 0; i < n; i++ {
+		w.WriteBits(uint64(t.Lens[i]), 4)
+	}
+}
+
+// ReadTable deserializes a table written by WriteTable.
+func ReadTable(r *ibits.Reader) (*CodeTable, error) {
+	n := int(r.ReadBits(9))
+	if n == 0 || n > 256 {
+		return nil, fmt.Errorf("%w: %d symbols", ErrBadLengths, n)
+	}
+	lens := make([]uint8, n)
+	for i := range lens {
+		lens[i] = uint8(r.ReadBits(4))
+	}
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	return FromLengths(lens)
+}

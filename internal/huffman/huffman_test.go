@@ -1,0 +1,272 @@
+package huffman
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	ibits "cdpu/internal/bits"
+	"cdpu/internal/corpus"
+)
+
+func histogram(data []byte) []int {
+	h := make([]int, 256)
+	for _, b := range data {
+		h[b]++
+	}
+	return h
+}
+
+func roundTrip(t *testing.T, data []byte, maxBits int) {
+	t.Helper()
+	table, err := Build(histogram(data), maxBits)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	var w ibits.Writer
+	table.WriteTable(&w)
+	if err := NewEncoder(table).Encode(&w, data); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	r := ibits.NewReader(w.Bytes())
+	table2, err := ReadTable(r)
+	if err != nil {
+		t.Fatalf("ReadTable: %v", err)
+	}
+	out, err := NewDecoder(table2).Decode(r, nil, len(data))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatalf("round trip mismatch (%d vs %d bytes)", len(out), len(data))
+	}
+}
+
+func TestRoundTripCorpora(t *testing.T) {
+	for _, f := range corpus.SmallSuite() {
+		if f.Kind == corpus.Zeros {
+			continue // single-symbol handled separately
+		}
+		t.Run(f.Name, func(t *testing.T) { roundTrip(t, f.Data[:16<<10], 11) })
+	}
+}
+
+func TestRoundTripSingleSymbol(t *testing.T) {
+	roundTrip(t, bytes.Repeat([]byte{'z'}, 1000), 11)
+}
+
+func TestRoundTripTwoSymbols(t *testing.T) {
+	data := bytes.Repeat([]byte{'a', 'b', 'a'}, 500)
+	roundTrip(t, data, 11)
+}
+
+func TestRoundTripAllByteValues(t *testing.T) {
+	var data []byte
+	for i := 0; i < 256; i++ {
+		data = append(data, bytes.Repeat([]byte{byte(i)}, 1+i%7)...)
+	}
+	roundTrip(t, data, 11)
+	roundTrip(t, data, 9) // tighter limit forces length clamping with 256 symbols
+}
+
+func TestLengthLimitRespected(t *testing.T) {
+	// Fibonacci-like frequencies force deep unrestricted codes.
+	freqs := make([]int, 40)
+	a, b := 1, 1
+	for i := range freqs {
+		freqs[i] = a
+		a, b = b, a+b
+		if a > 1<<40 {
+			a = 1 << 40
+		}
+	}
+	for _, maxBits := range []int{8, 11, 15} {
+		table, err := Build(freqs, maxBits)
+		if err != nil {
+			t.Fatalf("maxBits=%d: %v", maxBits, err)
+		}
+		for s, l := range table.Lens {
+			if int(l) > maxBits {
+				t.Errorf("maxBits=%d: symbol %d got length %d", maxBits, s, l)
+			}
+		}
+	}
+}
+
+func TestCodesArePrefixFree(t *testing.T) {
+	data := corpus.Generate(corpus.Text, 32<<10, 3)
+	table, err := Build(histogram(data), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type cl struct {
+		code uint16
+		len  uint8
+	}
+	var codes []cl
+	for s := range table.Lens {
+		if c, l := table.Code(s); l > 0 {
+			codes = append(codes, cl{c, l})
+		}
+	}
+	for i := range codes {
+		for j := range codes {
+			if i == j {
+				continue
+			}
+			a, b := codes[i], codes[j]
+			if a.len > b.len {
+				continue
+			}
+			// a must not be a prefix of b (MSB-first convention).
+			if b.code>>(b.len-a.len) == a.code {
+				t.Fatalf("code %b/%d is a prefix of %b/%d", a.code, a.len, b.code, b.len)
+			}
+		}
+	}
+}
+
+func TestOptimalityVsUniform(t *testing.T) {
+	// Skewed data must encode to fewer bits than 8 per symbol.
+	data := corpus.Generate(corpus.Text, 64<<10, 1)
+	table, err := Build(histogram(data), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := table.EncodedBits(data); got >= len(data)*8 {
+		t.Errorf("huffman did not compress text: %d bits for %d bytes", got, len(data))
+	}
+}
+
+func TestMoreFrequentSymbolsGetShorterCodes(t *testing.T) {
+	freqs := make([]int, 4)
+	freqs[0] = 100
+	freqs[1] = 10
+	freqs[2] = 5
+	freqs[3] = 1
+	table, err := Build(freqs, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Lens[0] > table.Lens[3] {
+		t.Errorf("frequent symbol has longer code: %v", table.Lens)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(make([]int, 256), 11); err == nil {
+		t.Error("empty alphabet accepted")
+	}
+	if _, err := Build([]int{1, 1}, 0); err == nil {
+		t.Error("maxBits=0 accepted")
+	}
+	if _, err := Build([]int{1, 1}, 16); err == nil {
+		t.Error("maxBits>limit accepted")
+	}
+	manySyms := make([]int, 256)
+	for i := range manySyms {
+		manySyms[i] = 1
+	}
+	if _, err := Build(manySyms, 7); err == nil {
+		t.Error("256 symbols in 7-bit codes accepted")
+	}
+}
+
+func TestFromLengthsValidation(t *testing.T) {
+	// Oversubscribed: three 1-bit codes.
+	if _, err := FromLengths([]uint8{1, 1, 1}); err == nil {
+		t.Error("oversubscribed lengths accepted")
+	}
+	// Incomplete: single 2-bit code with another symbol present.
+	if _, err := FromLengths([]uint8{2, 2}); err == nil {
+		t.Error("incomplete lengths accepted")
+	}
+	// Valid complete.
+	if _, err := FromLengths([]uint8{1, 2, 2}); err != nil {
+		t.Errorf("valid lengths rejected: %v", err)
+	}
+	// All-zero.
+	if _, err := FromLengths([]uint8{0, 0}); err == nil {
+		t.Error("all-zero lengths accepted")
+	}
+}
+
+func TestEncodeUnknownSymbol(t *testing.T) {
+	table, err := Build(histogram([]byte("aaabbb")), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w ibits.Writer
+	if err := NewEncoder(table).Encode(&w, []byte("abc")); err == nil {
+		t.Error("encoding symbol without code succeeded")
+	}
+}
+
+func TestDecodeCorruptStream(t *testing.T) {
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	table, _ := Build(histogram(data), 11)
+	var w ibits.Writer
+	_ = NewEncoder(table).Encode(&w, data)
+	enc := w.Bytes()
+	dec := NewDecoder(table)
+	// Truncated stream must error, not hang or panic.
+	r := ibits.NewReader(enc[:1])
+	if _, err := dec.Decode(r, nil, len(data)); err == nil {
+		t.Error("truncated stream decoded without error")
+	}
+}
+
+func TestDecoderTableEntries(t *testing.T) {
+	data := corpus.Generate(corpus.Text, 8<<10, 2)
+	table, _ := Build(histogram(data), 11)
+	d := NewDecoder(table)
+	if d.TableEntries() != 1<<table.MaxBits {
+		t.Errorf("table entries = %d, want %d", d.TableEntries(), 1<<table.MaxBits)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint16, alphabet uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := int(n)%4096 + 1
+		nsym := int(alphabet)%64 + 1
+		data := make([]byte, size)
+		for i := range data {
+			data[i] = byte(rng.Intn(nsym))
+		}
+		table, err := Build(histogram(data), 11)
+		if err != nil {
+			return false
+		}
+		var w ibits.Writer
+		if NewEncoder(table).Encode(&w, data) != nil {
+			return false
+		}
+		out, err := NewDecoder(table).Decode(ibits.NewReader(w.Bytes()), nil, size)
+		return err == nil && bytes.Equal(out, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableSerializationRoundTrip(t *testing.T) {
+	data := corpus.Generate(corpus.JSON, 16<<10, 5)
+	table, _ := Build(histogram(data), 11)
+	var w ibits.Writer
+	table.WriteTable(&w)
+	got, err := ReadTable(ibits.NewReader(w.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range table.Lens {
+		var gl uint8
+		if s < len(got.Lens) {
+			gl = got.Lens[s]
+		}
+		if gl != table.Lens[s] {
+			t.Fatalf("symbol %d: length %d != %d", s, gl, table.Lens[s])
+		}
+	}
+}

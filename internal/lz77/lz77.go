@@ -1,0 +1,459 @@
+// Package lz77 implements the parameterized LZ77 dictionary-coding engine
+// shared by the software codecs (snappy, zstdlite) and the CDPU functional
+// model (internal/core).
+//
+// The engine mirrors the paper's LZ77 Hash Matcher block (§5.5): a hash table
+// with a configurable number of entries, associativity, hash function and
+// table contents, backed by a bounded history window. The same knobs that are
+// compile-time or run-time parameters of the hardware generator (§5.8.3) are
+// fields of Config here, so a single implementation serves both the software
+// baselines and the accelerator model, exactly as the paper's generator
+// re-uses its LZ77 encoder block across the Snappy and ZStd CDPUs.
+package lz77
+
+import (
+	"errors"
+	"fmt"
+)
+
+// HashFunc selects the hash function used to index the match table
+// (compile-time parameter 8 in §5.8.3).
+type HashFunc int
+
+const (
+	// HashFibonacci multiplies the 4-byte window by a 32-bit Fibonacci
+	// constant. This is the scheme used by Snappy and LZ4 and is the
+	// generator's default.
+	HashFibonacci HashFunc = iota
+	// HashXorShift folds the bytes with xor/shift mixing; cheaper in gates,
+	// slightly worse dispersion.
+	HashXorShift
+	// HashTrivial uses the low bits of the raw bytes directly; the cheapest
+	// possible hash and the worst-colliding one. Useful as an ablation floor.
+	HashTrivial
+)
+
+func (h HashFunc) String() string {
+	switch h {
+	case HashFibonacci:
+		return "fibonacci"
+	case HashXorShift:
+		return "xorshift"
+	case HashTrivial:
+		return "trivial"
+	default:
+		return fmt.Sprintf("HashFunc(%d)", int(h))
+	}
+}
+
+// TableContents selects what each hash-table way stores (compile-time
+// parameter 7 in §5.8.3).
+type TableContents int
+
+const (
+	// ContentsOffsetOnly stores just the candidate position. Every probe of a
+	// way requires reading the history to verify the match.
+	ContentsOffsetOnly TableContents = iota
+	// ContentsOffsetAndTag additionally stores an 8-bit tag of the hashed
+	// bytes, filtering most false probes before they touch history SRAM.
+	ContentsOffsetAndTag
+)
+
+func (c TableContents) String() string {
+	if c == ContentsOffsetAndTag {
+		return "offset+tag"
+	}
+	return "offset"
+}
+
+// Config parameterizes a dictionary-coding pass.
+type Config struct {
+	// WindowSize bounds the maximum match offset, in bytes. Must be a power
+	// of two. This models the encoder history SRAM: the paper notes that
+	// compression cannot fall back to L2 for distant history because history
+	// checking is serial (§6.3), so matches beyond WindowSize are simply
+	// never found.
+	WindowSize int
+	// TableEntries is the number of hash buckets. Must be a power of two.
+	TableEntries int
+	// Associativity is the number of candidate positions kept per bucket.
+	Associativity int
+	// MinMatch is the minimum match length to emit (4 for Snappy, 3 for
+	// ZStd-style codecs).
+	MinMatch int
+	// MaxMatch caps individual match lengths; 0 means unlimited.
+	MaxMatch int
+	// Hash selects the hash function.
+	Hash HashFunc
+	// Contents selects the per-way payload.
+	Contents TableContents
+	// SkipIncompressible enables the software heuristic that accelerates
+	// through data that is not producing matches by striding the input. The
+	// paper observes hardware omits this (it gains nothing at 1 position per
+	// cycle), which is why the 64K accelerator slightly beats software on
+	// compression ratio (§6.3).
+	SkipIncompressible bool
+	// Lazy enables one-position lazy matching (evaluate i+1 before
+	// committing the match at i), trading speed for ratio as heavyweight
+	// software levels do.
+	Lazy bool
+}
+
+// Validate reports whether the configuration is self-consistent.
+func (c *Config) Validate() error {
+	switch {
+	case c.WindowSize <= 0 || c.WindowSize&(c.WindowSize-1) != 0:
+		return fmt.Errorf("lz77: WindowSize %d not a positive power of two", c.WindowSize)
+	case c.TableEntries <= 0 || c.TableEntries&(c.TableEntries-1) != 0:
+		return fmt.Errorf("lz77: TableEntries %d not a positive power of two", c.TableEntries)
+	case c.Associativity < 1 || c.Associativity > 16:
+		return fmt.Errorf("lz77: Associativity %d out of range [1,16]", c.Associativity)
+	case c.MinMatch < 3 || c.MinMatch > 8:
+		return fmt.Errorf("lz77: MinMatch %d out of range [3,8]", c.MinMatch)
+	case c.MaxMatch != 0 && c.MaxMatch < c.MinMatch:
+		return fmt.Errorf("lz77: MaxMatch %d below MinMatch %d", c.MaxMatch, c.MinMatch)
+	}
+	return nil
+}
+
+// Seq is one step of an LZ77 parse: LitLen literal bytes copied from the
+// input, followed by a MatchLen-byte copy from Offset bytes back in the
+// output. A terminal literal run has MatchLen == 0 and Offset == 0.
+type Seq struct {
+	LitLen   int
+	Offset   int
+	MatchLen int
+}
+
+// Stats aggregates matcher behaviour for the timing model and for ablations.
+type Stats struct {
+	Positions    int // input positions considered
+	Probes       int // hash buckets probed
+	WaysChecked  int // ways examined across all probes
+	FalseProbes  int // ways that failed verification against history
+	TagFiltered  int // ways skipped by the tag filter (ContentsOffsetAndTag)
+	Matches      int // matches emitted
+	MatchBytes   int // bytes covered by matches
+	LiteralBytes int // bytes emitted as literals
+	MaxOffset    int // largest offset used by any emitted match
+}
+
+const invalidPos = ^uint32(0)
+
+// Matcher performs LZ77 parses under a fixed Config, retaining its hash table
+// across calls to avoid per-call allocation. A Matcher is not safe for
+// concurrent use.
+type Matcher struct {
+	cfg   Config
+	table []uint32 // TableEntries * Associativity positions
+	tags  []uint8  // parallel tags when ContentsOffsetAndTag
+	shift uint     // hash shift for fibonacci/xorshift
+	stats Stats
+}
+
+// NewMatcher returns a Matcher for cfg.
+func NewMatcher(cfg Config) (*Matcher, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Matcher{cfg: cfg}
+	m.table = make([]uint32, cfg.TableEntries*cfg.Associativity)
+	if cfg.Contents == ContentsOffsetAndTag {
+		m.tags = make([]uint8, len(m.table))
+	}
+	bitsN := 0
+	for e := cfg.TableEntries; e > 1; e >>= 1 {
+		bitsN++
+	}
+	m.shift = uint(32 - bitsN)
+	return m, nil
+}
+
+// Config returns the matcher's configuration.
+func (m *Matcher) Config() Config { return m.cfg }
+
+// Stats returns statistics accumulated since the last ResetStats call.
+func (m *Matcher) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the accumulated statistics. Callers that encode one
+// payload as multiple Parse calls (block-structured formats) reset once per
+// payload so Stats reports whole-call totals.
+func (m *Matcher) ResetStats() { m.stats = Stats{} }
+
+func (m *Matcher) hash(v uint32) (idx uint32, tag uint8) {
+	switch m.cfg.Hash {
+	case HashFibonacci:
+		h := v * 0x9E3779B1 // 2^32 / golden ratio
+		return h >> m.shift, uint8(h >> 8)
+	case HashXorShift:
+		h := v
+		h ^= h >> 15
+		h *= 0x85EBCA77
+		h ^= h >> 13
+		return h >> m.shift, uint8(h)
+	default: // HashTrivial
+		return v & uint32(m.cfg.TableEntries-1), uint8(v >> 16)
+	}
+}
+
+func load32(src []byte, i int) uint32 {
+	return uint32(src[i]) | uint32(src[i+1])<<8 | uint32(src[i+2])<<16 | uint32(src[i+3])<<24
+}
+
+// key returns the MinMatch-byte hash key at position i, folded into 32 bits.
+// For MinMatch 3 only three bytes are read, so positions near the end of the
+// input remain addressable.
+func (m *Matcher) key(src []byte, i int) uint32 {
+	if m.cfg.MinMatch == 3 {
+		v := uint32(src[i]) | uint32(src[i+1])<<8 | uint32(src[i+2])<<16
+		return v * 0x01E35A7D // spread 3-byte keys before the main hash
+	}
+	return load32(src, i)
+}
+
+// matchLen returns the length of the common prefix of src[a:] and src[b:],
+// capped so that the match never reads past len(src).
+func matchLen(src []byte, a, b, maxLen int) int {
+	n := 0
+	for b+n < len(src) && n < maxLen && src[a+n] == src[b+n] {
+		n++
+	}
+	return n
+}
+
+// Parse produces an LZ77 parse of src. The returned sequences cover src
+// exactly: the sum of LitLen+MatchLen over all sequences equals len(src).
+func (m *Matcher) Parse(src []byte) []Seq {
+	return m.ParsePrefixed(src, 0)
+}
+
+// ParsePrefixed parses src[start:] using src[:start] as pre-existing history
+// (a preset dictionary, or the already-emitted part of a stream). The
+// returned sequences cover exactly src[start:]; their offsets may reach into
+// the prefix, up to the configured window.
+func (m *Matcher) ParsePrefixed(src []byte, start int) []Seq {
+	if start < 0 || start > len(src) {
+		panic("lz77: ParsePrefixed start out of range")
+	}
+	for i := range m.table {
+		m.table[i] = invalidPos
+	}
+	var seqs []Seq
+	n := len(src)
+	if n-start < m.cfg.MinMatch {
+		if n-start > 0 {
+			seqs = append(seqs, Seq{LitLen: n - start})
+			m.stats.LiteralBytes += n - start
+		}
+		return seqs
+	}
+	// Index the prefix so parsing can match into it. Every other position
+	// keeps the cost linear while leaving the table warm, the same policy
+	// used inside matches.
+	prefixFrom := 0
+	if start > m.cfg.WindowSize {
+		prefixFrom = start - m.cfg.WindowSize
+	}
+	for j := prefixFrom; j < start; j += 2 {
+		m.insert(src, j)
+	}
+
+	litStart := start
+	i := start
+	skip := 32 // software skipping accumulator (used when SkipIncompressible)
+	limit := n - m.cfg.MinMatch
+	for i <= limit {
+		m.stats.Positions++
+		cand, ok := m.probe(src, i)
+		if !ok {
+			m.insert(src, i)
+			if m.cfg.SkipIncompressible {
+				i += skip >> 5
+				skip++
+			} else {
+				i++
+			}
+			continue
+		}
+		skip = 32
+		if m.cfg.Lazy && i+1 <= limit {
+			// Peek one position ahead; prefer a strictly longer match there.
+			candLen := m.extent(src, cand, i)
+			m.insert(src, i)
+			cand2, ok2 := m.probe(src, i+1)
+			if ok2 {
+				if m.extent(src, cand2, i+1) > candLen {
+					i++
+					cand = cand2
+				}
+			}
+		} else {
+			m.insert(src, i)
+		}
+		length := m.extent(src, cand, i)
+		offset := i - cand
+		seqs = append(seqs, Seq{LitLen: i - litStart, Offset: offset, MatchLen: length})
+		m.stats.Matches++
+		m.stats.MatchBytes += length
+		m.stats.LiteralBytes += i - litStart
+		if offset > m.stats.MaxOffset {
+			m.stats.MaxOffset = offset
+		}
+		// Index a sparse set of positions inside the match so later data can
+		// still find this region (one insert every 2 bytes keeps the table
+		// warm without quadratic work).
+		end := i + length
+		for j := i + 1; j < end && j <= limit; j += 2 {
+			m.insert(src, j)
+		}
+		i = end
+		litStart = i
+	}
+	if litStart < n {
+		seqs = append(seqs, Seq{LitLen: n - litStart})
+		m.stats.LiteralBytes += n - litStart
+	}
+	return seqs
+}
+
+// extent measures the match length between cand and i, honoring MaxMatch.
+func (m *Matcher) extent(src []byte, cand, i int) int {
+	maxLen := len(src) - i
+	if m.cfg.MaxMatch != 0 && m.cfg.MaxMatch < maxLen {
+		maxLen = m.cfg.MaxMatch
+	}
+	return matchLen(src, cand, i, maxLen)
+}
+
+// probe looks up position i's key and returns the best verified candidate
+// within the window, preferring the longest match (ties to smaller offset).
+func (m *Matcher) probe(src []byte, i int) (int, bool) {
+	key := m.key(src, i)
+	idx, tag := m.hash(key)
+	base := int(idx) * m.cfg.Associativity
+	m.stats.Probes++
+	bestLen, bestPos := 0, -1
+	for w := 0; w < m.cfg.Associativity; w++ {
+		pos := m.table[base+w]
+		if pos == invalidPos {
+			continue
+		}
+		if m.tags != nil && m.tags[base+w] != tag {
+			m.stats.TagFiltered++
+			continue
+		}
+		m.stats.WaysChecked++
+		p := int(pos)
+		if p >= i || i-p > m.cfg.WindowSize {
+			continue
+		}
+		l := m.extent(src, p, i)
+		if l < m.cfg.MinMatch {
+			m.stats.FalseProbes++
+			continue
+		}
+		if l > bestLen || (l == bestLen && p > bestPos) {
+			bestLen, bestPos = l, p
+		}
+	}
+	if bestLen >= m.cfg.MinMatch {
+		return bestPos, true
+	}
+	return -1, false
+}
+
+// insert records position i in the table, evicting FIFO within the bucket.
+func (m *Matcher) insert(src []byte, i int) {
+	if i+m.cfg.MinMatch > len(src) {
+		return
+	}
+	key := m.key(src, i)
+	idx, tag := m.hash(key)
+	base := int(idx) * m.cfg.Associativity
+	for w := m.cfg.Associativity - 1; w > 0; w-- {
+		m.table[base+w] = m.table[base+w-1]
+		if m.tags != nil {
+			m.tags[base+w] = m.tags[base+w-1]
+		}
+	}
+	m.table[base] = uint32(i)
+	if m.tags != nil {
+		m.tags[base] = tag
+	}
+}
+
+// Literals extracts the literal bytes referenced by seqs from src, in order.
+func Literals(src []byte, seqs []Seq) []byte {
+	return LiteralsAt(src, 0, seqs)
+}
+
+// LiteralsAt extracts literal bytes for sequences that cover src[start:]
+// (the ParsePrefixed form).
+func LiteralsAt(src []byte, start int, seqs []Seq) []byte {
+	total := 0
+	for _, s := range seqs {
+		total += s.LitLen
+	}
+	lits := make([]byte, 0, total)
+	pos := start
+	for _, s := range seqs {
+		lits = append(lits, src[pos:pos+s.LitLen]...)
+		pos += s.LitLen + s.MatchLen
+	}
+	return lits
+}
+
+// Errors returned by Reconstruct.
+var (
+	ErrBadOffset   = errors.New("lz77: copy offset out of range")
+	ErrBadLiterals = errors.New("lz77: literal stream exhausted")
+)
+
+// Reconstruct is the LZ77 decoder: it replays seqs against the literal
+// stream, producing the original data. window bounds the maximum legal copy
+// offset (0 means unbounded); offsets beyond it are format errors, mirroring
+// the decompressor's window-size contract (§3.6).
+func Reconstruct(seqs []Seq, literals []byte, window int, sizeHint int) ([]byte, error) {
+	out, err := AppendReconstruct(make([]byte, 0, sizeHint), seqs, literals, window)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AppendReconstruct replays seqs against the literal stream, appending the
+// produced bytes to out. Copy offsets may reach into the pre-existing out
+// contents (dictionary or earlier blocks of a frame), bounded by window
+// (0 = unbounded).
+func AppendReconstruct(out []byte, seqs []Seq, literals []byte, window int) ([]byte, error) {
+	lp := 0
+	for _, s := range seqs {
+		if lp+s.LitLen > len(literals) {
+			return nil, ErrBadLiterals
+		}
+		out = append(out, literals[lp:lp+s.LitLen]...)
+		lp += s.LitLen
+		if s.MatchLen == 0 {
+			continue
+		}
+		if s.Offset <= 0 || s.Offset > len(out) || (window > 0 && s.Offset > window) {
+			return nil, fmt.Errorf("%w: offset %d, produced %d, window %d", ErrBadOffset, s.Offset, len(out), window)
+		}
+		// Byte-at-a-time copy handles overlapping matches (offset < length),
+		// the RLE-style encoding all LZ77 formats rely on.
+		from := len(out) - s.Offset
+		for k := 0; k < s.MatchLen; k++ {
+			out = append(out, out[from+k])
+		}
+	}
+	return out, nil
+}
+
+// TotalLen returns the number of source bytes covered by seqs.
+func TotalLen(seqs []Seq) int {
+	n := 0
+	for _, s := range seqs {
+		n += s.LitLen + s.MatchLen
+	}
+	return n
+}

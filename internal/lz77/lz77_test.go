@@ -1,0 +1,311 @@
+package lz77
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cdpu/internal/corpus"
+)
+
+func defaultConfig() Config {
+	return Config{
+		WindowSize:    64 << 10,
+		TableEntries:  1 << 14,
+		Associativity: 1,
+		MinMatch:      4,
+	}
+}
+
+func mustMatcher(t *testing.T, cfg Config) *Matcher {
+	t.Helper()
+	m, err := NewMatcher(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func roundTrip(t *testing.T, m *Matcher, src []byte) {
+	t.Helper()
+	seqs := m.Parse(src)
+	if got := TotalLen(seqs); got != len(src) {
+		t.Fatalf("parse covers %d of %d bytes", got, len(src))
+	}
+	lits := Literals(src, seqs)
+	out, err := Reconstruct(seqs, lits, m.Config().WindowSize, len(src))
+	if err != nil {
+		t.Fatalf("reconstruct: %v", err)
+	}
+	if !bytes.Equal(out, src) {
+		t.Fatalf("round trip mismatch: %d vs %d bytes", len(out), len(src))
+	}
+}
+
+func TestRoundTripCorpora(t *testing.T) {
+	m := mustMatcher(t, defaultConfig())
+	for _, f := range corpus.SmallSuite() {
+		t.Run(f.Name, func(t *testing.T) { roundTrip(t, m, f.Data) })
+	}
+}
+
+func TestRoundTripEdgeInputs(t *testing.T) {
+	m := mustMatcher(t, defaultConfig())
+	inputs := [][]byte{
+		nil,
+		{},
+		{1},
+		{1, 2, 3},
+		[]byte("abcd"),
+		[]byte("aaaaaaaaaaaaaaaaaaaaaaaa"),
+		[]byte("abcabcabcabcabcabcabcabc"),
+		bytes.Repeat([]byte{0xff}, 100000),
+	}
+	for _, in := range inputs {
+		roundTrip(t, m, in)
+	}
+}
+
+func TestRoundTripAllConfigs(t *testing.T) {
+	data := corpus.Generate(corpus.Log, 96<<10, 5)
+	for _, window := range []int{2 << 10, 8 << 10, 64 << 10} {
+		for _, entries := range []int{1 << 9, 1 << 14} {
+			for _, assoc := range []int{1, 2, 4} {
+				for _, h := range []HashFunc{HashFibonacci, HashXorShift, HashTrivial} {
+					for _, c := range []TableContents{ContentsOffsetOnly, ContentsOffsetAndTag} {
+						cfg := Config{
+							WindowSize: window, TableEntries: entries,
+							Associativity: assoc, MinMatch: 4,
+							Hash: h, Contents: c,
+						}
+						m := mustMatcher(t, cfg)
+						roundTrip(t, m, data)
+						if s := m.Stats(); s.MaxOffset > window {
+							t.Fatalf("cfg %+v: offset %d beyond window %d", cfg, s.MaxOffset, window)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRoundTripOptions(t *testing.T) {
+	data := corpus.Generate(corpus.Text, 64<<10, 9)
+	for _, lazy := range []bool{false, true} {
+		for _, skip := range []bool{false, true} {
+			for _, minMatch := range []int{3, 4} {
+				cfg := defaultConfig()
+				cfg.Lazy = lazy
+				cfg.SkipIncompressible = skip
+				cfg.MinMatch = minMatch
+				cfg.MaxMatch = 1 << 10
+				roundTrip(t, mustMatcher(t, cfg), data)
+			}
+		}
+	}
+}
+
+func TestMaxMatchRespected(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.MaxMatch = 64
+	m := mustMatcher(t, cfg)
+	src := bytes.Repeat([]byte("abcdefgh"), 4<<10)
+	seqs := m.Parse(src)
+	for _, s := range seqs {
+		if s.MatchLen > 64 {
+			t.Fatalf("match length %d exceeds MaxMatch", s.MatchLen)
+		}
+	}
+	roundTrip(t, m, src)
+}
+
+func TestWindowLimitsOffsets(t *testing.T) {
+	// Data with its only redundancy 32 KiB apart: a small window must find
+	// no matches, a large one must.
+	block := corpus.Generate(corpus.Random, 32<<10, 3)
+	src := append(append([]byte{}, block...), block...)
+
+	small := defaultConfig()
+	small.WindowSize = 4 << 10
+	ms := mustMatcher(t, small)
+	ms.Parse(src)
+	if got := ms.Stats().MatchBytes; got > len(src)/16 {
+		t.Errorf("small window found %d match bytes in distant-redundancy data", got)
+	}
+
+	large := defaultConfig()
+	ml := mustMatcher(t, large)
+	ml.Parse(src)
+	if got := ml.Stats().MatchBytes; got < len(block)/2 {
+		t.Errorf("large window found only %d match bytes, want ~%d", got, len(block))
+	}
+}
+
+func TestLargerWindowNeverWorse(t *testing.T) {
+	data := corpus.Generate(corpus.Log, 256<<10, 8)
+	prev := -1
+	for _, w := range []int{2 << 10, 8 << 10, 32 << 10, 128 << 10} {
+		cfg := defaultConfig()
+		cfg.WindowSize = w
+		cfg.TableEntries = 1 << 15
+		cfg.Associativity = 4
+		m := mustMatcher(t, cfg)
+		m.Parse(data)
+		mb := m.Stats().MatchBytes
+		if prev >= 0 && mb < prev*95/100 {
+			t.Errorf("window %d found %d match bytes, notably worse than smaller window's %d", w, mb, prev)
+		}
+		prev = mb
+	}
+}
+
+func TestAssociativityImprovesMatches(t *testing.T) {
+	// With a tiny table, collisions destroy candidates; associativity should
+	// recover some match coverage.
+	data := corpus.Generate(corpus.Text, 128<<10, 4)
+	results := map[int]int{}
+	for _, assoc := range []int{1, 4} {
+		cfg := defaultConfig()
+		cfg.TableEntries = 1 << 8
+		cfg.Associativity = assoc
+		m := mustMatcher(t, cfg)
+		m.Parse(data)
+		results[assoc] = m.Stats().MatchBytes
+	}
+	if results[4] < results[1] {
+		t.Errorf("assoc=4 found %d match bytes < assoc=1's %d", results[4], results[1])
+	}
+}
+
+func TestTagFilterReducesFalseProbes(t *testing.T) {
+	data := corpus.Generate(corpus.JSON, 128<<10, 4)
+	var falseByContents [2]int
+	for i, c := range []TableContents{ContentsOffsetOnly, ContentsOffsetAndTag} {
+		cfg := defaultConfig()
+		cfg.TableEntries = 1 << 8 // force collisions
+		cfg.Contents = c
+		m := mustMatcher(t, cfg)
+		m.Parse(data)
+		falseByContents[i] = m.Stats().FalseProbes
+	}
+	if falseByContents[1] > falseByContents[0] {
+		t.Errorf("tagged table has more false probes (%d) than untagged (%d)",
+			falseByContents[1], falseByContents[0])
+	}
+}
+
+func TestSkippingReducesProbesOnNoise(t *testing.T) {
+	noise := corpus.Generate(corpus.Random, 256<<10, 6)
+	probes := map[bool]int{}
+	for _, skip := range []bool{false, true} {
+		cfg := defaultConfig()
+		cfg.SkipIncompressible = skip
+		m := mustMatcher(t, cfg)
+		m.Parse(noise)
+		probes[skip] = m.Stats().Probes
+	}
+	if probes[true]*2 > probes[false] {
+		t.Errorf("skipping barely helped: %d vs %d probes", probes[true], probes[false])
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	m := mustMatcher(t, defaultConfig())
+	data := corpus.Generate(corpus.Log, 64<<10, 2)
+	m.Parse(data)
+	s := m.Stats()
+	if s.LiteralBytes+s.MatchBytes != len(data) {
+		t.Errorf("literal %d + match %d != input %d", s.LiteralBytes, s.MatchBytes, len(data))
+	}
+	if s.Matches == 0 || s.Probes == 0 {
+		t.Errorf("no matcher activity recorded: %+v", s)
+	}
+}
+
+func TestReconstructRejectsBadOffset(t *testing.T) {
+	_, err := Reconstruct([]Seq{{LitLen: 1, Offset: 5, MatchLen: 3}}, []byte{'x'}, 0, 8)
+	if err == nil {
+		t.Fatal("offset beyond produced output accepted")
+	}
+	_, err = Reconstruct([]Seq{{LitLen: 4, Offset: 4, MatchLen: 2}}, []byte("abcd"), 2, 8)
+	if err == nil {
+		t.Fatal("offset beyond window accepted")
+	}
+}
+
+func TestReconstructRejectsShortLiterals(t *testing.T) {
+	_, err := Reconstruct([]Seq{{LitLen: 10}}, []byte("abc"), 0, 10)
+	if err == nil {
+		t.Fatal("literal overrun accepted")
+	}
+}
+
+func TestReconstructOverlappingCopy(t *testing.T) {
+	// "ab" then copy 6 from offset 2 => "abababab"
+	out, err := Reconstruct([]Seq{{LitLen: 2, Offset: 2, MatchLen: 6}}, []byte("ab"), 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "abababab" {
+		t.Fatalf("overlap copy = %q", out)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{WindowSize: 3, TableEntries: 16, Associativity: 1, MinMatch: 4},
+		{WindowSize: 0, TableEntries: 16, Associativity: 1, MinMatch: 4},
+		{WindowSize: 1024, TableEntries: 10, Associativity: 1, MinMatch: 4},
+		{WindowSize: 1024, TableEntries: 16, Associativity: 0, MinMatch: 4},
+		{WindowSize: 1024, TableEntries: 16, Associativity: 99, MinMatch: 4},
+		{WindowSize: 1024, TableEntries: 16, Associativity: 1, MinMatch: 2},
+		{WindowSize: 1024, TableEntries: 16, Associativity: 1, MinMatch: 4, MaxMatch: 3},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+	good := defaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestParseRandomizedProperty(t *testing.T) {
+	m := mustMatcher(t, defaultConfig())
+	f := func(seed int64, sizeSel uint16, repeatSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := int(sizeSel) % 8192
+		unit := 1 + int(repeatSel)%64
+		src := make([]byte, size)
+		for i := range src {
+			if i >= unit && rng.Intn(3) > 0 {
+				src[i] = src[i-unit]
+			} else {
+				src[i] = byte(rng.Intn(8))
+			}
+		}
+		seqs := m.Parse(src)
+		if TotalLen(seqs) != len(src) {
+			return false
+		}
+		out, err := Reconstruct(seqs, Literals(src, seqs), m.Config().WindowSize, len(src))
+		return err == nil && bytes.Equal(out, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashFuncStrings(t *testing.T) {
+	if HashFibonacci.String() != "fibonacci" || HashXorShift.String() != "xorshift" ||
+		HashTrivial.String() != "trivial" {
+		t.Error("hash function names wrong")
+	}
+	if ContentsOffsetOnly.String() != "offset" || ContentsOffsetAndTag.String() != "offset+tag" {
+		t.Error("table contents names wrong")
+	}
+}

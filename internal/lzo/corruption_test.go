@@ -1,0 +1,18 @@
+package lzo
+
+import (
+	"testing"
+
+	"cdpu/internal/corpus"
+	"cdpu/internal/testutil"
+)
+
+func TestDecoderCorruptionRobustness(t *testing.T) {
+	data := corpus.Generate(corpus.Text, 24<<10, 1)
+	testutil.CheckCorruptionRobustness(t, "lzo", Encode(data, 5), Decode, 300, 2)
+}
+
+func TestDecoderTruncationRobustness(t *testing.T) {
+	data := corpus.Generate(corpus.JSON, 24<<10, 3)
+	testutil.CheckTruncationRobustness(t, "lzo", data, Encode(data, 5), Decode)
+}

@@ -1,0 +1,89 @@
+package lzo
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cdpu/internal/corpus"
+)
+
+func roundTrip(t *testing.T, src []byte, level int) []byte {
+	t.Helper()
+	enc := Encode(src, level)
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("round trip mismatch: %d vs %d bytes", len(got), len(src))
+	}
+	return enc
+}
+
+func TestRoundTripCorpora(t *testing.T) {
+	for _, f := range corpus.SmallSuite() {
+		t.Run(f.Name, func(t *testing.T) { roundTrip(t, f.Data, 5) })
+	}
+}
+
+func TestRoundTripAllLevels(t *testing.T) {
+	data := corpus.Generate(corpus.Log, 128<<10, 51)
+	var prev int
+	for level := MinLevel; level <= MaxLevel; level++ {
+		enc := roundTrip(t, data, level)
+		if level > MinLevel && len(enc) > prev*102/100 {
+			t.Errorf("level %d (%d bytes) notably worse than level %d (%d bytes)",
+				level, len(enc), level-1, prev)
+		}
+		prev = len(enc)
+	}
+}
+
+func TestLevelClamping(t *testing.T) {
+	data := corpus.Generate(corpus.Text, 16<<10, 52)
+	roundTrip(t, data, -3)
+	roundTrip(t, data, 99)
+}
+
+func TestRoundTripEdgeInputs(t *testing.T) {
+	for _, in := range [][]byte{nil, {}, {1}, []byte("abcd"), bytes.Repeat([]byte{5}, 100000)} {
+		roundTrip(t, in, 5)
+	}
+}
+
+func TestCorruptInputs(t *testing.T) {
+	valid := Encode(corpus.Generate(corpus.JSON, 8<<10, 53), 5)
+	cases := map[string][]byte{
+		"empty":        {},
+		"bad varint":   {0xff},
+		"short":        valid[:len(valid)/2],
+		"zero offset":  {4, 0<<1 | 1, 0},
+		"long literal": {4, 100 << 1, 'a'},
+	}
+	for name, in := range cases {
+		if _, err := Decode(in); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, sizeSel uint16, level uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := make([]byte, int(sizeSel)%8192)
+		for i := range src {
+			if i > 12 && rng.Intn(3) > 0 {
+				src[i] = src[i-12]
+			} else {
+				src[i] = byte(rng.Intn(250))
+			}
+		}
+		got, err := Decode(Encode(src, int(level)%11))
+		return err == nil && bytes.Equal(got, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,214 @@
+// Package memsys models the memory system seen by a CDPU in each of the
+// paper's four placements (§5.8.1): near-core on the RoCC/NoC path, on a
+// chiplet (25 ns link), or across PCIe+DDIO (200 ns) with or without a
+// card-local cache. It provides the two timing primitives the CDPU model
+// composes: pipelined streaming transfers (memloader/memwriter traffic) and
+// serial dependent accesses (off-chip history fallback lookups).
+//
+// Streaming bandwidth is limited both by the 256-bit NoC width and by the
+// MSHR-limited outstanding-request window: bandwidth = min(BeatBytes,
+// MSHRs*BeatBytes/RTT) bytes per cycle. This is the mechanism behind the
+// paper's placement results — a PCIe round trip of 400 cycles with 16
+// outstanding 32-byte beats caps streaming at 1.28 B/cycle, while the same
+// engine near-core streams at NoC width.
+package memsys
+
+import "fmt"
+
+// Placement locates the CDPU relative to the host memory hierarchy
+// (compile-time parameter 1 in §5.8.1).
+type Placement int
+
+const (
+	// RoCC is near-core integration: commands arrive via the RoCC interface
+	// and memory traffic rides the TileLink system bus with no added latency.
+	RoCC Placement = iota
+	// Chiplet adds a 25 ns die-to-die link on every memory request.
+	Chiplet
+	// PCIeLocalCache is a PCIe card with on-board SRAM/DRAM: raw input and
+	// final output cross PCIe (200 ns), intermediate traffic stays local.
+	PCIeLocalCache
+	// PCIeNoCache is a PCIe card without local storage: all traffic crosses
+	// PCIe.
+	PCIeNoCache
+)
+
+// Placements lists all placements in the paper's plotting order.
+var Placements = []Placement{RoCC, Chiplet, PCIeLocalCache, PCIeNoCache}
+
+func (p Placement) String() string {
+	switch p {
+	case RoCC:
+		return "RoCC"
+	case Chiplet:
+		return "Chiplet"
+	case PCIeLocalCache:
+		return "PCIeLocalCache"
+	case PCIeNoCache:
+		return "PCIeNoCache"
+	default:
+		return fmt.Sprintf("Placement(%d)", int(p))
+	}
+}
+
+// LinkLatencyNs returns the injected one-way latency for the placement
+// (§5.8.1: 0 ns near-core, 25 ns chiplet, 200 ns PCIe).
+func (p Placement) LinkLatencyNs() float64 {
+	switch p {
+	case Chiplet:
+		return 25
+	case PCIeLocalCache, PCIeNoCache:
+		return 200
+	default:
+		return 0
+	}
+}
+
+// Class distinguishes raw input/output traffic from intermediate traffic
+// (history fallback reads, table spills). PCIeLocalCache serves intermediate
+// traffic from card-local storage without the PCIe hop.
+type Class int
+
+const (
+	ClassRaw Class = iota
+	ClassIntermediate
+)
+
+// Config describes the host memory system. Defaults (via DefaultConfig)
+// model the paper's SoC: 2 GHz, 256-bit TileLink, shared L2.
+type Config struct {
+	FrequencyGHz float64 // CDPU and NoC clock
+	BeatBytes    int     // NoC width per cycle (256-bit TileLink = 32)
+	L2Latency    int     // cycles, load-to-use from the shared L2
+	DRAMLatency  int     // cycles, for cold/streaming misses past the LLC
+	MSHRs        int     // outstanding request budget of the CDPU port
+	// PCIeTags caps requests in flight across a PCIe link (non-posted
+	// credit budget), independently of the on-die MSHR budget. The paper's
+	// PCIe placements are bandwidth-starved precisely because a 200 ns
+	// round trip with a limited tag budget bounds streaming well below NoC
+	// width (§6.2).
+	PCIeTags int
+	// L2Capacity is the shared L2's size in bytes: history fallbacks whose
+	// reach exceeds it are served from DRAM instead (§3.6: the near-core
+	// accelerator "falls back to accessing the history from the L2 cache or
+	// main memory").
+	L2Capacity int
+}
+
+// DefaultConfig returns the SoC parameters used across the paper's DSE.
+func DefaultConfig() Config {
+	return Config{
+		FrequencyGHz: 2.0,
+		BeatBytes:    32,
+		L2Latency:    24,
+		DRAMLatency:  120,
+		// 32 outstanding 32-byte requests cover the near-core
+		// latency-bandwidth product (24 cycles x 32 B/cycle), so RoCC
+		// streaming runs at NoC width while long-latency placements become
+		// window-limited.
+		MSHRs:      32,
+		PCIeTags:   16,
+		L2Capacity: 1 << 20,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.FrequencyGHz <= 0:
+		return fmt.Errorf("memsys: frequency %f", c.FrequencyGHz)
+	case c.BeatBytes <= 0:
+		return fmt.Errorf("memsys: beat bytes %d", c.BeatBytes)
+	case c.L2Latency <= 0 || c.DRAMLatency < c.L2Latency:
+		return fmt.Errorf("memsys: latencies L2=%d DRAM=%d", c.L2Latency, c.DRAMLatency)
+	case c.MSHRs <= 0:
+		return fmt.Errorf("memsys: MSHRs %d", c.MSHRs)
+	case c.PCIeTags <= 0:
+		return fmt.Errorf("memsys: PCIeTags %d", c.PCIeTags)
+	case c.L2Capacity <= 0:
+		return fmt.Errorf("memsys: L2Capacity %d", c.L2Capacity)
+	}
+	return nil
+}
+
+// System computes access timings for one placement.
+type System struct {
+	cfg Config
+}
+
+// New returns a System for cfg.
+func New(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &System{cfg: cfg}, nil
+}
+
+// Config returns the system's configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// linkCycles converts a placement's injected latency to cycles, honoring the
+// class rules (PCIeLocalCache exempts intermediate traffic).
+func (s *System) linkCycles(p Placement, c Class) float64 {
+	if p == PCIeLocalCache && c == ClassIntermediate {
+		return 0
+	}
+	return p.LinkLatencyNs() * s.cfg.FrequencyGHz
+}
+
+// RTT returns the round-trip cycles of a single memory request.
+func (s *System) RTT(p Placement, c Class) float64 {
+	return float64(s.cfg.L2Latency) + s.linkCycles(p, c)
+}
+
+// StreamBandwidth returns the sustainable streaming rate in bytes/cycle:
+// NoC width, unless the latency-bandwidth product runs out of outstanding
+// requests (MSHRs on-die, the smaller PCIe tag budget across the link).
+func (s *System) StreamBandwidth(p Placement, c Class) float64 {
+	width := float64(s.cfg.BeatBytes)
+	outstanding := s.cfg.MSHRs
+	if s.linkCycles(p, c) > 0 && (p == PCIeLocalCache || p == PCIeNoCache) {
+		outstanding = min(outstanding, s.cfg.PCIeTags)
+	}
+	window := float64(outstanding*s.cfg.BeatBytes) / s.RTT(p, c)
+	if window < width {
+		return window
+	}
+	return width
+}
+
+// StreamCycles returns the cycles to stream n bytes: first-access latency
+// plus pipelined transfer.
+func (s *System) StreamCycles(n int, p Placement, c Class) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return s.RTT(p, c) + float64(n)/s.StreamBandwidth(p, c)
+}
+
+// AccessCycles returns the cycles of one serial dependent access (no
+// overlap): the off-chip history fallback path of the LZ77 decoder.
+func (s *System) AccessCycles(p Placement, c Class) float64 {
+	return s.RTT(p, c)
+}
+
+// AccessCyclesAt returns the cycles of one dependent access whose reach is
+// `distance` bytes back: within the L2's capacity it costs an L2 round trip,
+// beyond it a DRAM one (plus the placement link, per the class rules).
+func (s *System) AccessCyclesAt(p Placement, c Class, distance int) float64 {
+	base := float64(s.cfg.L2Latency)
+	if distance > s.cfg.L2Capacity {
+		base = float64(s.cfg.DRAMLatency)
+	}
+	return base + s.linkCycles(p, c)
+}
+
+// NsToCycles converts nanoseconds to cycles at the system clock.
+func (s *System) NsToCycles(ns float64) float64 {
+	return ns * s.cfg.FrequencyGHz
+}
+
+// Seconds converts cycles to wall-clock seconds.
+func (s *System) Seconds(cycles float64) float64 {
+	return cycles / (s.cfg.FrequencyGHz * 1e9)
+}

@@ -1,0 +1,167 @@
+package memsys
+
+import (
+	"math"
+	"testing"
+)
+
+func defaultSystem(t *testing.T) *System {
+	t.Helper()
+	s, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPlacementLatencies(t *testing.T) {
+	if RoCC.LinkLatencyNs() != 0 || Chiplet.LinkLatencyNs() != 25 ||
+		PCIeLocalCache.LinkLatencyNs() != 200 || PCIeNoCache.LinkLatencyNs() != 200 {
+		t.Error("placement latencies do not match §5.8.1")
+	}
+}
+
+func TestRTTOrdering(t *testing.T) {
+	s := defaultSystem(t)
+	if !(s.RTT(RoCC, ClassRaw) < s.RTT(Chiplet, ClassRaw)) ||
+		!(s.RTT(Chiplet, ClassRaw) < s.RTT(PCIeNoCache, ClassRaw)) {
+		t.Error("RTT not ordered RoCC < Chiplet < PCIe")
+	}
+}
+
+func TestLocalCacheExemptsIntermediateTraffic(t *testing.T) {
+	s := defaultSystem(t)
+	// Raw traffic pays PCIe on both PCIe placements.
+	if s.RTT(PCIeLocalCache, ClassRaw) != s.RTT(PCIeNoCache, ClassRaw) {
+		t.Error("raw RTT differs between PCIe variants")
+	}
+	// Intermediate traffic is local only with the on-card cache.
+	if s.RTT(PCIeLocalCache, ClassIntermediate) != s.RTT(RoCC, ClassIntermediate) {
+		t.Error("PCIeLocalCache intermediate RTT should match near-core")
+	}
+	if s.RTT(PCIeNoCache, ClassIntermediate) <= s.RTT(RoCC, ClassIntermediate) {
+		t.Error("PCIeNoCache intermediate RTT should pay the link")
+	}
+}
+
+func TestStreamBandwidthNoCWidthNearCore(t *testing.T) {
+	s := defaultSystem(t)
+	bw := s.StreamBandwidth(RoCC, ClassRaw)
+	if bw != float64(DefaultConfig().BeatBytes) {
+		t.Errorf("near-core bandwidth %f B/cycle, want NoC width", bw)
+	}
+}
+
+func TestStreamBandwidthTagLimitedOverPCIe(t *testing.T) {
+	s := defaultSystem(t)
+	cfg := DefaultConfig()
+	// Across PCIe the smaller tag budget governs, not the on-die MSHRs.
+	want := float64(cfg.PCIeTags*cfg.BeatBytes) / s.RTT(PCIeNoCache, ClassRaw)
+	got := s.StreamBandwidth(PCIeNoCache, ClassRaw)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("PCIe bandwidth %f, want %f", got, want)
+	}
+	if got >= s.StreamBandwidth(RoCC, ClassRaw) {
+		t.Error("PCIe streaming not slower than near-core")
+	}
+	// PCIeLocalCache intermediate traffic stays on-card: full MSHR budget.
+	if s.StreamBandwidth(PCIeLocalCache, ClassIntermediate) != s.StreamBandwidth(RoCC, ClassIntermediate) {
+		t.Error("local-cache intermediate bandwidth should match near-core")
+	}
+}
+
+func TestStreamCyclesScaleLinearly(t *testing.T) {
+	s := defaultSystem(t)
+	small := s.StreamCycles(1<<10, RoCC, ClassRaw)
+	large := s.StreamCycles(1<<20, RoCC, ClassRaw)
+	if large <= small {
+		t.Error("streaming cycles not increasing")
+	}
+	perByte := (large - small) / float64(1<<20-1<<10)
+	if math.Abs(perByte-1.0/32) > 1e-6 {
+		t.Errorf("marginal cost %f cycles/byte, want 1/32", perByte)
+	}
+}
+
+func TestStreamCyclesZeroBytes(t *testing.T) {
+	s := defaultSystem(t)
+	if got := s.StreamCycles(0, PCIeNoCache, ClassRaw); got != 0 {
+		t.Errorf("zero-byte stream costs %f", got)
+	}
+}
+
+func TestSmallTransfersDominatedByLatency(t *testing.T) {
+	s := defaultSystem(t)
+	// A 1 KiB transfer over PCIe: latency >> transfer time. The ratio to
+	// near-core must exceed the pure bandwidth ratio, the paper's mechanism
+	// for why small fleet calls kill PCIe offload (§3.5.1, §6.2).
+	rocc := s.StreamCycles(1<<10, RoCC, ClassRaw)
+	pcie := s.StreamCycles(1<<10, PCIeNoCache, ClassRaw)
+	if pcie/rocc < 5 {
+		t.Errorf("small-call PCIe/RoCC ratio only %.1f", pcie/rocc)
+	}
+}
+
+func TestAccessCyclesSerial(t *testing.T) {
+	s := defaultSystem(t)
+	if s.AccessCycles(RoCC, ClassIntermediate) != s.RTT(RoCC, ClassIntermediate) {
+		t.Error("dependent access should cost one RTT")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{},
+		{FrequencyGHz: 2, BeatBytes: 0, L2Latency: 10, DRAMLatency: 100, MSHRs: 4},
+		{FrequencyGHz: 2, BeatBytes: 32, L2Latency: 0, DRAMLatency: 100, MSHRs: 4},
+		{FrequencyGHz: 2, BeatBytes: 32, L2Latency: 200, DRAMLatency: 100, MSHRs: 4},
+		{FrequencyGHz: 2, BeatBytes: 32, L2Latency: 10, DRAMLatency: 100, MSHRs: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestNsToCyclesAndSeconds(t *testing.T) {
+	s := defaultSystem(t)
+	if got := s.NsToCycles(25); got != 50 {
+		t.Errorf("25ns = %f cycles at 2GHz", got)
+	}
+	if got := s.Seconds(2e9); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("2e9 cycles = %f s", got)
+	}
+}
+
+func TestPlacementStrings(t *testing.T) {
+	for _, p := range Placements {
+		if p.String() == "" {
+			t.Errorf("placement %d has no name", int(p))
+		}
+	}
+}
+
+func TestAccessCyclesAtDistance(t *testing.T) {
+	s := defaultSystem(t)
+	cfg := DefaultConfig()
+	near := s.AccessCyclesAt(RoCC, ClassIntermediate, 64<<10)
+	far := s.AccessCyclesAt(RoCC, ClassIntermediate, 8<<20)
+	if near != float64(cfg.L2Latency) {
+		t.Errorf("L2-reach access = %f, want %d", near, cfg.L2Latency)
+	}
+	if far != float64(cfg.DRAMLatency) {
+		t.Errorf("DRAM-reach access = %f, want %d", far, cfg.DRAMLatency)
+	}
+	// Across a link both still pay the link.
+	if s.AccessCyclesAt(PCIeNoCache, ClassIntermediate, 8<<20) <= far {
+		t.Error("remote DRAM access should add the link")
+	}
+	// PCIeLocalCache intermediate stays on-card even for deep reaches.
+	if got := s.AccessCyclesAt(PCIeLocalCache, ClassIntermediate, 8<<20); got != far {
+		t.Errorf("on-card DRAM access = %f, want %f", got, far)
+	}
+}

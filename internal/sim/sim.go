@@ -1,0 +1,190 @@
+// Package sim replays fleet-shaped (de)compression traffic against simulated
+// CDPU devices, answering the deployment question end to end: for a service
+// with a given offered load, how many pipelines does it take, what latency do
+// callers see versus the software baseline, and how many Xeon cores does the
+// offload retire? It composes the synthetic fleet (call mix), the corpus
+// (payload bytes), the CDPU device model (queueing + cycles) and the Xeon
+// cost model (baseline).
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"cdpu/internal/comp"
+	"cdpu/internal/core"
+	"cdpu/internal/corpus"
+	"cdpu/internal/fleet"
+	"cdpu/internal/memsys"
+	"cdpu/internal/xeon"
+)
+
+// Config parameterizes a service replay.
+type Config struct {
+	// Seed drives sampling.
+	Seed int64
+	// Calls is the number of fleet calls to replay.
+	Calls int
+	// OfferedGBps is the service's uncompressed (de)compression bandwidth
+	// demand; arrivals are spaced to match it.
+	OfferedGBps float64
+	// Pipelines per device (one compression device, one decompression
+	// device).
+	Pipelines int
+	// Placement locates both devices.
+	Placement memsys.Placement
+	// MaxCallBytes caps replayed call sizes for runtime (0 = 1 MiB).
+	MaxCallBytes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Calls == 0 {
+		c.Calls = 200
+	}
+	if c.OfferedGBps == 0 {
+		c.OfferedGBps = 2.0
+	}
+	if c.Pipelines == 0 {
+		c.Pipelines = 1
+	}
+	if c.MaxCallBytes == 0 {
+		c.MaxCallBytes = 1 << 20
+	}
+	return c
+}
+
+// Report summarizes a replay.
+type Report struct {
+	Calls             int
+	UncompressedBytes int
+	// XeonCoresNeeded is the number of baseline cores the same load would
+	// occupy in software.
+	XeonCoresNeeded float64
+	// Device-side latency (microseconds at 2 GHz) and utilization.
+	MeanLatencyUs float64
+	P99LatencyUs  float64
+	CompUtil      float64
+	DecompUtil    float64
+	// SoftwareMeanLatencyUs is the mean per-call software service time (no
+	// queueing modeled on the CPU side — a lower bound for the baseline).
+	SoftwareMeanLatencyUs float64
+	// AreaMM2 is the total device silicon deployed.
+	AreaMM2 float64
+}
+
+// payloadKinds gives replayed calls realistic byte content.
+var payloadKinds = []corpus.Kind{
+	corpus.Text, corpus.Log, corpus.JSON, corpus.Protobuf, corpus.Table, corpus.HTML,
+}
+
+// Run replays cfg.Calls fleet calls through CDPU devices.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	model := fleet.NewModel(cfg.Seed)
+
+	type call struct {
+		rec     fleet.CallRecord
+		payload []byte // device input: plaintext (C) or compressed (D)
+	}
+	var calls []call
+	report := &Report{}
+	var xeonCycles float64
+	for len(calls) < cfg.Calls {
+		rec := model.SampleCall()
+		// The CDPU serves the dominant pair; other algorithms stay on CPU.
+		if rec.Algo != comp.Snappy && rec.Algo != comp.ZStd {
+			continue
+		}
+		if rec.UncompressedBytes > cfg.MaxCallBytes {
+			rec.UncompressedBytes = cfg.MaxCallBytes
+		}
+		kind := payloadKinds[rng.Intn(len(payloadKinds))]
+		plain := corpus.Generate(kind, rec.UncompressedBytes, rng.Int63())
+		c := call{rec: rec}
+		if rec.Op == comp.Compress {
+			c.payload = plain
+		} else {
+			enc, err := comp.CompressCall(rec.Algo, rec.Level, min(rec.WindowLog, 17), plain)
+			if err != nil {
+				return nil, err
+			}
+			c.payload = enc
+		}
+		report.UncompressedBytes += rec.UncompressedBytes
+		xeonCycles += xeon.Cycles(rec.Algo, rec.Op, rec.Level, rec.UncompressedBytes)
+		calls = append(calls, c)
+	}
+	report.Calls = len(calls)
+
+	// Arrival schedule matching the offered bandwidth (device cycles at
+	// 2 GHz: bytes / (GB/s) * 2 cycles/ns).
+	cyclesPerByte := 2.0 / cfg.OfferedGBps
+	// Devices: unified units serve both algorithms per direction.
+	compDev := map[comp.Algorithm]*core.Device{}
+	decompDev := map[comp.Algorithm]*core.Device{}
+	for _, a := range []comp.Algorithm{comp.Snappy, comp.ZStd} {
+		var err error
+		compDev[a], err = core.NewDevice(core.Config{Algo: a, Op: comp.Compress, Placement: cfg.Placement}, cfg.Pipelines)
+		if err != nil {
+			return nil, err
+		}
+		decompDev[a], err = core.NewDevice(core.Config{Algo: a, Op: comp.Decompress, Placement: cfg.Placement}, cfg.Pipelines)
+		if err != nil {
+			return nil, err
+		}
+	}
+	jobs := map[*core.Device][]core.Job{}
+	at := 0.0
+	for _, c := range calls {
+		dev := compDev[c.rec.Algo]
+		if c.rec.Op == comp.Decompress {
+			dev = decompDev[c.rec.Algo]
+		}
+		jobs[dev] = append(jobs[dev], core.Job{Arrival: at, Payload: c.payload})
+		at += float64(c.rec.UncompressedBytes) * cyclesPerByte * (0.5 + rng.Float64())
+	}
+	var latencies []float64
+	var utils []float64
+	for dev, js := range jobs {
+		results, stats, err := dev.Run(js)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range results {
+			latencies = append(latencies, r.Latency)
+		}
+		utils = append(utils, stats.Utilization)
+		if dev == compDev[comp.Snappy] || dev == compDev[comp.ZStd] {
+			report.CompUtil = max(report.CompUtil, stats.Utilization)
+		} else {
+			report.DecompUtil = max(report.DecompUtil, stats.Utilization)
+		}
+	}
+	if len(latencies) == 0 {
+		return nil, fmt.Errorf("sim: no device traffic")
+	}
+	sort.Float64s(latencies)
+	sum := 0.0
+	for _, l := range latencies {
+		sum += l
+	}
+	report.MeanLatencyUs = sum / float64(len(latencies)) / 2000
+	report.P99LatencyUs = latencies[min(len(latencies)-1, len(latencies)*99/100)] / 2000
+
+	// Baseline: the same load on Xeon cores.
+	wallSeconds := at / 2.0e9
+	if wallSeconds > 0 {
+		report.XeonCoresNeeded = xeon.Seconds(xeonCycles) / wallSeconds
+	}
+	report.SoftwareMeanLatencyUs = xeon.Seconds(xeonCycles/float64(len(calls))) * 1e6
+
+	// Silicon: the four devices (areas already share interfaces within each
+	// device; a real SoC would share across directions too, so this is the
+	// conservative bound).
+	for _, a := range []comp.Algorithm{comp.Snappy, comp.ZStd} {
+		report.AreaMM2 += compDev[a].Area().Total() + decompDev[a].Area().Total()
+	}
+	return report, nil
+}

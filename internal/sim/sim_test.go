@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"testing"
+
+	"cdpu/internal/memsys"
+)
+
+func TestRunBasicReport(t *testing.T) {
+	r, err := Run(Config{Seed: 1, Calls: 80, MaxCallBytes: 256 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Calls != 80 || r.UncompressedBytes <= 0 {
+		t.Fatalf("call accounting: %+v", r)
+	}
+	if r.MeanLatencyUs <= 0 || r.P99LatencyUs < r.MeanLatencyUs {
+		t.Errorf("latency stats implausible: mean=%f p99=%f", r.MeanLatencyUs, r.P99LatencyUs)
+	}
+	if r.XeonCoresNeeded <= 0 {
+		t.Errorf("baseline cores = %f", r.XeonCoresNeeded)
+	}
+	if r.AreaMM2 < 1 || r.AreaMM2 > 50 {
+		t.Errorf("deployed area = %f mm2", r.AreaMM2)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(Config{Seed: 7, Calls: 40, MaxCallBytes: 128 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Seed: 7, Calls: 40, MaxCallBytes: 128 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanLatencyUs != b.MeanLatencyUs || a.XeonCoresNeeded != b.XeonCoresNeeded {
+		t.Error("replay not deterministic")
+	}
+}
+
+func TestHigherLoadRaisesUtilization(t *testing.T) {
+	low, err := Run(Config{Seed: 2, Calls: 60, OfferedGBps: 0.5, MaxCallBytes: 256 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Run(Config{Seed: 2, Calls: 60, OfferedGBps: 8.0, MaxCallBytes: 256 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 16x the offered load, queueing must show up in caller latency.
+	if high.MeanLatencyUs <= low.MeanLatencyUs {
+		t.Errorf("latency did not rise with load: %f vs %f us", high.MeanLatencyUs, low.MeanLatencyUs)
+	}
+}
+
+func TestRemotePlacementRaisesLatency(t *testing.T) {
+	near, err := Run(Config{Seed: 3, Calls: 60, MaxCallBytes: 256 << 10, Placement: memsys.RoCC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := Run(Config{Seed: 3, Calls: 60, MaxCallBytes: 256 << 10, Placement: memsys.PCIeNoCache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far.MeanLatencyUs <= near.MeanLatencyUs {
+		t.Errorf("PCIe latency %f not above near-core %f", far.MeanLatencyUs, near.MeanLatencyUs)
+	}
+}
+
+func TestOffloadBeatsSoftwareServiceTime(t *testing.T) {
+	r, err := Run(Config{Seed: 4, Calls: 80, OfferedGBps: 1.0, MaxCallBytes: 256 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MeanLatencyUs >= r.SoftwareMeanLatencyUs {
+		t.Errorf("device latency %f us not below software %f us", r.MeanLatencyUs, r.SoftwareMeanLatencyUs)
+	}
+}

@@ -1,0 +1,380 @@
+// Package snappy implements the Snappy block format from scratch,
+// wire-compatible with the format description published in the
+// github.com/google/snappy repository (format_description.txt). Snappy is the
+// paper's representative "lightweight" fleet algorithm: LZ77-inspired
+// dictionary coding, no entropy coding, fixed 64 KiB window, no compression
+// levels (§2.2).
+//
+// The encoder's dictionary stage is the shared internal/lz77 engine, so the
+// same knobs the CDPU generator exposes (hash-table entries, associativity,
+// history window) apply to the software encoder, and the CDPU functional
+// model produces byte-identical streams by invoking this package with the
+// hardware's parameters.
+package snappy
+
+import (
+	"errors"
+	"fmt"
+
+	"cdpu/internal/bits"
+	"cdpu/internal/lz77"
+)
+
+// MaxBlockWindow is Snappy's fixed history window: copies never reach back
+// more than 64 KiB (§3.6 of the paper; the format's offsets are ≤ 65535 by
+// construction in practice).
+const MaxBlockWindow = 64 << 10
+
+// Tag values for the low two bits of each element's first byte.
+const (
+	tagLiteral = 0x00
+	tagCopy1   = 0x01 // 1-byte offset copy: len 4..11, offset < 2048
+	tagCopy2   = 0x02 // 2-byte offset copy: len 1..64, offset < 65536
+	tagCopy4   = 0x03 // 4-byte offset copy: rarely emitted, fully decoded
+)
+
+// Errors returned by Decode.
+var (
+	ErrCorrupt  = errors.New("snappy: corrupt input")
+	ErrTooLarge = errors.New("snappy: decoded length too large")
+)
+
+// MaxDecodedLen bounds the decoded size this implementation will allocate.
+const MaxDecodedLen = 1 << 30
+
+// EncoderConfig exposes the dictionary-stage parameters. The zero value is
+// replaced by Defaults().
+type EncoderConfig struct {
+	// TableEntries is the hash-table bucket count (default 1<<14, matching
+	// both the reference implementation's max table and the paper's default
+	// CDPU instance).
+	TableEntries int
+	// Associativity is candidate positions per bucket (default 1; the
+	// reference implementation is direct-mapped).
+	Associativity int
+	// WindowSize bounds match offsets (default and maximum 64 KiB).
+	WindowSize int
+	// Hash selects the hash function (default Fibonacci).
+	Hash lz77.HashFunc
+	// Contents selects hash-way payloads (default offset-only).
+	Contents lz77.TableContents
+	// SkipIncompressible enables the software stride heuristic (default
+	// true, matching the reference encoder; the CDPU model sets it false —
+	// the paper notes hardware gains nothing from skipping, §6.3).
+	SkipIncompressible bool
+}
+
+// Defaults returns the reference-encoder-like configuration.
+func Defaults() EncoderConfig {
+	return EncoderConfig{
+		TableEntries:       1 << 14,
+		Associativity:      1,
+		WindowSize:         MaxBlockWindow,
+		Hash:               lz77.HashFibonacci,
+		Contents:           lz77.ContentsOffsetOnly,
+		SkipIncompressible: true,
+	}
+}
+
+func (c EncoderConfig) withDefaults() EncoderConfig {
+	d := Defaults()
+	if c.TableEntries == 0 {
+		c.TableEntries = d.TableEntries
+	}
+	if c.Associativity == 0 {
+		c.Associativity = d.Associativity
+	}
+	if c.WindowSize == 0 {
+		c.WindowSize = d.WindowSize
+	}
+	return c
+}
+
+func (c EncoderConfig) lz77Config() lz77.Config {
+	w := c.WindowSize
+	if w > MaxBlockWindow {
+		w = MaxBlockWindow
+	}
+	return lz77.Config{
+		WindowSize:         w,
+		TableEntries:       c.TableEntries,
+		Associativity:      c.Associativity,
+		MinMatch:           4,
+		MaxMatch:           0, // long matches are split into 64-byte copies
+		Hash:               c.Hash,
+		Contents:           c.Contents,
+		SkipIncompressible: c.SkipIncompressible,
+	}
+}
+
+// Encoder compresses blocks under a fixed configuration, reusing its hash
+// table across calls. Not safe for concurrent use.
+type Encoder struct {
+	cfg     EncoderConfig
+	matcher *lz77.Matcher
+}
+
+// NewEncoder returns an Encoder for cfg (zero fields take defaults).
+func NewEncoder(cfg EncoderConfig) (*Encoder, error) {
+	cfg = cfg.withDefaults()
+	m, err := lz77.NewMatcher(cfg.lz77Config())
+	if err != nil {
+		return nil, err
+	}
+	return &Encoder{cfg: cfg, matcher: m}, nil
+}
+
+// Config returns the encoder's effective configuration.
+func (e *Encoder) Config() EncoderConfig { return e.cfg }
+
+// Stats returns dictionary-stage statistics for the most recent Encode.
+func (e *Encoder) Stats() lz77.Stats { return e.matcher.Stats() }
+
+// Encode compresses src into the Snappy block format.
+func (e *Encoder) Encode(src []byte) []byte {
+	e.matcher.ResetStats()
+	dst := bits.AppendUvarint(nil, uint64(len(src)))
+	if len(src) == 0 {
+		return dst
+	}
+	seqs := e.matcher.Parse(src)
+	pos := 0
+	for _, s := range seqs {
+		if s.LitLen > 0 {
+			dst = appendLiteral(dst, src[pos:pos+s.LitLen])
+			pos += s.LitLen
+		}
+		if s.MatchLen > 0 {
+			dst = appendCopies(dst, s.Offset, s.MatchLen)
+			pos += s.MatchLen
+		}
+	}
+	return dst
+}
+
+// Encode compresses src with the default configuration.
+func Encode(src []byte) []byte {
+	e, err := NewEncoder(EncoderConfig{})
+	if err != nil {
+		panic(err) // defaults are always valid
+	}
+	return e.Encode(src)
+}
+
+// appendLiteral emits a literal element. Runs longer than 60 bytes use the
+// 1-4 extra length bytes the format defines.
+func appendLiteral(dst, lit []byte) []byte {
+	n := len(lit) - 1
+	switch {
+	case n < 60:
+		dst = append(dst, byte(n)<<2|tagLiteral)
+	case n < 1<<8:
+		dst = append(dst, 60<<2|tagLiteral, byte(n))
+	case n < 1<<16:
+		dst = append(dst, 61<<2|tagLiteral, byte(n), byte(n>>8))
+	case n < 1<<24:
+		dst = append(dst, 62<<2|tagLiteral, byte(n), byte(n>>8), byte(n>>16))
+	default:
+		dst = append(dst, 63<<2|tagLiteral, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+	}
+	return append(dst, lit...)
+}
+
+// appendCopies emits one or more copy elements covering length bytes at
+// offset. Long matches are split: copy-2 elements carry up to 64 bytes.
+func appendCopies(dst []byte, offset, length int) []byte {
+	// Prefer copy-1 when it fits (4..11 bytes, offset < 2048); then copy-2
+	// (1..64 bytes, offset < 65536). A match at exactly the window bound
+	// (offset 65536) does not fit copy-2's 16 bits and uses copy-4.
+	for length > 0 {
+		if length >= 4 && length <= 11 && offset < 2048 {
+			dst = append(dst,
+				byte(offset>>8)<<5|byte(length-4)<<2|tagCopy1,
+				byte(offset))
+			return dst
+		}
+		n := length
+		if n > 64 {
+			n = 64
+			// Avoid leaving a tail shorter than 4 bytes, which could not be
+			// re-encoded as copy-1 and wastes a copy-2; split 60/rest.
+			if length-n < 4 && length-n > 0 {
+				n = 60
+			}
+		}
+		if offset < 1<<16 {
+			dst = append(dst, byte(n-1)<<2|tagCopy2, byte(offset), byte(offset>>8))
+		} else {
+			dst = append(dst, byte(n-1)<<2|tagCopy4,
+				byte(offset), byte(offset>>8), byte(offset>>16), byte(offset>>24))
+		}
+		length -= n
+	}
+	return dst
+}
+
+// DecodedLen returns the decoded length claimed by a Snappy block header.
+func DecodedLen(src []byte) (int, error) {
+	v, _, err := bits.Uvarint(src)
+	if err != nil {
+		return 0, fmt.Errorf("%w: bad length header", ErrCorrupt)
+	}
+	if v > MaxDecodedLen {
+		return 0, ErrTooLarge
+	}
+	return int(v), nil
+}
+
+// Decode decompresses a Snappy block.
+func Decode(src []byte) ([]byte, error) {
+	n, hdr, err := decodeHeader(src)
+	if err != nil {
+		return nil, err
+	}
+	dst := make([]byte, 0, n)
+	return decodeBody(dst, src[hdr:], n)
+}
+
+// DecodeSeqs decodes a Snappy block into its LZ77 command stream without
+// materializing output. The CDPU decompressor model uses this to replay the
+// exact command sequence the hardware LZ77 decoder would see.
+func DecodeSeqs(src []byte) (seqs []lz77.Seq, literals []byte, decodedLen int, err error) {
+	n, hdr, err := decodeHeader(src)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	body := src[hdr:]
+	i := 0
+	produced := 0
+	for i < len(body) {
+		litLen, offset, copyLen, adv, err := decodeElement(body, i)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		if litLen > 0 {
+			if i+adv-litLen+litLen > len(body) {
+				return nil, nil, 0, fmt.Errorf("%w: literal overruns input", ErrCorrupt)
+			}
+			literals = append(literals, body[i+adv-litLen:i+adv]...)
+		}
+		if offset > 0 && (offset > produced+litLen) {
+			return nil, nil, 0, fmt.Errorf("%w: offset %d beyond produced %d", ErrCorrupt, offset, produced+litLen)
+		}
+		seqs = append(seqs, lz77.Seq{LitLen: litLen, Offset: offset, MatchLen: copyLen})
+		produced += litLen + copyLen
+		i += adv
+	}
+	if produced != n {
+		return nil, nil, 0, fmt.Errorf("%w: produced %d, header says %d", ErrCorrupt, produced, n)
+	}
+	return seqs, literals, n, nil
+}
+
+func decodeHeader(src []byte) (decodedLen, headerLen int, err error) {
+	v, hdr, err := bits.Uvarint(src)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: bad length header", ErrCorrupt)
+	}
+	if v > MaxDecodedLen {
+		return 0, 0, ErrTooLarge
+	}
+	return int(v), hdr, nil
+}
+
+// decodeElement parses one element at body[i], returning the literal length
+// (with the literal bytes being the last litLen bytes of the element), copy
+// offset/length (0 if none), and total bytes consumed.
+func decodeElement(body []byte, i int) (litLen, offset, copyLen, adv int, err error) {
+	tag := body[i]
+	switch tag & 0x03 {
+	case tagLiteral:
+		n := int(tag >> 2)
+		hdr := 1
+		switch {
+		case n < 60:
+			n++
+		case n == 60:
+			if i+1 >= len(body) {
+				return 0, 0, 0, 0, fmt.Errorf("%w: truncated literal length", ErrCorrupt)
+			}
+			n = int(body[i+1]) + 1
+			hdr = 2
+		case n == 61:
+			if i+2 >= len(body) {
+				return 0, 0, 0, 0, fmt.Errorf("%w: truncated literal length", ErrCorrupt)
+			}
+			n = int(body[i+1]) | int(body[i+2])<<8
+			n++
+			hdr = 3
+		case n == 62:
+			if i+3 >= len(body) {
+				return 0, 0, 0, 0, fmt.Errorf("%w: truncated literal length", ErrCorrupt)
+			}
+			n = int(body[i+1]) | int(body[i+2])<<8 | int(body[i+3])<<16
+			n++
+			hdr = 4
+		default: // 63
+			if i+4 >= len(body) {
+				return 0, 0, 0, 0, fmt.Errorf("%w: truncated literal length", ErrCorrupt)
+			}
+			n = int(body[i+1]) | int(body[i+2])<<8 | int(body[i+3])<<16 | int(body[i+4])<<24
+			n++
+			hdr = 5
+		}
+		if n < 0 || i+hdr+n > len(body) {
+			return 0, 0, 0, 0, fmt.Errorf("%w: literal overruns input", ErrCorrupt)
+		}
+		return n, 0, 0, hdr + n, nil
+	case tagCopy1:
+		if i+1 >= len(body) {
+			return 0, 0, 0, 0, fmt.Errorf("%w: truncated copy-1", ErrCorrupt)
+		}
+		copyLen = int(tag>>2&0x7) + 4
+		offset = int(tag>>5)<<8 | int(body[i+1])
+		return 0, offset, copyLen, 2, nil
+	case tagCopy2:
+		if i+2 >= len(body) {
+			return 0, 0, 0, 0, fmt.Errorf("%w: truncated copy-2", ErrCorrupt)
+		}
+		copyLen = int(tag>>2) + 1
+		offset = int(body[i+1]) | int(body[i+2])<<8
+		return 0, offset, copyLen, 3, nil
+	default: // tagCopy4
+		if i+4 >= len(body) {
+			return 0, 0, 0, 0, fmt.Errorf("%w: truncated copy-4", ErrCorrupt)
+		}
+		copyLen = int(tag>>2) + 1
+		offset = int(body[i+1]) | int(body[i+2])<<8 | int(body[i+3])<<16 | int(body[i+4])<<24
+		return 0, offset, copyLen, 5, nil
+	}
+}
+
+func decodeBody(dst, body []byte, want int) ([]byte, error) {
+	i := 0
+	for i < len(body) {
+		litLen, offset, copyLen, adv, err := decodeElement(body, i)
+		if err != nil {
+			return nil, err
+		}
+		if litLen > 0 {
+			dst = append(dst, body[i+adv-litLen:i+adv]...)
+		}
+		if copyLen > 0 {
+			if offset <= 0 || offset > len(dst) {
+				return nil, fmt.Errorf("%w: copy offset %d with %d bytes produced", ErrCorrupt, offset, len(dst))
+			}
+			from := len(dst) - offset
+			for k := 0; k < copyLen; k++ {
+				dst = append(dst, dst[from+k])
+			}
+		}
+		if len(dst) > want {
+			return nil, fmt.Errorf("%w: output exceeds header length", ErrCorrupt)
+		}
+		i += adv
+	}
+	if len(dst) != want {
+		return nil, fmt.Errorf("%w: decoded %d bytes, header says %d", ErrCorrupt, len(dst), want)
+	}
+	return dst, nil
+}

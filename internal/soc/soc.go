@@ -1,0 +1,40 @@
+// Package soc models the host-side integration of a CDPU: the RoCC command
+// interface of the paper's RISC-V SoC (Figure 8) and its placement-dependent
+// invocation cost. A near-core accelerator receives custom instructions
+// dispatched from the BOOM core's instruction stream "within a few cycles"
+// (§5); a device across a chiplet link or PCIe pays the link on the doorbell
+// write and on the completion signal.
+package soc
+
+import "cdpu/internal/memsys"
+
+// Command-path constants.
+const (
+	// RoCCDispatchCycles covers issuing the RoCC custom instructions that
+	// configure and launch one (de)compression call (source pointer,
+	// destination pointer, lengths, go).
+	RoCCDispatchCycles = 12
+	// SetupCycles covers per-call accelerator-side setup: clearing state
+	// machines, TLB lookups for the first page, response marshalling.
+	SetupCycles = 40
+)
+
+// Interface computes invocation costs against a memory system.
+type Interface struct {
+	sys *memsys.System
+}
+
+// New returns an Interface over sys.
+func New(sys *memsys.System) *Interface {
+	return &Interface{sys: sys}
+}
+
+// InvocationCycles returns the fixed cycles consumed per accelerator call
+// before any payload moves: command dispatch, accelerator setup, and — for
+// off-die placements — one link round trip for the doorbell and one for the
+// completion. This fixed cost is what amortizes poorly over the fleet's
+// small calls (§3.5.1).
+func (i *Interface) InvocationCycles(p memsys.Placement) float64 {
+	link := p.LinkLatencyNs() * i.sys.Config().FrequencyGHz
+	return RoCCDispatchCycles + SetupCycles + 2*link
+}

@@ -1,0 +1,32 @@
+package soc
+
+import (
+	"testing"
+
+	"cdpu/internal/memsys"
+)
+
+func TestInvocationCosts(t *testing.T) {
+	sys, err := memsys.New(memsys.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := New(sys)
+	rocc := i.InvocationCycles(memsys.RoCC)
+	chiplet := i.InvocationCycles(memsys.Chiplet)
+	pcie := i.InvocationCycles(memsys.PCIeNoCache)
+	if rocc != RoCCDispatchCycles+SetupCycles {
+		t.Errorf("RoCC invocation = %f", rocc)
+	}
+	if !(rocc < chiplet && chiplet < pcie) {
+		t.Errorf("invocation ordering violated: %f %f %f", rocc, chiplet, pcie)
+	}
+	// PCIe doorbell+completion: two 200ns round trips at 2 GHz = 800 cycles.
+	if got := pcie - rocc; got != 800 {
+		t.Errorf("PCIe link invocation overhead = %f cycles, want 800", got)
+	}
+	// The two PCIe variants share the command path.
+	if pcie != i.InvocationCycles(memsys.PCIeLocalCache) {
+		t.Error("PCIe variants should share invocation cost")
+	}
+}

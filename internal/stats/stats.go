@@ -1,0 +1,329 @@
+// Package stats provides the distribution machinery shared by the synthetic
+// fleet model, the HyperCompressBench generator and the experiment harness:
+// log2-binned histograms and CDFs (the paper presents call sizes and window
+// sizes as ceil(log2) bins — Figures 3, 5, 6, 7), weighted samplers, and
+// CDF-distance validation helpers.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// BinOf returns the ceil(log2(v)) bin of a positive value, the x-axis used
+// throughout the paper's distribution figures. BinOf(1) = 0.
+func BinOf(v int) int {
+	if v <= 0 {
+		panic(fmt.Sprintf("stats: BinOf(%d)", v))
+	}
+	b := 0
+	for 1<<b < v {
+		b++
+	}
+	return b
+}
+
+// Point is one step of a cumulative distribution over log2 bins.
+type Point struct {
+	Bin int     // ceil(log2(value))
+	Cum float64 // cumulative weight fraction through this bin
+}
+
+// Hist is a weighted histogram over log2 bins.
+//
+// The zero value is ready to use.
+type Hist struct {
+	bins  map[int]float64
+	total float64
+}
+
+// Add records a value with the given weight (the paper's distributions are
+// weighted by bytes, not by call count).
+func (h *Hist) Add(value int, weight float64) {
+	if h.bins == nil {
+		h.bins = make(map[int]float64)
+	}
+	h.bins[BinOf(value)] += weight
+	h.total += weight
+}
+
+// AddBin records weight directly into a bin.
+func (h *Hist) AddBin(bin int, weight float64) {
+	if h.bins == nil {
+		h.bins = make(map[int]float64)
+	}
+	h.bins[bin] += weight
+	h.total += weight
+}
+
+// Total returns the accumulated weight.
+func (h *Hist) Total() float64 { return h.total }
+
+// Bins returns the sorted bin indices present.
+func (h *Hist) Bins() []int {
+	out := make([]int, 0, len(h.bins))
+	for b := range h.bins {
+		out = append(out, b)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Weight returns the weight recorded in a bin.
+func (h *Hist) Weight(bin int) float64 { return h.bins[bin] }
+
+// Frac returns the fraction of total weight in a bin.
+func (h *Hist) Frac(bin int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.bins[bin] / h.total
+}
+
+// CDF returns the cumulative distribution, one Point per present bin.
+func (h *Hist) CDF() []Point {
+	bins := h.Bins()
+	out := make([]Point, 0, len(bins))
+	cum := 0.0
+	for _, b := range bins {
+		cum += h.bins[b]
+		frac := 1.0
+		if h.total > 0 {
+			frac = cum / h.total
+		}
+		out = append(out, Point{Bin: b, Cum: frac})
+	}
+	return out
+}
+
+// PercentileBin returns the smallest bin at which the CDF reaches p (0..1].
+func (h *Hist) PercentileBin(p float64) int {
+	cdf := h.CDF()
+	for _, pt := range cdf {
+		if pt.Cum >= p-1e-12 {
+			return pt.Bin
+		}
+	}
+	if len(cdf) == 0 {
+		return 0
+	}
+	return cdf[len(cdf)-1].Bin
+}
+
+// MedianBin returns the 50th-percentile bin.
+func (h *Hist) MedianBin() int { return h.PercentileBin(0.5) }
+
+// MaxCDFGap returns the Kolmogorov–Smirnov-style maximum vertical distance
+// between two log2-bin CDFs, evaluating both at every bin present in either.
+func MaxCDFGap(a, b []Point) float64 {
+	at := func(cdf []Point, bin int) float64 {
+		v := 0.0
+		for _, pt := range cdf {
+			if pt.Bin > bin {
+				break
+			}
+			v = pt.Cum
+		}
+		return v
+	}
+	binSet := map[int]bool{}
+	for _, pt := range a {
+		binSet[pt.Bin] = true
+	}
+	for _, pt := range b {
+		binSet[pt.Bin] = true
+	}
+	gap := 0.0
+	for bin := range binSet {
+		d := math.Abs(at(a, bin) - at(b, bin))
+		if d > gap {
+			gap = d
+		}
+	}
+	return gap
+}
+
+// LogBins is a sampleable distribution over log2 bins: bin b holds values in
+// (2^(b-1), 2^b] (bin 0 holds exactly 1). Sampling picks a bin by weight and
+// then a value log-uniformly within it.
+type LogBins struct {
+	bins    []int
+	cum     []float64
+	weights map[int]float64
+}
+
+// NewLogBins builds a distribution from bin→weight. Weights need not be
+// normalized.
+func NewLogBins(weights map[int]float64) (*LogBins, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("stats: empty LogBins")
+	}
+	l := &LogBins{weights: make(map[int]float64, len(weights))}
+	for b, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("stats: negative weight for bin %d", b)
+		}
+		if b < 0 {
+			return nil, fmt.Errorf("stats: negative bin %d", b)
+		}
+		if w > 0 {
+			l.bins = append(l.bins, b)
+			l.weights[b] = w
+		}
+	}
+	if len(l.bins) == 0 {
+		return nil, fmt.Errorf("stats: all-zero LogBins")
+	}
+	sort.Ints(l.bins)
+	total := 0.0
+	for _, b := range l.bins {
+		total += l.weights[b]
+	}
+	l.cum = make([]float64, len(l.bins))
+	cum := 0.0
+	for i, b := range l.bins {
+		cum += l.weights[b] / total
+		l.cum[i] = cum
+	}
+	return l, nil
+}
+
+// MustLogBins is NewLogBins that panics on error; for package-level tables.
+func MustLogBins(weights map[int]float64) *LogBins {
+	l, err := NewLogBins(weights)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// SampleBin draws a bin index.
+func (l *LogBins) SampleBin(rng *rand.Rand) int {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(l.cum, u)
+	if i >= len(l.bins) {
+		i = len(l.bins) - 1
+	}
+	return l.bins[i]
+}
+
+// Sample draws a value: a bin by weight, then log-uniform within the bin.
+func (l *LogBins) Sample(rng *rand.Rand) int {
+	b := l.SampleBin(rng)
+	if b == 0 {
+		return 1
+	}
+	lo, hi := float64(int(1)<<(b-1)), float64(int(1)<<b)
+	v := int(math.Exp(math.Log(lo) + rng.Float64()*(math.Log(hi)-math.Log(lo))))
+	if v <= int(lo) {
+		v = int(lo) + 1
+	}
+	if v > int(hi) {
+		v = int(hi)
+	}
+	return v
+}
+
+// binMeanValue returns E[value | bin] under log-uniform within-bin sampling:
+// (hi-lo)/ln(hi/lo) = 2^(b-1)/ln 2 for b > 0.
+func binMeanValue(b int) float64 {
+	if b == 0 {
+		return 1
+	}
+	return float64(int(1)<<(b-1)) / math.Ln2
+}
+
+// MeanValue returns the distribution's expected value.
+func (l *LogBins) MeanValue() float64 {
+	mean := 0.0
+	prev := 0.0
+	for i, b := range l.bins {
+		mean += (l.cum[i] - prev) * binMeanValue(b)
+		prev = l.cum[i]
+	}
+	return mean
+}
+
+// CountWeighted reinterprets a value-weighted distribution (the paper's
+// figures weight bins by bytes) as a per-event distribution: sampling events
+// from the result and then re-histogramming them weighted by value
+// reproduces the original distribution in expectation.
+func (l *LogBins) CountWeighted() *LogBins {
+	w := make(map[int]float64, len(l.bins))
+	for b, v := range l.weights {
+		w[b] = v / binMeanValue(b)
+	}
+	return MustLogBins(w)
+}
+
+// CDF returns the distribution's cumulative form.
+func (l *LogBins) CDF() []Point {
+	out := make([]Point, len(l.bins))
+	for i, b := range l.bins {
+		out[i] = Point{Bin: b, Cum: l.cum[i]}
+	}
+	return out
+}
+
+// Weighted is a weighted chooser over items of any type.
+type Weighted[T any] struct {
+	items []T
+	cum   []float64
+}
+
+// NewWeighted builds a chooser; weights need not be normalized.
+func NewWeighted[T any](items []T, weights []float64) (*Weighted[T], error) {
+	if len(items) == 0 || len(items) != len(weights) {
+		return nil, fmt.Errorf("stats: bad weighted chooser: %d items, %d weights", len(items), len(weights))
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("stats: negative weight")
+		}
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("stats: all-zero weights")
+	}
+	c := &Weighted[T]{items: items, cum: make([]float64, len(items))}
+	cum := 0.0
+	for i, w := range weights {
+		cum += w / total
+		c.cum[i] = cum
+	}
+	return c, nil
+}
+
+// MustWeighted is NewWeighted that panics on error.
+func MustWeighted[T any](items []T, weights []float64) *Weighted[T] {
+	c, err := NewWeighted(items, weights)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Sample draws an item.
+func (c *Weighted[T]) Sample(rng *rand.Rand) T {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(c.cum, u)
+	if i >= len(c.items) {
+		i = len(c.items) - 1
+	}
+	return c.items[i]
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,206 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinOf(t *testing.T) {
+	cases := map[int]int{
+		1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4,
+		1 << 10: 10, 1<<10 + 1: 11, 64 << 20: 26,
+	}
+	for v, want := range cases {
+		if got := BinOf(v); got != want {
+			t.Errorf("BinOf(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestBinOfPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for BinOf(0)")
+		}
+	}()
+	BinOf(0)
+}
+
+func TestHistCDFMonotoneAndComplete(t *testing.T) {
+	var h Hist
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		h.Add(1+rng.Intn(1<<20), float64(1+rng.Intn(5)))
+	}
+	cdf := h.CDF()
+	prev := 0.0
+	for _, p := range cdf {
+		if p.Cum < prev {
+			t.Fatalf("CDF not monotone at bin %d", p.Bin)
+		}
+		prev = p.Cum
+	}
+	if math.Abs(prev-1.0) > 1e-9 {
+		t.Fatalf("CDF ends at %f", prev)
+	}
+}
+
+func TestHistPercentiles(t *testing.T) {
+	var h Hist
+	h.Add(1<<10, 25) // bin 10
+	h.Add(1<<12, 25) // bin 12
+	h.Add(1<<14, 50) // bin 14
+	if got := h.PercentileBin(0.25); got != 10 {
+		t.Errorf("p25 bin = %d", got)
+	}
+	if got := h.MedianBin(); got != 12 {
+		t.Errorf("median bin = %d", got)
+	}
+	if got := h.PercentileBin(0.51); got != 14 {
+		t.Errorf("p51 bin = %d", got)
+	}
+	if got := h.PercentileBin(1.0); got != 14 {
+		t.Errorf("p100 bin = %d", got)
+	}
+}
+
+func TestHistFrac(t *testing.T) {
+	var h Hist
+	h.Add(100, 30)
+	h.Add(1000, 70)
+	if got := h.Frac(BinOf(100)); math.Abs(got-0.3) > 1e-9 {
+		t.Errorf("frac = %f", got)
+	}
+	if h.Total() != 100 {
+		t.Errorf("total = %f", h.Total())
+	}
+}
+
+func TestMaxCDFGap(t *testing.T) {
+	a := []Point{{Bin: 10, Cum: 0.5}, {Bin: 20, Cum: 1.0}}
+	b := []Point{{Bin: 10, Cum: 0.5}, {Bin: 20, Cum: 1.0}}
+	if g := MaxCDFGap(a, b); g != 0 {
+		t.Errorf("identical CDFs gap = %f", g)
+	}
+	c := []Point{{Bin: 10, Cum: 0.2}, {Bin: 20, Cum: 1.0}}
+	if g := MaxCDFGap(a, c); math.Abs(g-0.3) > 1e-9 {
+		t.Errorf("gap = %f, want 0.3", g)
+	}
+	// Disjoint bin sets: gap reflects evaluation at union bins.
+	d := []Point{{Bin: 30, Cum: 1.0}}
+	if g := MaxCDFGap(a, d); math.Abs(g-1.0) > 1e-9 {
+		t.Errorf("disjoint gap = %f, want 1.0", g)
+	}
+}
+
+func TestLogBinsSampleRange(t *testing.T) {
+	l := MustLogBins(map[int]float64{0: 1, 5: 2, 16: 3})
+	rng := rand.New(rand.NewSource(2))
+	counts := map[int]int{}
+	for i := 0; i < 30000; i++ {
+		v := l.Sample(rng)
+		b := BinOf(v)
+		counts[b]++
+		switch b {
+		case 0, 5, 16:
+		default:
+			t.Fatalf("sample %d landed in bin %d", v, b)
+		}
+	}
+	// Frequencies should roughly track weights 1:2:3.
+	f0 := float64(counts[0]) / 30000
+	f5 := float64(counts[5]) / 30000
+	f16 := float64(counts[16]) / 30000
+	if math.Abs(f0-1.0/6) > 0.02 || math.Abs(f5-2.0/6) > 0.02 || math.Abs(f16-3.0/6) > 0.02 {
+		t.Errorf("sample frequencies %f %f %f", f0, f5, f16)
+	}
+}
+
+func TestLogBinsSampledCDFMatchesSpec(t *testing.T) {
+	weights := map[int]float64{8: 10, 12: 30, 16: 40, 20: 20}
+	l := MustLogBins(weights)
+	rng := rand.New(rand.NewSource(3))
+	var h Hist
+	for i := 0; i < 50000; i++ {
+		h.Add(l.Sample(rng), 1)
+	}
+	if gap := MaxCDFGap(l.CDF(), h.CDF()); gap > 0.02 {
+		t.Errorf("sampled CDF deviates by %f", gap)
+	}
+}
+
+func TestLogBinsErrors(t *testing.T) {
+	if _, err := NewLogBins(nil); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := NewLogBins(map[int]float64{3: -1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := NewLogBins(map[int]float64{3: 0}); err == nil {
+		t.Error("all-zero accepted")
+	}
+	if _, err := NewLogBins(map[int]float64{-2: 1}); err == nil {
+		t.Error("negative bin accepted")
+	}
+}
+
+func TestWeightedChooser(t *testing.T) {
+	c := MustWeighted([]string{"a", "b", "c"}, []float64{1, 1, 2})
+	rng := rand.New(rand.NewSource(4))
+	counts := map[string]int{}
+	for i := 0; i < 40000; i++ {
+		counts[c.Sample(rng)]++
+	}
+	if math.Abs(float64(counts["c"])/40000-0.5) > 0.02 {
+		t.Errorf("c frequency %d/40000", counts["c"])
+	}
+	if math.Abs(float64(counts["a"])/40000-0.25) > 0.02 {
+		t.Errorf("a frequency %d/40000", counts["a"])
+	}
+}
+
+func TestWeightedErrors(t *testing.T) {
+	if _, err := NewWeighted([]int{}, []float64{}); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := NewWeighted([]int{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := NewWeighted([]int{1, 2}, []float64{1, -1}); err == nil {
+		t.Error("negative accepted")
+	}
+	if _, err := NewWeighted([]int{1}, []float64{0}); err == nil {
+		t.Error("zero total accepted")
+	}
+}
+
+func TestSamplePropertyWithinBins(t *testing.T) {
+	f := func(seed int64, binSel uint8) bool {
+		bin := int(binSel) % 28
+		l, err := NewLogBins(map[int]float64{bin: 1})
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 50; i++ {
+			if BinOf(l.Sample(rng)) != bin {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if got := Mean([]float64{1, 2, 3}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("mean = %f", got)
+	}
+}

@@ -1,0 +1,69 @@
+// Package testutil provides shared failure-injection helpers for the codec
+// packages: systematic corruption and truncation sweeps asserting that
+// decoders never panic on hostile input — the robustness bar for anything
+// parsing untrusted bytes, hardware model or not.
+package testutil
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// safeDecode runs decode, reporting panics instead of crashing the binary.
+func safeDecode(decode func([]byte) ([]byte, error), enc []byte) (out []byte, err error, panicked any) {
+	defer func() {
+		panicked = recover()
+	}()
+	out, err = decode(enc)
+	return out, err, nil
+}
+
+// CheckCorruptionRobustness flips random bytes of encoded and asserts the
+// decoder survives every mutation: it may error, or succeed with different
+// (or, for mutations in dead bits, identical) output — but never panic.
+func CheckCorruptionRobustness(t *testing.T, name string, encoded []byte, decode func([]byte) ([]byte, error), trials int, seed int64) {
+	t.Helper()
+	if len(encoded) == 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < trials; i++ {
+		mutated := append([]byte(nil), encoded...)
+		// One to three byte mutations per trial.
+		for k := 0; k <= rng.Intn(3); k++ {
+			pos := rng.Intn(len(mutated))
+			switch rng.Intn(3) {
+			case 0:
+				mutated[pos] ^= 1 << rng.Intn(8)
+			case 1:
+				mutated[pos] = byte(rng.Intn(256))
+			default:
+				mutated[pos] = 0xff
+			}
+		}
+		if _, _, p := safeDecode(decode, mutated); p != nil {
+			t.Fatalf("%s: trial %d: decoder panicked on mutated input: %v", name, i, p)
+		}
+	}
+}
+
+// CheckTruncationRobustness feeds every prefix length (sampled for long
+// inputs) and asserts the decoder never panics and never silently returns
+// the full original data from a strict prefix.
+func CheckTruncationRobustness(t *testing.T, name string, original, encoded []byte, decode func([]byte) ([]byte, error)) {
+	t.Helper()
+	step := 1
+	if len(encoded) > 512 {
+		step = len(encoded) / 512
+	}
+	for cut := 0; cut < len(encoded); cut += step {
+		out, err, p := safeDecode(decode, encoded[:cut])
+		if p != nil {
+			t.Fatalf("%s: decoder panicked on %d-byte prefix: %v", name, cut, p)
+		}
+		if err == nil && len(original) > 0 && bytes.Equal(out, original) {
+			t.Fatalf("%s: %d-byte prefix of a %d-byte stream decoded to the full original", name, cut, len(encoded))
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package xeon
+
+import (
+	"math"
+	"testing"
+
+	"cdpu/internal/comp"
+)
+
+func TestAnchorThroughputs(t *testing.T) {
+	// The model must land on the paper's measured Xeon throughputs (§6).
+	cases := []struct {
+		algo comp.Algorithm
+		op   comp.Op
+		want float64 // GB/s
+	}{
+		{comp.Snappy, comp.Compress, 0.36},
+		{comp.Snappy, comp.Decompress, 1.10},
+		{comp.ZStd, comp.Compress, 0.22},
+		{comp.ZStd, comp.Decompress, 0.94},
+	}
+	for _, c := range cases {
+		got := ThroughputGBps(c.algo, c.op, 0)
+		if math.Abs(got-c.want)/c.want > 0.03 {
+			t.Errorf("%v-%v throughput %.3f GB/s, want %.3f", c.algo, c.op, got, c.want)
+		}
+	}
+}
+
+func TestZStdLevelCostRatios(t *testing.T) {
+	// §3.3.4: high-level ZStd costs ~2.39x low-level per byte.
+	low := CostPerByte(comp.ZStd, comp.Compress, 3)
+	high := CostPerByte(comp.ZStd, comp.Compress, 19)
+	ratio := high / low
+	if ratio < 2.0 || ratio > 2.9 {
+		t.Errorf("high/low level cost ratio = %.2f, want ~2.4", ratio)
+	}
+	// §3.3.4: low-level ZStd costs ~1.55x Snappy.
+	snappyCost := CostPerByte(comp.Snappy, comp.Compress, 0)
+	if r := low / snappyCost; r < 1.4 || r > 1.8 {
+		t.Errorf("zstd-low/snappy cost ratio = %.2f, want ~1.55", r)
+	}
+	// §3.3.4: ZStd decompression ~1.63x Snappy decompression.
+	dr := CostPerByte(comp.ZStd, comp.Decompress, 0) / CostPerByte(comp.Snappy, comp.Decompress, 0)
+	if dr < 1.1 || dr > 1.7 {
+		t.Errorf("zstd/snappy decomp cost ratio = %.2f", dr)
+	}
+}
+
+func TestLevelMonotonicity(t *testing.T) {
+	prev := 0.0
+	for level := -7; level <= 22; level++ {
+		if level == 0 {
+			continue // 0 means "library default" (level 3), not a real level
+		}
+		c := CostPerByte(comp.ZStd, comp.Compress, level)
+		if c < prev {
+			t.Fatalf("cost decreased at level %d: %f < %f", level, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestDecompressionLevelInvariant(t *testing.T) {
+	// Decompression cost does not depend on the compression level used.
+	a := Cycles(comp.ZStd, comp.Decompress, 1, 1<<20)
+	b := Cycles(comp.ZStd, comp.Decompress, 19, 1<<20)
+	if a != b {
+		t.Errorf("decompress cycles vary with level: %f vs %f", a, b)
+	}
+}
+
+func TestLightweightLevelInvariant(t *testing.T) {
+	a := Cycles(comp.Snappy, comp.Compress, 0, 1<<20)
+	b := Cycles(comp.Snappy, comp.Compress, 9, 1<<20)
+	if a != b {
+		t.Errorf("snappy cycles vary with level: %f vs %f", a, b)
+	}
+}
+
+func TestCallOverheadDominatesSmallCalls(t *testing.T) {
+	small := Cycles(comp.Snappy, comp.Decompress, 0, 16)
+	if small < CallOverheadCycles {
+		t.Errorf("small call cycles %f below overhead", small)
+	}
+	big := Cycles(comp.Snappy, comp.Decompress, 0, 1<<20)
+	if big < 100*small/2 {
+		t.Errorf("large call not dominated by per-byte term")
+	}
+}
+
+func TestSecondsConversion(t *testing.T) {
+	if got := Seconds(FrequencyGHz * 1e9); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("1s of cycles = %f s", got)
+	}
+}
+
+func TestAllAlgorithmsHaveCosts(t *testing.T) {
+	for _, a := range comp.Algorithms {
+		for _, op := range comp.Ops {
+			if c := Cycles(a, op, 0, 1000); c <= 0 {
+				t.Errorf("%v-%v cycles = %f", a, op, c)
+			}
+		}
+	}
+}
+
+func TestHeavyweightCostsMoreThanLightweight(t *testing.T) {
+	for _, op := range comp.Ops {
+		for _, hw := range []comp.Algorithm{comp.ZStd, comp.Flate, comp.Brotli} {
+			for _, lw := range []comp.Algorithm{comp.Snappy, comp.Gipfeli, comp.LZO} {
+				if CostPerByte(hw, op, 0) <= CostPerByte(lw, op, 0) {
+					t.Errorf("%v-%v not more expensive than %v-%v", hw, op, lw, op)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package zstdlite
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"cdpu/internal/corpus"
+	"cdpu/internal/testutil"
+)
+
+func TestDecoderCorruptionRobustness(t *testing.T) {
+	for _, f := range corpus.SmallSuite() {
+		data := f.Data[:16<<10]
+		testutil.CheckCorruptionRobustness(t, "zstdlite/"+f.Name, Encode(data), Decode, 200, 1)
+	}
+}
+
+func TestDecoderTruncationRobustness(t *testing.T) {
+	data := corpus.Generate(corpus.Text, 48<<10, 2)
+	testutil.CheckTruncationRobustness(t, "zstdlite", data, Encode(data), Decode)
+}
+
+func TestInspectCorruptionRobustness(t *testing.T) {
+	data := corpus.Generate(corpus.JSON, 24<<10, 3)
+	decode := func(enc []byte) ([]byte, error) {
+		info, err := Inspect(enc)
+		if err != nil {
+			return nil, err
+		}
+		return Materialize(info)
+	}
+	testutil.CheckCorruptionRobustness(t, "zstdlite-inspect", Encode(data), decode, 300, 4)
+}
+
+func TestStreamReaderCorruptionRobustness(t *testing.T) {
+	data := corpus.Generate(corpus.Log, 200<<10, 5)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = w.Write(data)
+	_ = w.Close()
+	decode := func(enc []byte) ([]byte, error) {
+		return io.ReadAll(NewReader(bytes.NewReader(enc), nil))
+	}
+	testutil.CheckCorruptionRobustness(t, "zstdlite-stream", buf.Bytes(), decode, 200, 6)
+	testutil.CheckTruncationRobustness(t, "zstdlite-stream", data, buf.Bytes(), decode)
+}
+
+func TestDictFrameCorruptionRobustness(t *testing.T) {
+	dict := corpus.Generate(corpus.JSON, 8<<10, 7)
+	data := corpus.Generate(corpus.JSON, 24<<10, 8)
+	e, err := NewEncoder(Params{Dict: dict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode := func(enc []byte) ([]byte, error) { return DecodeWithDict(enc, dict) }
+	testutil.CheckCorruptionRobustness(t, "zstdlite-dict", e.Encode(data), decode, 200, 9)
+}

@@ -1,0 +1,417 @@
+package zstdlite
+
+import (
+	"fmt"
+
+	ibits "cdpu/internal/bits"
+	"cdpu/internal/fse"
+	"cdpu/internal/huffman"
+	"cdpu/internal/lz77"
+)
+
+// FrameInfo describes a parsed frame: everything the CDPU decompressor model
+// needs to replay the hardware pipeline (table builds, literal expansion,
+// sequence execution) without re-parsing the wire format.
+type FrameInfo struct {
+	WindowLog   int
+	ContentSize int // -1 when the producer did not record it (streaming)
+	NeedsDict   bool
+	DictID      byte
+	HasChecksum bool
+	Checksum    uint32
+	Blocks      []BlockInfo
+}
+
+// BlockInfo describes one block of a frame.
+type BlockInfo struct {
+	Type     int // blockRaw, blockRLE, blockCompressed
+	RawSize  int // uncompressed bytes
+	CompSize int // compressed body bytes (compressed blocks only)
+
+	// Literals-section detail (compressed blocks only).
+	LitMode      int // litRaw or litHuffman
+	LitCount     int // decoded literal bytes
+	LitPayload   int // compressed literal bytes (huffman mode)
+	HuffMaxBits  int // decode-table width (huffman mode)
+	HuffLens     []uint8
+	Literals     []byte // decoded literals
+	SeqModes     [3]int // per-stream coding mode
+	FSETableLogs [3]int // per-stream accuracy (FSE mode)
+	Seqs         []lz77.Seq
+	RLEByte      byte
+}
+
+// IsCompressed reports whether the block ran the full pipeline.
+func (b *BlockInfo) IsCompressed() bool { return b.Type == blockCompressed }
+
+// Decode decompresses a zstdlite frame (which must not require a preset
+// dictionary; use DecodeWithDict for those).
+func Decode(src []byte) ([]byte, error) {
+	return DecodeWithDict(src, nil)
+}
+
+// DecodeWithDict decompresses a frame, supplying the preset dictionary it
+// was encoded against (nil for ordinary frames).
+func DecodeWithDict(src, dict []byte) ([]byte, error) {
+	info, err := Inspect(src)
+	if err != nil {
+		return nil, err
+	}
+	return MaterializeWithDict(info, dict)
+}
+
+// Materialize executes a parsed frame's blocks, producing the decompressed
+// bytes. Split from Inspect so the CDPU model can account for parse/table
+// costs and execution costs separately.
+func Materialize(info *FrameInfo) ([]byte, error) {
+	return MaterializeWithDict(info, nil)
+}
+
+// MaterializeWithDict executes a parsed frame's blocks against a preset
+// dictionary. The match window is frame-wide: copies may reach across block
+// boundaries and into the dictionary, bounded by 2^WindowLog.
+func MaterializeWithDict(info *FrameInfo, dict []byte) ([]byte, error) {
+	if info.NeedsDict {
+		if dict == nil {
+			return nil, fmt.Errorf("%w: frame requires a preset dictionary", ErrDictionary)
+		}
+		if DictID(dict) != info.DictID {
+			return nil, fmt.Errorf("%w: dictionary id %#02x does not match frame's %#02x",
+				ErrDictionary, DictID(dict), info.DictID)
+		}
+	} else {
+		dict = nil
+	}
+	window := 1 << info.WindowLog
+	if len(dict) > window {
+		dict = dict[len(dict)-window:]
+	}
+	hint := info.ContentSize
+	if hint < 0 {
+		hint = 0
+	}
+	out := make([]byte, 0, len(dict)+hint)
+	out = append(out, dict...)
+	for i := range info.Blocks {
+		b := &info.Blocks[i]
+		switch b.Type {
+		case blockRaw, blockRLE:
+			out = append(out, b.Literals...)
+		case blockCompressed:
+			before := len(out)
+			var err error
+			out, err = lz77.AppendReconstruct(out, b.Seqs, b.Literals, window)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+			if len(out)-before != b.RawSize {
+				return nil, fmt.Errorf("%w: block produced %d of %d bytes", ErrCorrupt, len(out)-before, b.RawSize)
+			}
+		}
+	}
+	out = out[len(dict):]
+	if info.ContentSize >= 0 && len(out) != info.ContentSize {
+		return nil, fmt.Errorf("%w: frame produced %d of %d bytes", ErrCorrupt, len(out), info.ContentSize)
+	}
+	if info.HasChecksum {
+		if got := contentChecksum(out); got != info.Checksum {
+			return nil, fmt.Errorf("%w: content checksum %#08x != recorded %#08x", ErrCorrupt, got, info.Checksum)
+		}
+	}
+	return out, nil
+}
+
+// parseFrameHeader decodes magic, flags, optional dictionary ID and content
+// size, returning the byte offset of the first block.
+func parseFrameHeader(src []byte) (*FrameInfo, int, error) {
+	if len(src) < 5 || src[0] != frameMagic[0] || src[1] != frameMagic[1] ||
+		src[2] != frameMagic[2] || src[3] != frameMagic[3] {
+		return nil, 0, ErrMagic
+	}
+	windowByte := src[4]
+	windowLog := int(windowByte &^ (flagUnknownSize | flagDictionary | flagChecksum))
+	if windowLog < MinWindowLog || windowLog > MaxWindowLog {
+		return nil, 0, fmt.Errorf("%w: %d", ErrWindow, windowLog)
+	}
+	info := &FrameInfo{
+		WindowLog:   windowLog,
+		ContentSize: -1,
+		HasChecksum: windowByte&flagChecksum != 0,
+	}
+	pos := 5
+	if windowByte&flagDictionary != 0 {
+		if pos >= len(src) {
+			return nil, 0, fmt.Errorf("%w: missing dictionary id", ErrCorrupt)
+		}
+		info.NeedsDict = true
+		info.DictID = src[pos]
+		pos++
+	}
+	if windowByte&flagUnknownSize == 0 {
+		contentSize, n, err := ibits.Uvarint(src[pos:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: content size", ErrCorrupt)
+		}
+		if contentSize > MaxDecodedLen {
+			return nil, 0, ErrTooLarge
+		}
+		info.ContentSize = int(contentSize)
+		pos += n
+	}
+	return info, pos, nil
+}
+
+// Inspect parses a frame, decoding entropy-coded sections but not executing
+// LZ77 copies.
+func Inspect(src []byte) (*FrameInfo, error) {
+	info, pos, err := parseFrameHeader(src)
+	if err != nil {
+		return nil, err
+	}
+	last := false
+	for !last {
+		if pos >= len(src) {
+			return nil, fmt.Errorf("%w: missing last block", ErrCorrupt)
+		}
+		hdr := src[pos]
+		pos++
+		last = hdr&1 == 1
+		btype := int(hdr >> 1)
+		rawSize64, n, err := ibits.Uvarint(src[pos:])
+		if err != nil || rawSize64 > MaxBlockSize {
+			return nil, fmt.Errorf("%w: block size", ErrCorrupt)
+		}
+		pos += n
+		rawSize := int(rawSize64)
+		block := BlockInfo{Type: btype, RawSize: rawSize}
+		switch btype {
+		case blockRaw:
+			if pos+rawSize > len(src) {
+				return nil, fmt.Errorf("%w: raw block overruns frame", ErrCorrupt)
+			}
+			block.Literals = src[pos : pos+rawSize]
+			pos += rawSize
+		case blockRLE:
+			if pos >= len(src) {
+				return nil, fmt.Errorf("%w: rle block overruns frame", ErrCorrupt)
+			}
+			block.RLEByte = src[pos]
+			lit := make([]byte, rawSize)
+			for i := range lit {
+				lit[i] = block.RLEByte
+			}
+			block.Literals = lit
+			pos++
+		case blockCompressed:
+			compSize64, n, err := ibits.Uvarint(src[pos:])
+			if err != nil {
+				return nil, fmt.Errorf("%w: compressed size", ErrCorrupt)
+			}
+			pos += n
+			compSize := int(compSize64)
+			if pos+compSize > len(src) {
+				return nil, fmt.Errorf("%w: compressed block overruns frame", ErrCorrupt)
+			}
+			block.CompSize = compSize
+			if err := parseCompressedBody(src[pos:pos+compSize], &block); err != nil {
+				return nil, err
+			}
+			pos += compSize
+		default:
+			return nil, fmt.Errorf("%w: block type %d", ErrCorrupt, btype)
+		}
+		info.Blocks = append(info.Blocks, block)
+	}
+	if info.HasChecksum {
+		if pos+4 > len(src) {
+			return nil, fmt.Errorf("%w: missing content checksum", ErrCorrupt)
+		}
+		info.Checksum = uint32(src[pos]) | uint32(src[pos+1])<<8 |
+			uint32(src[pos+2])<<16 | uint32(src[pos+3])<<24
+		pos += 4
+	}
+	if pos != len(src) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(src)-pos)
+	}
+	return info, nil
+}
+
+func parseCompressedBody(body []byte, block *BlockInfo) error {
+	pos := 0
+	if pos >= len(body) {
+		return fmt.Errorf("%w: empty compressed body", ErrCorrupt)
+	}
+	block.LitMode = int(body[pos])
+	pos++
+	litCount64, n, err := ibits.Uvarint(body[pos:])
+	if err != nil || litCount64 > MaxBlockSize {
+		return fmt.Errorf("%w: literal count", ErrCorrupt)
+	}
+	pos += n
+	block.LitCount = int(litCount64)
+	switch block.LitMode {
+	case litRaw:
+		if pos+block.LitCount > len(body) {
+			return fmt.Errorf("%w: raw literals overrun body", ErrCorrupt)
+		}
+		block.Literals = body[pos : pos+block.LitCount]
+		pos += block.LitCount
+	case litHuffman:
+		payload64, n, err := ibits.Uvarint(body[pos:])
+		if err != nil {
+			return fmt.Errorf("%w: literal payload size", ErrCorrupt)
+		}
+		pos += n
+		payload := int(payload64)
+		if pos+payload > len(body) {
+			return fmt.Errorf("%w: huffman literals overrun body", ErrCorrupt)
+		}
+		block.LitPayload = payload
+		r := ibits.NewReader(body[pos : pos+payload])
+		table, err := huffman.ReadTable(r)
+		if err != nil {
+			return fmt.Errorf("%w: huffman table: %v", ErrCorrupt, err)
+		}
+		block.HuffMaxBits = table.MaxBits
+		block.HuffLens = table.Lens
+		lits, err := huffman.NewDecoder(table).Decode(r, make([]byte, 0, block.LitCount), block.LitCount)
+		if err != nil {
+			return fmt.Errorf("%w: huffman literals: %v", ErrCorrupt, err)
+		}
+		block.Literals = lits
+		pos += payload
+	default:
+		return fmt.Errorf("%w: literal mode %d", ErrCorrupt, block.LitMode)
+	}
+	// Sequences.
+	numSeqs64, n, err := ibits.Uvarint(body[pos:])
+	if err != nil || numSeqs64 > MaxBlockSize {
+		return fmt.Errorf("%w: sequence count", ErrCorrupt)
+	}
+	pos += n
+	numSeqs := int(numSeqs64)
+	if numSeqs == 0 {
+		if block.LitCount != block.RawSize {
+			return fmt.Errorf("%w: literals-only block size mismatch", ErrCorrupt)
+		}
+		return nil
+	}
+	var codeStreams [3][]uint8
+	for s := 0; s < 3; s++ {
+		codes, mode, tableLog, adv, err := parseCodeStream(body[pos:], numSeqs)
+		if err != nil {
+			return err
+		}
+		block.SeqModes[s] = mode
+		block.FSETableLogs[s] = tableLog
+		codeStreams[s] = codes
+		pos += adv
+	}
+	extraLen64, n, err := ibits.Uvarint(body[pos:])
+	if err != nil {
+		return fmt.Errorf("%w: extras size", ErrCorrupt)
+	}
+	pos += n
+	extraLen := int(extraLen64)
+	if pos+extraLen > len(body) {
+		return fmt.Errorf("%w: extras overrun body", ErrCorrupt)
+	}
+	extras := ibits.NewReader(body[pos : pos+extraLen])
+	pos += extraLen
+	if pos != len(body) {
+		return fmt.Errorf("%w: %d trailing body bytes", ErrCorrupt, len(body)-pos)
+	}
+	seqs := make([]lz77.Seq, numSeqs)
+	total := 0
+	reps := newRepHistory() // mirrors the encoder's per-block offset state
+	for i := 0; i < numSeqs; i++ {
+		ll := seqValue(codeStreams[0][i], uint32(extras.ReadBits(uint(extraWidth(codeStreams[0][i])))))
+		seqs[i].LitLen = int(ll)
+		ofCode, mlCode := codeStreams[1][i], codeStreams[2][i]
+		if ofCode == 0 && mlCode == 0 {
+			// terminal literal run
+		} else {
+			ofValue := seqValue(ofCode, uint32(extras.ReadBits(uint(extraWidth(ofCode)))))
+			ml := seqValue(mlCode, uint32(extras.ReadBits(uint(extraWidth(mlCode)))))
+			of := uint32(reps.decode(ofValue))
+			if of == 0 || ml == 0 {
+				return fmt.Errorf("%w: zero offset or length in match", ErrCorrupt)
+			}
+			// Offsets may reference earlier blocks or the dictionary; the
+			// frame-wide executor validates them against produced history.
+			seqs[i].Offset = int(of)
+			seqs[i].MatchLen = int(ml)
+		}
+		total += seqs[i].LitLen + seqs[i].MatchLen
+	}
+	if extras.Err() != nil {
+		return fmt.Errorf("%w: extras underrun", ErrCorrupt)
+	}
+	if total != block.RawSize {
+		return fmt.Errorf("%w: sequences cover %d of %d bytes", ErrCorrupt, total, block.RawSize)
+	}
+	block.Seqs = seqs
+	return nil
+}
+
+// parseCodeStream decodes one sequence-code stream, returning the codes, the
+// coding mode, the FSE table log (0 for raw mode) and bytes consumed.
+func parseCodeStream(body []byte, numSeqs int) (codes []uint8, mode, tableLog, adv int, err error) {
+	if len(body) < 1 {
+		return nil, 0, 0, 0, fmt.Errorf("%w: missing code stream", ErrCorrupt)
+	}
+	mode = int(body[0])
+	pos := 1
+	payload64, n, uerr := ibits.Uvarint(body[pos:])
+	if uerr != nil {
+		return nil, 0, 0, 0, fmt.Errorf("%w: code stream size", ErrCorrupt)
+	}
+	pos += n
+	payload := int(payload64)
+	if pos+payload > len(body) {
+		return nil, 0, 0, 0, fmt.Errorf("%w: code stream overruns body", ErrCorrupt)
+	}
+	r := ibits.NewReader(body[pos : pos+payload])
+	switch mode {
+	case seqFSE:
+		norm, tl, nerr := fse.ReadNorm(r)
+		if nerr != nil {
+			return nil, 0, 0, 0, fmt.Errorf("%w: fse norm: %v", ErrCorrupt, nerr)
+		}
+		dec, derr := fse.NewDecTable(norm, tl)
+		if derr != nil {
+			return nil, 0, 0, 0, fmt.Errorf("%w: fse table: %v", ErrCorrupt, derr)
+		}
+		codes, err = dec.Decode(r, make([]uint8, 0, numSeqs), numSeqs)
+		if err != nil {
+			return nil, 0, 0, 0, fmt.Errorf("%w: fse codes: %v", ErrCorrupt, err)
+		}
+		tableLog = tl
+	case seqRaw:
+		codes = make([]uint8, numSeqs)
+		for i := range codes {
+			codes[i] = uint8(r.ReadBits(seqCodeBits))
+		}
+		if r.Err() != nil {
+			return nil, 0, 0, 0, fmt.Errorf("%w: raw codes underrun", ErrCorrupt)
+		}
+	default:
+		return nil, 0, 0, 0, fmt.Errorf("%w: code stream mode %d", ErrCorrupt, mode)
+	}
+	for _, c := range codes {
+		if int(c) >= maxSeqCode {
+			return nil, 0, 0, 0, fmt.Errorf("%w: sequence code %d", ErrCorrupt, c)
+		}
+	}
+	return codes, mode, tableLog, pos + payload, nil
+}
+
+// DecodedLen returns the content size claimed by a frame header, or -1 for
+// streaming frames that did not record one.
+func DecodedLen(src []byte) (int, error) {
+	info, _, err := parseFrameHeader(src)
+	if err != nil {
+		return 0, err
+	}
+	return info.ContentSize, nil
+}

@@ -1,0 +1,443 @@
+package zstdlite
+
+import (
+	"fmt"
+
+	ibits "cdpu/internal/bits"
+	"cdpu/internal/fse"
+	"cdpu/internal/huffman"
+	"cdpu/internal/lz77"
+)
+
+// Params selects encoder behaviour. The zero value takes defaults (level 3,
+// window log 20).
+type Params struct {
+	// Level is the compression level, -7..22 as in ZStd. Higher levels buy
+	// ratio with deeper match searching. The fleet default is 3 (§3.3.2).
+	Level int
+	// WindowLog is log2 of the history window (runtime parameter of both
+	// the software library and the CDPU).
+	WindowLog int
+	// TableLog is the FSE table accuracy (compile-time CDPU parameter 12).
+	// Default 9.
+	TableLog int
+	// HuffMaxBits bounds literal Huffman code lengths. Default 11.
+	HuffMaxBits int
+	// LZ, when non-nil, overrides the dictionary-stage configuration
+	// entirely. The CDPU compressor model uses this to run the ZStd pipeline
+	// over the Snappy-configured LZ77 encoder block, reproducing the paper's
+	// hardware-vs-software ratio gap (§6.5).
+	LZ *lz77.Config
+	// Dict is a preset dictionary: frames encode matches into it and can
+	// only be decoded with the same dictionary (§3.4 notes the buffer API
+	// "sometimes with a separate dictionary"). The usable dictionary tail is
+	// bounded by the window size.
+	Dict []byte
+	// DisableFSE forces raw (fixed-width) sequence-code streams, keeping
+	// Huffman as the only entropy stage — the Flate-class pipeline. The
+	// paper's generator frames exactly this difference: "transitioning from
+	// Flate to ZStd would mostly entail adding an FSE module" (§3.4).
+	DisableFSE bool
+	// Checksum appends a 4-byte content checksum to the frame, verified at
+	// decode time (ZStd's optional content-checksum feature).
+	Checksum bool
+}
+
+// Levels bounds, matching ZStd's advertised range.
+const (
+	MinLevel = -7
+	MaxLevel = 22
+)
+
+// withDefaults fills zero fields.
+func (p Params) withDefaults() Params {
+	if p.Level == 0 {
+		p.Level = 3
+	}
+	if p.WindowLog == 0 {
+		p.WindowLog = DefaultWindowLog
+	}
+	if p.TableLog == 0 {
+		p.TableLog = 9
+	}
+	if p.HuffMaxBits == 0 {
+		p.HuffMaxBits = 11
+	}
+	return p
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	p = p.withDefaults()
+	switch {
+	case p.Level < MinLevel || p.Level > MaxLevel:
+		return fmt.Errorf("%w: level %d", ErrBadParams, p.Level)
+	case p.WindowLog < MinWindowLog || p.WindowLog > MaxWindowLog:
+		return fmt.Errorf("%w: window log %d", ErrBadParams, p.WindowLog)
+	case p.TableLog < fse.MinTableLog || p.TableLog > fse.MaxTableLog:
+		return fmt.Errorf("%w: table log %d", ErrBadParams, p.TableLog)
+	case p.HuffMaxBits < 8 || p.HuffMaxBits > huffman.MaxBitsLimit:
+		return fmt.Errorf("%w: huff max bits %d", ErrBadParams, p.HuffMaxBits)
+	}
+	if p.LZ != nil {
+		return p.LZ.Validate()
+	}
+	return nil
+}
+
+// lzConfig derives the dictionary-stage configuration from the level, the
+// same way ZStd's level table trades search effort for ratio.
+func (p Params) lzConfig() lz77.Config {
+	if p.LZ != nil {
+		return *p.LZ
+	}
+	cfg := lz77.Config{
+		WindowSize: 1 << p.WindowLog,
+		// The format admits 3-byte matches (MinMatch), but a sequence costs
+		// more bits than three literals under this entropy layout, so the
+		// matcher only hunts for 4+ at every level.
+		MinMatch: 4,
+		Hash:     lz77.HashFibonacci,
+		Contents: lz77.ContentsOffsetAndTag,
+	}
+	switch {
+	case p.Level <= 0: // fast negative levels
+		cfg.TableEntries = 1 << 12
+		cfg.Associativity = 1
+		cfg.MinMatch = 4
+		cfg.SkipIncompressible = true
+	case p.Level <= 3: // default zone: modest lazy search, as zstd's dfast
+		cfg.TableEntries = 1 << 15
+		cfg.Associativity = 2
+		cfg.MinMatch = 4
+		cfg.Lazy = true
+	case p.Level <= 9:
+		cfg.TableEntries = 1 << 15
+		cfg.Associativity = 2
+		cfg.Lazy = true
+	case p.Level <= 15:
+		cfg.TableEntries = 1 << 16
+		cfg.Associativity = 4
+		cfg.Lazy = true
+	default:
+		cfg.TableEntries = 1 << 17
+		cfg.Associativity = 8
+		cfg.Lazy = true
+	}
+	return cfg
+}
+
+// Encoder compresses frames under fixed Params, reusing dictionary state
+// across calls. Not safe for concurrent use.
+type Encoder struct {
+	params  Params
+	matcher *lz77.Matcher
+}
+
+// NewEncoder returns an Encoder for p.
+func NewEncoder(p Params) (*Encoder, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m, err := lz77.NewMatcher(p.lzConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Encoder{params: p, matcher: m}, nil
+}
+
+// Params returns the encoder's effective parameters.
+func (e *Encoder) Params() Params { return e.params }
+
+// LZStats returns dictionary-stage statistics for the most recent block.
+func (e *Encoder) LZStats() lz77.Stats { return e.matcher.Stats() }
+
+// Encode compresses src into a zstdlite frame. The whole payload is parsed
+// with a frame-wide match window (matches may cross block boundaries, as in
+// ZStd), optionally primed with the encoder's preset dictionary.
+func (e *Encoder) Encode(src []byte) []byte {
+	e.matcher.ResetStats()
+	dst := e.appendFrameHeader(nil, len(src))
+	if len(src) == 0 {
+		dst = append(dst, byte(blockRaw<<1|1)) // empty last raw block
+		dst = ibits.AppendUvarint(dst, 0)
+		return e.appendChecksum(dst, src)
+	}
+	dict := e.usableDict()
+	data := src
+	if len(dict) > 0 {
+		data = make([]byte, 0, len(dict)+len(src))
+		data = append(append(data, dict...), src...)
+	}
+	seqs := e.matcher.ParsePrefixed(data, len(dict))
+	plans := splitBlocks(seqs, len(src))
+	for i, p := range plans {
+		blockData := data[len(dict)+p.start : len(dict)+p.start+p.size]
+		literals := lz77.LiteralsAt(data, len(dict)+p.start, p.seqs)
+		dst = e.encodeBlock(dst, blockData, literals, p.seqs, i == len(plans)-1)
+	}
+	return e.appendChecksum(dst, src)
+}
+
+// appendChecksum trails the frame with the content checksum when enabled.
+func (e *Encoder) appendChecksum(dst, content []byte) []byte {
+	if !e.params.Checksum {
+		return dst
+	}
+	c := contentChecksum(content)
+	return append(dst, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
+}
+
+// usableDict returns the dictionary tail within the window.
+func (e *Encoder) usableDict() []byte {
+	d := e.params.Dict
+	if w := 1 << e.params.WindowLog; len(d) > w {
+		d = d[len(d)-w:]
+	}
+	return d
+}
+
+// appendFrameHeader emits magic, flagged window byte, optional dictionary
+// ID, and the content size (contentSize < 0 marks a streaming frame of
+// unknown size).
+func (e *Encoder) appendFrameHeader(dst []byte, contentSize int) []byte {
+	dst = append(dst, frameMagic[:]...)
+	windowByte := byte(e.params.WindowLog)
+	if len(e.params.Dict) > 0 {
+		windowByte |= flagDictionary
+	}
+	if contentSize < 0 {
+		windowByte |= flagUnknownSize
+	}
+	if e.params.Checksum {
+		windowByte |= flagChecksum
+	}
+	dst = append(dst, windowByte)
+	if len(e.params.Dict) > 0 {
+		dst = append(dst, DictID(e.params.Dict))
+	}
+	if contentSize >= 0 {
+		dst = ibits.AppendUvarint(dst, uint64(contentSize))
+	}
+	return dst
+}
+
+// blockPlan is one block's slice of the frame-wide parse.
+type blockPlan struct {
+	start int // offset within the payload
+	size  int
+	seqs  []lz77.Seq
+}
+
+// splitBlocks carves a frame-wide sequence list into MaxBlockSize blocks,
+// splitting literal runs and matches that straddle a boundary. A split match
+// continues in the next block with the same offset, which stays valid
+// because the decoder's window is frame-wide.
+func splitBlocks(seqs []lz77.Seq, total int) []blockPlan {
+	var plans []blockPlan
+	cur := blockPlan{}
+	room := MaxBlockSize
+	if total < room {
+		room = total
+	}
+	flush := func() {
+		plans = append(plans, cur)
+		nextStart := cur.start + cur.size
+		cur = blockPlan{start: nextStart}
+		room = MaxBlockSize
+		if total-nextStart < room {
+			room = total - nextStart
+		}
+	}
+	push := func(s lz77.Seq) {
+		cur.seqs = append(cur.seqs, s)
+		cur.size += s.LitLen + s.MatchLen
+		room -= s.LitLen + s.MatchLen
+		if room == 0 && cur.start+cur.size < total {
+			flush()
+		}
+	}
+	for _, s := range seqs {
+		for s.LitLen+s.MatchLen > room {
+			take := room // capture: push refreshes room when the block fills
+			if s.LitLen >= take {
+				push(lz77.Seq{LitLen: take})
+				s.LitLen -= take
+			} else {
+				m := take - s.LitLen
+				push(lz77.Seq{LitLen: s.LitLen, Offset: s.Offset, MatchLen: m})
+				s.LitLen = 0
+				s.MatchLen -= m
+			}
+		}
+		if s.LitLen+s.MatchLen > 0 {
+			push(s)
+		}
+	}
+	if cur.size > 0 || len(plans) == 0 {
+		plans = append(plans, cur)
+	}
+	return plans
+}
+
+// Encode compresses src with default parameters.
+func Encode(src []byte) []byte {
+	e, err := NewEncoder(Params{})
+	if err != nil {
+		panic(err) // defaults are always valid
+	}
+	return e.Encode(src)
+}
+
+// encodeBlock appends one block (header + body) to dst. The caller supplies
+// the block's slice of the frame-wide parse and its literal bytes.
+func (e *Encoder) encodeBlock(dst, block, literals []byte, seqs []lz77.Seq, last bool) []byte {
+	lastBit := byte(0)
+	if last {
+		lastBit = 1
+	}
+	// RLE block: all bytes identical. (Its bytes still join the frame
+	// history; later blocks may reference them.)
+	if allSame(block) {
+		dst = append(dst, byte(blockRLE<<1)|lastBit)
+		dst = ibits.AppendUvarint(dst, uint64(len(block)))
+		return append(dst, block[0])
+	}
+	var body []byte
+	body = e.appendLiteralsSection(body, literals)
+	body = e.appendSequencesSection(body, seqs)
+	if len(body) >= len(block) {
+		// Incompressible: raw block.
+		dst = append(dst, byte(blockRaw<<1)|lastBit)
+		dst = ibits.AppendUvarint(dst, uint64(len(block)))
+		return append(dst, block...)
+	}
+	dst = append(dst, byte(blockCompressed<<1)|lastBit)
+	dst = ibits.AppendUvarint(dst, uint64(len(block)))
+	dst = ibits.AppendUvarint(dst, uint64(len(body)))
+	return append(dst, body...)
+}
+
+func allSame(b []byte) bool {
+	for _, c := range b[1:] {
+		if c != b[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// appendLiteralsSection emits: mode byte, varint literal count, then for
+// Huffman mode a varint byte-length-prefixed bitstream holding the code
+// table and codes.
+func (e *Encoder) appendLiteralsSection(dst, literals []byte) []byte {
+	if len(literals) == 0 {
+		dst = append(dst, litRaw)
+		return ibits.AppendUvarint(dst, 0)
+	}
+	huffBytes := e.huffmanLiterals(literals)
+	if huffBytes == nil || len(huffBytes) >= len(literals) {
+		dst = append(dst, litRaw)
+		dst = ibits.AppendUvarint(dst, uint64(len(literals)))
+		return append(dst, literals...)
+	}
+	dst = append(dst, litHuffman)
+	dst = ibits.AppendUvarint(dst, uint64(len(literals)))
+	dst = ibits.AppendUvarint(dst, uint64(len(huffBytes)))
+	return append(dst, huffBytes...)
+}
+
+// huffmanLiterals returns the Huffman-coded literal stream (table + codes),
+// or nil if the literals are degenerate or incompressible.
+func (e *Encoder) huffmanLiterals(literals []byte) []byte {
+	var hist [256]int
+	for _, b := range literals {
+		hist[b]++
+	}
+	table, err := huffman.Build(hist[:], e.params.HuffMaxBits)
+	if err != nil {
+		return nil
+	}
+	w := ibits.NewWriter(len(literals) / 2)
+	table.WriteTable(w)
+	if err := huffman.NewEncoder(table).Encode(w, literals); err != nil {
+		return nil
+	}
+	return w.Bytes()
+}
+
+// appendSequencesSection emits: varint sequence count, then the three code
+// streams (LL, OF, ML) and the shared extra-bits stream.
+func (e *Encoder) appendSequencesSection(dst []byte, seqs []lz77.Seq) []byte {
+	dst = ibits.AppendUvarint(dst, uint64(len(seqs)))
+	if len(seqs) == 0 {
+		return dst
+	}
+	llCodes := make([]uint8, len(seqs))
+	ofCodes := make([]uint8, len(seqs))
+	mlCodes := make([]uint8, len(seqs))
+	var extras ibits.Writer
+	reps := newRepHistory() // per-block recent-offset state, as the decoder's
+	for i, s := range seqs {
+		var w uint8
+		var x uint32
+		llCodes[i], x, w = seqCode(uint32(s.LitLen))
+		extras.WriteBits(uint64(x), uint(w))
+		if s.MatchLen == 0 {
+			// Terminal literal run: offset code 0 / matchlen code 0 encode
+			// "no match" (offset value 0 is otherwise impossible).
+			ofCodes[i], mlCodes[i] = 0, 0
+			continue
+		}
+		ofCodes[i], x, w = seqCode(reps.encode(s.Offset))
+		extras.WriteBits(uint64(x), uint(w))
+		// Match lengths are coded directly (not biased by MinMatch): block
+		// splitting can leave match continuations shorter than MinMatch.
+		mlCodes[i], x, w = seqCode(uint32(s.MatchLen))
+		extras.WriteBits(uint64(x), uint(w))
+	}
+	dst = e.appendCodeStream(dst, llCodes)
+	dst = e.appendCodeStream(dst, ofCodes)
+	dst = e.appendCodeStream(dst, mlCodes)
+	eb := extras.Bytes()
+	dst = ibits.AppendUvarint(dst, uint64(len(eb)))
+	return append(dst, eb...)
+}
+
+// appendCodeStream emits one sequence-code stream: mode byte, varint byte
+// length, payload. FSE mode embeds the normalized counts ahead of the coded
+// bits; raw mode packs 6-bit codes (and is forced by DisableFSE, the
+// Flate-class configuration).
+func (e *Encoder) appendCodeStream(dst []byte, codes []uint8) []byte {
+	tableLog := e.params.TableLog
+	hist := make([]int, maxSeqCode)
+	for _, c := range codes {
+		hist[c]++
+	}
+	if e.params.DisableFSE {
+		hist = nil // fall through to the raw encoding below
+	}
+	if norm, err := fse.Normalize(hist, tableLog); err == nil {
+		if enc, err := fse.NewEncTable(norm, tableLog); err == nil {
+			var w ibits.Writer
+			if fse.WriteNorm(&w, norm, tableLog) == nil && enc.Encode(&w, codes) == nil {
+				payload := w.Bytes()
+				if len(payload) < (len(codes)*seqCodeBits+7)/8 {
+					dst = append(dst, seqFSE)
+					dst = ibits.AppendUvarint(dst, uint64(len(payload)))
+					return append(dst, payload...)
+				}
+			}
+		}
+	}
+	// Raw fallback: fixed-width codes (degenerate or FSE-unprofitable).
+	var w ibits.Writer
+	for _, c := range codes {
+		w.WriteBits(uint64(c), seqCodeBits)
+	}
+	payload := w.Bytes()
+	dst = append(dst, seqRaw)
+	dst = ibits.AppendUvarint(dst, uint64(len(payload)))
+	return append(dst, payload...)
+}
