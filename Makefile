@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all check vet build test race bench
+
+all: check
+
+# Full gate: what CI (and pre-commit) should run.
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The scheduler and experiment caches are the concurrency-sensitive core;
+# run them under the race detector.
+race:
+	$(GO) test -race ./internal/exp/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' ./...

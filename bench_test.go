@@ -7,6 +7,12 @@ package cdpu
 // Figure benchmarks run at the reduced QuickConfig scale so that
 // `go test -bench=. -benchmem` finishes in minutes; cmd/cdpubench and
 // cmd/fleetprofile run the same experiments at full scale.
+//
+// DSE figure benchmarks go through the internal/exp scheduler, whose
+// config-run memo persists across b.N iterations: the first iteration
+// simulates, later iterations are cache hits. Their ns/op therefore measures
+// amortized (memoized) sweep cost; BenchmarkDSESummary additionally reuses
+// fig11/fig14 grid corners when those ran earlier in the same process.
 
 import (
 	"bytes"

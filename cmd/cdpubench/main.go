@@ -9,6 +9,7 @@
 //	cdpubench -ablation hash       # hash|fse|stats
 //	cdpubench -all                 # everything
 //	cdpubench -files 500 -seed 2   # scale/seed overrides
+//	cdpubench -workers 4           # simulation worker-pool size
 //	cdpubench -csv out/            # also write each table as CSV
 package main
 
@@ -18,6 +19,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"cdpu/internal/exp"
 )
@@ -30,8 +32,11 @@ func main() {
 	files := flag.Int("files", 0, "HyperCompressBench files per suite (default 500; paper uses 8000-10000)")
 	maxFile := flag.Int("maxfile", 0, "max benchmark file size in bytes (default 4 MiB)")
 	seed := flag.Int64("seed", 0, "generation seed (default 1)")
+	workers := flag.Int("workers", 0, "simulation worker-pool size (default min(8, NumCPU-1))")
 	csvDir := flag.String("csv", "", "directory to write per-table CSV files into")
 	flag.Parse()
+
+	exp.SetWorkers(*workers)
 
 	cfg := exp.DefaultConfig()
 	if *files > 0 {
@@ -77,10 +82,15 @@ func runOne(id string, cfg exp.Config, csvDir string) error {
 	if err != nil {
 		return err
 	}
+	before := exp.RunCacheStats()
+	start := time.Now()
 	tables, err := e.Run(cfg)
 	if err != nil {
 		return fmt.Errorf("%s: %w", id, err)
 	}
+	after := exp.RunCacheStats()
+	fmt.Fprintf(os.Stderr, "# %-14s %8.2fs  config-runs: %d cached / %d simulated (workers=%d)\n",
+		id, time.Since(start).Seconds(), after.Hits-before.Hits, after.Misses-before.Misses, exp.Workers())
 	for i, t := range tables {
 		fmt.Println(t.String())
 		if csvDir != "" {

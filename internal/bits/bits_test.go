@@ -216,3 +216,53 @@ func TestVarintPrefixConsumption(t *testing.T) {
 		t.Fatalf("got v=%d n=%d err=%v", v, n, err)
 	}
 }
+
+// TestFillWordRefillMatchesByteRefill cross-checks the 8-byte fast-path
+// refill against a reference byte-at-a-time reader over random field widths.
+func TestFillWordRefillMatchesByteRefill(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var w Writer
+	type field struct {
+		v uint64
+		n uint
+	}
+	var fields []field
+	for i := 0; i < 5000; i++ {
+		n := uint(1 + rng.Intn(56))
+		v := rng.Uint64() & ((1 << n) - 1)
+		fields = append(fields, field{v, n})
+		w.WriteBits(v, n)
+	}
+	r := NewReader(w.Bytes())
+	for i, f := range fields {
+		if got := r.ReadBits(f.n); got != f.v {
+			t.Fatalf("field %d: read %#x, want %#x", i, got, f.v)
+		}
+	}
+	if r.Err() != nil {
+		t.Fatalf("reader error: %v", r.Err())
+	}
+}
+
+// BenchmarkBitsReaderFill measures the Reader refill hot path: many small
+// reads over a long stream, the FSE/Huffman decode access pattern.
+func BenchmarkBitsReaderFill(b *testing.B) {
+	var w Writer
+	const fields = 1 << 16
+	for i := 0; i < fields; i++ {
+		w.WriteBits(uint64(i), uint(5+i%11))
+	}
+	buf := w.Bytes()
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(buf)
+		for j := 0; j < fields; j++ {
+			r.ReadBits(uint(5 + j%11))
+		}
+		if r.Err() != nil {
+			b.Fatal(r.Err())
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package bits
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -23,7 +24,21 @@ func NewReader(buf []byte) *Reader {
 }
 
 // fill ensures at least n (≤ 56) bits are buffered if the stream has them.
+// Away from the end of the stream a single 64-bit load refills as many whole
+// bytes as the accumulator holds (≥ 7 when nacc < 56, so one pass always
+// satisfies n); the stream tail falls back to byte-at-a-time refill.
 func (r *Reader) fill(n uint) {
+	if r.nacc >= n {
+		return
+	}
+	if r.pos+8 <= len(r.buf) {
+		w := binary.LittleEndian.Uint64(r.buf[r.pos:])
+		take := (64 - r.nacc) >> 3 // whole bytes that fit in acc
+		r.acc |= (w & (1<<(take<<3) - 1)) << r.nacc
+		r.pos += int(take)
+		r.nacc += take << 3
+		return
+	}
 	for r.nacc < n && r.pos < len(r.buf) {
 		r.acc |= uint64(r.buf[r.pos]) << r.nacc
 		r.pos++

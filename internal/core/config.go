@@ -143,6 +143,19 @@ func (c Config) Name() string {
 	return s
 }
 
+// Key returns a canonical identity string for the configuration with
+// defaults applied: two Configs with equal Keys generate functionally and
+// temporally identical units. The DSE scheduler keys its config-run memo on
+// this, so e.g. a sweep cell requested as {Algo: ZStd} and the same cell
+// requested with every default spelled out share one simulation.
+func (c Config) Key() string {
+	c = c.withDefaults()
+	return fmt.Sprintf("%d.%d.%d.%d.%d.%d.%d.%d.%d.%d.%d.%+v",
+		c.Algo, c.Op, c.Placement, c.HistorySRAM, c.HashTableEntries,
+		c.HashAssociativity, c.HashFunc, c.TableContents, c.Speculation,
+		c.StatsWidth, c.FSETableLog, c.Mem)
+}
+
 func log2(v int) int {
 	n := 0
 	for 1<<n < v {

@@ -42,6 +42,12 @@ type Decompressor struct {
 	cfg   Config
 	sys   *memsys.System
 	iface *soc.Interface
+
+	// Snappy command-stream scratch, reused across calls to cut the two
+	// dominant per-call allocations on the DSE hot path. Never aliased into
+	// a Result, so reuse is invisible to callers.
+	seqScratch []lz77.Seq
+	litScratch []byte
 }
 
 // NewDecompressor generates a decompressor instance from cfg (Op is forced
@@ -133,10 +139,11 @@ func (d *Decompressor) execSeqs(seqs []lz77.Seq, res *Result) float64 {
 }
 
 func (d *Decompressor) snappyCall(src []byte, res *Result) error {
-	seqs, literals, n, err := snappy.DecodeSeqs(src)
+	seqs, literals, n, err := snappy.AppendDecodeSeqs(d.seqScratch[:0], d.litScratch[:0], src)
 	if err != nil {
 		return err
 	}
+	d.seqScratch, d.litScratch = seqs, literals
 	out, err := lz77.Reconstruct(seqs, literals, 0, n)
 	if err != nil {
 		return err

@@ -2,7 +2,6 @@ package exp
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"cdpu/internal/comp"
@@ -33,58 +32,89 @@ var sramSweep = []int{64 << 10, 32 << 10, 16 << 10, 8 << 10, 4 << 10, 2 << 10}
 func sramLabel(b int) string { return fmt.Sprintf("%dK", b>>10) }
 
 // suite caching: pool construction and assembly dominate experiment setup,
-// and the four suites are shared by several experiments.
-var suiteCache = map[string]*hcbench.Suite{}
+// and the four suites are shared by several experiments. The memoMaps make
+// the caches safe (and deduplicated) under concurrent experiment execution;
+// unlike the config-run memo they are worker-count independent, so they
+// survive SetWorkers.
+var (
+	suiteMemo   memoMap[*hcbench.Suite]
+	compMemo    memoMap[*compressedSuite]
+	swRatioMemo memoMap[float64]
+
+	suiteKeysMu sync.Mutex
+	suiteKeys   = map[*hcbench.Suite]string{}
+)
+
+// suiteKey returns the identity string under which a suite was generated.
+// Suites not minted by getSuite fall back to pointer identity, which is
+// stable for the life of the process.
+func suiteKey(s *hcbench.Suite) string {
+	suiteKeysMu.Lock()
+	defer suiteKeysMu.Unlock()
+	if k, ok := suiteKeys[s]; ok {
+		return k
+	}
+	return fmt.Sprintf("%p", s)
+}
 
 func getSuite(cfg Config, algo comp.Algorithm, op comp.Op) (*hcbench.Suite, error) {
 	key := fmt.Sprintf("%v-%v-%d-%d-%d", algo, op, cfg.SuiteFiles, cfg.MaxFileBytes, cfg.Seed)
-	if s, ok := suiteCache[key]; ok {
+	return suiteMemo.do(key, func() (*hcbench.Suite, error) {
+		s, err := hcbench.Generate(hcbench.Spec{
+			Algo: algo, Op: op, N: cfg.SuiteFiles,
+			MaxFileBytes: cfg.MaxFileBytes, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		suiteKeysMu.Lock()
+		suiteKeys[s] = key
+		suiteKeysMu.Unlock()
 		return s, nil
-	}
-	s, err := hcbench.Generate(hcbench.Spec{
-		Algo: algo, Op: op, N: cfg.SuiteFiles,
-		MaxFileBytes: cfg.MaxFileBytes, Seed: cfg.Seed,
 	})
-	if err != nil {
-		return nil, err
-	}
-	suiteCache[key] = s
-	return s, nil
 }
 
 // compressedSuite holds a decompression workload: each benchmark file
 // compressed in software with its recorded parameters.
 type compressedSuite struct {
+	key        string
 	suite      *hcbench.Suite
 	compressed [][]byte
 	xeonCycles float64 // total Xeon decompression cycles over the suite
 }
 
-var compCache = map[string]*compressedSuite{}
-
 func getCompressedSuite(cfg Config, algo comp.Algorithm) (*compressedSuite, error) {
 	key := fmt.Sprintf("%v-%d-%d-%d", algo, cfg.SuiteFiles, cfg.MaxFileBytes, cfg.Seed)
-	if s, ok := compCache[key]; ok {
-		return s, nil
-	}
-	suite, err := getSuite(cfg, algo, comp.Decompress)
-	if err != nil {
-		return nil, err
-	}
-	cs := &compressedSuite{suite: suite}
-	for _, f := range suite.Files {
-		// Full fleet-sampled window logs: frames may carry offsets far
-		// beyond any on-accelerator SRAM, exercising the off-chip history
-		// fallback exactly as §3.6 argues.
-		enc, err := comp.CompressCall(f.Algo, f.Level, f.WindowLog, f.Data)
+	return compMemo.do(key, func() (*compressedSuite, error) {
+		suite, err := getSuite(cfg, algo, comp.Decompress)
 		if err != nil {
 			return nil, err
 		}
-		cs.compressed = append(cs.compressed, enc)
-		cs.xeonCycles += xeon.Cycles(algo, comp.Decompress, f.Level, len(f.Data))
-	}
-	compCache[key] = cs
-	return cs, nil
+		cs := &compressedSuite{key: key, suite: suite}
+		cs.compressed = make([][]byte, len(suite.Files))
+		// Software compression of the suite is embarrassingly parallel (every
+		// call builds its own encoder), so it runs on the shared pool; the
+		// Xeon-cycle total is reduced in file order below.
+		err = current().parallelFiles(len(suite.Files), func(i int) error {
+			f := suite.Files[i]
+			// Full fleet-sampled window logs: frames may carry offsets far
+			// beyond any on-accelerator SRAM, exercising the off-chip history
+			// fallback exactly as §3.6 argues.
+			enc, err := comp.CompressCall(f.Algo, f.Level, f.WindowLog, f.Data)
+			if err != nil {
+				return err
+			}
+			cs.compressed[i] = enc
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range suite.Files {
+			cs.xeonCycles += xeon.Cycles(algo, comp.Decompress, f.Level, len(f.Data))
+		}
+		return cs, nil
+	})
 }
 
 // xeonSeconds converts Xeon cycles to seconds at the Xeon clock.
@@ -93,124 +123,25 @@ func xeonSeconds(cycles float64) float64 { return xeon.Seconds(cycles) }
 // cdpuSeconds converts CDPU cycles to seconds at the SoC clock (2 GHz).
 func cdpuSeconds(cycles float64) float64 { return cycles / 2.0e9 }
 
-// dseWorkers bounds the suite-runner parallelism. Results are reduced in
-// file-index order, so totals are bit-identical regardless of scheduling.
-var dseWorkers = max(1, min(8, runtime.NumCPU()-1))
-
-// parallelFiles runs fn over [0,n) on a bounded worker pool and returns the
-// first error.
-func parallelFiles(n int, fn func(i int) error) error {
-	sem := make(chan struct{}, dseWorkers)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			errs[i] = fn(i)
-		}(i)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("file %d: %w", i, err)
-		}
-	}
-	return nil
-}
-
-// runDecompConfig runs a decompression suite through one CDPU configuration,
-// returning total accelerator cycles. Each worker gets its own instance
-// (instances are not safe for concurrent use); cycles are deterministic
-// per call, so the index-ordered sum is reproducible.
+// runDecompConfig runs a decompression suite through one CDPU configuration
+// on the shared scheduler, returning total accelerator cycles. Repeat runs of
+// a canonically equal config are served from the memo.
 func runDecompConfig(cs *compressedSuite, cfg core.Config) (float64, error) {
-	perFile := make([]float64, len(cs.compressed))
-	pool := make(chan *core.Decompressor, dseWorkers)
-	for w := 0; w < dseWorkers; w++ {
-		d, err := core.NewDecompressor(cfg)
-		if err != nil {
-			return 0, err
-		}
-		pool <- d
-	}
-	err := parallelFiles(len(cs.compressed), func(i int) error {
-		d := <-pool
-		defer func() { pool <- d }()
-		res, err := d.Decompress(cs.compressed[i])
-		if err != nil {
-			return err
-		}
-		if res.OutputBytes != len(cs.suite.Files[i].Data) {
-			return fmt.Errorf("functional mismatch")
-		}
-		perFile[i] = res.Cycles
-		return nil
-	})
-	if err != nil {
-		return 0, err
-	}
-	total := 0.0
-	for _, c := range perFile {
-		total += c
-	}
-	return total, nil
+	return current().decompConfig(cs, cfg)
 }
 
-// runCompConfig runs a compression suite through one CDPU configuration,
-// returning total cycles and the achieved aggregate ratio, reduced in file
-// order for reproducibility.
+// runCompConfig runs a compression suite through one CDPU configuration on
+// the shared scheduler, returning total cycles and the achieved aggregate
+// ratio. Repeat runs of a canonically equal config are served from the memo.
 func runCompConfig(suite *hcbench.Suite, cfg core.Config) (cycles, ratio float64, err error) {
-	type out struct {
-		cycles float64
-		outLen int
-	}
-	perFile := make([]out, len(suite.Files))
-	pool := make(chan *core.Compressor, dseWorkers)
-	for w := 0; w < dseWorkers; w++ {
-		c, err := core.NewCompressor(cfg)
-		if err != nil {
-			return 0, 0, err
-		}
-		pool <- c
-	}
-	err = parallelFiles(len(suite.Files), func(i int) error {
-		c := <-pool
-		defer func() { pool <- c }()
-		res, err := c.Compress(suite.Files[i].Data)
-		if err != nil {
-			return err
-		}
-		perFile[i] = out{cycles: res.Cycles, outLen: res.OutputBytes}
-		return nil
-	})
-	if err != nil {
-		return 0, 0, err
-	}
-	var u, comp2 float64
-	for i, o := range perFile {
-		cycles += o.cycles
-		u += float64(len(suite.Files[i].Data))
-		comp2 += float64(o.outLen)
-	}
-	return cycles, u / comp2, nil
+	return current().compConfig(suite, cfg)
 }
 
 // softwareRatio computes the suite-aggregate software compression ratio.
-var swRatioCache = map[string]float64{}
-
 func softwareRatio(cfg Config, suite *hcbench.Suite) (float64, error) {
-	key := fmt.Sprintf("%v-%v-%d-%d-%d", suite.Algo, suite.Op, cfg.SuiteFiles, cfg.MaxFileBytes, cfg.Seed)
-	if r, ok := swRatioCache[key]; ok {
-		return r, nil
-	}
-	r, err := suite.MeasuredAggregateRatio()
-	if err != nil {
-		return 0, err
-	}
-	swRatioCache[key] = r
-	return r, nil
+	return swRatioMemo.do(suiteKey(suite), func() (float64, error) {
+		return suite.MeasuredAggregateRatio()
+	})
 }
 
 func runFig7(cfg Config) ([]*Table, error) {
@@ -254,34 +185,50 @@ func runFig7(cfg Config) ([]*Table, error) {
 }
 
 // decompSweepTable runs the Figure 11/14 shape: speedup vs Xeon across SRAM
-// sizes and placements, plus normalized area.
+// sizes and placements, plus normalized area. The whole (SRAM x placement)
+// grid is flattened into one batch on the shared pool — no barrier between
+// cells — and rows are rendered afterwards in sweep order, so the table is
+// identical at any worker count.
 func decompSweepTable(cfg Config, algo comp.Algorithm, title string, speculation int) (*Table, error) {
 	cs, err := getCompressedSuite(cfg, algo)
 	if err != nil {
 		return nil, err
 	}
 	xeonS := xeonSeconds(cs.xeonCycles)
+	cells := make([][]float64, len(sramSweep))
+	var fns []func() error
+	for si, sram := range sramSweep {
+		cells[si] = make([]float64, len(memsys.Placements))
+		for pi, p := range memsys.Placements {
+			c := core.Config{Algo: algo, Placement: p, HistorySRAM: sram, Speculation: speculation}
+			fns = append(fns, func() error {
+				cyc, err := runDecompConfig(cs, c)
+				if err == nil {
+					cells[si][pi] = cyc
+				}
+				return err
+			})
+		}
+	}
+	if err := runAll(fns...); err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:   title,
 		Note:    fmt.Sprintf("Suite: %d files, %.1f MB uncompressed; speedup = Xeon time / CDPU time.", len(cs.suite.Files), float64(cs.suite.TotalUncompressedBytes())/1e6),
 		Columns: []string{"SRAM", "RoCC", "Chiplet", "PCIeLocalCache", "PCIeNoCache", "area-mm2", "area-vs-64K"},
 	}
 	base := 0.0
-	for _, sram := range sramSweep {
+	for si, sram := range sramSweep {
 		row := []string{sramLabel(sram)}
-		var areaTotal float64
-		for _, p := range memsys.Placements {
-			c := core.Config{Algo: algo, Placement: p, HistorySRAM: sram, Speculation: speculation}
-			cyc, err := runDecompConfig(cs, c)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, f2(xeonS/cdpuSeconds(cyc))+"x")
-			if p == memsys.RoCC {
-				d, _ := core.NewDecompressor(c)
-				areaTotal = d.Area().Total()
-			}
+		for pi := range memsys.Placements {
+			row = append(row, f2(xeonS/cdpuSeconds(cells[si][pi]))+"x")
 		}
+		d, err := core.NewDecompressor(core.Config{Algo: algo, Placement: memsys.RoCC, HistorySRAM: sram, Speculation: speculation})
+		if err != nil {
+			return nil, err
+		}
+		areaTotal := d.Area().Total()
 		if base == 0 {
 			base = areaTotal
 		}
@@ -301,7 +248,8 @@ func runFig11(cfg Config) ([]*Table, error) {
 	return []*Table{t}, nil
 }
 
-// compSweepTable runs the Figure 12/13/15 shape.
+// compSweepTable runs the Figure 12/13/15 shape, flattened onto the shared
+// pool like decompSweepTable.
 func compSweepTable(cfg Config, algo comp.Algorithm, hashEntries int, title string) (*Table, error) {
 	suite, err := getSuite(cfg, algo, comp.Compress)
 	if err != nil {
@@ -316,6 +264,26 @@ func compSweepTable(cfg Config, algo comp.Algorithm, hashEntries int, title stri
 		xeonCyc += xeon.Cycles(algo, comp.Compress, f.Level, len(f.Data))
 	}
 	xeonS := xeonSeconds(xeonCyc)
+	compPlacements := []memsys.Placement{memsys.RoCC, memsys.Chiplet, memsys.PCIeNoCache}
+	type cell struct{ cycles, ratio float64 }
+	cells := make([][]cell, len(sramSweep))
+	var fns []func() error
+	for si, sram := range sramSweep {
+		cells[si] = make([]cell, len(compPlacements))
+		for pi, p := range compPlacements {
+			c := core.Config{Algo: algo, Placement: p, HistorySRAM: sram, HashTableEntries: hashEntries}
+			fns = append(fns, func() error {
+				cyc, ratio, err := runCompConfig(suite, c)
+				if err == nil {
+					cells[si][pi] = cell{cycles: cyc, ratio: ratio}
+				}
+				return err
+			})
+		}
+	}
+	if err := runAll(fns...); err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title: title,
 		Note: fmt.Sprintf("Suite: %d files, %.1f MB; ratio normalized to software's %.2f. Area normalized to the 64K/HT14 instance.",
@@ -328,23 +296,17 @@ func compSweepTable(cfg Config, algo comp.Algorithm, hashEntries int, title stri
 		return nil, err
 	}
 	baseArea := full.Area().Total()
-	for _, sram := range sramSweep {
+	for si, sram := range sramSweep {
 		row := []string{sramLabel(sram)}
-		var hwRatio float64
-		var areaTotal float64
-		for _, p := range []memsys.Placement{memsys.RoCC, memsys.Chiplet, memsys.PCIeNoCache} {
-			c := core.Config{Algo: algo, Placement: p, HistorySRAM: sram, HashTableEntries: hashEntries}
-			cyc, ratio, err := runCompConfig(suite, c)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, f2(xeonS/cdpuSeconds(cyc))+"x")
-			if p == memsys.RoCC {
-				hwRatio = ratio
-				cc, _ := core.NewCompressor(c)
-				areaTotal = cc.Area().Total()
-			}
+		for pi := range compPlacements {
+			row = append(row, f2(xeonS/cdpuSeconds(cells[si][pi].cycles))+"x")
 		}
+		hwRatio := cells[si][0].ratio // RoCC cell
+		cc, err := core.NewCompressor(core.Config{Algo: algo, Placement: memsys.RoCC, HistorySRAM: sram, HashTableEntries: hashEntries})
+		if err != nil {
+			return nil, err
+		}
+		areaTotal := cc.Area().Total()
 		row = append(row, f3(hwRatio/swRatio), f3(areaTotal), f3(areaTotal/baseArea))
 		t.AddRow(row...)
 	}
@@ -378,7 +340,9 @@ func runFig14(cfg Config) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Speculation sweep at 64K (the paper's §6.4 text numbers).
+	// Speculation sweep at 64K (the paper's §6.4 text numbers). Areas are
+	// computed in the same pass as the cycle runs; the spec=16 instance
+	// normalizes the last column.
 	cs, err := getCompressedSuite(cfg, comp.ZStd)
 	if err != nil {
 		return nil, err
@@ -388,25 +352,34 @@ func runFig14(cfg Config) ([]*Table, error) {
 		Title:   "Figure 14 (text): ZStd decompression Huffman speculation sweep at 64K SRAM",
 		Columns: []string{"speculation", "speedup-vs-Xeon", "area-mm2", "area-vs-spec16"},
 	}
+	specs := []int{4, 16, 32}
+	cycles := make([]float64, len(specs))
+	areas := make([]float64, len(specs))
 	base := 0.0
-	for _, s := range []int{4, 16, 32} {
+	var fns []func() error
+	for i, s := range specs {
 		c := core.Config{Algo: comp.ZStd, HistorySRAM: 64 << 10, Speculation: s}
-		cyc, err := runDecompConfig(cs, c)
+		d, err := core.NewDecompressor(c)
 		if err != nil {
 			return nil, err
 		}
-		d, _ := core.NewDecompressor(c)
-		a := d.Area().Total()
+		areas[i] = d.Area().Total()
 		if s == 16 {
-			base = a
+			base = areas[i]
 		}
-		spec.AddRow(fmt.Sprintf("%d", s), f2(xeonS/cdpuSeconds(cyc))+"x", f3(a), "")
+		fns = append(fns, func() error {
+			cyc, err := runDecompConfig(cs, c)
+			if err == nil {
+				cycles[i] = cyc
+			}
+			return err
+		})
 	}
-	// Fill normalized column now that the base is known.
-	for i, s := range []int{4, 16, 32} {
-		c := core.Config{Algo: comp.ZStd, HistorySRAM: 64 << 10, Speculation: s}
-		d, _ := core.NewDecompressor(c)
-		spec.Rows[i][3] = f3(d.Area().Total() / base)
+	if err := runAll(fns...); err != nil {
+		return nil, err
+	}
+	for i, s := range specs {
+		spec.AddRow(fmt.Sprintf("%d", s), f2(xeonS/cdpuSeconds(cycles[i]))+"x", f3(areas[i]), f3(areas[i]/base))
 	}
 	return []*Table{t, spec}, nil
 }
@@ -445,31 +418,6 @@ func runDSESummary(cfg Config) ([]*Table, error) {
 		return nil, err
 	}
 
-	speedups := map[string]float64{}
-	record := func(name string, xeonCyc, cdpuCyc float64) {
-		speedups[name] = xeonSeconds(xeonCyc) / cdpuSeconds(cdpuCyc)
-	}
-	cyc, err := runDecompConfig(snapD, core.Config{Algo: comp.Snappy})
-	if err != nil {
-		return nil, err
-	}
-	record("snappy-D RoCC 64K", snapD.xeonCycles, cyc)
-	cyc, err = runDecompConfig(snapD, core.Config{Algo: comp.Snappy, Placement: memsys.PCIeNoCache})
-	if err != nil {
-		return nil, err
-	}
-	record("snappy-D PCIe 64K", snapD.xeonCycles, cyc)
-	cyc, err = runDecompConfig(zstdD, core.Config{Algo: comp.ZStd})
-	if err != nil {
-		return nil, err
-	}
-	record("zstd-D RoCC 64K", zstdD.xeonCycles, cyc)
-	cyc, err = runDecompConfig(zstdD, core.Config{Algo: comp.ZStd, Placement: memsys.PCIeNoCache})
-	if err != nil {
-		return nil, err
-	}
-	record("zstd-D PCIe 64K", zstdD.xeonCycles, cyc)
-
 	var snapCXeon, zstdCXeon float64
 	for _, f := range snapC.Files {
 		snapCXeon += xeon.Cycles(comp.Snappy, comp.Compress, f.Level, len(f.Data))
@@ -477,26 +425,55 @@ func runDSESummary(cfg Config) ([]*Table, error) {
 	for _, f := range zstdC.Files {
 		zstdCXeon += xeon.Cycles(comp.ZStd, comp.Compress, f.Level, len(f.Data))
 	}
-	cyc, _, err = runCompConfig(snapC, core.Config{Algo: comp.Snappy})
+
+	// All eight summary configurations run as one batch on the shared pool;
+	// most are corner cells of the Figure 11-15 grids and come straight from
+	// the memo when those figures ran first.
+	decomp := func(cs *compressedSuite, cfg core.Config, dst *float64) func() error {
+		return func() error {
+			cyc, err := runDecompConfig(cs, cfg)
+			if err == nil {
+				*dst = cyc
+			}
+			return err
+		}
+	}
+	compress := func(s *hcbench.Suite, cfg core.Config, dst *float64) func() error {
+		return func() error {
+			cyc, _, err := runCompConfig(s, cfg)
+			if err == nil {
+				*dst = cyc
+			}
+			return err
+		}
+	}
+	var snapDRoCC, snapDPCIe, zstdDRoCC, zstdDPCIe, snapCRoCC, zstdCRoCC, snapCPCIe, zstdDWorst float64
+	err = runAll(
+		decomp(snapD, core.Config{Algo: comp.Snappy}, &snapDRoCC),
+		decomp(snapD, core.Config{Algo: comp.Snappy, Placement: memsys.PCIeNoCache}, &snapDPCIe),
+		decomp(zstdD, core.Config{Algo: comp.ZStd}, &zstdDRoCC),
+		decomp(zstdD, core.Config{Algo: comp.ZStd, Placement: memsys.PCIeNoCache}, &zstdDPCIe),
+		compress(snapC, core.Config{Algo: comp.Snappy}, &snapCRoCC),
+		compress(zstdC, core.Config{Algo: comp.ZStd}, &zstdCRoCC),
+		compress(snapC, core.Config{Algo: comp.Snappy, Placement: memsys.PCIeNoCache}, &snapCPCIe),
+		decomp(zstdD, core.Config{Algo: comp.ZStd, Speculation: 4, Placement: memsys.PCIeNoCache, HistorySRAM: 2 << 10}, &zstdDWorst),
+	)
 	if err != nil {
 		return nil, err
 	}
-	record("snappy-C RoCC 64K14HT", snapCXeon, cyc)
-	cyc, _, err = runCompConfig(zstdC, core.Config{Algo: comp.ZStd})
-	if err != nil {
-		return nil, err
+
+	speedups := map[string]float64{}
+	record := func(name string, xeonCyc, cdpuCyc float64) {
+		speedups[name] = xeonSeconds(xeonCyc) / cdpuSeconds(cdpuCyc)
 	}
-	record("zstd-C RoCC 64K14HT", zstdCXeon, cyc)
-	cyc, _, err = runCompConfig(snapC, core.Config{Algo: comp.Snappy, Placement: memsys.PCIeNoCache})
-	if err != nil {
-		return nil, err
-	}
-	record("snappy-C PCIe 64K14HT", snapCXeon, cyc)
-	cyc, err = runDecompConfig(zstdD, core.Config{Algo: comp.ZStd, Speculation: 4, Placement: memsys.PCIeNoCache, HistorySRAM: 2 << 10})
-	if err != nil {
-		return nil, err
-	}
-	record("zstd-D worst (PCIe 2K spec4)", zstdD.xeonCycles, cyc)
+	record("snappy-D RoCC 64K", snapD.xeonCycles, snapDRoCC)
+	record("snappy-D PCIe 64K", snapD.xeonCycles, snapDPCIe)
+	record("zstd-D RoCC 64K", zstdD.xeonCycles, zstdDRoCC)
+	record("zstd-D PCIe 64K", zstdD.xeonCycles, zstdDPCIe)
+	record("snappy-C RoCC 64K14HT", snapCXeon, snapCRoCC)
+	record("zstd-C RoCC 64K14HT", zstdCXeon, zstdCRoCC)
+	record("snappy-C PCIe 64K14HT", snapCXeon, snapCPCIe)
+	record("zstd-D worst (PCIe 2K spec4)", zstdD.xeonCycles, zstdDWorst)
 
 	t.AddRow("Snappy decompression, near-core", f2(speedups["snappy-D RoCC 64K"])+"x", "10.4x")
 	t.AddRow("Snappy decompression, PCIe", f2(speedups["snappy-D PCIe 64K"])+"x", "~1.8x")
@@ -547,18 +524,37 @@ func runAblationHash(cfg Config) ([]*Table, error) {
 		Note:    "Small tables make collisions the binding constraint; associativity and hash quality buy ratio back.",
 		Columns: []string{"hash", "assoc", "ratio-vs-SW", "area-mm2"},
 	}
-	for _, h := range []lz77.HashFunc{lz77.HashFibonacci, lz77.HashXorShift, lz77.HashTrivial} {
-		for _, assoc := range []int{1, 2, 4} {
+	hashes := []lz77.HashFunc{lz77.HashFibonacci, lz77.HashXorShift, lz77.HashTrivial}
+	assocs := []int{1, 2, 4}
+	ratios := make([]float64, len(hashes)*len(assocs))
+	var fns []func() error
+	for hi, h := range hashes {
+		for ai, assoc := range assocs {
 			c := core.Config{
 				Algo: comp.Snappy, HistorySRAM: 2 << 10,
 				HashTableEntries: 1 << 9, HashAssociativity: assoc, HashFunc: h,
 			}
-			_, ratio, err := runCompConfig(suite, c)
-			if err != nil {
-				return nil, err
+			idx := hi*len(assocs) + ai
+			fns = append(fns, func() error {
+				_, ratio, err := runCompConfig(suite, c)
+				if err == nil {
+					ratios[idx] = ratio
+				}
+				return err
+			})
+		}
+	}
+	if err := runAll(fns...); err != nil {
+		return nil, err
+	}
+	for hi, h := range hashes {
+		for ai, assoc := range assocs {
+			c := core.Config{
+				Algo: comp.Snappy, HistorySRAM: 2 << 10,
+				HashTableEntries: 1 << 9, HashAssociativity: assoc, HashFunc: h,
 			}
 			cc, _ := core.NewCompressor(c)
-			t.AddRow(h.String(), fmt.Sprintf("%d", assoc), f3(ratio/swRatio), f3(cc.Area().Total()))
+			t.AddRow(h.String(), fmt.Sprintf("%d", assoc), f3(ratios[hi*len(assocs)+ai]/swRatio), f3(cc.Area().Total()))
 		}
 	}
 	return []*Table{t}, nil
@@ -579,15 +575,27 @@ func runAblationFSE(cfg Config) ([]*Table, error) {
 		Note:    "Higher accuracy buys entropy-coding efficiency at table-SRAM and build-time cost.",
 		Columns: []string{"tableLog", "speedup-vs-Xeon", "achieved-ratio", "area-mm2"},
 	}
-	for _, tl := range []int{5, 7, 9, 11} {
+	tableLogs := []int{5, 7, 9, 11}
+	type cell struct{ cycles, ratio float64 }
+	cells := make([]cell, len(tableLogs))
+	var fns []func() error
+	for i, tl := range tableLogs {
 		c := core.Config{Algo: comp.ZStd, FSETableLog: tl}
-		cyc, ratio, err := runCompConfig(suite, c)
-		if err != nil {
-			return nil, err
-		}
-		cc, _ := core.NewCompressor(c)
+		fns = append(fns, func() error {
+			cyc, ratio, err := runCompConfig(suite, c)
+			if err == nil {
+				cells[i] = cell{cycles: cyc, ratio: ratio}
+			}
+			return err
+		})
+	}
+	if err := runAll(fns...); err != nil {
+		return nil, err
+	}
+	for i, tl := range tableLogs {
+		cc, _ := core.NewCompressor(core.Config{Algo: comp.ZStd, FSETableLog: tl})
 		t.AddRow(fmt.Sprintf("%d", tl),
-			f2(xeonSeconds(xeonCyc)/cdpuSeconds(cyc))+"x", f3(ratio), f3(cc.Area().Total()))
+			f2(xeonSeconds(xeonCyc)/cdpuSeconds(cells[i].cycles))+"x", f3(cells[i].ratio), f3(cc.Area().Total()))
 	}
 	return []*Table{t}, nil
 }
@@ -606,15 +614,26 @@ func runAblationStats(cfg Config) ([]*Table, error) {
 		Title:   "Ablation: symbol-statistics width (ZStd compressor dictionary builders)",
 		Columns: []string{"bytes/cycle", "speedup-vs-Xeon", "area-mm2"},
 	}
-	for _, w := range []int{1, 2, 4, 8, 16, 32} {
+	widths := []int{1, 2, 4, 8, 16, 32}
+	cycles := make([]float64, len(widths))
+	var fns []func() error
+	for i, w := range widths {
 		c := core.Config{Algo: comp.ZStd, StatsWidth: w}
-		cyc, _, err := runCompConfig(suite, c)
-		if err != nil {
-			return nil, err
-		}
-		cc, _ := core.NewCompressor(c)
+		fns = append(fns, func() error {
+			cyc, _, err := runCompConfig(suite, c)
+			if err == nil {
+				cycles[i] = cyc
+			}
+			return err
+		})
+	}
+	if err := runAll(fns...); err != nil {
+		return nil, err
+	}
+	for i, w := range widths {
+		cc, _ := core.NewCompressor(core.Config{Algo: comp.ZStd, StatsWidth: w})
 		t.AddRow(fmt.Sprintf("%d", w),
-			f2(xeonSeconds(xeonCyc)/cdpuSeconds(cyc))+"x", f3(cc.Area().Total()))
+			f2(xeonSeconds(xeonCyc)/cdpuSeconds(cycles[i]))+"x", f3(cc.Area().Total()))
 	}
 	return []*Table{t}, nil
 }

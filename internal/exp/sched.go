@@ -1,0 +1,280 @@
+package exp
+
+// DSE run scheduler: one shared bounded worker pool for every experiment in
+// the process, plus a concurrency-safe memo of completed config runs.
+//
+// The Figures 11-15 sweeps each cover an (SRAM x placement) grid of CDPU
+// configurations over a benchmark suite. Executing the grid cell-by-cell with
+// a barrier between cells leaves workers idle at every cell boundary;
+// instead, sweeps flatten their whole grid into a batch of config runs
+// (runAll) whose per-file tasks all drain through the same bounded semaphore,
+// so the pool stays saturated across cell boundaries and across concurrently
+// running experiments.
+//
+// Completed runs are memoized behind (suite key, canonical core.Config.Key),
+// so fig11/fig14 cells re-requested by dse-summary or the deployment
+// experiment are never simulated twice within a process. Per-file cycle and
+// ratio contributions are always reduced in file-index order, which keeps
+// every table bit-identical regardless of worker count or scheduling.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cdpu/internal/comp"
+	"cdpu/internal/core"
+	"cdpu/internal/hcbench"
+)
+
+// memoCell holds one lazily computed value; the once gate means concurrent
+// requesters of the same key block on a single computation instead of
+// duplicating it.
+type memoCell[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+// memoMap is a concurrency-safe, compute-once cache.
+type memoMap[T any] struct {
+	mu           sync.Mutex
+	m            map[string]*memoCell[T]
+	hits, misses atomic.Int64
+}
+
+// do returns the memoized value for key, computing it with fn exactly once.
+func (mm *memoMap[T]) do(key string, fn func() (T, error)) (T, error) {
+	mm.mu.Lock()
+	if mm.m == nil {
+		mm.m = map[string]*memoCell[T]{}
+	}
+	c, ok := mm.m[key]
+	if ok {
+		mm.hits.Add(1)
+	} else {
+		c = &memoCell[T]{}
+		mm.m[key] = c
+		mm.misses.Add(1)
+	}
+	mm.mu.Unlock()
+	c.once.Do(func() { c.val, c.err = fn() })
+	return c.val, c.err
+}
+
+// runResult is one memoized config run: total accelerator cycles and, for
+// compression, the achieved aggregate ratio.
+type runResult struct {
+	cycles float64
+	ratio  float64
+}
+
+// scheduler owns the shared worker pool and the config-run memo. Replacing
+// the scheduler (SetWorkers) clears the memo; the suite caches in dse.go are
+// configuration-independent and survive.
+type scheduler struct {
+	workers int
+	sem     chan struct{} // one slot per concurrently executing file task
+	runs    memoMap[runResult]
+}
+
+func defaultWorkers() int { return max(1, min(8, runtime.NumCPU()-1)) }
+
+func newScheduler(workers int) *scheduler {
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	return &scheduler{workers: workers, sem: make(chan struct{}, workers)}
+}
+
+var (
+	schedMu sync.Mutex
+	sched   = newScheduler(0)
+)
+
+func current() *scheduler {
+	schedMu.Lock()
+	defer schedMu.Unlock()
+	return sched
+}
+
+// SetWorkers replaces the shared scheduler with one of the given pool size
+// (n <= 0 restores the default). The config-run memo is reset, so tables can
+// be regenerated from scratch at the new width.
+func SetWorkers(n int) {
+	schedMu.Lock()
+	sched = newScheduler(n)
+	schedMu.Unlock()
+}
+
+// Workers reports the current shared pool size.
+func Workers() int { return current().workers }
+
+// CacheStats reports config-run memo traffic. A hit is a run served from (or
+// deduplicated onto) an existing entry; a miss is a run that had to simulate.
+type CacheStats struct {
+	Hits, Misses int64
+}
+
+// RunCacheStats returns cumulative memo statistics for the current scheduler.
+func RunCacheStats() CacheStats {
+	s := current()
+	return CacheStats{Hits: s.runs.hits.Load(), Misses: s.runs.misses.Load()}
+}
+
+// parallelFiles runs fn over [0,n) on the shared bounded pool. Submission
+// stops at the first observed failure; the lowest-index error is returned
+// after every started task has drained (no goroutines outlive the call).
+func (s *scheduler) parallelFiles(n int, fn func(i int) error) error {
+	var (
+		wg     sync.WaitGroup
+		failed atomic.Bool
+		errs   = make([]error, n)
+	)
+	for i := 0; i < n && !failed.Load(); i++ {
+		s.sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-s.sem }()
+			if failed.Load() {
+				return
+			}
+			if err := fn(i); err != nil {
+				errs[i] = err
+				failed.Store(true)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("file %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// runAll executes fns concurrently — each is typically one memoized config
+// run whose file tasks share the bounded pool — and returns the first error
+// in argument order. This is how sweeps flatten a whole grid: no barrier
+// separates the cells.
+func runAll(fns ...func() error) error {
+	errs := make([]error, len(fns))
+	var wg sync.WaitGroup
+	for i, fn := range fns {
+		wg.Add(1)
+		go func(i int, fn func() error) {
+			defer wg.Done()
+			errs[i] = fn()
+		}(i, fn)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decompConfig memoizes a decompression suite run for one canonical config.
+func (s *scheduler) decompConfig(cs *compressedSuite, cfg core.Config) (float64, error) {
+	cfg.Op = comp.Decompress
+	res, err := s.runs.do("D|"+cs.key+"|"+cfg.Key(), func() (runResult, error) {
+		cyc, err := s.simDecomp(cs, cfg)
+		return runResult{cycles: cyc}, err
+	})
+	return res.cycles, err
+}
+
+// compConfig memoizes a compression suite run for one canonical config.
+func (s *scheduler) compConfig(suite *hcbench.Suite, cfg core.Config) (cycles, ratio float64, err error) {
+	cfg.Op = comp.Compress
+	res, err := s.runs.do("C|"+suiteKey(suite)+"|"+cfg.Key(), func() (runResult, error) {
+		cyc, r, err := s.simComp(suite, cfg)
+		return runResult{cycles: cyc, ratio: r}, err
+	})
+	return res.cycles, res.ratio, err
+}
+
+// simDecomp runs a decompression suite through one CDPU configuration,
+// returning total accelerator cycles. Each worker leases its own instance
+// (instances are not safe for concurrent use); cycles are deterministic per
+// call, so the index-ordered sum is reproducible at any worker count.
+func (s *scheduler) simDecomp(cs *compressedSuite, cfg core.Config) (float64, error) {
+	n := len(cs.compressed)
+	nInst := max(1, min(s.workers, n))
+	pool := make(chan *core.Decompressor, nInst)
+	for w := 0; w < nInst; w++ {
+		d, err := core.NewDecompressor(cfg)
+		if err != nil {
+			return 0, err
+		}
+		pool <- d
+	}
+	perFile := make([]float64, n)
+	err := s.parallelFiles(n, func(i int) error {
+		d := <-pool
+		defer func() { pool <- d }()
+		res, err := d.Decompress(cs.compressed[i])
+		if err != nil {
+			return err
+		}
+		if res.OutputBytes != len(cs.suite.Files[i].Data) {
+			return fmt.Errorf("functional mismatch")
+		}
+		perFile[i] = res.Cycles
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, c := range perFile {
+		total += c
+	}
+	return total, nil
+}
+
+// simComp runs a compression suite through one CDPU configuration, returning
+// total cycles and the achieved aggregate ratio, reduced in file-index order
+// for reproducibility.
+func (s *scheduler) simComp(suite *hcbench.Suite, cfg core.Config) (cycles, ratio float64, err error) {
+	type out struct {
+		cycles float64
+		outLen int
+	}
+	n := len(suite.Files)
+	nInst := max(1, min(s.workers, n))
+	pool := make(chan *core.Compressor, nInst)
+	for w := 0; w < nInst; w++ {
+		c, err := core.NewCompressor(cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		pool <- c
+	}
+	perFile := make([]out, n)
+	err = s.parallelFiles(n, func(i int) error {
+		c := <-pool
+		defer func() { pool <- c }()
+		res, err := c.Compress(suite.Files[i].Data)
+		if err != nil {
+			return err
+		}
+		perFile[i] = out{cycles: res.Cycles, outLen: res.OutputBytes}
+		return nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	var u, compressed float64
+	for i, o := range perFile {
+		cycles += o.cycles
+		u += float64(len(suite.Files[i].Data))
+		compressed += float64(o.outLen)
+	}
+	return cycles, u / compressed, nil
+}

@@ -12,8 +12,10 @@
 package lz77
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	mathbits "math/bits"
 )
 
 // HashFunc selects the hash function used to index the match table
@@ -149,6 +151,7 @@ type Matcher struct {
 	tags  []uint8  // parallel tags when ContentsOffsetAndTag
 	shift uint     // hash shift for fibonacci/xorshift
 	stats Stats
+	seqs  []Seq // parse output buffer, reused across calls
 }
 
 // NewMatcher returns a Matcher for cfg.
@@ -212,10 +215,22 @@ func (m *Matcher) key(src []byte, i int) uint32 {
 }
 
 // matchLen returns the length of the common prefix of src[a:] and src[b:],
-// capped so that the match never reads past len(src).
+// capped so that the match never reads past len(src). Requires a ≤ b (match
+// candidates always precede the current position), which makes the eight-byte
+// loads below safe: a+n+8 ≤ b+n+8 ≤ len(src) inside the word loop.
 func matchLen(src []byte, a, b, maxLen int) int {
+	if rem := len(src) - b; rem < maxLen {
+		maxLen = rem
+	}
 	n := 0
-	for b+n < len(src) && n < maxLen && src[a+n] == src[b+n] {
+	for n+8 <= maxLen {
+		x := binary.LittleEndian.Uint64(src[a+n:]) ^ binary.LittleEndian.Uint64(src[b+n:])
+		if x != 0 {
+			return n + mathbits.TrailingZeros64(x)>>3
+		}
+		n += 8
+	}
+	for n < maxLen && src[a+n] == src[b+n] {
 		n++
 	}
 	return n
@@ -223,6 +238,8 @@ func matchLen(src []byte, a, b, maxLen int) int {
 
 // Parse produces an LZ77 parse of src. The returned sequences cover src
 // exactly: the sum of LitLen+MatchLen over all sequences equals len(src).
+// The slice is owned by the Matcher and reused: it is valid only until the
+// next Parse/ParsePrefixed call; callers that need it longer must copy.
 func (m *Matcher) Parse(src []byte) []Seq {
 	return m.ParsePrefixed(src, 0)
 }
@@ -230,7 +247,8 @@ func (m *Matcher) Parse(src []byte) []Seq {
 // ParsePrefixed parses src[start:] using src[:start] as pre-existing history
 // (a preset dictionary, or the already-emitted part of a stream). The
 // returned sequences cover exactly src[start:]; their offsets may reach into
-// the prefix, up to the configured window.
+// the prefix, up to the configured window. The slice is owned by the Matcher
+// and reused by the next Parse/ParsePrefixed call.
 func (m *Matcher) ParsePrefixed(src []byte, start int) []Seq {
 	if start < 0 || start > len(src) {
 		panic("lz77: ParsePrefixed start out of range")
@@ -238,7 +256,8 @@ func (m *Matcher) ParsePrefixed(src []byte, start int) []Seq {
 	for i := range m.table {
 		m.table[i] = invalidPos
 	}
-	var seqs []Seq
+	seqs := m.seqs[:0]
+	defer func() { m.seqs = seqs }()
 	n := len(src)
 	if n-start < m.cfg.MinMatch {
 		if n-start > 0 {

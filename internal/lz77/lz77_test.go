@@ -309,3 +309,74 @@ func TestHashFuncStrings(t *testing.T) {
 		t.Error("table contents names wrong")
 	}
 }
+
+// TestMatchLenWordCompare cross-checks the 8-byte-compare matchLen against a
+// byte-at-a-time reference over randomized divergence points.
+func TestMatchLenWordCompare(t *testing.T) {
+	ref := func(src []byte, a, b, maxLen int) int {
+		n := 0
+		for b+n < len(src) && n < maxLen && src[a+n] == src[b+n] {
+			n++
+		}
+		return n
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 2000; trial++ {
+		n := 16 + rng.Intn(256)
+		src := make([]byte, n)
+		for i := range src {
+			src[i] = byte(rng.Intn(3)) // low alphabet: long common prefixes
+		}
+		b := 1 + rng.Intn(n-1)
+		a := rng.Intn(b)
+		maxLen := rng.Intn(n + 8)
+		if got, want := matchLen(src, a, b, maxLen), ref(src, a, b, maxLen); got != want {
+			t.Fatalf("matchLen(a=%d,b=%d,max=%d) = %d, want %d (src=%v)", a, b, maxLen, got, want, src)
+		}
+	}
+}
+
+// TestParseReusesSeqBuffer asserts the buffer-reuse contract: steady-state
+// Parse calls allocate nothing.
+func TestParseReusesSeqBuffer(t *testing.T) {
+	m := mustMatcher(t, defaultConfig())
+	src := corpus.Generate(corpus.Log, 64<<10, 5)
+	m.Parse(src) // warm the seq buffer
+	allocs := testing.AllocsPerRun(10, func() {
+		if seqs := m.Parse(src); len(seqs) == 0 {
+			t.Fatal("empty parse")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Parse allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkLZ77MatchLen measures the match-extension kernel on long matches,
+// the compressor's per-byte hot loop.
+func BenchmarkLZ77MatchLen(b *testing.B) {
+	src := bytes.Repeat([]byte("abcdefghijklmnop"), 8<<10) // 128 KiB, fully periodic
+	b.SetBytes(int64(len(src) / 2))
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		total += matchLen(src, 0, len(src)/2, len(src))
+	}
+	_ = total
+}
+
+// BenchmarkLZ77Parse measures a whole parse over log-structured data; run
+// with -benchmem to see the zero steady-state allocations.
+func BenchmarkLZ77Parse(b *testing.B) {
+	m, err := NewMatcher(defaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := corpus.Generate(corpus.Log, 256<<10, 6)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Parse(src)
+	}
+}

@@ -36,6 +36,13 @@ func TestParsePrefixedUsesDictionary(t *testing.T) {
 	m.ResetStats()
 	withDict := m.ParsePrefixed(data, len(dict))
 	matchBytes := m.Stats().MatchBytes
+	// Check offsets before the next Parse call: the Matcher owns and reuses
+	// the returned slice.
+	for _, s := range withDict {
+		if s.Offset > m.Config().WindowSize {
+			t.Fatalf("offset %d beyond window", s.Offset)
+		}
+	}
 
 	m.ResetStats()
 	m.Parse(dict) // same block without context
@@ -46,11 +53,6 @@ func TestParsePrefixedUsesDictionary(t *testing.T) {
 	}
 	if noDict > len(dict)/10 {
 		t.Errorf("random block matched %d bytes without context", noDict)
-	}
-	for _, s := range withDict {
-		if s.Offset > m.Config().WindowSize {
-			t.Fatalf("offset %d beyond window", s.Offset)
-		}
 	}
 }
 

@@ -239,6 +239,14 @@ func Decode(src []byte) ([]byte, error) {
 // materializing output. The CDPU decompressor model uses this to replay the
 // exact command sequence the hardware LZ77 decoder would see.
 func DecodeSeqs(src []byte) (seqs []lz77.Seq, literals []byte, decodedLen int, err error) {
+	return AppendDecodeSeqs(nil, nil, src)
+}
+
+// AppendDecodeSeqs is DecodeSeqs appending into caller-provided buffers
+// (either may be nil), letting repeated decoders reuse their allocations.
+// The returned slices alias the inputs' backing arrays when capacity allows.
+func AppendDecodeSeqs(seqsBuf []lz77.Seq, literalsBuf []byte, src []byte) (seqs []lz77.Seq, literals []byte, decodedLen int, err error) {
+	seqs, literals = seqsBuf, literalsBuf
 	n, hdr, err := decodeHeader(src)
 	if err != nil {
 		return nil, nil, 0, err

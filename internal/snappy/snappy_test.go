@@ -317,3 +317,23 @@ func TestWindowBoundaryOffset(t *testing.T) {
 	src = append(src, probe...) // repeats at distance exactly 65536
 	roundTrip(t, src)
 }
+
+func TestAppendDecodeSeqsReusesBuffers(t *testing.T) {
+	src := corpus.Generate(corpus.Log, 64<<10, 7)
+	enc := Encode(src)
+	// Warm pass to size the buffers.
+	seqs, lits, _, err := AppendDecodeSeqs(nil, nil, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		var e error
+		seqs, lits, _, e = AppendDecodeSeqs(seqs[:0], lits[:0], enc)
+		if e != nil {
+			t.Fatal(e)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("AppendDecodeSeqs with pre-grown buffers allocates %.1f objects/op, want 0", allocs)
+	}
+}
