@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all check vet build test race bench
+.PHONY: all check vet build test race bench fuzz-smoke
 
 all: check
 
@@ -23,3 +24,13 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
+
+# Adversarial-input smoke: run every native fuzz target for FUZZTIME each,
+# starting from the checked-in seed corpora (regenerate those with
+# `go run ./cmd/fuzzcorpus`). Go allows one -fuzz target per invocation.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecompress$$' -fuzztime $(FUZZTIME) ./internal/snappy
+	$(GO) test -run '^$$' -fuzz '^FuzzDecompress$$' -fuzztime $(FUZZTIME) ./internal/zstdlite
+	$(GO) test -run '^$$' -fuzz '^FuzzDecompress$$' -fuzztime $(FUZZTIME) ./internal/lzo
+	$(GO) test -run '^$$' -fuzz '^FuzzDecompress$$' -fuzztime $(FUZZTIME) ./internal/gipfeli
+	$(GO) test -run '^$$' -fuzz '^FuzzDifferential$$' -fuzztime $(FUZZTIME) ./internal/fault

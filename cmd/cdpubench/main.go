@@ -7,6 +7,7 @@
 //	cdpubench -fig 11              # one figure (11,12,13,14,15,7)
 //	cdpubench -summary             # §6.6 key results
 //	cdpubench -ablation hash       # hash|fse|stats
+//	cdpubench -exp fault-sweep     # any registered experiment by id
 //	cdpubench -all                 # everything
 //	cdpubench -files 500 -seed 2   # scale/seed overrides
 //	cdpubench -workers 4           # simulation worker-pool size
@@ -28,6 +29,7 @@ func main() {
 	fig := flag.String("fig", "", "figure to regenerate: 7, 11, 12, 13, 14 or 15")
 	summary := flag.Bool("summary", false, "print the §6.6 design-space summary")
 	ablation := flag.String("ablation", "", "ablation to run: hash, fse or stats")
+	expID := flag.String("exp", "", "registered experiment id to run (e.g. fault-sweep)")
 	all := flag.Bool("all", false, "run every DSE experiment")
 	files := flag.Int("files", 0, "HyperCompressBench files per suite (default 500; paper uses 8000-10000)")
 	maxFile := flag.Int("maxfile", 0, "max benchmark file size in bytes (default 4 MiB)")
@@ -54,15 +56,17 @@ func main() {
 	case *all:
 		ids = []string{"fig7", "fig11", "fig12", "fig13", "fig14", "fig15", "dse-summary",
 			"ablation-hash", "ablation-fse", "ablation-stats",
-			"chaining", "pipelines", "deployment", "levels"}
+			"chaining", "pipelines", "deployment", "levels", "fault-sweep"}
 	case *summary:
 		ids = []string{"dse-summary"}
 	case *ablation != "":
 		ids = []string{"ablation-" + *ablation}
+	case *expID != "":
+		ids = []string{*expID}
 	case *fig != "":
 		ids = []string{"fig" + *fig}
 	default:
-		fmt.Fprintln(os.Stderr, "specify -fig N, -summary, -ablation NAME or -all; available experiments:")
+		fmt.Fprintln(os.Stderr, "specify -fig N, -summary, -ablation NAME, -exp ID or -all; available experiments:")
 		for _, id := range exp.IDs() {
 			fmt.Fprintln(os.Stderr, "  "+id)
 		}

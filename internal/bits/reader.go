@@ -9,6 +9,10 @@ import (
 // ErrOverread is returned when a Reader is asked for more bits than remain.
 var ErrOverread = errors.New("bits: read past end of stream")
 
+// ErrBitCount is recorded when a Reader or Writer is asked to move more bits
+// than the 56-bit accumulator guarantee allows.
+var ErrBitCount = errors.New("bits: bit count out of range")
+
 // Reader consumes bits LSB-first from a byte slice produced by Writer.
 type Reader struct {
 	buf  []byte
@@ -47,10 +51,13 @@ func (r *Reader) fill(n uint) {
 }
 
 // ReadBits consumes and returns the next n bits (n ≤ 56). On overread it
-// records ErrOverread and returns 0.
+// records ErrOverread and returns 0; an out-of-range n records ErrBitCount.
 func (r *Reader) ReadBits(n uint) uint64 {
 	if n > 56 {
-		panic("bits: ReadBits count out of range")
+		if r.err == nil {
+			r.err = fmt.Errorf("%w: ReadBits(%d)", ErrBitCount, n)
+		}
+		return 0
 	}
 	r.fill(n)
 	if r.nacc < n {
@@ -71,7 +78,10 @@ func (r *Reader) ReadBits(n uint) uint64 {
 // bitstream during the final symbols.
 func (r *Reader) PeekBits(n uint) uint64 {
 	if n > 56 {
-		panic("bits: PeekBits count out of range")
+		if r.err == nil {
+			r.err = fmt.Errorf("%w: PeekBits(%d)", ErrBitCount, n)
+		}
+		return 0
 	}
 	r.fill(n)
 	return r.acc & ((1 << n) - 1)
@@ -96,5 +106,5 @@ func (r *Reader) BitsRemaining() int {
 	return (len(r.buf)-r.pos)*8 + int(r.nacc)
 }
 
-// Err returns the first overread error encountered, if any.
+// Err returns the first error encountered (ErrOverread or ErrBitCount).
 func (r *Reader) Err() error { return r.err }

@@ -7,6 +7,8 @@
 // n vacant bits of the stream starting at the lowest one.
 package bits
 
+import "fmt"
+
 // Writer accumulates bits LSB-first into a byte slice.
 //
 // The zero value is ready to use.
@@ -14,6 +16,7 @@ type Writer struct {
 	buf  []byte
 	acc  uint64 // pending bits, LSB-aligned
 	nacc uint   // number of valid bits in acc (always < 8 after flushAcc)
+	err  error
 }
 
 // NewWriter returns a Writer whose output buffer has the given capacity hint.
@@ -21,10 +24,14 @@ func NewWriter(capacity int) *Writer {
 	return &Writer{buf: make([]byte, 0, capacity)}
 }
 
-// WriteBits appends the low n bits of v to the stream. n must be in [0, 56].
+// WriteBits appends the low n bits of v to the stream. n must be in [0, 56];
+// an out-of-range n records ErrBitCount (see Err) and writes nothing.
 func (w *Writer) WriteBits(v uint64, n uint) {
 	if n > 56 {
-		panic("bits: WriteBits count out of range")
+		if w.err == nil {
+			w.err = fmt.Errorf("%w: WriteBits(%d)", ErrBitCount, n)
+		}
+		return
 	}
 	w.acc |= (v & ((1 << n) - 1)) << w.nacc
 	w.nacc += n
@@ -63,9 +70,14 @@ func (w *Writer) Bytes() []byte {
 	return w.buf
 }
 
-// Reset discards all written data, retaining the buffer's capacity.
+// Reset discards all written data and any error, retaining the buffer's
+// capacity.
 func (w *Writer) Reset() {
 	w.buf = w.buf[:0]
 	w.acc = 0
 	w.nacc = 0
+	w.err = nil
 }
+
+// Err returns the first error encountered (ErrBitCount), if any.
+func (w *Writer) Err() error { return w.err }

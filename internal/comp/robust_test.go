@@ -1,0 +1,75 @@
+package comp
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// robustCorpus returns small deterministic payloads spanning the texture
+// range the codecs care about: compressible text, pure repetition, and
+// incompressible pseudo-random bytes.
+func robustCorpus() map[string][]byte {
+	random := make([]byte, 768)
+	state := uint64(0x1234_5678_9abc_def0)
+	for i := range random {
+		state = state*6364136223846793005 + 1442695040888963407
+		random[i] = byte(state >> 56)
+	}
+	return map[string][]byte{
+		"text":      bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog. "), 24),
+		"repeat":    bytes.Repeat([]byte{0xAB}, 1024),
+		"random":    random,
+		"tiny":      []byte("x"),
+		"structure": bytes.Repeat([]byte{0, 1, 2, 3, 4, 5, 6, 7}, 128),
+	}
+}
+
+// TestDecompressTruncationAllAlgorithms drives every codec's decode path over
+// every truncation point of every corpus file: each proper prefix must return
+// an error — never panic (the decode paths are panic-free by contract), and
+// never succeed with bytes that differ from the original.
+func TestDecompressTruncationAllAlgorithms(t *testing.T) {
+	for _, algo := range Algorithms {
+		for name, src := range robustCorpus() {
+			t.Run(fmt.Sprintf("%v/%s", algo, name), func(t *testing.T) {
+				enc, err := CompressCall(algo, 0, 0, src)
+				if err != nil {
+					t.Fatalf("compress: %v", err)
+				}
+				dec, err := DecompressCall(algo, enc)
+				if err != nil {
+					t.Fatalf("full-stream decode: %v", err)
+				}
+				if !bytes.Equal(dec, src) {
+					t.Fatal("full-stream round trip mismatch")
+				}
+				for cut := 0; cut < len(enc); cut++ {
+					got, err := DecompressCall(algo, enc[:cut])
+					if err == nil {
+						t.Fatalf("truncation at %d of %d decoded %d bytes without error",
+							cut, len(enc), len(got))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestDecompressEmptyAndSingleByte covers the degenerate adversarial inputs
+// every decode path must survive: empty and each possible 1-byte stream.
+func TestDecompressEmptyAndSingleByte(t *testing.T) {
+	for _, algo := range Algorithms {
+		t.Run(algo.String(), func(t *testing.T) {
+			if out, err := DecompressCall(algo, nil); err == nil && len(out) != 0 {
+				t.Fatalf("empty input decoded to %d bytes", len(out))
+			}
+			for b := 0; b < 256; b++ {
+				out, err := DecompressCall(algo, []byte{byte(b)})
+				if err == nil && len(out) != 0 {
+					t.Fatalf("1-byte input %#02x decoded to %d bytes", b, len(out))
+				}
+			}
+		})
+	}
+}

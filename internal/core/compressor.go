@@ -122,6 +122,7 @@ func lzCycles(s lz77.Stats, res *Result) float64 {
 // Compress runs one accelerator call over a plaintext payload, returning the
 // compressed bytes and the modeled call latency.
 func (c *Compressor) Compress(src []byte) (*Result, error) {
+	c.sys.ResetFaults()
 	res := &Result{InputBytes: len(src), UncompressedBytes: len(src)}
 	switch c.cfg.Algo {
 	case comp.Snappy:
@@ -141,6 +142,9 @@ func (c *Compressor) Compress(src []byte) (*Result, error) {
 	}
 	res.OutputBytes = len(res.Output)
 	c.finishCall(res)
+	if derr := checkDeviceHealth(c.cfg, c.sys, res); derr != nil {
+		return nil, derr
+	}
 	return res, nil
 }
 
@@ -194,7 +198,7 @@ func (c *Compressor) finishCall(res *Result) {
 	inv := c.iface.InvocationCycles(c.cfg.Placement)
 	first := c.sys.RTT(c.cfg.Placement, memsys.ClassRaw)
 	linkBytes := res.InputBytes + res.OutputBytes
-	stream := float64(linkBytes) / c.sys.StreamBandwidth(c.cfg.Placement, memsys.ClassRaw)
+	stream := float64(linkBytes) / c.sys.StreamBandwidthFaulted(c.cfg.Placement, memsys.ClassRaw)
 	res.addStage(StageInvocation, inv)
 	res.addStage(StageFirstAccess, first)
 	res.addStage(StageStream, stream)

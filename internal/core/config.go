@@ -74,6 +74,12 @@ type Config struct {
 	StatsWidth int
 	// FSETableLog is the FSE table accuracy (§5.8.6 item 12).
 	FSETableLog int
+	// WatchdogFactor scales the cycle-budget watchdog: a call whose modeled
+	// latency exceeds WatchdogFactor × the expected bound (a generous
+	// per-byte envelope, see fault.go) aborts with a DeviceError instead of
+	// hanging software forever. Zero takes DefaultWatchdogFactor; negative
+	// disables the watchdog.
+	WatchdogFactor float64
 	// Mem configures the host memory system; zero takes memsys defaults.
 	Mem memsys.Config
 }
@@ -97,6 +103,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FSETableLog == 0 {
 		c.FSETableLog = DefaultFSETableLog
+	}
+	if c.WatchdogFactor == 0 {
+		c.WatchdogFactor = DefaultWatchdogFactor
 	}
 	if c.Mem == (memsys.Config{}) {
 		c.Mem = memsys.DefaultConfig()
@@ -150,10 +159,10 @@ func (c Config) Name() string {
 // requested with every default spelled out share one simulation.
 func (c Config) Key() string {
 	c = c.withDefaults()
-	return fmt.Sprintf("%d.%d.%d.%d.%d.%d.%d.%d.%d.%d.%d.%+v",
+	return fmt.Sprintf("%d.%d.%d.%d.%d.%d.%d.%d.%d.%d.%d.%g.%+v",
 		c.Algo, c.Op, c.Placement, c.HistorySRAM, c.HashTableEntries,
 		c.HashAssociativity, c.HashFunc, c.TableContents, c.Speculation,
-		c.StatsWidth, c.FSETableLog, c.Mem)
+		c.StatsWidth, c.FSETableLog, c.WatchdogFactor, c.Mem)
 }
 
 func log2(v int) int {

@@ -84,8 +84,12 @@ func (d *Decompressor) Area() *area.Breakdown {
 }
 
 // Decompress runs one accelerator call over a compressed payload, returning
-// the decompressed bytes and the modeled call latency.
+// the decompressed bytes and the modeled call latency. Corrupt input aborts
+// with a DeviceError whose Cycles is the modeled detection latency (the
+// device has invoked, streamed the input, and parsed before it can reject);
+// injected memory faults and watchdog expiry abort likewise.
 func (d *Decompressor) Decompress(src []byte) (*Result, error) {
+	d.sys.ResetFaults()
 	res := &Result{InputBytes: len(src)}
 	var err error
 	switch d.cfg.Algo {
@@ -97,12 +101,28 @@ func (d *Decompressor) Decompress(src []byte) (*Result, error) {
 		err = fmt.Errorf("core: decompressor algo %v", d.cfg.Algo)
 	}
 	if err != nil {
-		return nil, err
+		return nil, &DeviceError{
+			Reason: "corrupt-input", Unit: d.cfg.Name(),
+			Cycles: d.detectionCycles(len(src)), Err: err,
+		}
 	}
 	res.OutputBytes = len(res.Output)
 	res.UncompressedBytes = res.OutputBytes
 	d.finishCall(res)
+	if derr := checkDeviceHealth(d.cfg, d.sys, res); derr != nil {
+		return nil, derr
+	}
 	return res, nil
+}
+
+// detectionCycles models how long software waits before a corrupt stream is
+// rejected: the device invokes, pays the first-access latency, and streams
+// the input across the link before the parse error surfaces. This is the
+// per-placement decode-error detection latency the fault-sweep tables.
+func (d *Decompressor) detectionCycles(inBytes int) float64 {
+	inv := d.iface.InvocationCycles(d.cfg.Placement)
+	first := d.sys.RTT(d.cfg.Placement, memsys.ClassRaw)
+	return inv + first + float64(inBytes)/d.sys.StreamBandwidth(d.cfg.Placement, memsys.ClassRaw)
 }
 
 // copyCycles models the LZ77 decoder executing one copy command: history
@@ -223,7 +243,7 @@ func (d *Decompressor) finishCall(res *Result) {
 	inv := d.iface.InvocationCycles(d.cfg.Placement)
 	first := d.sys.RTT(d.cfg.Placement, memsys.ClassRaw)
 	linkBytes := res.InputBytes + res.OutputBytes
-	stream := float64(linkBytes) / d.sys.StreamBandwidth(d.cfg.Placement, memsys.ClassRaw)
+	stream := float64(linkBytes) / d.sys.StreamBandwidthFaulted(d.cfg.Placement, memsys.ClassRaw)
 	res.addStage(StageInvocation, inv)
 	res.addStage(StageFirstAccess, first)
 	res.addStage(StageStream, stream)

@@ -30,7 +30,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig7", "fig11", "fig12", "fig13", "fig14", "fig15",
 		"fleet-summary", "dse-summary",
 		"ablation-hash", "ablation-fse", "ablation-stats",
-		"chaining", "pipelines", "deployment", "levels",
+		"chaining", "pipelines", "deployment", "levels", "fault-sweep",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {

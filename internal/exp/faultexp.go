@@ -1,0 +1,216 @@
+package exp
+
+// The fault-sweep experiment drives the internal/fault layer through the
+// full simulator: seeded stream corruption measures how quickly each
+// placement detects a corrupt input (detection latency is dominated by the
+// host->device transfer, so it widens with the interconnect), and injected
+// device faults exercise the abort paths (memory-fault errors, the cycle
+// watchdog) plus graceful degradation under stalled MSHRs.
+//
+// Every per-file loop drains through the shared scheduler pool and reduces
+// in file-index order, so the tables are byte-identical at any -workers
+// setting. Unexpected failures propagate with the offending config key and
+// file index attached (the scheduler's first-error semantics).
+
+import (
+	"errors"
+	"fmt"
+
+	"cdpu/internal/comp"
+	"cdpu/internal/core"
+	"cdpu/internal/fault"
+	"cdpu/internal/memsys"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fault-sweep",
+		Title: "Fault injection: detection latency and degraded-device behavior",
+		Run:   runFaultSweep,
+	})
+}
+
+// detectStats is one (placement x corruption kind) cell of the detection
+// table, reduced in file-index order.
+type detectStats struct {
+	detected, total int
+	meanCycles      float64 // over detected files only
+}
+
+// detectFaults corrupts every compressed file in the suite with the given
+// kind (seeded per file, reproducible) and decodes it on a unit at cfg's
+// placement. A DeviceError counts as detected and contributes its detection
+// latency; a nil error is an undetected (but deterministic) decode; any
+// other error is an internal failure and propagates with config context.
+func (s *scheduler) detectFaults(cs *compressedSuite, cfg core.Config, kind fault.Kind, seed int64) (detectStats, error) {
+	n := len(cs.compressed)
+	nInst := max(1, min(s.workers, n))
+	pool := make(chan *core.Decompressor, nInst)
+	for w := 0; w < nInst; w++ {
+		d, err := core.NewDecompressor(cfg)
+		if err != nil {
+			return detectStats{}, err
+		}
+		pool <- d
+	}
+	cycles := make([]float64, n)
+	hit := make([]bool, n)
+	err := s.parallelFiles(n, func(i int) error {
+		d := <-pool
+		defer func() { pool <- d }()
+		bad := fault.Mutate(seed+int64(i), kind, cs.compressed[i])
+		_, err := d.Decompress(bad)
+		if err == nil {
+			return nil // corruption survived decoding; counted as undetected
+		}
+		var derr *core.DeviceError
+		if !errors.As(err, &derr) {
+			return err
+		}
+		cycles[i] = derr.Cycles
+		hit[i] = true
+		return nil
+	})
+	if err != nil {
+		return detectStats{}, fmt.Errorf("config %s: %w", cfg.Key(), err)
+	}
+	st := detectStats{total: n}
+	for i := 0; i < n; i++ {
+		if hit[i] {
+			st.detected++
+			st.meanCycles += cycles[i]
+		}
+	}
+	if st.detected > 0 {
+		st.meanCycles /= float64(st.detected)
+	}
+	return st, nil
+}
+
+// faultedSuiteCycles runs the whole decompression suite on units carrying
+// the given fault injector and returns total cycles. Any failure — including
+// an injected device fault surfacing as a DeviceError — fails the run with
+// the config key and file index attached; parallelFiles guarantees no
+// goroutine outlives the call.
+func (s *scheduler) faultedSuiteCycles(cs *compressedSuite, cfg core.Config, plan fault.Plan) (float64, error) {
+	n := len(cs.compressed)
+	nInst := max(1, min(s.workers, n))
+	pool := make(chan *core.Decompressor, nInst)
+	for w := 0; w < nInst; w++ {
+		d, err := core.NewDecompressor(cfg)
+		if err != nil {
+			return 0, err
+		}
+		d.SetFaultInjector(plan)
+		pool <- d
+	}
+	perFile := make([]float64, n)
+	err := s.parallelFiles(n, func(i int) error {
+		d := <-pool
+		defer func() { pool <- d }()
+		res, err := d.Decompress(cs.compressed[i])
+		if err != nil {
+			return err
+		}
+		perFile[i] = res.Cycles
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("config %s: %w", cfg.Key(), err)
+	}
+	total := 0.0
+	for _, c := range perFile {
+		total += c
+	}
+	return total, nil
+}
+
+func runFaultSweep(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	cs, err := getCompressedSuite(cfg, comp.Snappy)
+	if err != nil {
+		return nil, err
+	}
+	s := current()
+
+	// Table 1: corrupt-input detection latency per placement x corruption
+	// kind. Detection is charged at the point the decoder rejects the
+	// stream: doorbell + round trip + streaming the input over the link.
+	detect := &Table{
+		Title: "Corrupt-input detection latency (snappy decompression)",
+		Note: fmt.Sprintf("%d files; seeded stream corruption; mean cycles over detected files. "+
+			"Undetected cells are corruptions the format cannot distinguish from valid data.", len(cs.compressed)),
+		Columns: []string{"placement", "corruption", "detected", "mean detect cycles"},
+	}
+	for _, p := range memsys.Placements {
+		c := core.Config{Algo: comp.Snappy, Placement: p}
+		for _, kind := range fault.Kinds {
+			st, err := s.detectFaults(cs, c, kind, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			mean := "-"
+			if st.detected > 0 {
+				mean = f1(st.meanCycles)
+			}
+			detect.AddRow(p.String(), kind.String(),
+				fmt.Sprintf("%d/%d", st.detected, st.total), mean)
+		}
+	}
+
+	// Table 2: graceful degradation. Stalled MSHRs shrink the effective
+	// memory-level parallelism; runs complete, slower, with no error.
+	stallPlan := fault.Plan{StallEvery: 1, StallMSHRs: 4}
+	degraded := &Table{
+		Title:   "Degraded-device throughput under stalled MSHRs",
+		Note:    fmt.Sprintf("%d files; %d of the outstanding misses stalled on every access.", len(cs.compressed), stallPlan.StallMSHRs),
+		Columns: []string{"placement", "healthy cycles", "stalled cycles", "slowdown"},
+	}
+	for _, p := range memsys.Placements {
+		c := core.Config{Algo: comp.Snappy, Placement: p}
+		healthy, err := s.decompConfig(cs, c)
+		if err != nil {
+			return nil, err
+		}
+		stalled, err := s.faultedSuiteCycles(cs, c, stallPlan)
+		if err != nil {
+			return nil, err
+		}
+		degraded.AddRow(p.String(), f1(healthy), f1(stalled), f2(stalled/healthy)+"x")
+	}
+
+	// Table 3: abort behavior. An error response aborts with a memory-fault
+	// DeviceError; a latency spike far past the cycle budget trips the
+	// watchdog, which reports the budget rather than the runaway latency.
+	probe := cs.compressed[0]
+	scenarios := []struct {
+		name string
+		plan fault.Plan
+	}{
+		{"error-response", fault.Plan{ErrorEvery: 1}},
+		{"latency-spike", fault.Plan{SpikeEvery: 1, SpikeCycles: 1e12}},
+	}
+	abort := &Table{
+		Title:   "Device-fault abort behavior (single-call probe)",
+		Note:    fmt.Sprintf("probe: file 0, %d compressed bytes.", len(probe)),
+		Columns: []string{"placement", "fault", "outcome", "abort cycles"},
+	}
+	for _, p := range memsys.Placements {
+		c := core.Config{Algo: comp.Snappy, Placement: p}
+		for _, sc := range scenarios {
+			d, err := core.NewDecompressor(c)
+			if err != nil {
+				return nil, err
+			}
+			d.SetFaultInjector(sc.plan)
+			_, err = d.Decompress(probe)
+			var derr *core.DeviceError
+			if !errors.As(err, &derr) {
+				return nil, fmt.Errorf("config %s: %s fault not surfaced as DeviceError: %v", c.Key(), sc.name, err)
+			}
+			abort.AddRow(p.String(), sc.name, derr.Reason, f1(derr.Cycles))
+		}
+	}
+
+	return []*Table{detect, degraded, abort}, nil
+}

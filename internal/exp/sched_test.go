@@ -2,11 +2,17 @@ package exp
 
 import (
 	"errors"
+	"regexp"
 	"runtime"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"cdpu/internal/comp"
+	"cdpu/internal/core"
+	"cdpu/internal/fault"
+	"cdpu/internal/memsys"
 )
 
 // renderAll runs the given experiments at QuickConfig and concatenates every
@@ -166,6 +172,63 @@ func TestParallelFilesNoGoroutineLeakOnError(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	t.Errorf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+// TestFaultedRunFailsWithConfigAndFileContext drives the fault-sweep run
+// path with an injector that returns device error responses: the first
+// failing (config x file) task must fail the row with both the config key
+// and the file index attached, unwrap to memsys.ErrDeviceFault, and leave no
+// goroutines behind (run with -race in CI).
+func TestFaultedRunFailsWithConfigAndFileContext(t *testing.T) {
+	SetWorkers(4)
+	t.Cleanup(func() { SetWorkers(0) })
+	cs, err := getCompressedSuite(QuickConfig(), comp.Snappy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Algo: comp.Snappy}
+	before := runtime.NumGoroutine()
+	_, err = current().faultedSuiteCycles(cs, cfg, fault.Plan{ErrorEvery: 1})
+	if err == nil {
+		t.Fatal("injected device fault did not fail the run")
+	}
+	if !errors.Is(err, memsys.ErrDeviceFault) {
+		t.Errorf("error %v does not unwrap to memsys.ErrDeviceFault", err)
+	}
+	var derr *core.DeviceError
+	if !errors.As(err, &derr) || derr.Reason != "memory-fault" {
+		t.Errorf("error %v does not carry a memory-fault DeviceError", err)
+	}
+	if !strings.Contains(err.Error(), "config "+cfg.Key()) {
+		t.Errorf("error %q does not name the config key", err)
+	}
+	// Tasks already in flight may be skipped once a failure is observed, so
+	// any failing index may win — but the row context must be present.
+	if !regexp.MustCompile(`file \d+:`).MatchString(err.Error()) {
+		t.Errorf("error %q does not name the failing file", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+// TestFaultSweepDeterministicAcrossWorkers pins the fault-sweep acceptance
+// criterion: the emitted tables are byte-identical at workers=1 and
+// workers=N.
+func TestFaultSweepDeterministicAcrossWorkers(t *testing.T) {
+	t.Cleanup(func() { SetWorkers(0) })
+	SetWorkers(1)
+	serial := renderAll(t, "fault-sweep")
+	SetWorkers(6)
+	parallel := renderAll(t, "fault-sweep")
+	if serial != parallel {
+		t.Errorf("fault-sweep tables differ between workers=1 and workers=6:\n--- workers=1 ---\n%s\n--- workers=6 ---\n%s", serial, parallel)
+	}
 }
 
 func TestSetWorkersClampsAndResets(t *testing.T) {

@@ -1,0 +1,63 @@
+package fault
+
+import (
+	"bytes"
+	"testing"
+
+	"cdpu/internal/comp"
+	"cdpu/internal/zstdlite"
+)
+
+// FuzzDifferential is the compress → corrupt → decode harness: for every
+// algorithm it compresses the fuzzed payload, applies a seeded corruption,
+// and decodes. The invariants:
+//
+//   - No decode ever panics (the fuzzer catches those).
+//   - Decode is deterministic on the corrupted stream.
+//   - Truncated streams always error (no codec accepts a proper prefix).
+//   - On the checksummed ZStd frame — the oracle with end-to-end integrity —
+//     corruption yields either an error or an exact round trip, never
+//     silently wrong bytes.
+func FuzzDifferential(f *testing.F) {
+	f.Add([]byte(""), int64(1))
+	f.Add([]byte("differential harness seed payload payload payload"), int64(2))
+	f.Add(bytes.Repeat([]byte{0xA5}, 256), int64(3))
+	f.Fuzz(func(t *testing.T, src []byte, seed int64) {
+		if len(src) > 1<<16 {
+			src = src[:1<<16]
+		}
+		for _, algo := range comp.Algorithms {
+			enc, err := comp.CompressCall(algo, 0, 0, src)
+			if err != nil {
+				t.Fatalf("%v: compress: %v", algo, err)
+			}
+			for _, kind := range Kinds {
+				bad := Mutate(seed, kind, enc)
+				out, derr := comp.DecompressCall(algo, bad)
+				out2, derr2 := comp.DecompressCall(algo, bad)
+				if (derr == nil) != (derr2 == nil) || !bytes.Equal(out, out2) {
+					t.Fatalf("%v/%v: non-deterministic decode of corrupted stream", algo, kind)
+				}
+				if kind == Truncate && len(bad) < len(enc) && len(src) > 0 && derr == nil {
+					t.Fatalf("%v: truncated stream (%d of %d bytes) decoded without error",
+						algo, len(bad), len(enc))
+				}
+			}
+		}
+		// Checksummed oracle: with end-to-end integrity, "error or exact
+		// round trip" must hold for every corruption kind.
+		chk, err := zstdlite.NewEncoder(zstdlite.Params{Checksum: true})
+		if err != nil {
+			t.Fatalf("checksummed encoder: %v", err)
+		}
+		enc := chk.Encode(src)
+		for _, kind := range Kinds {
+			bad := Mutate(seed, kind, enc)
+			out, derr := zstdlite.Decode(bad)
+			if derr == nil && !bytes.Equal(out, src) {
+				t.Fatalf("zstd-checksum/%v: silent corruption — %d bytes decoded, differ from source",
+					kind, len(out))
+			}
+		}
+	})
+}

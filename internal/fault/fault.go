@@ -1,0 +1,114 @@
+// Package fault provides deterministic fault injection for the CDPU model,
+// on two axes matching what a hyperscale deployment actually sees:
+//
+//   - Stream corruption (Mutate): seeded, reproducible mutations of a
+//     compressed payload — bit flips, truncation, length-field corruption,
+//     garbage tails — for driving decode paths through adversarial inputs.
+//     The same (seed, kind, input) always yields the same corrupted bytes.
+//
+//   - Device faults (Plan): a memsys.FaultInjector whose schedule is a pure
+//     function of the memory-event index — error responses, latency spikes,
+//     stalled MSHRs — so degraded-hardware runs reproduce exactly regardless
+//     of scheduling or worker count.
+package fault
+
+import "fmt"
+
+// Kind selects a stream-corruption strategy.
+type Kind int
+
+const (
+	// BitFlip flips a seed-chosen handful of bits at seed-chosen positions.
+	BitFlip Kind = iota
+	// Truncate cuts the stream at a seed-chosen point, modeling a short read
+	// or a partially written object.
+	Truncate
+	// LengthField overwrites bytes in the header region with high values,
+	// forging declared lengths (the attack the size-limit hardening exists
+	// for).
+	LengthField
+	// GarbageTail appends seed-chosen junk after the valid stream, modeling
+	// buffer overrun on the write side.
+	GarbageTail
+)
+
+// Kinds lists all corruption kinds in a stable order.
+var Kinds = []Kind{BitFlip, Truncate, LengthField, GarbageTail}
+
+func (k Kind) String() string {
+	switch k {
+	case BitFlip:
+		return "bit-flip"
+	case Truncate:
+		return "truncate"
+	case LengthField:
+		return "length-field"
+	case GarbageTail:
+		return "garbage-tail"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// rng is a splitmix64 stream: tiny, portable, and stable across Go releases,
+// so checked-in seeds reproduce forever.
+type rng struct{ state uint64 }
+
+func newRNG(seed int64, kind Kind) *rng {
+	// Mix the kind into the stream so the same seed yields independent
+	// choices per corruption strategy.
+	return &rng{state: uint64(seed)*0x9e3779b97f4a7c15 + uint64(kind) + 1}
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n). n must be > 0.
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Mutate returns a corrupted copy of enc according to (seed, kind). The input
+// is never modified; the result is deterministic in all three arguments.
+// Empty inputs come back empty (except GarbageTail, which still appends).
+func Mutate(seed int64, kind Kind, enc []byte) []byte {
+	r := newRNG(seed, kind)
+	out := append([]byte(nil), enc...)
+	switch kind {
+	case BitFlip:
+		if len(out) == 0 {
+			return out
+		}
+		flips := 1 + r.intn(4)
+		for i := 0; i < flips; i++ {
+			pos := r.intn(len(out))
+			out[pos] ^= 1 << uint(r.intn(8))
+		}
+	case Truncate:
+		if len(out) == 0 {
+			return out
+		}
+		out = out[:r.intn(len(out))]
+	case LengthField:
+		if len(out) == 0 {
+			return out
+		}
+		// Length declarations live in the first few header bytes for every
+		// format in this repo (Snappy varint, ZStd frame header, LZO/Gipfeli
+		// varints). Setting high bits forges large or malformed sizes.
+		region := min(8, len(out))
+		hits := 1 + r.intn(2)
+		for i := 0; i < hits; i++ {
+			out[r.intn(region)] = byte(r.next()) | 0x80
+		}
+	case GarbageTail:
+		n := 1 + r.intn(64)
+		for i := 0; i < n; i++ {
+			out = append(out, byte(r.next()))
+		}
+	}
+	return out
+}

@@ -1,0 +1,31 @@
+package gipfeli
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecompress asserts the decode path's robustness contract on arbitrary
+// bytes: no panics, deterministic results, output never exceeding the
+// declared length.
+func FuzzDecompress(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add(Encode(nil))
+	f.Add(Encode([]byte("gipfeli gipfeli gipfeli")))
+	f.Add(Encode(bytes.Repeat([]byte{0x99}, 512)))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x0f}) // forged huge length
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if len(out) > MaxDecodedLen {
+			t.Fatalf("decoded %d bytes past the limit", len(out))
+		}
+		out2, err2 := Decode(data)
+		if err2 != nil || !bytes.Equal(out, out2) {
+			t.Fatalf("non-deterministic decode: err2=%v", err2)
+		}
+	})
+}

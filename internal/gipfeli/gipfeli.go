@@ -178,7 +178,14 @@ func Decode(src []byte) ([]byte, error) {
 	}
 	alphabet := src[hdr : hdr+96]
 	r := ibits.NewReader(src[hdr+96:])
-	out := make([]byte, 0, n)
+	// Cap the reservation by what the bitstream could plausibly produce, so
+	// a forged length header cannot allocate gigabytes up front; compressible
+	// inputs regrow on append.
+	reserve := n
+	if bound := (len(src) - hdr - 96) * 64; bound >= 0 && bound < reserve {
+		reserve = bound
+	}
+	out := make([]byte, 0, reserve)
 	for len(out) < n {
 		switch r.ReadBits(2) {
 		case class6:
@@ -219,6 +226,11 @@ func Decode(src []byte) ([]byte, error) {
 		if r.Err() != nil {
 			return nil, fmt.Errorf("%w: truncated stream", ErrCorrupt)
 		}
+	}
+	// Only the final byte's zero padding may remain: whole trailing bytes
+	// mean a corrupted (or maliciously extended) stream.
+	if r.BitsRemaining() >= 8 {
+		return nil, fmt.Errorf("%w: %d trailing bits", ErrCorrupt, r.BitsRemaining())
 	}
 	return out, nil
 }

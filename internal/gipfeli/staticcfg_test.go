@@ -1,0 +1,24 @@
+package gipfeli
+
+import (
+	"bytes"
+	"testing"
+
+	"cdpu/internal/lz77"
+)
+
+// TestStaticConfigConstructs pins down that Encode's panic(err) guard is
+// unreachable: the package's single static matcher configuration is valid.
+func TestStaticConfigConstructs(t *testing.T) {
+	if _, err := lz77.NewMatcher(lzConfig()); err != nil {
+		t.Fatalf("lzConfig: NewMatcher failed: %v", err)
+	}
+	src := bytes.Repeat([]byte("static config "), 512)
+	dec, err := Decode(Encode(src))
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if !bytes.Equal(dec, src) {
+		t.Fatal("round trip mismatch")
+	}
+}

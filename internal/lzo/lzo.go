@@ -97,7 +97,14 @@ func Decode(src []byte) ([]byte, error) {
 	}
 	n := int(n64)
 	pos := adv
-	out := make([]byte, 0, n)
+	// Reserve at most what a well-formed body could plausibly need: a forged
+	// length header with a short body must not allocate gigabytes up front.
+	// Highly compressible inputs (short body, huge n) just regrow on append.
+	reserve := n
+	if bound := (len(src) - pos) * 64; bound >= 0 && bound < reserve {
+		reserve = bound
+	}
+	out := make([]byte, 0, reserve)
 	for pos < len(src) {
 		head, adv, err := ibits.Uvarint(src[pos:])
 		if err != nil {
@@ -105,8 +112,10 @@ func Decode(src []byte) ([]byte, error) {
 		}
 		pos += adv
 		if head&1 == 0 {
+			// Subtraction-form bounds: pos+length could overflow int for a
+			// forged near-2^63 run length.
 			length := int(head >> 1)
-			if length == 0 || pos+length > len(src) || len(out)+length > n {
+			if length <= 0 || length > len(src)-pos || length > n-len(out) {
 				return nil, fmt.Errorf("%w: literal run", ErrCorrupt)
 			}
 			out = append(out, src[pos:pos+length]...)
@@ -115,7 +124,7 @@ func Decode(src []byte) ([]byte, error) {
 		}
 		offset := int(head >> 1)
 		l64, adv, err := ibits.Uvarint(src[pos:])
-		if err != nil {
+		if err != nil || l64 > MaxDecodedLen {
 			return nil, fmt.Errorf("%w: copy length", ErrCorrupt)
 		}
 		pos += adv

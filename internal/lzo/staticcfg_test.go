@@ -1,0 +1,33 @@
+package lzo
+
+import (
+	"bytes"
+	"testing"
+
+	"cdpu/internal/lz77"
+)
+
+// TestStaticConfigsConstruct pins down that Encode's panic(err) guard is
+// unreachable: lzConfig yields a valid matcher configuration for every level,
+// including the out-of-range inputs Encode clamps.
+func TestStaticConfigsConstruct(t *testing.T) {
+	for level := MinLevel; level <= MaxLevel; level++ {
+		if _, err := lz77.NewMatcher(lzConfig(level)); err != nil {
+			t.Errorf("level %d: NewMatcher failed: %v", level, err)
+		}
+	}
+}
+
+func TestEncodeClampsLevels(t *testing.T) {
+	src := bytes.Repeat([]byte("level clamp "), 256)
+	for _, level := range []int{-10, MinLevel - 1, MinLevel, MaxLevel, MaxLevel + 1, 99} {
+		enc := Encode(src, level)
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("level %d: %v", level, err)
+		}
+		if !bytes.Equal(dec, src) {
+			t.Fatalf("level %d: round trip mismatch", level)
+		}
+	}
+}

@@ -132,8 +132,15 @@ func (c Config) Validate() error {
 }
 
 // System computes access timings for one placement.
+//
+// A System with no fault injector installed is stateless and safe for
+// concurrent use; installing an injector (SetFaultInjector) adds per-call
+// event-counter state and restricts the System to one goroutine.
 type System struct {
-	cfg Config
+	cfg      Config
+	injector FaultInjector
+	events   int   // memory events observed since the last ResetFaults
+	faultErr error // first injected error response, sticky until ResetFaults
 }
 
 // New returns a System for cfg.
@@ -178,12 +185,18 @@ func (s *System) StreamBandwidth(p Placement, c Class) float64 {
 }
 
 // StreamCycles returns the cycles to stream n bytes: first-access latency
-// plus pipelined transfer.
+// plus pipelined transfer. An injected fault on the stream adds its latency
+// spike and shrinks the outstanding-request window by its stalled MSHRs.
 func (s *System) StreamCycles(n int, p Placement, c Class) float64 {
 	if n <= 0 {
 		return 0
 	}
-	return s.RTT(p, c) + float64(n)/s.StreamBandwidth(p, c)
+	f := s.faultAt(p, c)
+	bw := s.StreamBandwidth(p, c)
+	if f.StalledMSHRs > 0 {
+		bw = s.streamBandwidthStalled(p, c, f.StalledMSHRs)
+	}
+	return s.RTT(p, c) + float64(n)/bw + f.ExtraCycles
 }
 
 // AccessCycles returns the cycles of one serial dependent access (no
@@ -200,7 +213,7 @@ func (s *System) AccessCyclesAt(p Placement, c Class, distance int) float64 {
 	if distance > s.cfg.L2Capacity {
 		base = float64(s.cfg.DRAMLatency)
 	}
-	return base + s.linkCycles(p, c)
+	return base + s.linkCycles(p, c) + s.faultAt(p, c).ExtraCycles
 }
 
 // NsToCycles converts nanoseconds to cycles at the system clock.

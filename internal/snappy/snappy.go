@@ -35,12 +35,25 @@ const (
 
 // Errors returned by Decode.
 var (
-	ErrCorrupt  = errors.New("snappy: corrupt input")
-	ErrTooLarge = errors.New("snappy: decoded length too large")
+	ErrCorrupt = errors.New("snappy: corrupt input")
+	// ErrSizeLimit is returned when a header's declared decoded length
+	// exceeds the caller's limit — checked before any allocation, so a
+	// forged header cannot OOM the decoder.
+	ErrSizeLimit = errors.New("snappy: declared decoded length exceeds limit")
+	// ErrTooLarge is the historical name for the default-limit violation; it
+	// wraps ErrSizeLimit so errors.Is matches either sentinel.
+	ErrTooLarge = fmt.Errorf("snappy: decoded length too large: %w", ErrSizeLimit)
 )
 
-// MaxDecodedLen bounds the decoded size this implementation will allocate.
+// MaxDecodedLen bounds the decoded size this implementation will allocate
+// when no explicit limit is given (DecodeLimited).
 const MaxDecodedLen = 1 << 30
+
+// maxExpansion is the worst-case output/input ratio of a valid Snappy body:
+// a 3-byte copy-2 element emits up to 64 bytes. Initial allocations are
+// capped by it so a forged length header cannot reserve more memory than the
+// input could ever legitimately produce.
+const maxExpansion = 64
 
 // EncoderConfig exposes the dictionary-stage parameters. The zero value is
 // replaced by Defaults().
@@ -215,23 +228,34 @@ func appendCopies(dst []byte, offset, length int) []byte {
 
 // DecodedLen returns the decoded length claimed by a Snappy block header.
 func DecodedLen(src []byte) (int, error) {
-	v, _, err := bits.Uvarint(src)
-	if err != nil {
-		return 0, fmt.Errorf("%w: bad length header", ErrCorrupt)
-	}
-	if v > MaxDecodedLen {
-		return 0, ErrTooLarge
-	}
-	return int(v), nil
+	n, _, err := decodeHeaderLimited(src, MaxDecodedLen)
+	return n, err
 }
 
-// Decode decompresses a Snappy block.
+// Decode decompresses a Snappy block under the default MaxDecodedLen limit.
 func Decode(src []byte) ([]byte, error) {
-	n, hdr, err := decodeHeader(src)
+	return DecodeLimited(src, MaxDecodedLen)
+}
+
+// DecodeLimited decompresses a Snappy block, rejecting any stream whose
+// declared decoded length exceeds maxLen (ErrSizeLimit) before allocating.
+// maxLen <= 0 takes the default MaxDecodedLen.
+func DecodeLimited(src []byte, maxLen int) ([]byte, error) {
+	if maxLen <= 0 {
+		maxLen = MaxDecodedLen
+	}
+	n, hdr, err := decodeHeaderLimited(src, maxLen)
 	if err != nil {
 		return nil, err
 	}
-	dst := make([]byte, 0, n)
+	// The up-front reservation is additionally capped by what the body bytes
+	// could produce at worst-case expansion; decodeBody re-checks the true
+	// size incrementally, so a short reservation only costs regrowth.
+	reserve := n
+	if bound := (len(src) - hdr) * maxExpansion; bound >= 0 && bound < reserve {
+		reserve = bound
+	}
+	dst := make([]byte, 0, reserve)
 	return decodeBody(dst, src[hdr:], n)
 }
 
@@ -279,12 +303,19 @@ func AppendDecodeSeqs(seqsBuf []lz77.Seq, literalsBuf []byte, src []byte) (seqs 
 }
 
 func decodeHeader(src []byte) (decodedLen, headerLen int, err error) {
+	return decodeHeaderLimited(src, MaxDecodedLen)
+}
+
+func decodeHeaderLimited(src []byte, maxLen int) (decodedLen, headerLen int, err error) {
 	v, hdr, err := bits.Uvarint(src)
 	if err != nil {
 		return 0, 0, fmt.Errorf("%w: bad length header", ErrCorrupt)
 	}
-	if v > MaxDecodedLen {
-		return 0, 0, ErrTooLarge
+	if v > uint64(maxLen) {
+		if maxLen == MaxDecodedLen {
+			return 0, 0, ErrTooLarge
+		}
+		return 0, 0, fmt.Errorf("%w: %d > %d", ErrSizeLimit, v, maxLen)
 	}
 	return int(v), hdr, nil
 }

@@ -36,5 +36,13 @@ func New(sys *memsys.System) *Interface {
 // small calls (§3.5.1).
 func (i *Interface) InvocationCycles(p memsys.Placement) float64 {
 	link := p.LinkLatencyNs() * i.sys.Config().FrequencyGHz
-	return RoCCDispatchCycles + SetupCycles + 2*link
+	return RoCCDispatchCycles + SetupCycles + 2*link + i.doorbellFault(p)
+}
+
+// doorbellFault charges any injected fault on the doorbell/completion round
+// trip: the invocation is a memory event like any other, so a faulted link
+// can delay or error a call before a single payload byte moves. Raw class —
+// the doorbell always crosses the placement link.
+func (i *Interface) doorbellFault(p memsys.Placement) float64 {
+	return i.sys.FaultCycles(p, memsys.ClassRaw)
 }

@@ -60,6 +60,24 @@ func DecodeWithDict(src, dict []byte) ([]byte, error) {
 	return MaterializeWithDict(info, dict)
 }
 
+// DecodeLimited decompresses a frame, rejecting any stream that declares (or
+// whose blocks would produce) more than maxLen output bytes with
+// ErrSizeLimit, before the output is allocated. maxLen <= 0 takes the
+// default MaxDecodedLen.
+func DecodeLimited(src []byte, maxLen int) ([]byte, error) {
+	if maxLen <= 0 {
+		maxLen = MaxDecodedLen
+	}
+	info, err := Inspect(src)
+	if err != nil {
+		return nil, err
+	}
+	if info.ContentSize > maxLen {
+		return nil, fmt.Errorf("%w: declared %d > %d", ErrSizeLimit, info.ContentSize, maxLen)
+	}
+	return materializeLimited(info, nil, maxLen)
+}
+
 // Materialize executes a parsed frame's blocks, producing the decompressed
 // bytes. Split from Inspect so the CDPU model can account for parse/table
 // costs and execution costs separately.
@@ -71,6 +89,10 @@ func Materialize(info *FrameInfo) ([]byte, error) {
 // dictionary. The match window is frame-wide: copies may reach across block
 // boundaries and into the dictionary, bounded by 2^WindowLog.
 func MaterializeWithDict(info *FrameInfo, dict []byte) ([]byte, error) {
+	return materializeLimited(info, dict, MaxDecodedLen)
+}
+
+func materializeLimited(info *FrameInfo, dict []byte, maxLen int) ([]byte, error) {
 	if info.NeedsDict {
 		if dict == nil {
 			return nil, fmt.Errorf("%w: frame requires a preset dictionary", ErrDictionary)
@@ -86,12 +108,28 @@ func MaterializeWithDict(info *FrameInfo, dict []byte) ([]byte, error) {
 	if len(dict) > window {
 		dict = dict[len(dict)-window:]
 	}
+	// Reserve the declared content size, but never more than the blocks'
+	// summed declared sizes: a forged ContentSize with a short body cannot
+	// make the decoder allocate ahead of what the body could produce.
 	hint := info.ContentSize
 	if hint < 0 {
 		hint = 0
 	}
+	sumRaw := 0
+	for i := range info.Blocks {
+		sumRaw += info.Blocks[i].RawSize
+	}
+	if hint > sumRaw {
+		hint = sumRaw
+	}
 	out := make([]byte, 0, len(dict)+hint)
 	out = append(out, dict...)
+	// The growth cap: the declared content size when the frame recorded one,
+	// the caller's limit otherwise (unknown-size streaming frames).
+	limit := maxLen
+	if info.ContentSize >= 0 && info.ContentSize < limit {
+		limit = info.ContentSize
+	}
 	for i := range info.Blocks {
 		b := &info.Blocks[i]
 		switch b.Type {
@@ -107,6 +145,12 @@ func MaterializeWithDict(info *FrameInfo, dict []byte) ([]byte, error) {
 			if len(out)-before != b.RawSize {
 				return nil, fmt.Errorf("%w: block produced %d of %d bytes", ErrCorrupt, len(out)-before, b.RawSize)
 			}
+		}
+		if produced := len(out) - len(dict); produced > limit {
+			if info.ContentSize >= 0 && produced > info.ContentSize {
+				return nil, fmt.Errorf("%w: frame produced %d of %d bytes", ErrCorrupt, produced, info.ContentSize)
+			}
+			return nil, fmt.Errorf("%w: output %d > %d", ErrSizeLimit, produced, maxLen)
 		}
 	}
 	out = out[len(dict):]
@@ -169,6 +213,7 @@ func Inspect(src []byte) (*FrameInfo, error) {
 		return nil, err
 	}
 	last := false
+	totalRaw := 0
 	for !last {
 		if pos >= len(src) {
 			return nil, fmt.Errorf("%w: missing last block", ErrCorrupt)
@@ -183,6 +228,15 @@ func Inspect(src []byte) (*FrameInfo, error) {
 		}
 		pos += n
 		rawSize := int(rawSize64)
+		// Cumulative declared output caps parse-time allocation (RLE blocks
+		// materialize literals here) at the same bound Materialize enforces.
+		totalRaw += rawSize
+		if totalRaw > MaxDecodedLen {
+			return nil, ErrTooLarge
+		}
+		if info.ContentSize >= 0 && totalRaw > info.ContentSize {
+			return nil, fmt.Errorf("%w: blocks declare %d of %d bytes", ErrCorrupt, totalRaw, info.ContentSize)
+		}
 		block := BlockInfo{Type: btype, RawSize: rawSize}
 		switch btype {
 		case blockRaw:
@@ -204,7 +258,7 @@ func Inspect(src []byte) (*FrameInfo, error) {
 			pos++
 		case blockCompressed:
 			compSize64, n, err := ibits.Uvarint(src[pos:])
-			if err != nil {
+			if err != nil || compSize64 > uint64(len(src)) {
 				return nil, fmt.Errorf("%w: compressed size", ErrCorrupt)
 			}
 			pos += n
@@ -258,7 +312,7 @@ func parseCompressedBody(body []byte, block *BlockInfo) error {
 		pos += block.LitCount
 	case litHuffman:
 		payload64, n, err := ibits.Uvarint(body[pos:])
-		if err != nil {
+		if err != nil || payload64 > uint64(len(body)) {
 			return fmt.Errorf("%w: literal payload size", ErrCorrupt)
 		}
 		pos += n
@@ -308,7 +362,7 @@ func parseCompressedBody(body []byte, block *BlockInfo) error {
 		pos += adv
 	}
 	extraLen64, n, err := ibits.Uvarint(body[pos:])
-	if err != nil {
+	if err != nil || extraLen64 > uint64(len(body)) {
 		return fmt.Errorf("%w: extras size", ErrCorrupt)
 	}
 	pos += n
@@ -363,7 +417,7 @@ func parseCodeStream(body []byte, numSeqs int) (codes []uint8, mode, tableLog, a
 	mode = int(body[0])
 	pos := 1
 	payload64, n, uerr := ibits.Uvarint(body[pos:])
-	if uerr != nil {
+	if uerr != nil || payload64 > uint64(len(body)) {
 		return nil, 0, 0, 0, fmt.Errorf("%w: code stream size", ErrCorrupt)
 	}
 	pos += n

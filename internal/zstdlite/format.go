@@ -12,6 +12,7 @@ package zstdlite
 
 import (
 	"errors"
+	"fmt"
 	"math/bits"
 )
 
@@ -167,15 +168,22 @@ const maxSeqCode = 33
 
 // Errors.
 var (
-	ErrMagic      = errors.New("zstdlite: bad frame magic")
-	ErrCorrupt    = errors.New("zstdlite: corrupt frame")
-	ErrWindow     = errors.New("zstdlite: window log out of range")
-	ErrTooLarge   = errors.New("zstdlite: decoded length too large")
+	ErrMagic   = errors.New("zstdlite: bad frame magic")
+	ErrCorrupt = errors.New("zstdlite: corrupt frame")
+	ErrWindow  = errors.New("zstdlite: window log out of range")
+	// ErrSizeLimit is returned when a frame declares (or its blocks sum to)
+	// more output than the caller's limit allows — checked before and during
+	// materialization, so a forged header cannot OOM the decoder.
+	ErrSizeLimit = errors.New("zstdlite: decoded length exceeds limit")
+	// ErrTooLarge is the historical name for the default-limit violation; it
+	// wraps ErrSizeLimit so errors.Is matches either sentinel.
+	ErrTooLarge   = fmt.Errorf("zstdlite: decoded length too large: %w", ErrSizeLimit)
 	ErrBadParams  = errors.New("zstdlite: invalid parameters")
 	ErrDictionary = errors.New("zstdlite: dictionary missing or mismatched")
 )
 
-// MaxDecodedLen bounds the decoded size this implementation will allocate.
+// MaxDecodedLen bounds the decoded size this implementation will allocate
+// when no explicit limit is given (DecodeLimited).
 const MaxDecodedLen = 1 << 30
 
 // seqCode maps a non-negative value to its (code, extraBits, extraWidth)

@@ -1,0 +1,37 @@
+package zstdlite
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecompress asserts the frame decode path's robustness contract on
+// arbitrary bytes: no panics, deterministic results, declared content size
+// honored on success, and the size limit enforced before allocation.
+func FuzzDecompress(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{'Z', 'S', 'L', '1'})
+	f.Add(Encode(nil))
+	f.Add(Encode([]byte("sequences of words, sequences of words")))
+	f.Add(Encode(bytes.Repeat([]byte{0x42}, 1024)))
+	chk, _ := NewEncoder(Params{Checksum: true})
+	if chk != nil {
+		f.Add(chk.Encode([]byte("checksummed frame checksummed frame")))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if n, lerr := DecodedLen(data); lerr == nil && n >= 0 && len(out) != n {
+			t.Fatalf("decoded %d bytes, frame declares %d", len(out), n)
+		}
+		out2, err2 := Decode(data)
+		if err2 != nil || !bytes.Equal(out, out2) {
+			t.Fatalf("non-deterministic decode: err2=%v", err2)
+		}
+		if limited, lerr := DecodeLimited(data, 64); lerr == nil && len(limited) > 64 {
+			t.Fatalf("DecodeLimited(64) returned %d bytes", len(limited))
+		}
+	})
+}

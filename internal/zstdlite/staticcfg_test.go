@@ -1,0 +1,33 @@
+package zstdlite
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestStaticParamsConstruct pins down that Encode's panic(err) guard is
+// unreachable: the default Params (and each defaulted-field variant) build an
+// encoder without error.
+func TestStaticParamsConstruct(t *testing.T) {
+	cfgs := []Params{
+		{},
+		{Level: 1},
+		{Level: 19},
+		{WindowLog: MinWindowLog},
+		{WindowLog: MaxWindowLog},
+		{DisableFSE: true},
+	}
+	for i, p := range cfgs {
+		if _, err := NewEncoder(p); err != nil {
+			t.Errorf("params %d (%+v): NewEncoder failed: %v", i, p, err)
+		}
+	}
+	src := bytes.Repeat([]byte("defaults are always valid "), 256)
+	dec, err := Decode(Encode(src))
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if !bytes.Equal(dec, src) {
+		t.Fatal("round trip mismatch")
+	}
+}
