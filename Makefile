@@ -1,12 +1,12 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all check vet build test race bench fuzz-smoke
+.PHONY: all check vet build test race bench bench-json bench-smoke fuzz-smoke
 
 all: check
 
 # Full gate: what CI (and pre-commit) should run.
-check: vet build test race
+check: vet build test race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -17,13 +17,24 @@ build:
 test:
 	$(GO) test ./...
 
-# The scheduler and experiment caches are the concurrency-sensitive core;
-# run them under the race detector.
+# The scheduler, experiment caches and the sharded replay engine are the
+# concurrency-sensitive core; run them under the race detector.
 race:
-	$(GO) test -race ./internal/exp/...
+	$(GO) test -race ./internal/exp/... ./internal/sim/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
+
+# Refresh the checked-in replay benchmark numbers (per-call latency,
+# allocations, throughput for the full sampling+synthesis+replay pipeline).
+bench-json:
+	$(GO) run ./cmd/simbench -o BENCH_sim.json
+	@cat BENCH_sim.json
+
+# Cheap standing guarantee: the replay Report is byte-identical at any
+# worker count.
+bench-smoke:
+	$(GO) run ./cmd/simbench -check
 
 # Adversarial-input smoke: run every native fuzz target for FUZZTIME each,
 # starting from the checked-in seed corpora (regenerate those with

@@ -11,6 +11,7 @@
 //	cdpubench -all                 # everything
 //	cdpubench -files 500 -seed 2   # scale/seed overrides
 //	cdpubench -workers 4           # simulation worker-pool size
+//	cdpubench -calls 50000         # service-replay call count
 //	cdpubench -csv out/            # also write each table as CSV
 package main
 
@@ -35,6 +36,7 @@ func main() {
 	maxFile := flag.Int("maxfile", 0, "max benchmark file size in bytes (default 4 MiB)")
 	seed := flag.Int64("seed", 0, "generation seed (default 1)")
 	workers := flag.Int("workers", 0, "simulation worker-pool size (default min(8, NumCPU-1))")
+	calls := flag.Int("calls", 0, "fleet calls per service-replay cell (default 10000)")
 	csvDir := flag.String("csv", "", "directory to write per-table CSV files into")
 	flag.Parse()
 
@@ -50,13 +52,16 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	if *calls > 0 {
+		cfg.ReplayCalls = *calls
+	}
 
 	var ids []string
 	switch {
 	case *all:
 		ids = []string{"fig7", "fig11", "fig12", "fig13", "fig14", "fig15", "dse-summary",
 			"ablation-hash", "ablation-fse", "ablation-stats",
-			"chaining", "pipelines", "deployment", "levels", "fault-sweep"}
+			"chaining", "pipelines", "deployment", "levels", "fault-sweep", "fleet-replay"}
 	case *summary:
 		ids = []string{"dse-summary"}
 	case *ablation != "":

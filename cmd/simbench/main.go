@@ -1,0 +1,114 @@
+// Command simbench benchmarks the sharded fleet-replay engine and writes the
+// result as JSON (BENCH_sim.json via `make bench-json`): per-call latency,
+// allocations and throughput for the full pipeline — fleet sampling, payload
+// synthesis, functional codec execution and queueing replay.
+//
+// Usage:
+//
+//	simbench                        # print the benchmark JSON to stdout
+//	simbench -o BENCH_sim.json      # write it to a file
+//	simbench -calls 10000 -workers 8
+//	simbench -check                 # smoke mode: replay determinism across
+//	                                # worker counts, no timing (for `make check`)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"cdpu/internal/sim"
+)
+
+type result struct {
+	Calls       int     `json:"calls"`
+	Workers     int     `json:"workers"`
+	CPUs        int     `json:"cpus"`
+	Runs        int     `json:"runs"`
+	NsPerCall   float64 `json:"ns_per_call"`
+	AllocsCall  float64 `json:"allocs_per_call"`
+	BytesCall   float64 `json:"bytes_per_call"`
+	CallsPerSec float64 `json:"calls_per_sec"`
+}
+
+func main() {
+	calls := flag.Int("calls", 10000, "fleet calls per replay")
+	workers := flag.Int("workers", 0, "replay worker-pool size (default min(8, NumCPU-1))")
+	seed := flag.Int64("seed", 1, "sampling seed")
+	out := flag.String("o", "", "write JSON here instead of stdout")
+	check := flag.Bool("check", false, "smoke mode: verify worker-count invariance, skip timing")
+	flag.Parse()
+
+	cfg := sim.Config{Seed: *seed, Calls: *calls, MaxCallBytes: 256 << 10, Workers: *workers}
+	if *workers == 0 {
+		// Mirror sim's default so the JSON records the pool size actually used.
+		*workers = max(1, min(8, runtime.NumCPU()-1))
+	}
+	if *check {
+		cfg.Calls = min(cfg.Calls, 500)
+		if err := smoke(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("simbench: %d-call replay identical at 1 and %d workers\n", cfg.Calls, smokeWorkers())
+		return
+	}
+
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	perRun := float64(br.NsPerOp())
+	res := result{
+		Calls:       cfg.Calls,
+		Workers:     *workers,
+		CPUs:        runtime.NumCPU(),
+		Runs:        br.N,
+		NsPerCall:   perRun / float64(cfg.Calls),
+		AllocsCall:  float64(br.AllocsPerOp()) / float64(cfg.Calls),
+		BytesCall:   float64(br.AllocedBytesPerOp()) / float64(cfg.Calls),
+		CallsPerSec: float64(cfg.Calls) / (perRun / 1e9),
+	}
+	enc, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func smokeWorkers() int { return max(2, min(8, runtime.NumCPU())) }
+
+// smoke replays cfg serially and sharded and requires byte-identical
+// reports — the cheap standing guarantee for `make check`.
+func smoke(cfg sim.Config) error {
+	cfg.Workers = 1
+	serial, err := sim.Run(cfg)
+	if err != nil {
+		return err
+	}
+	cfg.Workers = smokeWorkers()
+	sharded, err := sim.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if *serial != *sharded {
+		return fmt.Errorf("report differs between 1 and %d workers:\n  %+v\n  %+v", cfg.Workers, serial, sharded)
+	}
+	return nil
+}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -13,17 +14,23 @@ import (
 )
 
 func main() {
-	fmt.Println("service replay: fleet-sampled Snappy/ZStd calls through CDPU devices")
+	calls := flag.Int("calls", 10000, "fleet calls to replay per load/placement cell")
+	workers := flag.Int("workers", 0, "replay worker-pool size (default min(8, NumCPU-1); results do not depend on it)")
+	seed := flag.Int64("seed", 11, "sampling seed")
+	flag.Parse()
+
+	fmt.Printf("service replay: %d fleet-sampled Snappy/ZStd calls through CDPU devices\n", *calls)
 	fmt.Printf("%-8s %-14s %10s %10s %12s %12s %10s\n",
 		"GB/s", "placement", "mean-us", "p99-us", "sw-mean-us", "xeon-cores", "mm2")
 	for _, load := range []float64{0.5, 2.0, 6.0} {
 		for _, placement := range []memsys.Placement{memsys.RoCC, memsys.PCIeNoCache} {
 			r, err := sim.Run(sim.Config{
-				Seed:        11,
-				Calls:       150,
+				Seed:        *seed,
+				Calls:       *calls,
 				OfferedGBps: load,
 				Pipelines:   1,
 				Placement:   placement,
+				Workers:     *workers,
 			})
 			if err != nil {
 				log.Fatal(err)

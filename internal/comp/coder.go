@@ -1,0 +1,78 @@
+package comp
+
+import (
+	"fmt"
+
+	"cdpu/internal/gipfeli"
+	"cdpu/internal/lzo"
+	"cdpu/internal/snappy"
+	"cdpu/internal/zstdlite"
+)
+
+// zstdKey identifies one zstdlite-backed encoder configuration.
+type zstdKey struct {
+	algo      Algorithm
+	level     int
+	windowLog int
+}
+
+// Coder is the pooled-scratch form of CompressCall: it builds each concrete
+// encoder (and its LZ77 hash tables, the dominant per-call allocation of the
+// one-shot path) once per distinct parameter set and reuses it for every
+// subsequent call, appending output into caller-owned buffers. Fleet traffic
+// cycles through a handful of (algorithm, level, window) combinations, so a
+// replay worker's Coder converges to a small fixed working set and the
+// synthesis hot path stops allocating.
+//
+// A Coder is not safe for concurrent use; parallel replays give each worker
+// its own.
+type Coder struct {
+	snap *snappy.Encoder
+	zstd map[zstdKey]*zstdlite.Encoder
+}
+
+// NewCoder returns an empty Coder; encoders materialize on first use.
+func NewCoder() *Coder {
+	return &Coder{zstd: make(map[zstdKey]*zstdlite.Encoder)}
+}
+
+// AppendCompress compresses src under the given algorithm, level and window
+// log (0 means the algorithm default for both, as in CompressCall),
+// appending the encoded bytes to dst.
+func (c *Coder) AppendCompress(dst []byte, a Algorithm, level, windowLog int, src []byte) ([]byte, error) {
+	switch a {
+	case Snappy:
+		if c.snap == nil {
+			e, err := snappy.NewEncoder(snappy.EncoderConfig{})
+			if err != nil {
+				return nil, err
+			}
+			c.snap = e
+		}
+		return c.snap.AppendEncode(dst, src), nil
+	case Gipfeli:
+		return append(dst, gipfeli.Encode(src)...), nil
+	case LZO:
+		if level == 0 {
+			level = 1
+		}
+		return append(dst, lzo.Encode(src, level)...), nil
+	case ZStd, Flate, Brotli:
+		key := zstdKey{algo: a, level: level, windowLog: windowLog}
+		e := c.zstd[key]
+		if e == nil {
+			p, err := zstdParams(a, level, windowLog)
+			if err != nil {
+				return nil, err
+			}
+			e, err = zstdlite.NewEncoder(p)
+			if err != nil {
+				return nil, err
+			}
+			c.zstd[key] = e
+		}
+		return e.AppendEncode(dst, src), nil
+	default:
+		return nil, fmt.Errorf("comp: unknown algorithm %v", a)
+	}
+}

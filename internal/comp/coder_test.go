@@ -1,0 +1,66 @@
+package comp
+
+import (
+	"bytes"
+	"testing"
+
+	"cdpu/internal/corpus"
+)
+
+// TestCoderMatchesCompressCall pins the Coder's contract: reusing encoders
+// across calls must produce byte-identical output to the one-shot path, for
+// every algorithm and across repeated calls (stale encoder state would show
+// up on the second round).
+func TestCoderMatchesCompressCall(t *testing.T) {
+	c := NewCoder()
+	payloads := [][]byte{
+		corpus.Generate(corpus.Text, 32<<10, 1),
+		corpus.Generate(corpus.JSON, 8<<10, 2),
+		corpus.Generate(corpus.Log, 48<<10, 3),
+		nil,
+	}
+	for round := 0; round < 2; round++ {
+		for _, a := range Algorithms {
+			for _, src := range payloads {
+				level := a.DefaultLevel()
+				want, err := CompressCall(a, level, 0, src)
+				if err != nil {
+					t.Fatalf("%v: %v", a, err)
+				}
+				got, err := c.AppendCompress(nil, a, level, 0, src)
+				if err != nil {
+					t.Fatalf("%v: %v", a, err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("round %d %v: coder output differs from CompressCall (%d vs %d bytes)",
+						round, a, len(got), len(want))
+				}
+				back, err := DecompressCall(a, got)
+				if err != nil {
+					t.Fatalf("%v: decode: %v", a, err)
+				}
+				if !bytes.Equal(back, src) {
+					t.Fatalf("round %d %v: round trip mismatch", round, a)
+				}
+			}
+		}
+	}
+}
+
+// TestCoderAppendsToDst verifies the append contract (prefix preserved).
+func TestCoderAppendsToDst(t *testing.T) {
+	c := NewCoder()
+	prefix := []byte("hdr:")
+	src := corpus.Generate(corpus.Table, 4<<10, 9)
+	out, err := c.AppendCompress(append([]byte(nil), prefix...), ZStd, 3, 0, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(out, prefix) {
+		t.Fatal("prefix clobbered")
+	}
+	want, _ := CompressCall(ZStd, 3, 0, src)
+	if !bytes.Equal(out[len(prefix):], want) {
+		t.Fatal("appended payload differs")
+	}
+}

@@ -3,10 +3,10 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"cdpu/internal/area"
 	"cdpu/internal/comp"
+	"cdpu/internal/stats"
 )
 
 // Device models a CDPU integration with one or more identical pipelines
@@ -98,9 +98,56 @@ type DeviceStats struct {
 	Makespan    float64 // last completion minus first arrival
 }
 
+// Exec runs one payload through the device's functional pipeline, returning
+// the modeled call result with no queueing applied. It is the unit of work a
+// sharded replay parallelizes: service cycles depend only on the payload and
+// the device configuration, so per-worker Device clones can Exec calls in any
+// order and Replay merges them deterministically. Not safe for concurrent use
+// on one Device.
+func (d *Device) Exec(payload []byte) (*Result, error) {
+	if d.comp != nil {
+		return d.comp.Compress(payload)
+	}
+	return d.decomp.Decompress(payload)
+}
+
 // Run services jobs FCFS across the device's pipelines (jobs must be sorted
-// by arrival time) and reports per-job latency plus batch statistics.
+// by arrival time) and reports per-job latency plus batch statistics. It is
+// Exec + Replay in one serial pass.
 func (d *Device) Run(jobs []Job) ([]JobResult, DeviceStats, error) {
+	if len(jobs) == 0 {
+		return nil, DeviceStats{}, nil
+	}
+	execResults := make([]*Result, len(jobs))
+	service := make([]float64, len(jobs))
+	for i, job := range jobs {
+		res, err := d.Exec(job.Payload)
+		if err != nil {
+			return nil, DeviceStats{}, fmt.Errorf("core: job %d: %w", i, err)
+		}
+		execResults[i] = res
+		service[i] = res.Cycles
+	}
+	results, devStats, err := d.Replay(jobs, service)
+	if err != nil {
+		return nil, DeviceStats{}, err
+	}
+	for i := range results {
+		results[i].Result = execResults[i]
+	}
+	return results, devStats, nil
+}
+
+// Replay schedules jobs FCFS across the device's pipelines using precomputed
+// per-job service cycles — the reuse point for sharded replays that Exec
+// payloads on per-worker clones and then need one deterministic queueing
+// pass. Jobs must be sorted by arrival time; service[i] holds jobs[i]'s
+// modeled cycles and payloads are not touched (they may be nil).
+// JobResult.Result is nil in this mode.
+func (d *Device) Replay(jobs []Job, service []float64) ([]JobResult, DeviceStats, error) {
+	if len(jobs) != len(service) {
+		return nil, DeviceStats{}, fmt.Errorf("core: %d jobs with %d service times", len(jobs), len(service))
+	}
 	if len(jobs) == 0 {
 		return nil, DeviceStats{}, nil
 	}
@@ -113,16 +160,6 @@ func (d *Device) Run(jobs []Job) ([]JobResult, DeviceStats, error) {
 		if i > 0 && job.Arrival < jobs[i-1].Arrival {
 			return nil, DeviceStats{}, fmt.Errorf("core: jobs not sorted by arrival")
 		}
-		var res *Result
-		var err error
-		if d.comp != nil {
-			res, err = d.comp.Compress(job.Payload)
-		} else {
-			res, err = d.decomp.Decompress(job.Payload)
-		}
-		if err != nil {
-			return nil, DeviceStats{}, fmt.Errorf("core: job %d: %w", i, err)
-		}
 		// Earliest-free pipeline.
 		p := 0
 		for k := 1; k < d.pipelines; k++ {
@@ -131,32 +168,32 @@ func (d *Device) Run(jobs []Job) ([]JobResult, DeviceStats, error) {
 			}
 		}
 		start := math.Max(job.Arrival, free[p])
-		done := start + res.Cycles
+		done := start + service[i]
 		free[p] = done
-		busy += res.Cycles
+		busy += service[i]
 		if done > lastDone {
 			lastDone = done
 		}
 		results[i] = JobResult{
 			Queue:   start - job.Arrival,
-			Service: res.Cycles,
+			Service: service[i],
 			Latency: done - job.Arrival,
-			Result:  res,
 		}
 	}
-	stats := DeviceStats{Jobs: len(jobs), Makespan: lastDone - first}
-	if stats.Makespan > 0 {
-		stats.Utilization = busy / (float64(d.pipelines) * stats.Makespan)
+	devStats := DeviceStats{Jobs: len(jobs), Makespan: lastDone - first}
+	if devStats.Makespan > 0 {
+		devStats.Utilization = busy / (float64(d.pipelines) * devStats.Makespan)
 	}
+	// Single-pass mean, then quickselect for the percentile samples: O(n)
+	// total, and the only latency copy is the selection scratch.
 	lat := make([]float64, len(results))
 	sum := 0.0
 	for i, r := range results {
 		lat[i] = r.Latency
 		sum += r.Latency
 	}
-	sort.Float64s(lat)
-	stats.MeanLatency = sum / float64(len(lat))
-	stats.P50Latency = lat[len(lat)/2]
-	stats.P99Latency = lat[min(len(lat)-1, len(lat)*99/100)]
-	return results, stats, nil
+	devStats.MeanLatency = sum / float64(len(lat))
+	devStats.P50Latency = stats.SelectNth(lat, len(lat)/2)
+	devStats.P99Latency = stats.SelectNth(lat, min(len(lat)-1, len(lat)*99/100))
+	return results, devStats, nil
 }

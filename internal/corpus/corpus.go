@@ -12,6 +12,7 @@ package corpus
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 )
 
 // Kind identifies a synthetic data family.
@@ -105,46 +106,53 @@ func Generate(kind Kind, size int, seed int64) []byte {
 	if size <= 0 {
 		return nil
 	}
+	return AppendGenerate(make([]byte, 0, size+128), kind, size, seed)
+}
+
+// AppendGenerate appends size bytes of kind-shaped data to dst and returns
+// the extended slice. The appended bytes are identical to Generate's output
+// for the same (kind, size, seed); replay loops use this form to reuse one
+// payload buffer across calls.
+func AppendGenerate(dst []byte, kind Kind, size int, seed int64) []byte {
+	if size <= 0 {
+		return dst
+	}
 	rng := rand.New(rand.NewSource(seed ^ int64(kind)<<32))
-	out := make([]byte, 0, size+128)
+	// The generators overshoot by up to one record; they fill to the target
+	// length and the tail is trimmed below.
+	target := len(dst) + size
 	switch kind {
 	case Text:
-		out = genText(rng, out, size)
+		dst = genText(rng, dst, target)
 	case Log:
-		out = genLog(rng, out, size)
+		dst = genLog(rng, dst, target)
 	case JSON:
-		out = genJSON(rng, out, size)
+		dst = genJSON(rng, dst, target)
 	case Protobuf:
-		out = genProtobuf(rng, out, size)
+		dst = genProtobuf(rng, dst, target)
 	case Table:
-		out = genTable(rng, out, size)
+		dst = genTable(rng, dst, target)
 	case HTML:
-		out = genHTML(rng, out, size)
+		dst = genHTML(rng, dst, target)
 	case Skewed:
-		out = out[:size]
-		for i := range out {
+		for len(dst) < target {
 			u := rng.Float64()
 			// Square-law skew over a 64-value alphabet: entropy ~4.8
 			// bits/byte with essentially no multi-byte repetition.
-			out[i] = byte(u * u * 64)
+			dst = append(dst, byte(u*u*64))
 		}
-		return out
 	case Random:
-		out = out[:size]
-		for i := range out {
-			out[i] = byte(rng.Intn(256))
+		for len(dst) < target {
+			dst = append(dst, byte(rng.Intn(256)))
 		}
-		return out
 	case Zeros:
-		out = out[:size]
-		for i := range out {
-			out[i] = 0
+		for len(dst) < target {
+			dst = append(dst, 0)
 		}
-		return out
 	default:
 		panic("corpus: unknown kind")
 	}
-	return out[:size]
+	return dst[:target]
 }
 
 // zipfWord picks a word with a skewed (roughly Zipfian) distribution so the
@@ -184,20 +192,32 @@ func genText(rng *rand.Rand, out []byte, size int) []byte {
 	return out
 }
 
+// The generators format records with strconv appends rather than
+// fmt.Sprintf: synthesis runs on the replay hot path, and Sprintf's argument
+// boxing dominated the whole simulator's allocation profile. Draw order and
+// output bytes are unchanged.
 func genLog(rng *rand.Rand, out []byte, size int) []byte {
 	ts := int64(1660000000000)
 	for len(out) < size {
 		ts += int64(rng.Intn(5000))
-		out = append(out, fmt.Sprintf(
-			"%d %s %s task=%d attempt=%d msg=\"%s %s %s\" dur_us=%d\n",
-			ts,
-			logLevels[rng.Intn(len(logLevels))],
-			logComponents[rng.Intn(len(logComponents))],
-			rng.Intn(1<<16),
-			rng.Intn(4),
-			zipfWord(rng), zipfWord(rng), zipfWord(rng),
-			rng.Intn(1<<20),
-		)...)
+		out = strconv.AppendInt(out, ts, 10)
+		out = append(out, ' ')
+		out = append(out, logLevels[rng.Intn(len(logLevels))]...)
+		out = append(out, ' ')
+		out = append(out, logComponents[rng.Intn(len(logComponents))]...)
+		out = append(out, " task="...)
+		out = strconv.AppendInt(out, int64(rng.Intn(1<<16)), 10)
+		out = append(out, " attempt="...)
+		out = strconv.AppendInt(out, int64(rng.Intn(4)), 10)
+		out = append(out, ` msg="`...)
+		out = append(out, zipfWord(rng)...)
+		out = append(out, ' ')
+		out = append(out, zipfWord(rng)...)
+		out = append(out, ' ')
+		out = append(out, zipfWord(rng)...)
+		out = append(out, `" dur_us=`...)
+		out = strconv.AppendInt(out, int64(rng.Intn(1<<20)), 10)
+		out = append(out, '\n')
 	}
 	return out
 }
@@ -211,14 +231,25 @@ func genJSON(rng *rand.Rand, out []byte, size int) []byte {
 				out = append(out, ',')
 			}
 			k := jsonKeys[rng.Intn(len(jsonKeys))]
-			out = append(out, fmt.Sprintf("%q:", k)...)
+			out = append(out, '"')
+			out = append(out, k...)
+			out = append(out, '"', ':')
+			// The vocabulary is plain ASCII, so quoting never escapes.
 			switch rng.Intn(4) {
 			case 0:
-				out = append(out, fmt.Sprintf("%d", rng.Intn(1<<24))...)
+				out = strconv.AppendInt(out, int64(rng.Intn(1<<24)), 10)
 			case 1:
-				out = append(out, fmt.Sprintf("%q", zipfWord(rng)+"-"+zipfWord(rng))...)
+				out = append(out, '"')
+				out = append(out, zipfWord(rng)...)
+				out = append(out, '-')
+				out = append(out, zipfWord(rng)...)
+				out = append(out, '"')
 			case 2:
-				out = append(out, fmt.Sprintf(`{"inner":%q,"v":%d}`, zipfWord(rng), rng.Intn(100))...)
+				out = append(out, `{"inner":"`...)
+				out = append(out, zipfWord(rng)...)
+				out = append(out, `","v":`...)
+				out = strconv.AppendInt(out, int64(rng.Intn(100)), 10)
+				out = append(out, '}')
 			default:
 				if rng.Intn(2) == 0 {
 					out = append(out, "true"...)
@@ -285,7 +316,11 @@ func genTable(rng *rand.Rand, out []byte, size int) []byte {
 func genHTML(rng *rand.Rand, out []byte, size int) []byte {
 	for len(out) < size {
 		tag := htmlTags[rng.Intn(len(htmlTags))]
-		out = append(out, fmt.Sprintf("<%s class=\"c%d\">", tag, rng.Intn(8))...)
+		out = append(out, '<')
+		out = append(out, tag...)
+		out = append(out, ` class="c`...)
+		out = strconv.AppendInt(out, int64(rng.Intn(8)), 10)
+		out = append(out, '"', '>')
 		n := 1 + rng.Intn(8)
 		for i := 0; i < n; i++ {
 			if i > 0 {
@@ -293,7 +328,9 @@ func genHTML(rng *rand.Rand, out []byte, size int) []byte {
 			}
 			out = append(out, zipfWord(rng)...)
 		}
-		out = append(out, fmt.Sprintf("</%s>\n", tag)...)
+		out = append(out, '<', '/')
+		out = append(out, tag...)
+		out = append(out, '>', '\n')
 	}
 	return out
 }

@@ -16,6 +16,9 @@ type Config struct {
 	// FleetSamples is the number of GWP-style call samples for the Section 3
 	// experiments.
 	FleetSamples int
+	// ReplayCalls is the number of fleet calls the service-replay
+	// experiments push through simulated devices.
+	ReplayCalls int
 	// Seed makes every experiment deterministic.
 	Seed int64
 }
@@ -26,6 +29,7 @@ func DefaultConfig() Config {
 		SuiteFiles:   500,
 		MaxFileBytes: 4 << 20,
 		FleetSamples: 300000,
+		ReplayCalls:  10000,
 		Seed:         1,
 	}
 }
@@ -36,6 +40,7 @@ func QuickConfig() Config {
 		SuiteFiles:   25,
 		MaxFileBytes: 1 << 20,
 		FleetSamples: 40000,
+		ReplayCalls:  400,
 		Seed:         1,
 	}
 }
@@ -50,6 +55,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FleetSamples == 0 {
 		c.FleetSamples = d.FleetSamples
+	}
+	if c.ReplayCalls == 0 {
+		c.ReplayCalls = d.ReplayCalls
 	}
 	if c.Seed == 0 {
 		c.Seed = d.Seed

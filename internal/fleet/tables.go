@@ -11,6 +11,8 @@
 package fleet
 
 import (
+	"sync"
+
 	"cdpu/internal/comp"
 	"cdpu/internal/stats"
 )
@@ -306,12 +308,22 @@ func RatioFor(a comp.Algorithm, level int) float64 {
 // HyperCompressBench-measured xeon package anchors: the fleet's data and
 // call mix are not the benchmark suite's.
 func FleetCostPerByte(ao AlgoOp) float64 {
+	return fleetCostPerByte()[ao]
+}
+
+// fleetCostPerByte caches the derived table: samplers call it once per drawn
+// record, and the shares it divides are compile-time constants.
+var fleetCostPerByte = sync.OnceValue(func() map[AlgoOp]float64 {
 	cs := CycleShares()
 	bs := ByteShares()
 	anchor := AlgoOp{comp.Snappy, comp.Compress}
 	const anchorCost = 6.39
-	return anchorCost * (cs[ao] / bs[ao]) / (cs[anchor] / bs[anchor])
-}
+	out := make(map[AlgoOp]float64, len(cs))
+	for _, ao := range AllAlgoOps() {
+		out[ao] = anchorCost * (cs[ao] / bs[ao]) / (cs[anchor] / bs[anchor])
+	}
+	return out
+})
 
 // FleetLevelCostFactor scales a ZStd compression call's cost-per-byte by
 // its level bin, calibrated to §3.3.4: fleet services in the [4,22] bin pay

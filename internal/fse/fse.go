@@ -291,7 +291,10 @@ type decEntry struct {
 	nbBits   uint8
 }
 
-// DecTable is a built FSE decoding table.
+// DecTable is a built FSE decoding table. A built table is immutable: Decode
+// keeps its walk state on the stack and only reads the entries, so one
+// DecTable may serve any number of goroutines concurrently — which is what
+// lets zstdlite memoize tables behind a shared cache.
 type DecTable struct {
 	tableLog int
 	entries  []decEntry
@@ -351,6 +354,25 @@ func (t *DecTable) Decode(r *ibits.Reader, dst []uint8, n int) ([]uint8, error) 
 		}
 	}
 	return dst, nil
+}
+
+// AppendNormKey appends a canonical byte encoding of (norm, tableLog) to
+// dst: the tableLog, then each count varint-style with trailing zeros
+// dropped. Two (norm, tableLog) pairs produce equal keys iff they build
+// identical decode tables, so the key is usable as a memoization handle for
+// NewDecTable results (zstdlite's decode-table cache).
+func AppendNormKey(dst []byte, norm []int, tableLog int) []byte {
+	dst = append(dst, byte(tableLog))
+	n := len(norm)
+	for n > 0 && norm[n-1] == 0 {
+		n--
+	}
+	for i := 0; i < n; i++ {
+		// Counts are bounded by 1<<MaxTableLog (4096): two bytes, little end
+		// first, keeps the key compact and unambiguous.
+		dst = append(dst, byte(norm[i]), byte(norm[i]>>8))
+	}
+	return dst
 }
 
 // WriteNorm serializes normalized counts: 8-bit alphabet size, 4-bit

@@ -272,7 +272,10 @@ func (e *Encoder) Encode(w *ibits.Writer, data []byte) error {
 }
 
 // Decoder performs table-driven decoding: one MaxBits-wide peek resolves any
-// symbol, mirroring the hardware decode-table SRAM.
+// symbol, mirroring the hardware decode-table SRAM. A built Decoder is
+// immutable: Decode only reads the table, so one Decoder may serve any number
+// of goroutines concurrently — which is what lets zstdlite memoize decoders
+// behind a shared cache.
 type Decoder struct {
 	table   []uint16 // packed entries: sym<<4 | len
 	maxBits int
@@ -297,6 +300,9 @@ func NewDecoder(t *CodeTable) *Decoder {
 // TableEntries reports the decode table size (2^MaxBits), which the area and
 // timing models use for the expander's SRAM cost.
 func (d *Decoder) TableEntries() int { return len(d.table) }
+
+// MaxBits reports the widest code length the table resolves (the peek width).
+func (d *Decoder) MaxBits() int { return d.maxBits }
 
 // Decode reads n symbols from r into dst, returning dst.
 func (d *Decoder) Decode(r *ibits.Reader, dst []byte, n int) ([]byte, error) {
@@ -331,16 +337,28 @@ func (t *CodeTable) WriteTable(w *ibits.Writer) {
 
 // ReadTable deserializes a table written by WriteTable.
 func ReadTable(r *ibits.Reader) (*CodeTable, error) {
+	lens, err := AppendReadLengths(nil, r)
+	if err != nil {
+		return nil, err
+	}
+	return FromLengths(lens)
+}
+
+// AppendReadLengths reads just the serialized code lengths of a WriteTable
+// header, appending them to dst. The lengths are the table's full canonical
+// description, so callers can key a decoder cache on them before paying for
+// FromLengths + NewDecoder (zstdlite's memoized decode tables do exactly
+// this); the lengths are not validated until FromLengths runs.
+func AppendReadLengths(dst []uint8, r *ibits.Reader) ([]uint8, error) {
 	n := int(r.ReadBits(9))
 	if n == 0 || n > 256 {
 		return nil, fmt.Errorf("%w: %d symbols", ErrBadLengths, n)
 	}
-	lens := make([]uint8, n)
-	for i := range lens {
-		lens[i] = uint8(r.ReadBits(4))
+	for i := 0; i < n; i++ {
+		dst = append(dst, uint8(r.ReadBits(4)))
 	}
 	if r.Err() != nil {
 		return nil, r.Err()
 	}
-	return FromLengths(lens)
+	return dst, nil
 }

@@ -413,13 +413,18 @@ func LiteralsAt(src []byte, start int, seqs []Seq) []byte {
 	for _, s := range seqs {
 		total += s.LitLen
 	}
-	lits := make([]byte, 0, total)
+	return AppendLiteralsAt(make([]byte, 0, total), src, start, seqs)
+}
+
+// AppendLiteralsAt is LiteralsAt appending into a caller-owned buffer, so
+// encoders replaying many blocks can reuse one literal scratch across calls.
+func AppendLiteralsAt(dst, src []byte, start int, seqs []Seq) []byte {
 	pos := start
 	for _, s := range seqs {
-		lits = append(lits, src[pos:pos+s.LitLen]...)
+		dst = append(dst, src[pos:pos+s.LitLen]...)
 		pos += s.LitLen + s.MatchLen
 	}
-	return lits
+	return dst
 }
 
 // Errors returned by Reconstruct.

@@ -5,18 +5,28 @@
 // offload retire? It composes the synthetic fleet (call mix), the corpus
 // (payload bytes), the CDPU device model (queueing + cycles) and the Xeon
 // cost model (baseline).
+//
+// The replay is sharded: call sampling and the arrival schedule are drawn
+// serially (they are cheap and order-dependent), payload synthesis and
+// functional execution fan out across a bounded worker pool (they dominate
+// runtime and are pure per call), and queueing replays serially over the
+// precomputed service cycles. Every per-call random draw comes from a stream
+// keyed on (seed, call index), so the Report is byte-identical at any worker
+// count.
 package sim
 
 import (
 	"fmt"
-	"math/rand"
-	"sort"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"cdpu/internal/comp"
 	"cdpu/internal/core"
 	"cdpu/internal/corpus"
 	"cdpu/internal/fleet"
 	"cdpu/internal/memsys"
+	"cdpu/internal/stats"
 	"cdpu/internal/xeon"
 )
 
@@ -24,7 +34,7 @@ import (
 type Config struct {
 	// Seed drives sampling.
 	Seed int64
-	// Calls is the number of fleet calls to replay.
+	// Calls is the number of fleet calls to replay (0 = 10000).
 	Calls int
 	// OfferedGBps is the service's uncompressed (de)compression bandwidth
 	// demand; arrivals are spaced to match it.
@@ -36,11 +46,14 @@ type Config struct {
 	Placement memsys.Placement
 	// MaxCallBytes caps replayed call sizes for runtime (0 = 1 MiB).
 	MaxCallBytes int
+	// Workers bounds the payload-synthesis pool (0 = one per CPU up to 8).
+	// The Report does not depend on it.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
 	if c.Calls == 0 {
-		c.Calls = 200
+		c.Calls = 10000
 	}
 	if c.OfferedGBps == 0 {
 		c.OfferedGBps = 2.0
@@ -51,7 +64,14 @@ func (c Config) withDefaults() Config {
 	if c.MaxCallBytes == 0 {
 		c.MaxCallBytes = 1 << 20
 	}
+	if c.Workers == 0 {
+		c.Workers = defaultWorkers()
+	}
 	return c
+}
+
+func defaultWorkers() int {
+	return max(1, min(8, runtime.NumCPU()-1))
 }
 
 // Report summarizes a replay.
@@ -78,20 +98,81 @@ var payloadKinds = []corpus.Kind{
 	corpus.Text, corpus.Log, corpus.JSON, corpus.Protobuf, corpus.Table, corpus.HTML,
 }
 
+// deviceOrder fixes the replay's device iteration — compression before
+// decompression, Snappy before ZStd — so latency merges and area sums never
+// depend on map iteration or goroutine scheduling.
+var deviceOrder = [...]struct {
+	algo comp.Algorithm
+	op   comp.Op
+}{
+	{comp.Snappy, comp.Compress},
+	{comp.ZStd, comp.Compress},
+	{comp.Snappy, comp.Decompress},
+	{comp.ZStd, comp.Decompress},
+}
+
+const numDevices = len(deviceOrder)
+
+func deviceIndex(a comp.Algorithm, op comp.Op) int {
+	i := 0
+	if a == comp.ZStd {
+		i = 1
+	}
+	if op == comp.Decompress {
+		i += 2
+	}
+	return i
+}
+
+// callRNG is a splitmix64 stream keyed on (seed, call index). Each call's
+// draws (payload kind, payload seed, arrival jitter) come from its own
+// stream, so any worker reproduces them regardless of which shard the call
+// lands on — the property that keeps the Report byte-identical across worker
+// counts.
+type callRNG struct{ state uint64 }
+
+func newCallRNG(seed int64, call int) callRNG {
+	return callRNG{state: uint64(seed) ^ (uint64(call)+1)*0x9e3779b97f4a7c15}
+}
+
+func (r *callRNG) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *callRNG) intn(n int) int   { return int(r.next() % uint64(n)) }
+func (r *callRNG) int63() int64     { return int64(r.next() >> 1) }
+func (r *callRNG) float64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// callSpec is everything phase B needs to execute one call, fixed during the
+// serial sampling phase.
+type callSpec struct {
+	rec         fleet.CallRecord
+	kind        corpus.Kind
+	payloadSeed int64
+	arrival     float64
+	dev         int
+}
+
 // Run replays cfg.Calls fleet calls through CDPU devices.
 func Run(cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	model := fleet.NewModel(cfg.Seed)
-
-	type call struct {
-		rec     fleet.CallRecord
-		payload []byte // device input: plaintext (C) or compressed (D)
-	}
-	var calls []call
 	report := &Report{}
+
+	// Phase A (serial): sample the call mix and lay out the arrival
+	// schedule. The fleet model's sampler is stateful, so this stays
+	// single-threaded; it draws no payload bytes and is cheap.
+	// Arrivals match the offered bandwidth (device cycles at 2 GHz:
+	// bytes / (GB/s) * 2 cycles/ns).
+	cyclesPerByte := 2.0 / cfg.OfferedGBps
+	specs := make([]callSpec, 0, cfg.Calls)
 	var xeonCycles float64
-	for len(calls) < cfg.Calls {
+	at := 0.0
+	for len(specs) < cfg.Calls {
 		rec := model.SampleCall()
 		// The CDPU serves the dominant pair; other algorithms stay on CPU.
 		if rec.Algo != comp.Snappy && rec.Algo != comp.ZStd {
@@ -100,91 +181,177 @@ func Run(cfg Config) (*Report, error) {
 		if rec.UncompressedBytes > cfg.MaxCallBytes {
 			rec.UncompressedBytes = cfg.MaxCallBytes
 		}
-		kind := payloadKinds[rng.Intn(len(payloadKinds))]
-		plain := corpus.Generate(kind, rec.UncompressedBytes, rng.Int63())
-		c := call{rec: rec}
-		if rec.Op == comp.Compress {
-			c.payload = plain
-		} else {
-			enc, err := comp.CompressCall(rec.Algo, rec.Level, min(rec.WindowLog, 17), plain)
-			if err != nil {
-				return nil, err
-			}
-			c.payload = enc
+		r := newCallRNG(cfg.Seed, len(specs))
+		s := callSpec{
+			rec:         rec,
+			kind:        payloadKinds[r.intn(len(payloadKinds))],
+			payloadSeed: r.int63(),
+			arrival:     at,
+			dev:         deviceIndex(rec.Algo, rec.Op),
 		}
+		at += float64(rec.UncompressedBytes) * cyclesPerByte * (0.5 + r.float64())
 		report.UncompressedBytes += rec.UncompressedBytes
 		xeonCycles += xeon.Cycles(rec.Algo, rec.Op, rec.Level, rec.UncompressedBytes)
-		calls = append(calls, c)
+		specs = append(specs, s)
 	}
-	report.Calls = len(calls)
+	report.Calls = len(specs)
 
-	// Arrival schedule matching the offered bandwidth (device cycles at
-	// 2 GHz: bytes / (GB/s) * 2 cycles/ns).
-	cyclesPerByte := 2.0 / cfg.OfferedGBps
-	// Devices: unified units serve both algorithms per direction.
-	compDev := map[comp.Algorithm]*core.Device{}
-	decompDev := map[comp.Algorithm]*core.Device{}
-	for _, a := range []comp.Algorithm{comp.Snappy, comp.ZStd} {
-		var err error
-		compDev[a], err = core.NewDevice(core.Config{Algo: a, Op: comp.Compress, Placement: cfg.Placement}, cfg.Pipelines)
+	// Phase B (parallel): synthesize each payload and run it through a
+	// functional device clone for its service cycles.
+	service, err := execCalls(specs, cfg.Placement, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase C (serial): replay queueing per device in fixed order and merge.
+	var devices [numDevices]*core.Device
+	perDev := make([][]int, numDevices)
+	for i, s := range specs {
+		perDev[s.dev] = append(perDev[s.dev], i)
+	}
+	latencies := make([]float64, 0, len(specs))
+	for d, slot := range deviceOrder {
+		dev, err := core.NewDevice(core.Config{Algo: slot.algo, Op: slot.op, Placement: cfg.Placement}, cfg.Pipelines)
 		if err != nil {
 			return nil, err
 		}
-		decompDev[a], err = core.NewDevice(core.Config{Algo: a, Op: comp.Decompress, Placement: cfg.Placement}, cfg.Pipelines)
-		if err != nil {
-			return nil, err
+		devices[d] = dev
+		idxs := perDev[d]
+		jobs := make([]core.Job, len(idxs))
+		svc := make([]float64, len(idxs))
+		for ji, ci := range idxs {
+			jobs[ji] = core.Job{Arrival: specs[ci].arrival}
+			svc[ji] = service[ci]
 		}
-	}
-	jobs := map[*core.Device][]core.Job{}
-	at := 0.0
-	for _, c := range calls {
-		dev := compDev[c.rec.Algo]
-		if c.rec.Op == comp.Decompress {
-			dev = decompDev[c.rec.Algo]
-		}
-		jobs[dev] = append(jobs[dev], core.Job{Arrival: at, Payload: c.payload})
-		at += float64(c.rec.UncompressedBytes) * cyclesPerByte * (0.5 + rng.Float64())
-	}
-	var latencies []float64
-	var utils []float64
-	for dev, js := range jobs {
-		results, stats, err := dev.Run(js)
+		results, devStats, err := dev.Replay(jobs, svc)
 		if err != nil {
 			return nil, err
 		}
 		for _, r := range results {
 			latencies = append(latencies, r.Latency)
 		}
-		utils = append(utils, stats.Utilization)
-		if dev == compDev[comp.Snappy] || dev == compDev[comp.ZStd] {
-			report.CompUtil = max(report.CompUtil, stats.Utilization)
+		if slot.op == comp.Compress {
+			report.CompUtil = max(report.CompUtil, devStats.Utilization)
 		} else {
-			report.DecompUtil = max(report.DecompUtil, stats.Utilization)
+			report.DecompUtil = max(report.DecompUtil, devStats.Utilization)
 		}
 	}
 	if len(latencies) == 0 {
 		return nil, fmt.Errorf("sim: no device traffic")
 	}
-	sort.Float64s(latencies)
 	sum := 0.0
 	for _, l := range latencies {
 		sum += l
 	}
 	report.MeanLatencyUs = sum / float64(len(latencies)) / 2000
-	report.P99LatencyUs = latencies[min(len(latencies)-1, len(latencies)*99/100)] / 2000
+	report.P99LatencyUs = stats.P99(latencies) / 2000
 
 	// Baseline: the same load on Xeon cores.
 	wallSeconds := at / 2.0e9
 	if wallSeconds > 0 {
 		report.XeonCoresNeeded = xeon.Seconds(xeonCycles) / wallSeconds
 	}
-	report.SoftwareMeanLatencyUs = xeon.Seconds(xeonCycles/float64(len(calls))) * 1e6
+	report.SoftwareMeanLatencyUs = xeon.Seconds(xeonCycles/float64(len(specs))) * 1e6
 
 	// Silicon: the four devices (areas already share interfaces within each
 	// device; a real SoC would share across directions too, so this is the
 	// conservative bound).
-	for _, a := range []comp.Algorithm{comp.Snappy, comp.ZStd} {
-		report.AreaMM2 += compDev[a].Area().Total() + decompDev[a].Area().Total()
+	for _, dev := range devices {
+		report.AreaMM2 += dev.Area().Total()
 	}
 	return report, nil
+}
+
+// shard is one worker's leased execution state: a pooled Coder for
+// decompress-op payload synthesis, functional single-pipeline device clones,
+// and payload buffers that amortize to zero steady-state allocation.
+type shard struct {
+	coder *comp.Coder
+	devs  [numDevices]*core.Device
+	plain []byte
+	enc   []byte
+}
+
+func newShard(placement memsys.Placement) (*shard, error) {
+	sh := &shard{coder: comp.NewCoder()}
+	for d, slot := range deviceOrder {
+		dev, err := core.NewDevice(core.Config{Algo: slot.algo, Op: slot.op, Placement: placement}, 1)
+		if err != nil {
+			return nil, err
+		}
+		sh.devs[d] = dev
+	}
+	return sh, nil
+}
+
+func (sh *shard) exec(s *callSpec) (float64, error) {
+	sh.plain = corpus.AppendGenerate(sh.plain[:0], s.kind, s.rec.UncompressedBytes, s.payloadSeed)
+	payload := sh.plain
+	if s.rec.Op == comp.Decompress {
+		enc, err := sh.coder.AppendCompress(sh.enc[:0], s.rec.Algo, s.rec.Level, min(s.rec.WindowLog, 17), sh.plain)
+		if err != nil {
+			return 0, err
+		}
+		sh.enc = enc
+		payload = enc
+	}
+	res, err := sh.devs[s.dev].Exec(payload)
+	if err != nil {
+		return 0, err
+	}
+	return res.Cycles, nil
+}
+
+// execCalls distributes specs over a bounded worker pool by atomic index and
+// returns each call's modeled service cycles. Results are index-addressed and
+// each call's inputs derive only from its spec, so the output is independent
+// of worker count and scheduling. On error the pool drains promptly and the
+// lowest-index call error wins.
+func execCalls(specs []callSpec, placement memsys.Placement, workers int) ([]float64, error) {
+	workers = max(1, min(workers, len(specs)))
+	service := make([]float64, len(specs))
+	callErrs := make([]error, len(specs))
+	poolErrs := make([]error, workers)
+	var nextIdx atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sh, err := newShard(placement)
+			if err != nil {
+				poolErrs[w] = err
+				failed.Store(true)
+				return
+			}
+			for !failed.Load() {
+				i := int(nextIdx.Add(1)) - 1
+				if i >= len(specs) {
+					return
+				}
+				cycles, err := sh.exec(&specs[i])
+				if err != nil {
+					callErrs[i] = err
+					failed.Store(true)
+					return
+				}
+				service[i] = cycles
+			}
+		}(w)
+	}
+	wg.Wait()
+	if failed.Load() {
+		for i, err := range callErrs {
+			if err != nil {
+				return nil, fmt.Errorf("sim: call %d: %w", i, err)
+			}
+		}
+		for _, err := range poolErrs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return service, nil
 }

@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"cdpu/internal/memsys"
 )
@@ -68,6 +70,47 @@ func TestRemotePlacementRaisesLatency(t *testing.T) {
 	}
 }
 
+// TestRunWorkerCountInvariant pins the tentpole property of the sharded
+// replay: the Report is byte-identical at any worker count, because every
+// per-call draw derives from (seed, call index) and the reduction runs in a
+// fixed device order.
+func TestRunWorkerCountInvariant(t *testing.T) {
+	base := Config{Seed: 11, Calls: 120, MaxCallBytes: 128 << 10, Workers: 1}
+	want, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0), 16} {
+		cfg := base
+		cfg.Workers = workers
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if *got != *want {
+			t.Errorf("workers=%d: report differs from serial run:\n got %+v\nwant %+v", workers, got, want)
+		}
+	}
+}
+
+// TestRunLeavesNoGoroutines checks the replay pool drains completely, success
+// or not (mirrors the scheduler's leak check in internal/exp/sched_test.go).
+func TestRunLeavesNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	if _, err := Run(Config{Seed: 5, Calls: 40, MaxCallBytes: 64 << 10, Workers: 8}); err != nil {
+		t.Fatal(err)
+	}
+	// Workers exit asynchronously after the last result lands; allow a
+	// grace period for the scheduler to retire them.
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
 func TestOffloadBeatsSoftwareServiceTime(t *testing.T) {
 	r, err := Run(Config{Seed: 4, Calls: 80, OfferedGBps: 1.0, MaxCallBytes: 256 << 10})
 	if err != nil {
@@ -76,4 +119,19 @@ func TestOffloadBeatsSoftwareServiceTime(t *testing.T) {
 	if r.MeanLatencyUs >= r.SoftwareMeanLatencyUs {
 		t.Errorf("device latency %f us not below software %f us", r.MeanLatencyUs, r.SoftwareMeanLatencyUs)
 	}
+}
+
+// BenchmarkSimRun measures one full replay (sampling, parallel synthesis,
+// queueing replay). Divide ns/op and allocs/op by the call count for
+// per-call figures; cmd/simbench does exactly that for BENCH_sim.json.
+func BenchmarkSimRun(b *testing.B) {
+	cfg := Config{Seed: 1, Calls: 2000, MaxCallBytes: 256 << 10}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cfg.Calls)*float64(b.N)/b.Elapsed().Seconds(), "calls/sec")
 }

@@ -145,8 +145,15 @@ func (e *Encoder) Stats() lz77.Stats { return e.matcher.Stats() }
 
 // Encode compresses src into the Snappy block format.
 func (e *Encoder) Encode(src []byte) []byte {
+	return e.AppendEncode(nil, src)
+}
+
+// AppendEncode compresses src, appending the Snappy block to dst — the
+// zero-steady-state-allocation form for callers that replay many payloads
+// through one buffer.
+func (e *Encoder) AppendEncode(dst, src []byte) []byte {
 	e.matcher.ResetStats()
-	dst := bits.AppendUvarint(nil, uint64(len(src)))
+	dst = bits.AppendUvarint(dst, uint64(len(src)))
 	if len(src) == 0 {
 		return dst
 	}

@@ -327,3 +327,64 @@ func Mean(xs []float64) float64 {
 	}
 	return s / float64(len(xs))
 }
+
+// SelectNth returns the n-th smallest element of xs (0-indexed), partially
+// reordering xs in place — no second copy of the sample set, and O(len(xs))
+// expected time versus a full sort's O(n log n). The pivot choice is
+// deterministic (median of three), so the reordering — and therefore any
+// later reduction over xs — is reproducible.
+func SelectNth(xs []float64, n int) float64 {
+	if n < 0 || n >= len(xs) {
+		panic(fmt.Sprintf("stats: SelectNth(%d) of %d", n, len(xs)))
+	}
+	lo, hi := 0, len(xs)-1
+	for lo < hi {
+		// Median-of-three pivot: deterministic and robust against sorted or
+		// constant runs (common in latency samples).
+		mid := lo + (hi-lo)/2
+		if xs[mid] < xs[lo] {
+			xs[mid], xs[lo] = xs[lo], xs[mid]
+		}
+		if xs[hi] < xs[lo] {
+			xs[hi], xs[lo] = xs[lo], xs[hi]
+		}
+		if xs[hi] < xs[mid] {
+			xs[hi], xs[mid] = xs[mid], xs[hi]
+		}
+		pivot := xs[mid]
+		// Three-way partition (Dutch national flag) collapses equal-to-pivot
+		// runs in one pass, keeping degenerate inputs linear.
+		lt, i, gt := lo, lo, hi
+		for i <= gt {
+			switch {
+			case xs[i] < pivot:
+				xs[lt], xs[i] = xs[i], xs[lt]
+				lt++
+				i++
+			case xs[i] > pivot:
+				xs[i], xs[gt] = xs[gt], xs[i]
+				gt--
+			default:
+				i++
+			}
+		}
+		switch {
+		case n < lt:
+			hi = lt - 1
+		case n > gt:
+			lo = gt + 1
+		default:
+			return pivot
+		}
+	}
+	return xs[lo]
+}
+
+// P99 returns the sample used as the 99th percentile throughout the repo
+// (index n*99/100 of the sorted order), selecting in place via SelectNth.
+func P99(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return SelectNth(xs, min(len(xs)-1, len(xs)*99/100))
+}

@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -202,5 +203,76 @@ func TestMean(t *testing.T) {
 	}
 	if got := Mean([]float64{1, 2, 3}); math.Abs(got-2) > 1e-12 {
 		t.Errorf("mean = %f", got)
+	}
+}
+
+// TestSelectNthMatchesSort cross-checks quickselect against a full sort on
+// random, sorted, reversed and constant inputs.
+func TestSelectNthMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	shapes := map[string]func(n int) []float64{
+		"random": func(n int) []float64 {
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = rng.Float64() * 1000
+			}
+			return xs
+		},
+		"sorted": func(n int) []float64 {
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = float64(i)
+			}
+			return xs
+		},
+		"reversed": func(n int) []float64 {
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = float64(n - i)
+			}
+			return xs
+		},
+		"constant": func(n int) []float64 {
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = 7
+			}
+			return xs
+		},
+	}
+	for name, gen := range shapes {
+		for _, n := range []int{1, 2, 3, 10, 101, 1000} {
+			ref := gen(n)
+			sorted := append([]float64(nil), ref...)
+			sort.Float64s(sorted)
+			for _, k := range []int{0, n / 2, n - 1, n * 99 / 100} {
+				if k >= n {
+					continue
+				}
+				work := append([]float64(nil), ref...)
+				if got := SelectNth(work, k); got != sorted[k] {
+					t.Fatalf("%s n=%d: SelectNth(%d) = %v, sorted %v", name, n, k, got, sorted[k])
+				}
+			}
+		}
+	}
+}
+
+func TestP99MatchesSortedIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{1, 10, 99, 100, 5000} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		want := sorted[min(n-1, n*99/100)]
+		if got := P99(xs); got != want {
+			t.Errorf("n=%d: P99 = %v, want %v", n, got, want)
+		}
+	}
+	if P99(nil) != 0 {
+		t.Error("empty P99")
 	}
 }

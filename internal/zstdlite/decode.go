@@ -322,13 +322,20 @@ func parseCompressedBody(body []byte, block *BlockInfo) error {
 		}
 		block.LitPayload = payload
 		r := ibits.NewReader(body[pos : pos+payload])
-		table, err := huffman.ReadTable(r)
+		// The serialized code lengths are the table's full description; the
+		// process-wide cache rebuilds the decoder only on first sight.
+		var lensBuf [256]uint8
+		lens, err := huffman.AppendReadLengths(lensBuf[:0], r)
 		if err != nil {
 			return fmt.Errorf("%w: huffman table: %v", ErrCorrupt, err)
 		}
-		block.HuffMaxBits = table.MaxBits
-		block.HuffLens = table.Lens
-		lits, err := huffman.NewDecoder(table).Decode(r, make([]byte, 0, block.LitCount), block.LitCount)
+		ent, err := tables.huffDecoder(lens)
+		if err != nil {
+			return fmt.Errorf("%w: huffman table: %v", ErrCorrupt, err)
+		}
+		block.HuffMaxBits = ent.dec.MaxBits()
+		block.HuffLens = ent.lens // shared with the cache; read-only
+		lits, err := ent.dec.Decode(r, make([]byte, 0, block.LitCount), block.LitCount)
 		if err != nil {
 			return fmt.Errorf("%w: huffman literals: %v", ErrCorrupt, err)
 		}
@@ -432,7 +439,8 @@ func parseCodeStream(body []byte, numSeqs int) (codes []uint8, mode, tableLog, a
 		if nerr != nil {
 			return nil, 0, 0, 0, fmt.Errorf("%w: fse norm: %v", ErrCorrupt, nerr)
 		}
-		dec, derr := fse.NewDecTable(norm, tl)
+		var keyBuf [1 + 2*maxSeqCode]byte
+		dec, derr := tables.fseTable(fse.AppendNormKey(keyBuf[:0], norm, tl), norm, tl)
 		if derr != nil {
 			return nil, 0, 0, 0, fmt.Errorf("%w: fse table: %v", ErrCorrupt, derr)
 		}

@@ -132,6 +132,19 @@ func (p Params) lzConfig() lz77.Config {
 type Encoder struct {
 	params  Params
 	matcher *lz77.Matcher
+
+	// Per-call scratch, reused across Encode calls so the steady-state frame
+	// hot path stops allocating: block literals, the assembled block body,
+	// the three sequence-code lanes and the extra-bits writer. None of these
+	// alias the returned frame (bodies are copied into dst), so reuse is
+	// invisible to callers.
+	litBuf    []byte
+	bodyBuf   []byte
+	codeBuf   [3][]uint8
+	extras    ibits.Writer
+	streamBuf ibits.Writer
+	planBuf   []blockPlan
+	planSeqs  []lz77.Seq
 }
 
 // NewEncoder returns an Encoder for p.
@@ -157,8 +170,14 @@ func (e *Encoder) LZStats() lz77.Stats { return e.matcher.Stats() }
 // with a frame-wide match window (matches may cross block boundaries, as in
 // ZStd), optionally primed with the encoder's preset dictionary.
 func (e *Encoder) Encode(src []byte) []byte {
+	return e.AppendEncode(nil, src)
+}
+
+// AppendEncode compresses src, appending the frame to dst — the
+// buffer-reusing form for callers that replay many payloads.
+func (e *Encoder) AppendEncode(dst, src []byte) []byte {
 	e.matcher.ResetStats()
-	dst := e.appendFrameHeader(nil, len(src))
+	dst = e.appendFrameHeader(dst, len(src))
 	if len(src) == 0 {
 		dst = append(dst, byte(blockRaw<<1|1)) // empty last raw block
 		dst = ibits.AppendUvarint(dst, 0)
@@ -171,11 +190,11 @@ func (e *Encoder) Encode(src []byte) []byte {
 		data = append(append(data, dict...), src...)
 	}
 	seqs := e.matcher.ParsePrefixed(data, len(dict))
-	plans := splitBlocks(seqs, len(src))
+	plans := e.splitBlocks(seqs, len(src))
 	for i, p := range plans {
 		blockData := data[len(dict)+p.start : len(dict)+p.start+p.size]
-		literals := lz77.LiteralsAt(data, len(dict)+p.start, p.seqs)
-		dst = e.encodeBlock(dst, blockData, literals, p.seqs, i == len(plans)-1)
+		e.litBuf = lz77.AppendLiteralsAt(e.litBuf[:0], data, len(dict)+p.start, p.seqs)
+		dst = e.encodeBlock(dst, blockData, e.litBuf, p.seqs, i == len(plans)-1)
 	}
 	return e.appendChecksum(dst, src)
 }
@@ -223,35 +242,40 @@ func (e *Encoder) appendFrameHeader(dst []byte, contentSize int) []byte {
 	return dst
 }
 
-// blockPlan is one block's slice of the frame-wide parse.
+// blockPlan is one block's slice of the frame-wide parse. seqs points into
+// the encoder's shared planSeqs backing ([lo:hi]), assigned once the whole
+// frame is carved (appends before that could move the backing array).
 type blockPlan struct {
-	start int // offset within the payload
-	size  int
-	seqs  []lz77.Seq
+	start  int // offset within the payload
+	size   int
+	lo, hi int
+	seqs   []lz77.Seq
 }
 
 // splitBlocks carves a frame-wide sequence list into MaxBlockSize blocks,
 // splitting literal runs and matches that straddle a boundary. A split match
 // continues in the next block with the same offset, which stays valid
 // because the decoder's window is frame-wide.
-func splitBlocks(seqs []lz77.Seq, total int) []blockPlan {
-	var plans []blockPlan
+func (e *Encoder) splitBlocks(seqs []lz77.Seq, total int) []blockPlan {
+	plans := e.planBuf[:0]
+	all := e.planSeqs[:0]
 	cur := blockPlan{}
 	room := MaxBlockSize
 	if total < room {
 		room = total
 	}
 	flush := func() {
+		cur.hi = len(all)
 		plans = append(plans, cur)
 		nextStart := cur.start + cur.size
-		cur = blockPlan{start: nextStart}
+		cur = blockPlan{start: nextStart, lo: len(all)}
 		room = MaxBlockSize
 		if total-nextStart < room {
 			room = total - nextStart
 		}
 	}
 	push := func(s lz77.Seq) {
-		cur.seqs = append(cur.seqs, s)
+		all = append(all, s)
 		cur.size += s.LitLen + s.MatchLen
 		room -= s.LitLen + s.MatchLen
 		if room == 0 && cur.start+cur.size < total {
@@ -276,8 +300,14 @@ func splitBlocks(seqs []lz77.Seq, total int) []blockPlan {
 		}
 	}
 	if cur.size > 0 || len(plans) == 0 {
+		cur.hi = len(all)
 		plans = append(plans, cur)
 	}
+	for i := range plans {
+		plans[i].seqs = all[plans[i].lo:plans[i].hi]
+	}
+	e.planBuf = plans
+	e.planSeqs = all
 	return plans
 }
 
@@ -304,9 +334,9 @@ func (e *Encoder) encodeBlock(dst, block, literals []byte, seqs []lz77.Seq, last
 		dst = ibits.AppendUvarint(dst, uint64(len(block)))
 		return append(dst, block[0])
 	}
-	var body []byte
-	body = e.appendLiteralsSection(body, literals)
+	body := e.appendLiteralsSection(e.bodyBuf[:0], literals)
 	body = e.appendSequencesSection(body, seqs)
+	e.bodyBuf = body[:0] // keep the (possibly regrown) buffer for the next block
 	if len(body) >= len(block) {
 		// Incompressible: raw block.
 		dst = append(dst, byte(blockRaw<<1)|lastBit)
@@ -359,7 +389,10 @@ func (e *Encoder) huffmanLiterals(literals []byte) []byte {
 	if err != nil {
 		return nil
 	}
-	w := ibits.NewWriter(len(literals) / 2)
+	// The stream scratch is free here: sequence-section encoding only starts
+	// after the literals section is fully copied into the block body.
+	w := &e.streamBuf
+	w.Reset()
 	table.WriteTable(w)
 	if err := huffman.NewEncoder(table).Encode(w, literals); err != nil {
 		return nil
@@ -374,10 +407,15 @@ func (e *Encoder) appendSequencesSection(dst []byte, seqs []lz77.Seq) []byte {
 	if len(seqs) == 0 {
 		return dst
 	}
-	llCodes := make([]uint8, len(seqs))
-	ofCodes := make([]uint8, len(seqs))
-	mlCodes := make([]uint8, len(seqs))
-	var extras ibits.Writer
+	for i := range e.codeBuf {
+		if cap(e.codeBuf[i]) < len(seqs) {
+			e.codeBuf[i] = make([]uint8, len(seqs))
+		}
+		e.codeBuf[i] = e.codeBuf[i][:len(seqs)]
+	}
+	llCodes, ofCodes, mlCodes := e.codeBuf[0], e.codeBuf[1], e.codeBuf[2]
+	extras := &e.extras
+	extras.Reset()
 	reps := newRepHistory() // per-block recent-offset state, as the decoder's
 	for i, s := range seqs {
 		var w uint8
@@ -411,17 +449,19 @@ func (e *Encoder) appendSequencesSection(dst []byte, seqs []lz77.Seq) []byte {
 // Flate-class configuration).
 func (e *Encoder) appendCodeStream(dst []byte, codes []uint8) []byte {
 	tableLog := e.params.TableLog
-	hist := make([]int, maxSeqCode)
+	var histBuf [maxSeqCode]int
+	hist := histBuf[:]
 	for _, c := range codes {
 		hist[c]++
 	}
 	if e.params.DisableFSE {
 		hist = nil // fall through to the raw encoding below
 	}
+	w := &e.streamBuf // payload scratch; contents are copied into dst below
 	if norm, err := fse.Normalize(hist, tableLog); err == nil {
 		if enc, err := fse.NewEncTable(norm, tableLog); err == nil {
-			var w ibits.Writer
-			if fse.WriteNorm(&w, norm, tableLog) == nil && enc.Encode(&w, codes) == nil {
+			w.Reset()
+			if fse.WriteNorm(w, norm, tableLog) == nil && enc.Encode(w, codes) == nil {
 				payload := w.Bytes()
 				if len(payload) < (len(codes)*seqCodeBits+7)/8 {
 					dst = append(dst, seqFSE)
@@ -432,7 +472,7 @@ func (e *Encoder) appendCodeStream(dst []byte, codes []uint8) []byte {
 		}
 	}
 	// Raw fallback: fixed-width codes (degenerate or FSE-unprofitable).
-	var w ibits.Writer
+	w.Reset()
 	for _, c := range codes {
 		w.WriteBits(uint64(c), seqCodeBits)
 	}

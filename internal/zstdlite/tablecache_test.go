@@ -1,0 +1,118 @@
+package zstdlite
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"cdpu/internal/corpus"
+)
+
+var errMismatch = errors.New("decode mismatch")
+
+// TestDecodeTableCacheHitAndCorrectness drives the same fleet-shaped frame
+// through Decode twice: the first pass must populate the cache (misses), the
+// second must be served entirely from it (hits, zero new misses), and both
+// passes must produce the original bytes.
+func TestDecodeTableCacheHitAndCorrectness(t *testing.T) {
+	ResetDecodeTableCache()
+	t.Cleanup(ResetDecodeTableCache)
+
+	plain := corpus.Generate(corpus.Text, 64<<10, 42)
+	enc := Encode(plain)
+
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, plain) {
+		t.Fatal("cold-cache decode mismatch")
+	}
+	cold := DecodeTableCacheStats()
+	if cold.Misses == 0 {
+		t.Fatalf("no table builds on a huffman/fse frame: %+v", cold)
+	}
+
+	got, err = Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, plain) {
+		t.Fatal("warm-cache decode mismatch")
+	}
+	warm := DecodeTableCacheStats()
+	if warm.Misses != cold.Misses {
+		t.Errorf("warm decode rebuilt tables: %d -> %d misses", cold.Misses, warm.Misses)
+	}
+	if warm.Hits <= cold.Hits {
+		t.Errorf("warm decode did not hit the cache: %+v -> %+v", cold, warm)
+	}
+}
+
+// TestDecodeTableCacheDistinctTables checks that frames with different
+// entropy statistics do not collide: each distinct table description builds
+// its own entry and decodes to its own bytes.
+func TestDecodeTableCacheDistinctTables(t *testing.T) {
+	ResetDecodeTableCache()
+	t.Cleanup(ResetDecodeTableCache)
+
+	kinds := []corpus.Kind{corpus.Text, corpus.JSON, corpus.Log, corpus.HTML}
+	var plains, encs [][]byte
+	for i, k := range kinds {
+		p := corpus.Generate(k, 32<<10, int64(100+i))
+		plains = append(plains, p)
+		encs = append(encs, Encode(p))
+	}
+	for round := 0; round < 2; round++ {
+		for i := range encs {
+			got, err := Decode(encs[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, plains[i]) {
+				t.Fatalf("round %d kind %v: decode mismatch", round, kinds[i])
+			}
+		}
+	}
+	s := DecodeTableCacheStats()
+	if s.Hits == 0 || s.Misses == 0 {
+		t.Errorf("expected both hits and misses across distinct frames: %+v", s)
+	}
+}
+
+// TestDecodeTableCacheConcurrent hammers one frame from many goroutines; the
+// race detector guards the cache's locking and the correctness check guards
+// shared-table immutability.
+func TestDecodeTableCacheConcurrent(t *testing.T) {
+	ResetDecodeTableCache()
+	t.Cleanup(ResetDecodeTableCache)
+
+	plain := corpus.Generate(corpus.JSON, 48<<10, 7)
+	enc := Encode(plain)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < len(errs); g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				got, err := Decode(enc)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if !bytes.Equal(got, plain) {
+					errs[g] = errMismatch
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
