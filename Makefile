@@ -1,12 +1,12 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all check vet build test race bench bench-json bench-smoke fuzz-smoke
+.PHONY: all check vet build test race bench bench-json bench-smoke trace-smoke fuzz-smoke
 
 all: check
 
 # Full gate: what CI (and pre-commit) should run.
-check: vet build test race bench-smoke
+check: vet build test race bench-smoke trace-smoke
 
 vet:
 	$(GO) vet ./...
@@ -35,6 +35,12 @@ bench-json:
 # worker count.
 bench-smoke:
 	$(GO) run ./cmd/simbench -check
+
+# Observability gate: a traced replay leaves the Report byte-identical, the
+# exported Chrome trace parses, and the per-block attribution sums to Cycles
+# bit-exactly across DSE corner configurations.
+trace-smoke:
+	$(GO) run ./cmd/simbench -trace-smoke
 
 # Adversarial-input smoke: run every native fuzz target for FUZZTIME each,
 # starting from the checked-in seed corpora (regenerate those with

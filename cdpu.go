@@ -86,7 +86,7 @@ type Compressor = core.Compressor
 type Decompressor = core.Decompressor
 
 // Result reports one accelerator call: output bytes, modeled cycles, and a
-// per-stage breakdown.
+// per-block cycle attribution that sums exactly to Cycles.
 type Result = core.Result
 
 // HashFunc selects the LZ77 hash function (§5.8.3).

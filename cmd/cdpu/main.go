@@ -90,7 +90,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "cycles: %.0f  time@2GHz: %.3f ms  throughput: %.2f GB/s\n",
 			res.Cycles, 1000*res.Seconds(2.0), res.ThroughputGBps(2.0))
-		fmt.Fprintf(os.Stderr, "stage breakdown:\n%s", res.StageString())
+		fmt.Fprintf(os.Stderr, "block breakdown:\n%s", res.BlockString())
 		out = res.Output
 	} else {
 		if *compress {

@@ -13,6 +13,9 @@
 //	cdpubench -workers 4           # simulation worker-pool size
 //	cdpubench -calls 50000         # service-replay call count
 //	cdpubench -csv out/            # also write each table as CSV
+//	cdpubench -metrics             # dump the metrics registry to stderr after
+//	                               # the run (cache traffic, bytes/placement,
+//	                               # fault injections, ...)
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"time"
 
 	"cdpu/internal/exp"
+	"cdpu/internal/obs"
 )
 
 func main() {
@@ -38,6 +42,7 @@ func main() {
 	workers := flag.Int("workers", 0, "simulation worker-pool size (default min(8, NumCPU-1))")
 	calls := flag.Int("calls", 0, "fleet calls per service-replay cell (default 10000)")
 	csvDir := flag.String("csv", "", "directory to write per-table CSV files into")
+	metrics := flag.Bool("metrics", false, "dump the metrics registry to stderr after the run")
 	flag.Parse()
 
 	exp.SetWorkers(*workers)
@@ -81,6 +86,13 @@ func main() {
 	for _, id := range ids {
 		if err := runOne(id, cfg, *csvDir); err != nil {
 			fmt.Fprintf(os.Stderr, "cdpubench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *metrics {
+		fmt.Fprintln(os.Stderr, "# metrics registry")
+		if err := obs.Default().WriteText(os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "cdpubench: metrics: %v\n", err)
 			os.Exit(1)
 		}
 	}

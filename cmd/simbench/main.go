@@ -10,17 +10,35 @@
 //	simbench -calls 10000 -workers 8
 //	simbench -check                 # smoke mode: replay determinism across
 //	                                # worker counts, no timing (for `make check`)
+//	simbench -trace-smoke           # observability smoke: traced replay leaves
+//	                                # the report identical, the trace parses as
+//	                                # Chrome JSON, block sums match Cycles
+//	                                # bit-exactly across DSE corners, and the
+//	                                # metrics registry saw the traffic
+//	simbench -http :6060            # serve net/http/pprof + expvar (including
+//	                                # the metrics registry) during the run
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"testing"
 
+	"cdpu/internal/comp"
+	"cdpu/internal/core"
+	"cdpu/internal/corpus"
+	"cdpu/internal/memsys"
+	"cdpu/internal/obs"
 	"cdpu/internal/sim"
+	"cdpu/internal/snappy"
+	"cdpu/internal/zstdlite"
 )
 
 type result struct {
@@ -40,12 +58,35 @@ func main() {
 	seed := flag.Int64("seed", 1, "sampling seed")
 	out := flag.String("o", "", "write JSON here instead of stdout")
 	check := flag.Bool("check", false, "smoke mode: verify worker-count invariance, skip timing")
+	traceSmoke := flag.Bool("trace-smoke", false, "smoke mode: verify the observability layer, skip timing")
+	httpAddr := flag.String("http", "", "serve net/http/pprof and expvar metrics on this address during the run")
 	flag.Parse()
+
+	if *httpAddr != "" {
+		// The registry snapshot rides on expvar next to the stock pprof
+		// endpoints; /debug/vars then shows every instrument live.
+		expvar.Publish("cdpu_metrics", expvar.Func(func() any { return obs.Default().Snapshot() }))
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "simbench: http: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "simbench: pprof+expvar on http://%s/debug/\n", *httpAddr)
+	}
 
 	cfg := sim.Config{Seed: *seed, Calls: *calls, MaxCallBytes: 256 << 10, Workers: *workers}
 	if *workers == 0 {
 		// Mirror sim's default so the JSON records the pool size actually used.
 		*workers = max(1, min(8, runtime.NumCPU()-1))
+	}
+	if *traceSmoke {
+		cfg.Calls = min(cfg.Calls, 300)
+		if err := smokeTrace(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("simbench: traced %d-call replay report-identical, trace JSON valid, block sums exact\n", cfg.Calls)
+		return
 	}
 	if *check {
 		cfg.Calls = min(cfg.Calls, 500)
@@ -93,6 +134,95 @@ func main() {
 }
 
 func smokeWorkers() int { return max(2, min(8, runtime.NumCPU())) }
+
+// smokeTrace is the `make trace-smoke` gate: a traced replay must leave the
+// Report byte-identical, export parseable Chrome trace JSON, keep the
+// per-block attribution summing to Cycles bit-exactly across DSE corner
+// configurations, and land its traffic in the metrics registry.
+func smokeTrace(cfg sim.Config) error {
+	pcfg := cfg
+	pcfg.Pipelines = 2
+	want, err := sim.Run(pcfg)
+	if err != nil {
+		return err
+	}
+	tcfg := pcfg
+	tcfg.Trace = obs.NewTrace(2.0)
+	traced, err := sim.Run(tcfg)
+	if err != nil {
+		return err
+	}
+	if *traced != *want {
+		return fmt.Errorf("tracing changed the report:\n  %+v\n  %+v", traced, want)
+	}
+	if tcfg.Trace.Len() == 0 {
+		return fmt.Errorf("traced replay recorded no spans")
+	}
+	var buf bytes.Buffer
+	if err := tcfg.Trace.WriteJSON(&buf); err != nil {
+		return err
+	}
+	var file struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		return fmt.Errorf("trace output is not valid JSON: %w", err)
+	}
+	if len(file.TraceEvents) == 0 {
+		return fmt.Errorf("trace JSON has no events")
+	}
+	if err := blockSumSmoke(); err != nil {
+		return err
+	}
+	if c := obs.Default().Counter("sim.calls").Value(); c < int64(cfg.Calls) {
+		return fmt.Errorf("metrics registry missed the replay: sim.calls = %d", c)
+	}
+	return nil
+}
+
+// blockSumSmoke re-checks the standing attribution oracle outside the test
+// binary: for DSE corner configs at every placement, in both directions,
+// sum(Blocks) must equal Cycles bit-exactly.
+func blockSumSmoke() error {
+	data := corpus.Generate(corpus.Log, 64<<10, 17)
+	snapEnc := snappy.Encode(data)
+	zstdEnc := zstdlite.Encode(data)
+	for _, p := range memsys.Placements {
+		for _, algo := range []comp.Algorithm{comp.Snappy, comp.ZStd} {
+			for _, sram := range []int{2 << 10, 64 << 10} {
+				ccfg := core.Config{Algo: algo, Op: comp.Compress, HistorySRAM: sram, Placement: p}
+				c, err := core.NewCompressor(ccfg)
+				if err != nil {
+					return err
+				}
+				res, err := c.Compress(data)
+				if err != nil {
+					return err
+				}
+				if sum := res.BlockSum(); sum != res.Cycles {
+					return fmt.Errorf("%s: compress block sum %v != cycles %v", ccfg.Name(), sum, res.Cycles)
+				}
+				dcfg := core.Config{Algo: algo, Op: comp.Decompress, HistorySRAM: sram, Placement: p}
+				d, err := core.NewDecompressor(dcfg)
+				if err != nil {
+					return err
+				}
+				enc := snapEnc
+				if algo == comp.ZStd {
+					enc = zstdEnc
+				}
+				dres, err := d.Decompress(enc)
+				if err != nil {
+					return err
+				}
+				if sum := dres.BlockSum(); sum != dres.Cycles {
+					return fmt.Errorf("%s: decompress block sum %v != cycles %v", dcfg.Name(), sum, dres.Cycles)
+				}
+			}
+		}
+	}
+	return nil
+}
 
 // smoke replays cfg serially and sharded and requires byte-identical
 // reports — the cheap standing guarantee for `make check`.

@@ -8,8 +8,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"cdpu/internal/memsys"
+	"cdpu/internal/obs"
 	"cdpu/internal/sim"
 )
 
@@ -17,7 +19,19 @@ func main() {
 	calls := flag.Int("calls", 10000, "fleet calls to replay per load/placement cell")
 	workers := flag.Int("workers", 0, "replay worker-pool size (default min(8, NumCPU-1); results do not depend on it)")
 	seed := flag.Int64("seed", 11, "sampling seed")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON timeline of one traced replay here (chrome://tracing, Perfetto) instead of the sweep")
+	metrics := flag.Bool("metrics", false, "dump the metrics registry to stderr after the run")
 	flag.Parse()
+
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, *seed, min(*calls, 500), *workers); err != nil {
+			log.Fatal(err)
+		}
+		if *metrics {
+			dumpMetrics()
+		}
+		return
+	}
 
 	fmt.Printf("service replay: %d fleet-sampled Snappy/ZStd calls through CDPU devices\n", *calls)
 	fmt.Printf("%-8s %-14s %10s %10s %12s %12s %10s\n",
@@ -43,4 +57,49 @@ func main() {
 	fmt.Println("\nNear-core devices hold microsecond latencies until the load")
 	fmt.Println("saturates a pipeline; the same devices across PCIe start with a")
 	fmt.Println("latency floor hundreds of microseconds higher on small calls.")
+	if *metrics {
+		dumpMetrics()
+	}
+}
+
+// writeTrace replays a small traced run and exports its per-block pipeline
+// timeline as Chrome trace-event JSON: one process per device, one exec lane
+// and one stream lane per pipeline. The call count is kept small so the file
+// stays viewer-friendly.
+func writeTrace(path string, seed int64, calls, workers int) error {
+	tr := obs.NewTrace(2.0)
+	r, err := sim.Run(sim.Config{
+		Seed:        seed,
+		Calls:       calls,
+		OfferedGBps: 2.0,
+		Pipelines:   2,
+		Placement:   memsys.RoCC,
+		Workers:     workers,
+		Trace:       tr,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("traced %d calls (mean %.1f us, p99 %.1f us): %d span events -> %s\n",
+		r.Calls, r.MeanLatencyUs, r.P99LatencyUs, tr.Len(), path)
+	fmt.Println("open in chrome://tracing or https://ui.perfetto.dev")
+	return nil
+}
+
+func dumpMetrics() {
+	fmt.Fprintln(os.Stderr, "# metrics registry")
+	if err := obs.Default().WriteText(os.Stderr); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -45,8 +45,8 @@ func main() {
 	if !bytes.Equal(dres.Output, data) {
 		log.Fatal("round trip mismatch")
 	}
-	fmt.Printf("decompressed at %.2f GB/s; stage breakdown:\n%s",
-		dres.ThroughputGBps(2.0), dres.StageString())
+	fmt.Printf("decompressed at %.2f GB/s; block breakdown:\n%s",
+		dres.ThroughputGBps(2.0), dres.BlockString())
 
 	// Software baseline for comparison.
 	sw, err := cdpu.Compress(cdpu.Snappy, 0, 0, data)

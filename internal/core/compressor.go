@@ -33,7 +33,13 @@ type Compressor struct {
 
 	snap *snappy.Encoder
 	zstd *zstdlite.Encoder
+
+	trace bool
 }
+
+// SetTracing enables (or disables) per-block span collection; see
+// Decompressor.SetTracing.
+func (c *Compressor) SetTracing(on bool) { c.trace = on }
 
 // NewCompressor generates a compressor instance from cfg (Op is forced to
 // Compress).
@@ -111,32 +117,28 @@ func (c *Compressor) Area() *area.Breakdown {
 
 // lzCycles charges the LZ77 hash-matcher pipeline: one probe per considered
 // position, match extension at the compare width, literal passthrough.
-func lzCycles(s lz77.Stats, res *Result) float64 {
+func lzCycles(s lz77.Stats, res *Result) {
 	c := float64(s.Positions) +
 		float64(s.MatchBytes)/matchExtendBytesPerCycle +
 		float64(s.LiteralBytes)/litPassBytesPerCycle
-	res.addStage(StageLZ77, c)
-	return c
+	res.chargeBytes(BlockLZ77, c, s.MatchBytes+s.LiteralBytes)
 }
 
 // Compress runs one accelerator call over a plaintext payload, returning the
 // compressed bytes and the modeled call latency.
 func (c *Compressor) Compress(src []byte) (*Result, error) {
 	c.sys.ResetFaults()
-	res := &Result{InputBytes: len(src), UncompressedBytes: len(src)}
+	res := &Result{InputBytes: len(src), UncompressedBytes: len(src), traced: c.trace}
 	switch c.cfg.Algo {
 	case comp.Snappy:
 		res.Output = c.snap.Encode(src)
-		res.Cycles = lzCycles(c.snap.Stats(), res)
+		lzCycles(c.snap.Stats(), res)
 	case comp.ZStd:
 		res.Output = c.zstd.Encode(src)
-		exec := lzCycles(c.zstd.LZStats(), res)
-		entropy, err := c.zstdEntropyCycles(res.Output, res)
-		if err != nil {
+		lzCycles(c.zstd.LZStats(), res)
+		if err := c.zstdEntropyCycles(res.Output, res); err != nil {
 			return nil, fmt.Errorf("core: self-inspection failed: %w", err)
 		}
-		exec += entropy
-		res.Cycles = exec
 	default:
 		return nil, fmt.Errorf("core: compressor algo %v", c.cfg.Algo)
 	}
@@ -152,16 +154,14 @@ func (c *Compressor) Compress(src []byte) (*Result, error) {
 // the functional pipeline just produced: literal counts and sequence counts
 // per block determine the dictionary-builder, table-build and encode times
 // (§5.6-§5.7).
-func (c *Compressor) zstdEntropyCycles(frame []byte, res *Result) (float64, error) {
+func (c *Compressor) zstdEntropyCycles(frame []byte, res *Result) error {
 	info, err := zstdlite.Inspect(frame)
 	if err != nil {
-		return 0, err
+		return err
 	}
-	exec := 0.0
 	for i := range info.Blocks {
 		b := &info.Blocks[i]
-		exec += blockHeaderCycles
-		res.addStage(StageHeader, blockHeaderCycles)
+		res.charge(BlockHeader, blockHeaderCycles)
 		if !b.IsCompressed() {
 			continue
 		}
@@ -170,40 +170,30 @@ func (c *Compressor) zstdEntropyCycles(frame []byte, res *Result) (float64, erro
 			// Huffman dictionary builder: statistics at StatsWidth bytes per
 			// cycle, then code assignment; encoder emits DefaultHuffEncLanes
 			// symbols per cycle.
-			build := lits/float64(c.cfg.StatsWidth) + huffCodeAssignCycles
-			encode := lits / DefaultHuffEncLanes
-			res.addStage(StageHuffBuild, build)
-			res.addStage(StageHuff, encode)
-			exec += build + encode
+			res.charge(BlockHuffBuild, lits/float64(c.cfg.StatsWidth)+huffCodeAssignCycles)
+			res.chargeBytes(BlockHuff, lits/DefaultHuffEncLanes, b.LitCount)
 		}
 		if n := float64(len(b.Seqs)); n > 0 {
 			// Three FSE dictionary builders run in parallel (Figure 10),
 			// each walking its normalized-count table; the encoder then
 			// processes one sequence per cycle, with extras packing
 			// alongside.
-			build := n/float64(c.cfg.StatsWidth) + float64(int(1)<<c.cfg.FSETableLog)
-			encode := n + n/extrasPackPerCycle
-			res.addStage(StageFSEBuild, build)
-			res.addStage(StageFSE, encode)
-			exec += build + encode
+			res.charge(BlockFSEBuild, n/float64(c.cfg.StatsWidth)+float64(int(1)<<c.cfg.FSETableLog))
+			res.charge(BlockFSE, n+n/extrasPackPerCycle)
 		}
 	}
-	return exec, nil
+	return nil
 }
 
 // finishCall adds invocation, first-access and link-occupancy costs, as for
-// decompression. Compression has no intermediate traffic: PCIeLocalCache and
-// PCIeNoCache behave identically (§6.3).
+// decompression, and seals Cycles as the exact sum of the attribution.
+// Compression has no intermediate traffic: PCIeLocalCache and PCIeNoCache
+// behave identically (§6.3).
 func (c *Compressor) finishCall(res *Result) {
 	inv := c.iface.InvocationCycles(c.cfg.Placement)
 	first := c.sys.RTT(c.cfg.Placement, memsys.ClassRaw)
 	linkBytes := res.InputBytes + res.OutputBytes
 	stream := float64(linkBytes) / c.sys.StreamBandwidthFaulted(c.cfg.Placement, memsys.ClassRaw)
-	res.addStage(StageInvocation, inv)
-	res.addStage(StageFirstAccess, first)
-	res.addStage(StageStream, stream)
-	if stream > res.Cycles {
-		res.Cycles = stream
-	}
-	res.Cycles += inv + first
+	res.finish(inv, first, stream, linkBytes)
+	recordCall(c.cfg.Placement, res)
 }

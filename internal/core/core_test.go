@@ -307,9 +307,9 @@ func TestSmallCallsDominatedByInvocation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Stages[StageInvocation] < res.Cycles/3 {
+	if res.Blocks[BlockInvocation] < res.Cycles/3 {
 		t.Errorf("invocation %f of %f cycles; small PCIe call should be overhead-bound",
-			res.Stages[StageInvocation], res.Cycles)
+			res.Blocks[BlockInvocation], res.Cycles)
 	}
 }
 
@@ -439,11 +439,11 @@ func TestResultAccounting(t *testing.T) {
 	if res.Ratio() < 1 {
 		t.Errorf("ratio %.2f < 1 on compressible data", res.Ratio())
 	}
-	if len(res.Stages) < 4 {
-		t.Errorf("expected a rich stage breakdown, got %v", res.Stages)
+	if len(res.Blocks) < 4 {
+		t.Errorf("expected a rich block breakdown, got %v", res.Blocks)
 	}
-	if res.StageString() == "" {
-		t.Error("empty stage string")
+	if res.BlockString() == "" {
+		t.Error("empty block string")
 	}
 	if res.Seconds(2.0) <= 0 {
 		t.Error("nonpositive seconds")
@@ -490,7 +490,7 @@ func TestDeepHistoryFallbackCostsDRAM(t *testing.T) {
 	if !bytes.Equal(res.Output, data) {
 		t.Fatal("deep-window round trip failed")
 	}
-	if res.Stages[StageHistFall] <= 0 {
+	if res.Blocks[BlockHistFall] <= 0 {
 		t.Error("no history fallback charged for multi-MiB offsets")
 	}
 }

@@ -48,7 +48,14 @@ type Decompressor struct {
 	// a Result, so reuse is invisible to callers.
 	seqScratch []lz77.Seq
 	litScratch []byte
+
+	trace bool
 }
+
+// SetTracing enables (or disables) per-block span collection: subsequent
+// calls return Results with a populated Spans timeline. Tracing changes no
+// modeled cycles.
+func (d *Decompressor) SetTracing(on bool) { d.trace = on }
 
 // NewDecompressor generates a decompressor instance from cfg (Op is forced
 // to Decompress).
@@ -90,7 +97,7 @@ func (d *Decompressor) Area() *area.Breakdown {
 // injected memory faults and watchdog expiry abort likewise.
 func (d *Decompressor) Decompress(src []byte) (*Result, error) {
 	d.sys.ResetFaults()
-	res := &Result{InputBytes: len(src)}
+	res := &Result{InputBytes: len(src), traced: d.trace}
 	var err error
 	switch d.cfg.Algo {
 	case comp.Snappy:
@@ -101,6 +108,7 @@ func (d *Decompressor) Decompress(src []byte) (*Result, error) {
 		err = fmt.Errorf("core: decompressor algo %v", d.cfg.Algo)
 	}
 	if err != nil {
+		metricCorruptInputs.Inc()
 		return nil, &DeviceError{
 			Reason: "corrupt-input", Unit: d.cfg.Name(),
 			Cycles: d.detectionCycles(len(src)), Err: err,
@@ -128,34 +136,28 @@ func (d *Decompressor) detectionCycles(inBytes int) float64 {
 // copyCycles models the LZ77 decoder executing one copy command: history
 // SRAM hits stream at the history port width; more distant offsets fall back
 // to serial off-chip lookups (§5.2, §3.6).
-func (d *Decompressor) copyCycles(offset, length int, res *Result) float64 {
+func (d *Decompressor) copyCycles(offset, length int, res *Result) {
 	if offset <= d.cfg.HistorySRAM {
-		c := float64(length) / historyBytesPerCycle
-		res.addStage(StageLZ77, c)
-		return c
+		res.chargeBytes(BlockLZ77, float64(length)/historyBytesPerCycle, length)
+		return
 	}
 	chunks := math.Ceil(float64(length) / fallbackChunkBytes)
 	c := chunks * d.sys.AccessCyclesAt(d.cfg.Placement, memsys.ClassIntermediate, offset) / fallbackOverlap
-	res.addStage(StageHistFall, c)
-	return c
+	res.chargeBytes(BlockHistFall, c, length)
 }
 
-// execSeqs charges the LZ77 decoder for a command stream.
-func (d *Decompressor) execSeqs(seqs []lz77.Seq, res *Result) float64 {
-	exec := 0.0
+// execSeqs charges the LZ77 decoder for a command stream: element parsing up
+// front, then each command's literal move and history copy.
+func (d *Decompressor) execSeqs(seqs []lz77.Seq, res *Result) {
+	res.charge(BlockLZ77, float64(len(seqs))*elementParseCycles)
 	for _, s := range seqs {
-		exec += elementParseCycles
 		if s.LitLen > 0 {
-			c := float64(s.LitLen) / literalBytesPerCycle
-			res.addStage(StageLZ77, c)
-			exec += c
+			res.chargeBytes(BlockLZ77, float64(s.LitLen)/literalBytesPerCycle, s.LitLen)
 		}
 		if s.MatchLen > 0 {
-			exec += d.copyCycles(s.Offset, s.MatchLen, res)
+			d.copyCycles(s.Offset, s.MatchLen, res)
 		}
 	}
-	res.addStage(StageLZ77, float64(len(seqs))*elementParseCycles)
-	return exec
 }
 
 func (d *Decompressor) snappyCall(src []byte, res *Result) error {
@@ -169,7 +171,7 @@ func (d *Decompressor) snappyCall(src []byte, res *Result) error {
 		return err
 	}
 	res.Output = out
-	res.Cycles = d.execSeqs(seqs, res)
+	d.execSeqs(seqs, res)
 	return nil
 }
 
@@ -183,15 +185,11 @@ func (d *Decompressor) zstdCall(src []byte, res *Result) error {
 		return err
 	}
 	res.Output = out
-	exec := 0.0
 	for i := range info.Blocks {
 		b := &info.Blocks[i]
-		exec += blockHeaderCycles
-		res.addStage(StageHeader, blockHeaderCycles)
+		res.charge(BlockHeader, blockHeaderCycles)
 		if !b.IsCompressed() {
-			c := float64(b.RawSize) / rawMoveBytesPerCycle
-			res.addStage(StageLZ77, c)
-			exec += c
+			res.chargeBytes(BlockLZ77, float64(b.RawSize)/rawMoveBytesPerCycle, b.RawSize)
 			continue
 		}
 		// Literals section: build the decode table, then expand. The
@@ -200,19 +198,15 @@ func (d *Decompressor) zstdCall(src []byte, res *Result) error {
 		if b.LitCount > 0 {
 			if b.HuffMaxBits > 0 {
 				build := float64(len(b.HuffLens)) + float64(int(1)<<b.HuffMaxBits)/huffTableFillPerCycle
-				res.addStage(StageHuffBuild, build)
+				res.charge(BlockHuffBuild, build)
 				avgBits := float64(b.LitPayload*8) / float64(b.LitCount)
 				if avgBits < 1 {
 					avgBits = 1
 				}
 				symsPerCycle := float64(d.cfg.Speculation) / avgBits
-				expand := float64(b.LitCount) / symsPerCycle
-				res.addStage(StageHuff, expand)
-				exec += build + expand
+				res.chargeBytes(BlockHuff, float64(b.LitCount)/symsPerCycle, b.LitCount)
 			} else {
-				c := float64(b.LitCount) / literalBytesPerCycle
-				res.addStage(StageLZ77, c)
-				exec += c
+				res.chargeBytes(BlockLZ77, float64(b.LitCount)/literalBytesPerCycle, b.LitCount)
 			}
 		}
 		// Sequence streams: FSE table builds are serial walks of the state
@@ -221,34 +215,25 @@ func (d *Decompressor) zstdCall(src []byte, res *Result) error {
 		if len(b.Seqs) > 0 {
 			for s := 0; s < 3; s++ {
 				if b.FSETableLogs[s] > 0 {
-					build := float64(int(1) << b.FSETableLogs[s])
-					res.addStage(StageFSEBuild, build)
-					exec += build
+					res.charge(BlockFSEBuild, float64(int(1)<<b.FSETableLogs[s]))
 				}
 			}
-			dec := float64(len(b.Seqs))
-			res.addStage(StageFSE, dec)
-			exec += dec
-			exec += d.execSeqs(b.Seqs, res)
+			res.charge(BlockFSE, float64(len(b.Seqs)))
+			d.execSeqs(b.Seqs, res)
 		}
 	}
-	res.Cycles = exec
 	return nil
 }
 
-// finishCall adds the call-granularity costs shared by all algorithms:
+// finishCall adds the call-granularity costs shared by all algorithms —
 // invocation, first-access latency, and the raw-traffic link-occupancy bound
-// that throttles remote placements.
+// that throttles remote placements — and seals Cycles as the exact sum of the
+// per-block attribution (Result.finish).
 func (d *Decompressor) finishCall(res *Result) {
 	inv := d.iface.InvocationCycles(d.cfg.Placement)
 	first := d.sys.RTT(d.cfg.Placement, memsys.ClassRaw)
 	linkBytes := res.InputBytes + res.OutputBytes
 	stream := float64(linkBytes) / d.sys.StreamBandwidthFaulted(d.cfg.Placement, memsys.ClassRaw)
-	res.addStage(StageInvocation, inv)
-	res.addStage(StageFirstAccess, first)
-	res.addStage(StageStream, stream)
-	if stream > res.Cycles {
-		res.Cycles = stream
-	}
-	res.Cycles += inv + first
+	res.finish(inv, first, stream, linkBytes)
+	recordCall(d.cfg.Placement, res)
 }

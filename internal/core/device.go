@@ -46,6 +46,16 @@ func NewDevice(cfg Config, pipelines int) (*Device, error) {
 // Pipelines returns the pipeline count.
 func (d *Device) Pipelines() int { return d.pipelines }
 
+// SetTracing enables (or disables) per-block span collection on the device's
+// pipeline; see Decompressor.SetTracing.
+func (d *Device) SetTracing(on bool) {
+	if d.comp != nil {
+		d.comp.SetTracing(on)
+	} else {
+		d.decomp.SetTracing(on)
+	}
+}
+
 // Area returns the device's silicon area: pipelines share the system
 // interface (command router, memloaders/memwriters), so replication adds
 // only the per-pipeline blocks.
@@ -84,6 +94,11 @@ type JobResult struct {
 	Service float64
 	// Latency is Queue + Service.
 	Latency float64
+	// Start is the cycle at which service began (Arrival + Queue) — the
+	// anchor a tracer uses to lift a call's relative spans to replay time.
+	Start float64
+	// Pipeline is the index of the pipeline that served the job.
+	Pipeline int
 	// Result is the underlying call result.
 	Result *Result
 }
@@ -142,7 +157,9 @@ func (d *Device) Run(jobs []Job) ([]JobResult, DeviceStats, error) {
 // per-job service cycles — the reuse point for sharded replays that Exec
 // payloads on per-worker clones and then need one deterministic queueing
 // pass. Jobs must be sorted by arrival time; service[i] holds jobs[i]'s
-// modeled cycles and payloads are not touched (they may be nil).
+// modeled cycles (finite and non-negative — NaN, infinite or negative values
+// would silently poison Utilization, Makespan and the quickselect percentiles,
+// so they are rejected) and payloads are not touched (they may be nil).
 // JobResult.Result is nil in this mode.
 func (d *Device) Replay(jobs []Job, service []float64) ([]JobResult, DeviceStats, error) {
 	if len(jobs) != len(service) {
@@ -160,6 +177,9 @@ func (d *Device) Replay(jobs []Job, service []float64) ([]JobResult, DeviceStats
 		if i > 0 && job.Arrival < jobs[i-1].Arrival {
 			return nil, DeviceStats{}, fmt.Errorf("core: jobs not sorted by arrival")
 		}
+		if s := service[i]; math.IsNaN(s) || math.IsInf(s, 0) || s < 0 {
+			return nil, DeviceStats{}, fmt.Errorf("core: job %d service cycles %v (want finite, non-negative)", i, s)
+		}
 		// Earliest-free pipeline.
 		p := 0
 		for k := 1; k < d.pipelines; k++ {
@@ -175,9 +195,11 @@ func (d *Device) Replay(jobs []Job, service []float64) ([]JobResult, DeviceStats
 			lastDone = done
 		}
 		results[i] = JobResult{
-			Queue:   start - job.Arrival,
-			Service: service[i],
-			Latency: done - job.Arrival,
+			Queue:    start - job.Arrival,
+			Service:  service[i],
+			Latency:  done - job.Arrival,
+			Start:    start,
+			Pipeline: p,
 		}
 	}
 	devStats := DeviceStats{Jobs: len(jobs), Makespan: lastDone - first}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -146,5 +147,56 @@ func TestDeviceEmptyBatch(t *testing.T) {
 	results, stats, err := d.Run(nil)
 	if err != nil || results != nil || stats.Jobs != 0 {
 		t.Errorf("empty batch: %v %v %+v", results, err, stats)
+	}
+}
+
+func TestReplayRejectsInvalidService(t *testing.T) {
+	d, err := NewDevice(Config{Algo: comp.Snappy, Op: comp.Decompress}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []Job{{Arrival: 0}, {Arrival: 10}, {Arrival: 20}}
+	for _, bad := range [][]float64{
+		{100, math.NaN(), 100},
+		{100, -1, 100},
+		{100, math.Inf(1), 100},
+		{math.Inf(-1), 100, 100},
+	} {
+		if _, _, err := d.Replay(jobs, bad); err == nil {
+			t.Errorf("Replay accepted service %v", bad)
+		}
+	}
+	// Zero service is legitimate (a degenerate but finite call).
+	results, stats, err := d.Replay(jobs, []float64{100, 0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[1].Latency != 0 || math.IsNaN(stats.MeanLatency) {
+		t.Errorf("zero-service replay wrong: %+v %+v", results[1], stats)
+	}
+}
+
+func TestReplayReportsStartAndPipeline(t *testing.T) {
+	d, err := NewDevice(Config{Algo: comp.Snappy, Op: comp.Decompress}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two simultaneous arrivals fill both pipelines; the third waits for the
+	// earliest-free one.
+	jobs := []Job{{Arrival: 0}, {Arrival: 0}, {Arrival: 0}}
+	results, _, err := d.Replay(jobs, []float64{100, 50, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Pipeline == results[1].Pipeline {
+		t.Errorf("simultaneous jobs share pipeline %d", results[0].Pipeline)
+	}
+	if results[2].Pipeline != results[1].Pipeline || results[2].Start != 50 {
+		t.Errorf("third job = %+v, want start 50 on pipeline %d", results[2], results[1].Pipeline)
+	}
+	for i, r := range results {
+		if r.Start != jobs[i].Arrival+r.Queue {
+			t.Errorf("job %d: Start %v != Arrival+Queue %v", i, r.Start, jobs[i].Arrival+r.Queue)
+		}
 	}
 }

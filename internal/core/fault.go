@@ -72,9 +72,11 @@ func (c *Compressor) SetFaultInjector(fi memsys.FaultInjector) { c.sys.SetFaultI
 // watchdog expiry, returning the DeviceError to surface, or nil.
 func checkDeviceHealth(cfg Config, sys *memsys.System, res *Result) error {
 	if ferr := sys.FaultErr(); ferr != nil {
+		metricMemFaults.Inc()
 		return &DeviceError{Reason: "memory-fault", Unit: cfg.Name(), Cycles: res.Cycles, Err: ferr}
 	}
 	if budget := cfg.watchdogBudget(res.InputBytes, res.OutputBytes); budget > 0 && res.Cycles > budget {
+		metricWatchdogTrips.Inc()
 		return &DeviceError{
 			Reason: "watchdog", Unit: cfg.Name(), Cycles: budget,
 			Err: fmt.Errorf("%w: %.0f cycles over budget %.0f", ErrWatchdog, res.Cycles, budget),

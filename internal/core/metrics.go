@@ -1,0 +1,37 @@
+package core
+
+import (
+	"cdpu/internal/memsys"
+	"cdpu/internal/obs"
+)
+
+// Pre-resolved instruments for the call hot path: resolving by name takes the
+// registry mutex, so it happens once here and every completed call then costs
+// three striped atomic adds — invisible next to payload synthesis, and safe
+// under the sharded replay pool.
+const numPlacements = int(memsys.PCIeNoCache) + 1
+
+var (
+	metricCalls    [numPlacements]*obs.Counter
+	metricBytesIn  [numPlacements]*obs.Counter
+	metricBytesOut [numPlacements]*obs.Counter
+
+	metricCorruptInputs = obs.Default().Counter("core.corrupt_inputs")
+	metricMemFaults     = obs.Default().Counter("core.memory_faults")
+	metricWatchdogTrips = obs.Default().Counter("core.watchdog_trips")
+)
+
+func init() {
+	for i, p := range memsys.Placements {
+		metricCalls[i] = obs.Default().Counter("core.calls." + p.String())
+		metricBytesIn[i] = obs.Default().Counter("core.bytes_in." + p.String())
+		metricBytesOut[i] = obs.Default().Counter("core.bytes_out." + p.String())
+	}
+}
+
+// recordCall accumulates a completed call's traffic under its placement.
+func recordCall(p memsys.Placement, res *Result) {
+	metricCalls[p].Inc()
+	metricBytesIn[p].Add(int64(res.InputBytes))
+	metricBytesOut[p].Add(int64(res.OutputBytes))
+}

@@ -3,22 +3,33 @@ package core
 import (
 	"fmt"
 	"sort"
+
+	"cdpu/internal/obs"
 )
 
-// Stage names used in cycle breakdowns, one per hardware block of Figures 9
+// Block names used in cycle attribution, one per hardware block of Figures 9
 // and 10 that contributes call latency.
 const (
-	StageInvocation  = "invocation"    // RoCC dispatch + setup + doorbell RTTs
-	StageStream      = "stream"        // memloader/memwriter link occupancy bound
-	StageFirstAccess = "first-access"  // initial request latency before data flows
-	StageLZ77        = "lz77"          // encoder hash pipeline or decoder copy engine
-	StageHistFall    = "hist-fallback" // off-chip history lookups (decode only)
-	StageHuffBuild   = "huff-table"    // Huffman table build (either direction)
-	StageHuff        = "huffman"       // Huffman encode/expand
-	StageFSEBuild    = "fse-table"     // FSE table build
-	StageFSE         = "fse"           // FSE encode/expand
-	StageHeader      = "header"        // frame/block/section parsing or emission
+	BlockInvocation  = "invocation"    // RoCC dispatch + setup + doorbell RTTs
+	BlockStream      = "stream"        // memloader/memwriter link occupancy exposed past execution
+	BlockFirstAccess = "first-access"  // initial request latency before data flows
+	BlockLZ77        = "lz77"          // encoder hash pipeline or decoder copy engine
+	BlockHistFall    = "hist-fallback" // off-chip history lookups (decode only)
+	BlockHuffBuild   = "huff-table"    // Huffman table build (either direction)
+	BlockHuff        = "huffman"       // Huffman encode/expand
+	BlockFSEBuild    = "fse-table"     // FSE table build
+	BlockFSE         = "fse"           // FSE encode/expand
+	BlockHeader      = "header"        // frame/block/section parsing or emission
 )
+
+// blockOrder fixes the canonical accumulation order of the attribution.
+// Cycles is defined as the sum of Blocks in exactly this order (BlockSum), so
+// the sum-invariant holds bit-exactly: float addition is order-dependent, and
+// iterating a map would make the "same" sum drift by ulps between runs.
+var blockOrder = [...]string{
+	BlockInvocation, BlockFirstAccess, BlockStream, BlockHeader,
+	BlockLZ77, BlockHistFall, BlockHuffBuild, BlockHuff, BlockFSEBuild, BlockFSE,
+}
 
 // Result reports one accelerator call.
 type Result struct {
@@ -34,10 +45,99 @@ type Result struct {
 	// "from the perspective of software" (§6.1): invocation through
 	// completion, no request overlapping.
 	Cycles float64
-	// Stages is the per-block cycle breakdown. The pipeline-parallel stage
-	// cycles sum to more than the critical path when streaming overlaps
-	// execution; Cycles is authoritative.
-	Stages map[string]float64
+	// Blocks is the per-block cycle attribution. Unlike a naive per-stage
+	// breakdown, it attributes the critical path exactly: streaming that is
+	// hidden behind execution charges nothing here (the full link occupancy
+	// is StreamCycles), so BlockSum() — and therefore the sum of Blocks —
+	// equals Cycles bit-exactly.
+	Blocks map[string]float64
+	// StreamCycles is the full memloader/memwriter link occupancy of the
+	// call, whether or not execution hides it. Blocks[BlockStream] carries
+	// only the exposed portion (max(StreamCycles - exec, 0)).
+	StreamCycles float64
+	// Spans is the call's block timeline (cycles relative to invocation),
+	// populated only when tracing is enabled on the instance.
+	Spans []obs.Span
+
+	traced bool    // emit Spans on every charge
+	cursor float64 // running start position for the next span
+}
+
+// charge attributes cycles to a block, advancing the call timeline.
+func (r *Result) charge(block string, cycles float64) {
+	r.chargeBytes(block, cycles, 0)
+}
+
+// chargeBytes is charge with the payload bytes the block moved, recorded on
+// the span when tracing. Adjacent same-block spans coalesce (per-command LZ77
+// charges would otherwise mint one span per sequence).
+func (r *Result) chargeBytes(block string, cycles float64, bytes int) {
+	if r.Blocks == nil {
+		// No size hint: calls touch well under 8 blocks, so the lazy small-map
+		// path costs fewer allocations than pre-sizing for all of blockOrder.
+		r.Blocks = make(map[string]float64)
+	}
+	r.Blocks[block] += cycles
+	if r.traced {
+		if n := len(r.Spans); n > 0 && r.Spans[n-1].Block == block && r.Spans[n-1].Start+r.Spans[n-1].Dur == r.cursor {
+			r.Spans[n-1].Dur += cycles
+			r.Spans[n-1].Bytes += bytes
+		} else {
+			r.Spans = append(r.Spans, obs.Span{Block: block, Start: r.cursor, Dur: cycles, Bytes: bytes})
+		}
+	}
+	r.cursor += cycles
+}
+
+// BlockSum returns the attribution total in canonical block order — by
+// construction (finish) exactly Cycles for a completed call.
+func (r *Result) BlockSum() float64 {
+	s := 0.0
+	for _, name := range blockOrder {
+		if v, ok := r.Blocks[name]; ok {
+			s += v
+		}
+	}
+	return s
+}
+
+// finish folds the call-granularity costs into the attribution and seals
+// Cycles as the canonical-order sum of Blocks. Execution overlaps the bulk
+// stream, so only the stream's exposed portion (stream - exec, when positive)
+// is attributed; the full occupancy is kept in StreamCycles. The resulting
+// latency is max(exec, stream) + inv + first — the same composition as
+// before, now decomposed so the parts sum to the whole bit-exactly.
+func (r *Result) finish(inv, first, stream float64, linkBytes int) {
+	exec := r.BlockSum()
+	r.StreamCycles = stream
+	traced := r.traced
+	r.traced = false // span layout for the call-granularity costs is rebuilt below
+	if exposed := stream - exec; exposed > 0 {
+		r.chargeBytes(BlockStream, exposed, linkBytes)
+	}
+	r.charge(BlockInvocation, inv)
+	r.charge(BlockFirstAccess, first)
+	r.Cycles = r.BlockSum()
+	if !traced {
+		return
+	}
+	r.traced = true
+	// Rewrite the trace to wall-clock order: invocation and the first-access
+	// round trip precede execution (every exec span shifts right), and the
+	// stream occupies the link for its full duration alongside execution —
+	// the Figure-9/10 picture, not the attribution's exposed-only residue.
+	lead := inv + first
+	for i := range r.Spans {
+		r.Spans[i].Start += lead
+	}
+	spans := make([]obs.Span, 0, len(r.Spans)+3)
+	spans = append(spans,
+		obs.Span{Block: BlockInvocation, Start: 0, Dur: inv},
+		obs.Span{Block: BlockFirstAccess, Start: inv, Dur: first})
+	if stream > 0 {
+		spans = append(spans, obs.Span{Block: BlockStream, Start: lead, Dur: stream, Bytes: linkBytes})
+	}
+	r.Spans = append(spans, r.Spans...)
 }
 
 // Seconds converts the result's cycles to wall-clock seconds at freqGHz.
@@ -67,14 +167,14 @@ func (r *Result) Ratio() float64 {
 	return float64(u) / float64(c)
 }
 
-// StageString renders the per-stage cycle breakdown, largest first.
-func (r *Result) StageString() string {
+// BlockString renders the per-block cycle attribution, largest first.
+func (r *Result) BlockString() string {
 	type kv struct {
 		k string
 		v float64
 	}
 	var items []kv
-	for k, v := range r.Stages {
+	for k, v := range r.Blocks {
 		items = append(items, kv{k, v})
 	}
 	sort.Slice(items, func(i, j int) bool { return items[i].v > items[j].v })
@@ -83,12 +183,4 @@ func (r *Result) StageString() string {
 		s += fmt.Sprintf("%-14s %12.0f cycles\n", it.k, it.v)
 	}
 	return s
-}
-
-// addStage accumulates a stage's cycles into the result.
-func (r *Result) addStage(name string, cycles float64) {
-	if r.Stages == nil {
-		r.Stages = make(map[string]float64)
-	}
-	r.Stages[name] += cycles
 }

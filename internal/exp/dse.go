@@ -37,9 +37,9 @@ func sramLabel(b int) string { return fmt.Sprintf("%dK", b>>10) }
 // unlike the config-run memo they are worker-count independent, so they
 // survive SetWorkers.
 var (
-	suiteMemo   memoMap[*hcbench.Suite]
-	compMemo    memoMap[*compressedSuite]
-	swRatioMemo memoMap[float64]
+	suiteMemo   = memoMap[*hcbench.Suite]{obsHits: metricSuiteCacheHits, obsMisses: metricSuiteCacheMisses}
+	compMemo    = memoMap[*compressedSuite]{obsHits: metricSuiteCacheHits, obsMisses: metricSuiteCacheMisses}
+	swRatioMemo = memoMap[float64]{obsHits: metricSuiteCacheHits, obsMisses: metricSuiteCacheMisses}
 
 	suiteKeysMu sync.Mutex
 	suiteKeys   = map[*hcbench.Suite]string{}

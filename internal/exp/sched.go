@@ -26,6 +26,21 @@ import (
 	"cdpu/internal/comp"
 	"cdpu/internal/core"
 	"cdpu/internal/hcbench"
+	"cdpu/internal/obs"
+)
+
+// Memo-cache traffic is mirrored into the unified metrics registry. The
+// process-lifetime registry counters accumulate across scheduler
+// replacements; RunCacheStats stays scoped to the current scheduler (and
+// resets with SetWorkers), which sched_test and cdpubench's per-experiment
+// deltas rely on. Config-run memos and the suite caches in dse.go report
+// under separate names so a metrics dump distinguishes simulation reuse
+// from setup reuse.
+var (
+	metricRunCacheHits     = obs.Default().Counter("exp.run_cache.hits")
+	metricRunCacheMisses   = obs.Default().Counter("exp.run_cache.misses")
+	metricSuiteCacheHits   = obs.Default().Counter("exp.suite_cache.hits")
+	metricSuiteCacheMisses = obs.Default().Counter("exp.suite_cache.misses")
 )
 
 // memoCell holds one lazily computed value; the once gate means concurrent
@@ -37,11 +52,14 @@ type memoCell[T any] struct {
 	err  error
 }
 
-// memoMap is a concurrency-safe, compute-once cache.
+// memoMap is a concurrency-safe, compute-once cache. When obsHits/obsMisses
+// are set, traffic is mirrored into those registry counters alongside the
+// per-map atomics.
 type memoMap[T any] struct {
-	mu           sync.Mutex
-	m            map[string]*memoCell[T]
-	hits, misses atomic.Int64
+	mu                 sync.Mutex
+	m                  map[string]*memoCell[T]
+	hits, misses       atomic.Int64
+	obsHits, obsMisses *obs.Counter
 }
 
 // do returns the memoized value for key, computing it with fn exactly once.
@@ -53,10 +71,16 @@ func (mm *memoMap[T]) do(key string, fn func() (T, error)) (T, error) {
 	c, ok := mm.m[key]
 	if ok {
 		mm.hits.Add(1)
+		if mm.obsHits != nil {
+			mm.obsHits.Inc()
+		}
 	} else {
 		c = &memoCell[T]{}
 		mm.m[key] = c
 		mm.misses.Add(1)
+		if mm.obsMisses != nil {
+			mm.obsMisses.Inc()
+		}
 	}
 	mm.mu.Unlock()
 	c.once.Do(func() { c.val, c.err = fn() })
@@ -85,7 +109,10 @@ func newScheduler(workers int) *scheduler {
 	if workers <= 0 {
 		workers = defaultWorkers()
 	}
-	return &scheduler{workers: workers, sem: make(chan struct{}, workers)}
+	s := &scheduler{workers: workers, sem: make(chan struct{}, workers)}
+	s.runs.obsHits = metricRunCacheHits
+	s.runs.obsMisses = metricRunCacheMisses
+	return s
 }
 
 var (

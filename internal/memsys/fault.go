@@ -3,7 +3,14 @@ package memsys
 import (
 	"errors"
 	"fmt"
+
+	"cdpu/internal/obs"
 )
+
+// metricFaultInjections counts injector-scheduled events that actually
+// faulted (latency spike, stalled MSHRs, or an error response) — the
+// observability layer's view of how much adversity a run injected.
+var metricFaultInjections = obs.Default().Counter("memsys.fault_injections")
 
 // ErrDeviceFault is the sentinel wrapped into every injected device error:
 // the memory system returned an error response (bus error, poisoned line,
@@ -87,6 +94,9 @@ func (s *System) faultAt(p Placement, c Class) Fault {
 	ev := s.events
 	s.events++
 	f := s.injector.OnAccess(p, c, ev)
+	if f != (Fault{}) {
+		metricFaultInjections.Inc()
+	}
 	if f.Error && s.faultErr == nil {
 		s.faultErr = fmt.Errorf("%w: error response at event %d (%s)", ErrDeviceFault, ev, p)
 	}

@@ -165,3 +165,32 @@ func TestAccessCyclesAtDistance(t *testing.T) {
 		t.Errorf("on-card DRAM access = %f, want %f", got, far)
 	}
 }
+
+func TestStreamBandwidthClassRulesExact(t *testing.T) {
+	// Direct pin of the class rules at DefaultConfig (Beat 32, L2 24,
+	// MSHRs 32, PCIeTags 16): bandwidth = min(width, outstanding*width/RTT),
+	// where the PCIe tag cap applies only to traffic that actually crosses
+	// PCIe — so PCIeLocalCache intermediate traffic runs at full NoC width
+	// while its raw traffic is tag-capped, and the chiplet link is governed
+	// by the on-die MSHR budget even though it is smaller than no cap at all.
+	s := defaultSystem(t)
+	cases := []struct {
+		p    Placement
+		c    Class
+		want float64
+	}{
+		{RoCC, ClassRaw, 32},          // window 32*32/24 = 42.7 > width
+		{RoCC, ClassIntermediate, 32},
+		{Chiplet, ClassRaw, 32 * 32 / 74.0},          // RTT 24+50; MSHR-bound
+		{Chiplet, ClassIntermediate, 32 * 32 / 74.0}, // chiplet has no local cache
+		{PCIeLocalCache, ClassRaw, 16 * 32 / 424.0},  // RTT 24+400; tag-capped
+		{PCIeLocalCache, ClassIntermediate, 32},      // on-card: exempt from link AND tag cap
+		{PCIeNoCache, ClassRaw, 16 * 32 / 424.0},
+		{PCIeNoCache, ClassIntermediate, 16 * 32 / 424.0}, // no card storage: everything crosses PCIe
+	}
+	for _, c := range cases {
+		if got := s.StreamBandwidth(c.p, c.c); got != c.want {
+			t.Errorf("StreamBandwidth(%s, class %d) = %v, want %v", c.p, c.c, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Span is one attributed slice of a call's timeline: which hardware block ran,
+// when it started (cycles, relative to the call's invocation), how long it
+// ran, and how many payload bytes it moved. Spans are what core's cycle
+// charges emit when tracing is enabled; a replay lifts them to absolute time
+// by adding each job's start cycle.
+type Span struct {
+	Block string
+	Start float64 // cycles from call start
+	Dur   float64 // cycles
+	Bytes int     // payload bytes the block moved (0 when not meaningful)
+}
+
+// traceEvent is one Chrome trace-event object ("X" complete events for spans,
+// "M" metadata events for process/thread names).
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Trace accumulates spans across a replay and serializes them as Chrome
+// trace-event JSON (chrome://tracing, Perfetto) — a visual Figure-9/10-style
+// pipeline timeline, one process per device, one thread lane per pipeline.
+// All methods are safe for concurrent use; event order is insertion order, so
+// a serial emitter produces a deterministic file.
+type Trace struct {
+	mu      sync.Mutex
+	freqGHz float64
+	events  []traceEvent
+	procs   map[int]string
+	threads map[[2]int]string
+}
+
+// NewTrace returns an empty trace whose cycle→microsecond conversion uses the
+// given device clock.
+func NewTrace(freqGHz float64) *Trace {
+	if freqGHz <= 0 {
+		freqGHz = 2.0
+	}
+	return &Trace{freqGHz: freqGHz, procs: map[int]string{}, threads: map[[2]int]string{}}
+}
+
+// us converts cycles to microseconds at the trace's clock.
+func (t *Trace) us(cycles float64) float64 { return cycles / (t.freqGHz * 1000) }
+
+// SetProcessName labels a pid (one per device) in the trace viewer.
+func (t *Trace) SetProcessName(pid int, name string) {
+	t.mu.Lock()
+	t.procs[pid] = name
+	t.mu.Unlock()
+}
+
+// SetThreadName labels a (pid, tid) lane (one per pipeline) in the viewer.
+func (t *Trace) SetThreadName(pid, tid int, name string) {
+	t.mu.Lock()
+	t.threads[[2]int{pid, tid}] = name
+	t.mu.Unlock()
+}
+
+// AddSpan records one complete event at an absolute start cycle.
+func (t *Trace) AddSpan(pid, tid int, name string, startCycles, durCycles float64, bytes int) {
+	ev := traceEvent{Name: name, Ph: "X", Pid: pid, Tid: tid, Ts: t.us(startCycles), Dur: t.us(durCycles)}
+	if bytes > 0 {
+		ev.Args = map[string]any{"bytes": bytes}
+	}
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Len returns the number of span events recorded.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// traceFile is the top-level Chrome trace-event JSON object.
+type traceFile struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+// WriteJSON emits the trace in Chrome trace-event format: metadata events
+// first (sorted for determinism), then spans in insertion order.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	events := make([]traceEvent, 0, len(t.procs)+len(t.threads)+len(t.events))
+	pids := make([]int, 0, len(t.procs))
+	for pid := range t.procs {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		events = append(events, traceEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": t.procs[pid]},
+		})
+	}
+	lanes := make([][2]int, 0, len(t.threads))
+	for key := range t.threads {
+		lanes = append(lanes, key)
+	}
+	sort.Slice(lanes, func(i, j int) bool {
+		if lanes[i][0] != lanes[j][0] {
+			return lanes[i][0] < lanes[j][0]
+		}
+		return lanes[i][1] < lanes[j][1]
+	})
+	for _, key := range lanes {
+		events = append(events, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: key[0], Tid: key[1],
+			Args: map[string]any{"name": t.threads[key]},
+		})
+	}
+	events = append(events, t.events...)
+	return json.NewEncoder(w).Encode(traceFile{DisplayTimeUnit: "ms", TraceEvents: events})
+}

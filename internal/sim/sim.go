@@ -26,8 +26,17 @@ import (
 	"cdpu/internal/corpus"
 	"cdpu/internal/fleet"
 	"cdpu/internal/memsys"
+	"cdpu/internal/obs"
 	"cdpu/internal/stats"
 	"cdpu/internal/xeon"
+)
+
+// Replay-shape instruments. Updated only in the serial phases, so they add no
+// contention to the worker pool and never perturb the Report.
+var (
+	metricSimCalls     = obs.Default().Counter("sim.calls")
+	metricSimWorkers   = obs.Default().Gauge("sim.workers")
+	metricSimCallBytes = obs.Default().Histogram("sim.call_bytes")
 )
 
 // Config parameterizes a service replay.
@@ -49,6 +58,11 @@ type Config struct {
 	// Workers bounds the payload-synthesis pool (0 = one per CPU up to 8).
 	// The Report does not depend on it.
 	Workers int
+	// Trace, when non-nil, collects every call's per-block spans into a
+	// Chrome trace-event timeline: one process per device, one exec lane and
+	// one stream lane per pipeline. Tracing changes no modeled cycles — the
+	// Report is byte-identical with Trace nil or set.
+	Trace *obs.Trace
 }
 
 func (c Config) withDefaults() Config {
@@ -192,13 +206,17 @@ func Run(cfg Config) (*Report, error) {
 		at += float64(rec.UncompressedBytes) * cyclesPerByte * (0.5 + r.float64())
 		report.UncompressedBytes += rec.UncompressedBytes
 		xeonCycles += xeon.Cycles(rec.Algo, rec.Op, rec.Level, rec.UncompressedBytes)
+		metricSimCallBytes.Observe(int64(rec.UncompressedBytes))
 		specs = append(specs, s)
 	}
 	report.Calls = len(specs)
+	metricSimCalls.Add(int64(len(specs)))
+	metricSimWorkers.Set(float64(cfg.Workers))
 
 	// Phase B (parallel): synthesize each payload and run it through a
-	// functional device clone for its service cycles.
-	service, err := execCalls(specs, cfg.Placement, cfg.Workers)
+	// functional device clone for its service cycles (plus, when tracing,
+	// each call's per-block span layout).
+	service, callSpans, err := execCalls(specs, cfg.Placement, cfg.Workers, cfg.Trace != nil)
 	if err != nil {
 		return nil, err
 	}
@@ -229,6 +247,9 @@ func Run(cfg Config) (*Report, error) {
 		}
 		for _, r := range results {
 			latencies = append(latencies, r.Latency)
+		}
+		if cfg.Trace != nil {
+			emitDeviceTrace(cfg.Trace, d, slot.algo, slot.op, cfg.Pipelines, idxs, results, callSpans)
 		}
 		if slot.op == comp.Compress {
 			report.CompUtil = max(report.CompUtil, devStats.Utilization)
@@ -262,6 +283,34 @@ func Run(cfg Config) (*Report, error) {
 	return report, nil
 }
 
+// emitDeviceTrace lifts one device's per-call span layouts to absolute replay
+// time using each job's queueing result, emitting them on the pipeline the
+// job actually ran on. Exec-side blocks share a lane per pipeline (they are
+// sequential within a call); the overlapping bulk stream gets its own lane so
+// the viewer shows streaming concurrent with execution rather than nested
+// inside it. Called serially per device in fixed order, so the trace file is
+// deterministic.
+func emitDeviceTrace(tr *obs.Trace, pid int, algo comp.Algorithm, op comp.Op, pipelines int, idxs []int, results []core.JobResult, callSpans [][]obs.Span) {
+	dir := "C"
+	if op == comp.Decompress {
+		dir = "D"
+	}
+	tr.SetProcessName(pid, fmt.Sprintf("%s-%s", algo, dir))
+	for p := 0; p < pipelines; p++ {
+		tr.SetThreadName(pid, p*2, fmt.Sprintf("pipe %d exec", p))
+		tr.SetThreadName(pid, p*2+1, fmt.Sprintf("pipe %d stream", p))
+	}
+	for ji, r := range results {
+		for _, sp := range callSpans[idxs[ji]] {
+			tid := r.Pipeline * 2
+			if sp.Block == core.BlockStream {
+				tid++
+			}
+			tr.AddSpan(pid, tid, sp.Block, r.Start+sp.Start, sp.Dur, sp.Bytes)
+		}
+	}
+}
+
 // shard is one worker's leased execution state: a pooled Coder for
 // decompress-op payload synthesis, functional single-pipeline device clones,
 // and payload buffers that amortize to zero steady-state allocation.
@@ -272,44 +321,49 @@ type shard struct {
 	enc   []byte
 }
 
-func newShard(placement memsys.Placement) (*shard, error) {
+func newShard(placement memsys.Placement, traced bool) (*shard, error) {
 	sh := &shard{coder: comp.NewCoder()}
 	for d, slot := range deviceOrder {
 		dev, err := core.NewDevice(core.Config{Algo: slot.algo, Op: slot.op, Placement: placement}, 1)
 		if err != nil {
 			return nil, err
 		}
+		dev.SetTracing(traced)
 		sh.devs[d] = dev
 	}
 	return sh, nil
 }
 
-func (sh *shard) exec(s *callSpec) (float64, error) {
+func (sh *shard) exec(s *callSpec) (float64, []obs.Span, error) {
 	sh.plain = corpus.AppendGenerate(sh.plain[:0], s.kind, s.rec.UncompressedBytes, s.payloadSeed)
 	payload := sh.plain
 	if s.rec.Op == comp.Decompress {
 		enc, err := sh.coder.AppendCompress(sh.enc[:0], s.rec.Algo, s.rec.Level, min(s.rec.WindowLog, 17), sh.plain)
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		sh.enc = enc
 		payload = enc
 	}
 	res, err := sh.devs[s.dev].Exec(payload)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	return res.Cycles, nil
+	return res.Cycles, res.Spans, nil
 }
 
 // execCalls distributes specs over a bounded worker pool by atomic index and
-// returns each call's modeled service cycles. Results are index-addressed and
-// each call's inputs derive only from its spec, so the output is independent
-// of worker count and scheduling. On error the pool drains promptly and the
-// lowest-index call error wins.
-func execCalls(specs []callSpec, placement memsys.Placement, workers int) ([]float64, error) {
+// returns each call's modeled service cycles (and, when traced, its span
+// layout). Results are index-addressed and each call's inputs derive only
+// from its spec, so the output is independent of worker count and scheduling.
+// On error the pool drains promptly and the lowest-index call error wins.
+func execCalls(specs []callSpec, placement memsys.Placement, workers int, traced bool) ([]float64, [][]obs.Span, error) {
 	workers = max(1, min(workers, len(specs)))
 	service := make([]float64, len(specs))
+	var callSpans [][]obs.Span
+	if traced {
+		callSpans = make([][]obs.Span, len(specs))
+	}
 	callErrs := make([]error, len(specs))
 	poolErrs := make([]error, workers)
 	var nextIdx atomic.Int64
@@ -319,7 +373,7 @@ func execCalls(specs []callSpec, placement memsys.Placement, workers int) ([]flo
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			sh, err := newShard(placement)
+			sh, err := newShard(placement, traced)
 			if err != nil {
 				poolErrs[w] = err
 				failed.Store(true)
@@ -330,13 +384,16 @@ func execCalls(specs []callSpec, placement memsys.Placement, workers int) ([]flo
 				if i >= len(specs) {
 					return
 				}
-				cycles, err := sh.exec(&specs[i])
+				cycles, spans, err := sh.exec(&specs[i])
 				if err != nil {
 					callErrs[i] = err
 					failed.Store(true)
 					return
 				}
 				service[i] = cycles
+				if traced {
+					callSpans[i] = spans
+				}
 			}
 		}(w)
 	}
@@ -344,14 +401,14 @@ func execCalls(specs []callSpec, placement memsys.Placement, workers int) ([]flo
 	if failed.Load() {
 		for i, err := range callErrs {
 			if err != nil {
-				return nil, fmt.Errorf("sim: call %d: %w", i, err)
+				return nil, nil, fmt.Errorf("sim: call %d: %w", i, err)
 			}
 		}
 		for _, err := range poolErrs {
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 	}
-	return service, nil
+	return service, callSpans, nil
 }

@@ -1,11 +1,14 @@
 package sim
 
 import (
+	"bytes"
+	"encoding/json"
 	"runtime"
 	"testing"
 	"time"
 
 	"cdpu/internal/memsys"
+	"cdpu/internal/obs"
 )
 
 func TestRunBasicReport(t *testing.T) {
@@ -134,4 +137,75 @@ func BenchmarkSimRun(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(cfg.Calls)*float64(b.N)/b.Elapsed().Seconds(), "calls/sec")
+}
+
+// TestTracedRunLeavesReportIdentical pins the observability guarantee:
+// collecting a full span timeline changes no modeled cycles, so the Report is
+// byte-identical with tracing on or off, and the trace itself parses as
+// Chrome trace-event JSON with spans for every device lane.
+func TestTracedRunLeavesReportIdentical(t *testing.T) {
+	base := Config{Seed: 13, Calls: 300, MaxCallBytes: 128 << 10, Pipelines: 2}
+	want, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced := base
+	traced.Trace = obs.NewTrace(2.0)
+	got, err := Run(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *want {
+		t.Errorf("tracing changed the report:\n got %+v\nwant %+v", got, want)
+	}
+	if traced.Trace.Len() == 0 {
+		t.Fatal("traced run recorded no spans")
+	}
+
+	var buf bytes.Buffer
+	if err := traced.Trace.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	spans := 0
+	pids := map[int]bool{}
+	for _, ev := range file.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			continue
+		case "X":
+			spans++
+			pids[ev.Pid] = true
+			if ev.Ts < 0 || ev.Dur < 0 {
+				t.Fatalf("negative span timing: %+v", ev)
+			}
+			if ev.Tid < 0 || ev.Tid >= base.Pipelines*2 {
+				t.Fatalf("span on unknown lane: %+v", ev)
+			}
+		default:
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	if spans == 0 {
+		t.Fatal("no span events in trace JSON")
+	}
+	// All four devices see traffic at this call count.
+	for d := 0; d < numDevices; d++ {
+		if !pids[d] {
+			t.Errorf("device %d has no spans", d)
+		}
+	}
 }

@@ -30,3 +30,27 @@ func TestInvocationCosts(t *testing.T) {
 		t.Error("PCIe variants should share invocation cost")
 	}
 }
+
+func TestInvocationCyclesExactPerPlacement(t *testing.T) {
+	// Direct pin of the invocation model at DefaultConfig (2 GHz):
+	// dispatch 12 + setup 40 + two link crossings (doorbell + completion).
+	sys, err := memsys.New(memsys.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := New(sys)
+	cases := []struct {
+		p    memsys.Placement
+		want float64
+	}{
+		{memsys.RoCC, 52},            // no link
+		{memsys.Chiplet, 152},        // 2 x 25 ns x 2 GHz = 100
+		{memsys.PCIeLocalCache, 852}, // 2 x 200 ns x 2 GHz = 800
+		{memsys.PCIeNoCache, 852},
+	}
+	for _, c := range cases {
+		if got := i.InvocationCycles(c.p); got != c.want {
+			t.Errorf("InvocationCycles(%s) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}

@@ -18,8 +18,11 @@ func BinOf(v int) int {
 	if v <= 0 {
 		panic(fmt.Sprintf("stats: BinOf(%d)", v))
 	}
+	// Compare in uint64: the signed form (1<<b < v) never terminates for
+	// v > 1<<62, because 1<<63 is negative and Go defines 1<<64 as 0. In
+	// uint64 the loop stops at b = 63 (1<<63 exceeds MaxInt64).
 	b := 0
-	for 1<<b < v {
+	for uint64(1)<<b < uint64(v) {
 		b++
 	}
 	return b
@@ -98,8 +101,16 @@ func (h *Hist) CDF() []Point {
 	return out
 }
 
-// PercentileBin returns the smallest bin at which the CDF reaches p (0..1].
+// PercentileBin returns the smallest bin at which the CDF reaches p. The
+// domain is clamped to [0, 1]: any p <= 0 returns the first present bin (the
+// infimum — every bin's cumulative weight reaches a non-positive target) and
+// any p >= 1, or NaN, returns the last. An empty histogram returns bin 0.
 func (h *Hist) PercentileBin(p float64) int {
+	if math.IsNaN(p) || p > 1 {
+		p = 1
+	} else if p < 0 {
+		p = 0
+	}
 	cdf := h.CDF()
 	for _, pt := range cdf {
 		if pt.Cum >= p-1e-12 {

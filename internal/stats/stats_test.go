@@ -20,6 +20,22 @@ func TestBinOf(t *testing.T) {
 	}
 }
 
+func TestBinOfHugeValues(t *testing.T) {
+	// Regression: the bin loop used to compute 1<<b in int, which goes
+	// negative at b=63 and zero past it, spinning forever for any
+	// v > 1<<62. The largest ints must terminate at bin 63.
+	cases := map[int]int{
+		1 << 62:       62,
+		1<<62 + 1:     63,
+		math.MaxInt64: 63,
+	}
+	for v, want := range cases {
+		if got := BinOf(v); got != want {
+			t.Errorf("BinOf(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
 func TestBinOfPanicsOnNonPositive(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -64,6 +80,39 @@ func TestHistPercentiles(t *testing.T) {
 	}
 	if got := h.PercentileBin(1.0); got != 14 {
 		t.Errorf("p100 bin = %d", got)
+	}
+}
+
+func TestPercentileBinDomain(t *testing.T) {
+	var h Hist
+	h.Add(1<<10, 25) // bin 10
+	h.Add(1<<12, 25) // bin 12
+	h.Add(1<<14, 50) // bin 14
+	cases := []struct {
+		p    float64
+		want int
+	}{
+		// Out-of-domain inputs clamp: non-positive p is the infimum (first
+		// present bin), p > 1 and NaN are the supremum (last bin).
+		{0, 10},
+		{-0.5, 10},
+		{math.Inf(-1), 10},
+		{1.5, 14},
+		{math.Inf(1), 14},
+		{math.NaN(), 14},
+		// In-domain sanity alongside.
+		{1e-9, 10},
+		{0.5, 12},
+		{1, 14},
+	}
+	for _, c := range cases {
+		if got := h.PercentileBin(c.p); got != c.want {
+			t.Errorf("PercentileBin(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+	var empty Hist
+	if got := empty.PercentileBin(0.5); got != 0 {
+		t.Errorf("empty PercentileBin = %d, want 0", got)
 	}
 }
 

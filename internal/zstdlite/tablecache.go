@@ -17,10 +17,18 @@ package zstdlite
 
 import (
 	"sync"
-	"sync/atomic"
 
 	"cdpu/internal/fse"
 	"cdpu/internal/huffman"
+	"cdpu/internal/obs"
+)
+
+// Cache traffic counters live in the unified metrics registry, so a
+// `cdpubench -metrics` dump shows table reuse alongside every other
+// instrument; DecodeTableCacheStats remains the programmatic view.
+var (
+	metricTableHits   = obs.Default().Counter("zstdlite.table_cache.hits")
+	metricTableMisses = obs.Default().Counter("zstdlite.table_cache.misses")
 )
 
 // maxCachedTables bounds each table map. Fleet-shaped traffic needs a few
@@ -37,11 +45,9 @@ type huffEntry struct {
 }
 
 type tableCache struct {
-	mu     sync.RWMutex
-	huff   map[string]*huffEntry
-	fse    map[string]*fse.DecTable
-	hits   atomic.Int64
-	misses atomic.Int64
+	mu   sync.RWMutex
+	huff map[string]*huffEntry
+	fse  map[string]*fse.DecTable
 }
 
 var tables tableCache
@@ -54,7 +60,7 @@ func (c *tableCache) huffDecoder(lens []uint8) (*huffEntry, error) {
 	e, ok := c.huff[string(lens)]
 	c.mu.RUnlock()
 	if ok {
-		c.hits.Add(1)
+		metricTableHits.Inc()
 		return e, nil
 	}
 	table, err := huffman.FromLengths(lens)
@@ -71,7 +77,7 @@ func (c *tableCache) huffDecoder(lens []uint8) (*huffEntry, error) {
 	// both values are equivalent, so no double-check is needed.
 	c.huff[string(e.lens)] = e
 	c.mu.Unlock()
-	c.misses.Add(1)
+	metricTableMisses.Inc()
 	return e, nil
 }
 
@@ -83,7 +89,7 @@ func (c *tableCache) fseTable(key []byte, norm []int, tableLog int) (*fse.DecTab
 	t, ok := c.fse[string(key)]
 	c.mu.RUnlock()
 	if ok {
-		c.hits.Add(1)
+		metricTableHits.Inc()
 		return t, nil
 	}
 	t, err := fse.NewDecTable(norm, tableLog)
@@ -96,7 +102,7 @@ func (c *tableCache) fseTable(key []byte, norm []int, tableLog int) (*fse.DecTab
 	}
 	c.fse[string(key)] = t
 	c.mu.Unlock()
-	c.misses.Add(1)
+	metricTableMisses.Inc()
 	return t, nil
 }
 
@@ -111,7 +117,7 @@ type TableCacheStats struct {
 // DecodeTableCacheStats returns the process-wide entropy-table cache
 // counters.
 func DecodeTableCacheStats() TableCacheStats {
-	return TableCacheStats{Hits: tables.hits.Load(), Misses: tables.misses.Load()}
+	return TableCacheStats{Hits: metricTableHits.Value(), Misses: metricTableMisses.Value()}
 }
 
 // ResetDecodeTableCache drops every memoized table and zeroes the counters
@@ -121,6 +127,6 @@ func ResetDecodeTableCache() {
 	tables.huff = nil
 	tables.fse = nil
 	tables.mu.Unlock()
-	tables.hits.Store(0)
-	tables.misses.Store(0)
+	metricTableHits.Reset()
+	metricTableMisses.Reset()
 }
