@@ -1,12 +1,12 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all check vet build test race bench bench-json bench-smoke trace-smoke fuzz-smoke
+.PHONY: all check vet build test race bench bench-json bench-resil-json bench-smoke trace-smoke chaos-smoke fuzz-smoke
 
 all: check
 
 # Full gate: what CI (and pre-commit) should run.
-check: vet build test race bench-smoke trace-smoke
+check: vet build test race bench-smoke trace-smoke chaos-smoke
 
 vet:
 	$(GO) vet ./...
@@ -41,6 +41,17 @@ bench-smoke:
 # bit-exactly across DSE corner configurations.
 trace-smoke:
 	$(GO) run ./cmd/simbench -trace-smoke
+
+# Recovery gate: a stormed, recovered replay is byte-identical across worker
+# counts and the abort baseline fails on the same call everywhere.
+chaos-smoke:
+	$(GO) run ./cmd/simbench -chaos-check
+
+# Refresh the checked-in recovery-layer benchmark (zero policy vs full policy
+# under a 2% storm on the same call mix).
+bench-resil-json:
+	$(GO) run ./cmd/simbench -resil -o BENCH_resil.json
+	@cat BENCH_resil.json
 
 # Adversarial-input smoke: run every native fuzz target for FUZZTIME each,
 # starting from the checked-in seed corpora (regenerate those with

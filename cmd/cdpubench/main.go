@@ -66,7 +66,7 @@ func main() {
 	case *all:
 		ids = []string{"fig7", "fig11", "fig12", "fig13", "fig14", "fig15", "dse-summary",
 			"ablation-hash", "ablation-fse", "ablation-stats",
-			"chaining", "pipelines", "deployment", "levels", "fault-sweep", "fleet-replay"}
+			"chaining", "pipelines", "deployment", "levels", "fault-sweep", "fleet-replay", "chaos-sweep"}
 	case *summary:
 		ids = []string{"dse-summary"}
 	case *ablation != "":

@@ -15,6 +15,14 @@
 //	                                # Chrome JSON, block sums match Cycles
 //	                                # bit-exactly across DSE corners, and the
 //	                                # metrics registry saw the traffic
+//	simbench -chaos-check           # recovery smoke: a stormed, recovered
+//	                                # replay is byte-identical across worker
+//	                                # counts, the abort baseline fails on the
+//	                                # same call everywhere, and the zero policy
+//	                                # leaves healthy reports untouched
+//	simbench -resil                 # benchmark the recovery layer: zero policy
+//	                                # vs full policy under a storm, as JSON
+//	                                # (BENCH_resil.json via `make bench-resil-json`)
 //	simbench -http :6060            # serve net/http/pprof + expvar (including
 //	                                # the metrics registry) during the run
 package main
@@ -34,8 +42,10 @@ import (
 	"cdpu/internal/comp"
 	"cdpu/internal/core"
 	"cdpu/internal/corpus"
+	"cdpu/internal/fault"
 	"cdpu/internal/memsys"
 	"cdpu/internal/obs"
+	"cdpu/internal/resil"
 	"cdpu/internal/sim"
 	"cdpu/internal/snappy"
 	"cdpu/internal/zstdlite"
@@ -59,6 +69,8 @@ func main() {
 	out := flag.String("o", "", "write JSON here instead of stdout")
 	check := flag.Bool("check", false, "smoke mode: verify worker-count invariance, skip timing")
 	traceSmoke := flag.Bool("trace-smoke", false, "smoke mode: verify the observability layer, skip timing")
+	chaosCheck := flag.Bool("chaos-check", false, "smoke mode: verify the recovery layer under a fault storm, skip timing")
+	resilBench := flag.Bool("resil", false, "benchmark zero policy vs full recovery policy under a storm, emit JSON")
 	httpAddr := flag.String("http", "", "serve net/http/pprof and expvar metrics on this address during the run")
 	flag.Parse()
 
@@ -95,6 +107,20 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("simbench: %d-call replay identical at 1 and %d workers\n", cfg.Calls, smokeWorkers())
+		return
+	}
+	if *chaosCheck {
+		cfg.Calls = min(cfg.Calls, 500)
+		if err := smokeChaos(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("simbench: stormed %d-call replay recovered identically at 1 and %d workers; abort baseline failed deterministically\n",
+			cfg.Calls, smokeWorkers())
+		return
+	}
+	if *resilBench {
+		benchResil(cfg, *workers, *out)
 		return
 	}
 
@@ -222,6 +248,147 @@ func blockSumSmoke() error {
 		}
 	}
 	return nil
+}
+
+// benchPolicy mirrors the chaos-sweep experiment's reference policy: retry
+// with capped jittered backoff, software fallback, quarantine, bounded queue.
+func benchPolicy() resil.Policy {
+	return resil.Policy{
+		MaxAttempts:             3,
+		BackoffBaseCycles:       2000,
+		BackoffMaxCycles:        64000,
+		JitterFrac:              0.5,
+		SoftwareFallback:        true,
+		QuarantineK:             3,
+		QuarantineWindowCycles:  2e6,
+		QuarantinePenaltyCycles: 1e5,
+		MaxQueue:                256,
+	}
+}
+
+func benchStorm(seed int64) *fault.Storm {
+	return &fault.Storm{Seed: seed + 1000, Rate: 0.02, MeanRepeats: 1}
+}
+
+// smokeChaos is the `make chaos-smoke` gate. It pins the recovery layer's
+// three standing guarantees cheaply: (1) a stormed replay under the full
+// policy produces a byte-identical Report at 1 and N workers — retries,
+// backoff jitter, fallbacks, quarantines and sheds are all pure functions of
+// (seed, call index); (2) the abort-policy baseline fails the same storm, and
+// names the same (lowest) failing call at every worker count; (3) recovered
+// runs actually recover — faulted calls are reported, nothing errors.
+func smokeChaos(cfg sim.Config) error {
+	stormed := cfg
+	stormed.Resilience = benchPolicy()
+	stormed.Storm = benchStorm(cfg.Seed)
+	stormed.Workers = 1
+	serial, err := sim.Run(stormed)
+	if err != nil {
+		return fmt.Errorf("stormed serial replay: %w", err)
+	}
+	if serial.FaultedCalls == 0 {
+		return fmt.Errorf("storm hit no calls at rate %.2f", stormed.Storm.Rate)
+	}
+	stormed.Workers = smokeWorkers()
+	sharded, err := sim.Run(stormed)
+	if err != nil {
+		return fmt.Errorf("stormed sharded replay: %w", err)
+	}
+	if *serial != *sharded {
+		return fmt.Errorf("stormed report differs between 1 and %d workers:\n  %+v\n  %+v", stormed.Workers, serial, sharded)
+	}
+
+	abortCfg := cfg
+	abortCfg.Storm = benchStorm(cfg.Seed)
+	abortCfg.Workers = 1
+	_, serialErr := sim.Run(abortCfg)
+	if serialErr == nil {
+		return fmt.Errorf("abort baseline survived the storm")
+	}
+	abortCfg.Workers = smokeWorkers()
+	_, shardedErr := sim.Run(abortCfg)
+	if shardedErr == nil {
+		return fmt.Errorf("abort baseline survived the storm at %d workers", abortCfg.Workers)
+	}
+	if serialErr.Error() != shardedErr.Error() {
+		return fmt.Errorf("abort error differs between 1 and %d workers:\n  %v\n  %v", abortCfg.Workers, serialErr, shardedErr)
+	}
+	return nil
+}
+
+// benchResil times the zero policy against the full recovery policy under a
+// 2% storm on the same call mix and emits both as JSON — the checked-in
+// BENCH_resil.json records what recovery costs end to end.
+func benchResil(cfg sim.Config, workers int, out string) {
+	time := func(c sim.Config) (result, *sim.Report) {
+		var last *sim.Report
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := sim.Run(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+		})
+		perRun := float64(br.NsPerOp())
+		return result{
+			Calls:       c.Calls,
+			Workers:     workers,
+			CPUs:        runtime.NumCPU(),
+			Runs:        br.N,
+			NsPerCall:   perRun / float64(c.Calls),
+			AllocsCall:  float64(br.AllocsPerOp()) / float64(c.Calls),
+			BytesCall:   float64(br.AllocedBytesPerOp()) / float64(c.Calls),
+			CallsPerSec: float64(c.Calls) / (perRun / 1e9),
+		}, last
+	}
+	baseline, _ := time(cfg)
+	stormed := cfg
+	stormed.Resilience = benchPolicy()
+	stormed.Storm = benchStorm(cfg.Seed)
+	recovered, report := time(stormed)
+
+	res := struct {
+		Baseline  result  `json:"baseline"`
+		Recovered result  `json:"recovered"`
+		StormRate float64 `json:"storm_rate"`
+		Faulted   int     `json:"faulted_calls"`
+		Retries   int     `json:"retry_attempts"`
+		Degraded  int     `json:"degraded_calls"`
+		Shed      int     `json:"shed_calls"`
+		Quar      int     `json:"quarantines"`
+		// OverheadPct is the wall-clock cost of the recovery machinery plus
+		// the storm's extra dispatches, relative to the healthy baseline.
+		OverheadPct float64 `json:"overhead_pct"`
+	}{
+		Baseline:  baseline,
+		Recovered: recovered,
+		StormRate: stormed.Storm.Rate,
+		Faulted:   report.FaultedCalls,
+		Retries:   report.RetryAttempts,
+		Degraded:  report.DegradedCalls,
+		Shed:      report.ShedCalls,
+		Quar:      report.Quarantines,
+	}
+	if baseline.NsPerCall > 0 {
+		res.OverheadPct = 100 * (recovered.NsPerCall - baseline.NsPerCall) / baseline.NsPerCall
+	}
+	enc, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+		os.Exit(1)
+	}
 }
 
 // smoke replays cfg serially and sharded and requires byte-identical

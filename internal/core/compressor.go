@@ -97,6 +97,12 @@ func NewCompressor(cfg Config) (*Compressor, error) {
 // Config returns the instance configuration.
 func (c *Compressor) Config() Config { return c.cfg }
 
+// PipelineResetCycles returns the placement-aware cost of quarantining and
+// reinitializing one pipeline; see soc.Interface.PipelineResetCycles.
+func (c *Compressor) PipelineResetCycles() float64 {
+	return c.iface.PipelineResetCycles(c.cfg.Placement)
+}
+
 // Area returns the instance's silicon area breakdown.
 func (c *Compressor) Area() *area.Breakdown {
 	b := area.NewBreakdown()

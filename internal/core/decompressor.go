@@ -75,6 +75,12 @@ func NewDecompressor(cfg Config) (*Decompressor, error) {
 // Config returns the instance configuration.
 func (d *Decompressor) Config() Config { return d.cfg }
 
+// PipelineResetCycles returns the placement-aware cost of quarantining and
+// reinitializing one pipeline; see soc.Interface.PipelineResetCycles.
+func (d *Decompressor) PipelineResetCycles() float64 {
+	return d.iface.PipelineResetCycles(d.cfg.Placement)
+}
+
 // Area returns the instance's silicon area breakdown.
 func (d *Decompressor) Area() *area.Breakdown {
 	b := area.NewBreakdown()

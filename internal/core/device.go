@@ -6,6 +6,8 @@ import (
 
 	"cdpu/internal/area"
 	"cdpu/internal/comp"
+	"cdpu/internal/memsys"
+	"cdpu/internal/resil"
 	"cdpu/internal/stats"
 )
 
@@ -56,6 +58,27 @@ func (d *Device) SetTracing(on bool) {
 	}
 }
 
+// SetFaultInjector installs (or removes, with nil) a device-fault injector
+// on the device's memory system; see Decompressor.SetFaultInjector.
+func (d *Device) SetFaultInjector(fi memsys.FaultInjector) {
+	if d.comp != nil {
+		d.comp.SetFaultInjector(fi)
+	} else {
+		d.decomp.SetFaultInjector(fi)
+	}
+}
+
+// PipelineResetCycles returns the modeled cost of quarantining and
+// reinitializing one of the device's pipelines (soc.PipelineResetCycles at
+// the device's placement) — the default reset charge when a recovery
+// policy's ResetCycles is zero.
+func (d *Device) PipelineResetCycles() float64 {
+	if d.comp != nil {
+		return d.comp.PipelineResetCycles()
+	}
+	return d.decomp.PipelineResetCycles()
+}
+
 // Area returns the device's silicon area: pipelines share the system
 // interface (command router, memloaders/memwriters), so replication adds
 // only the per-pipeline blocks.
@@ -97,13 +120,19 @@ type JobResult struct {
 	// Start is the cycle at which service began (Arrival + Queue) — the
 	// anchor a tracer uses to lift a call's relative spans to replay time.
 	Start float64
-	// Pipeline is the index of the pipeline that served the job.
+	// Pipeline is the index of the pipeline that served the job, or -1 for
+	// a job shed at admission.
 	Pipeline int
+	// Err marks a job the device did not serve: resil.ErrShed for a call
+	// rejected by admission control (zero service cycles, zero latency).
+	// Served jobs carry a nil Err.
+	Err error
 	// Result is the underlying call result.
 	Result *Result
 }
 
-// DeviceStats aggregates a batch.
+// DeviceStats aggregates a batch. Latency statistics cover served jobs only;
+// Shed counts the jobs admission control rejected.
 type DeviceStats struct {
 	Jobs        int
 	Utilization float64 // busy pipeline-cycles / (pipelines * makespan)
@@ -111,6 +140,8 @@ type DeviceStats struct {
 	P50Latency  float64
 	P99Latency  float64
 	Makespan    float64 // last completion minus first arrival
+	Shed        int     // jobs rejected with resil.ErrShed
+	Quarantines int     // pipeline quarantine-and-reset events
 }
 
 // Exec runs one payload through the device's functional pipeline, returning
@@ -162,8 +193,39 @@ func (d *Device) Run(jobs []Job) ([]JobResult, DeviceStats, error) {
 // so they are rejected) and payloads are not touched (they may be nil).
 // JobResult.Result is nil in this mode.
 func (d *Device) Replay(jobs []Job, service []float64) ([]JobResult, DeviceStats, error) {
+	return d.ReplayPolicy(jobs, service, nil, nil, resil.Policy{})
+}
+
+// ReplayPolicy is Replay under a recovery policy: the same deterministic
+// FCFS queueing pass, extended with the two device-side recovery mechanisms
+// that depend on queue state rather than on a single call.
+//
+//   - Admission control: with pol.MaxQueue > 0, an arrival that finds
+//     MaxQueue jobs already waiting is shed — JobResult.Err = resil.ErrShed,
+//     zero service cycles, Pipeline -1 — instead of growing the queue
+//     without bound.
+//   - Pipeline quarantine: faults[i] (may be nil) counts the device-fault
+//     events job i's dispatches inflicted on the pipeline that served it.
+//     A pipeline accumulating pol.QuarantineK fault events within
+//     pol.QuarantineWindowCycles is drained (its in-flight job completes),
+//     charged a reset (pol.ResetCycles, or the device's placement-aware
+//     PipelineResetCycles when zero), and removed from dispatch for
+//     pol.QuarantinePenaltyCycles; capacity degrades instead of failing.
+//
+// post[i] (may be nil) is latency the caller observes after the job leaves
+// the device — the software-fallback service time of a degraded call — and
+// is charged to that job's Latency and the batch statistics, but not to
+// pipeline occupancy. With the zero policy and nil post/faults the pass is
+// bit-identical to Replay.
+func (d *Device) ReplayPolicy(jobs []Job, service, post []float64, faults []int, pol resil.Policy) ([]JobResult, DeviceStats, error) {
 	if len(jobs) != len(service) {
 		return nil, DeviceStats{}, fmt.Errorf("core: %d jobs with %d service times", len(jobs), len(service))
+	}
+	if post != nil && len(post) != len(jobs) {
+		return nil, DeviceStats{}, fmt.Errorf("core: %d jobs with %d post times", len(jobs), len(post))
+	}
+	if faults != nil && len(faults) != len(jobs) {
+		return nil, DeviceStats{}, fmt.Errorf("core: %d jobs with %d fault counts", len(jobs), len(faults))
 	}
 	if len(jobs) == 0 {
 		return nil, DeviceStats{}, nil
@@ -173,12 +235,42 @@ func (d *Device) Replay(jobs []Job, service []float64) ([]JobResult, DeviceStats
 	busy := 0.0
 	first := jobs[0].Arrival
 	lastDone := 0.0
+	served := 0
+	shed := 0
+	quarantines := 0
+	// Admission queue: starts are non-decreasing (arrivals are sorted and
+	// pipeline free times only grow), so the waiting set is a FIFO window
+	// over the start times of already-assigned jobs.
+	var pending []float64
+	pendingHead := 0
+	// Quarantine bookkeeping: per-pipeline fault-event times within the
+	// sliding window.
+	var faultLog [][]float64
+	if pol.QuarantineK > 0 && faults != nil {
+		faultLog = make([][]float64, d.pipelines)
+	}
 	for i, job := range jobs {
 		if i > 0 && job.Arrival < jobs[i-1].Arrival {
 			return nil, DeviceStats{}, fmt.Errorf("core: jobs not sorted by arrival")
 		}
 		if s := service[i]; math.IsNaN(s) || math.IsInf(s, 0) || s < 0 {
 			return nil, DeviceStats{}, fmt.Errorf("core: job %d service cycles %v (want finite, non-negative)", i, s)
+		}
+		if post != nil {
+			if x := post[i]; math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
+				return nil, DeviceStats{}, fmt.Errorf("core: job %d post cycles %v (want finite, non-negative)", i, x)
+			}
+		}
+		if pol.MaxQueue > 0 {
+			for pendingHead < len(pending) && pending[pendingHead] <= job.Arrival {
+				pendingHead++
+			}
+			if len(pending)-pendingHead >= pol.MaxQueue {
+				results[i] = JobResult{Start: job.Arrival, Pipeline: -1, Err: resil.ErrShed}
+				shed++
+				resil.MetricSheds.Inc()
+				continue
+			}
 		}
 		// Earliest-free pipeline.
 		p := 0
@@ -194,25 +286,66 @@ func (d *Device) Replay(jobs []Job, service []float64) ([]JobResult, DeviceStats
 		if done > lastDone {
 			lastDone = done
 		}
+		latency := done - job.Arrival
+		if post != nil && post[i] > 0 {
+			latency += post[i]
+		}
 		results[i] = JobResult{
 			Queue:    start - job.Arrival,
 			Service:  service[i],
-			Latency:  done - job.Arrival,
+			Latency:  latency,
 			Start:    start,
 			Pipeline: p,
 		}
+		served++
+		if pol.MaxQueue > 0 {
+			pending = append(pending, start)
+		}
+		if faultLog != nil && faults[i] > 0 {
+			log := faultLog[p]
+			if w := pol.QuarantineWindowCycles; w > 0 {
+				keep := 0
+				for _, ts := range log {
+					if ts >= done-w {
+						log[keep] = ts
+						keep++
+					}
+				}
+				log = log[:keep]
+			}
+			for e := 0; e < faults[i]; e++ {
+				log = append(log, done)
+			}
+			if len(log) >= pol.QuarantineK {
+				reset := pol.ResetCycles
+				if reset == 0 {
+					reset = d.PipelineResetCycles()
+				}
+				free[p] = done + reset + pol.QuarantinePenaltyCycles
+				log = log[:0]
+				quarantines++
+				resil.MetricQuarantines.Inc()
+			}
+			faultLog[p] = log
+		}
 	}
-	devStats := DeviceStats{Jobs: len(jobs), Makespan: lastDone - first}
+	devStats := DeviceStats{Jobs: len(jobs), Makespan: lastDone - first, Shed: shed, Quarantines: quarantines}
 	if devStats.Makespan > 0 {
 		devStats.Utilization = busy / (float64(d.pipelines) * devStats.Makespan)
 	}
-	// Single-pass mean, then quickselect for the percentile samples: O(n)
-	// total, and the only latency copy is the selection scratch.
-	lat := make([]float64, len(results))
+	if served == 0 {
+		return results, devStats, nil
+	}
+	// Single-pass mean over served jobs, then quickselect for the percentile
+	// samples: O(n) total, and the only latency copy is the selection scratch.
+	lat := make([]float64, 0, served)
 	sum := 0.0
-	for i, r := range results {
-		lat[i] = r.Latency
-		sum += r.Latency
+	for i := range results {
+		if results[i].Err != nil {
+			continue
+		}
+		lat = append(lat, results[i].Latency)
+		sum += results[i].Latency
 	}
 	devStats.MeanLatency = sum / float64(len(lat))
 	devStats.P50Latency = stats.SelectNth(lat, len(lat)/2)

@@ -45,6 +45,12 @@ func (e *DeviceError) Error() string {
 // sentinels, memsys.ErrDeviceFault or ErrWatchdog.
 func (e *DeviceError) Unwrap() error { return e.Err }
 
+// Transient reports whether re-dispatching the call can plausibly succeed:
+// memory faults and watchdog trips are device-side conditions a retry can
+// clear, while a corrupt input stream fails identically on every attempt —
+// recovery policies route it straight to the software fallback.
+func (e *DeviceError) Transient() bool { return e.Reason != "corrupt-input" }
+
 // watchdogBudget returns the abort threshold in cycles for a call moving the
 // given payload bytes, or 0 when the watchdog is disabled (negative factor).
 func (c Config) watchdogBudget(inBytes, outBytes int) float64 {

@@ -31,6 +31,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fleet-summary", "dse-summary",
 		"ablation-hash", "ablation-fse", "ablation-stats",
 		"chaining", "pipelines", "deployment", "levels", "fault-sweep",
+		"fleet-replay", "chaos-sweep",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {
@@ -254,6 +255,33 @@ func TestDeploymentEstimatesSane(t *testing.T) {
 	}
 	if byteSaved < 5 || byteSaved > 50 {
 		t.Errorf("byte savings %.2f%% out of plausible range", byteSaved)
+	}
+}
+
+// TestChaosSweepRuns executes the chaos sweep at test scale. The experiment
+// asserts its own invariants internally (no surfaced corruption, monotone
+// goodput, the stated tail bound, quarantine firing, abort baseline failing),
+// so a clean return already carries the interesting guarantees; the shape
+// checks here pin the table layout.
+func TestChaosSweepRuns(t *testing.T) {
+	tables := run(t, "chaos-sweep")
+	if len(tables) != 4 {
+		t.Fatalf("chaos-sweep produced %d tables, want 4", len(tables))
+	}
+	anatomy, tails, probe, abort := tables[0], tables[1], tables[2], tables[3]
+	if len(anatomy.Rows) != 6 { // 2 placements x 3 fault kinds
+		t.Errorf("anatomy table has %d rows, want 6", len(anatomy.Rows))
+	}
+	if len(tails.Rows) != 8 { // 2 placements x 4 rates
+		t.Errorf("tail table has %d rows, want 8", len(tails.Rows))
+	}
+	if len(probe.Rows) != 2 || len(abort.Rows) != 2 {
+		t.Errorf("probe/abort tables have %d/%d rows, want 2/2", len(probe.Rows), len(abort.Rows))
+	}
+	for _, row := range abort.Rows {
+		if row[1] != "aborted" {
+			t.Errorf("abort baseline row not aborted: %v", row)
+		}
 	}
 }
 

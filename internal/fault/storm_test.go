@@ -1,0 +1,152 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"cdpu/internal/memsys"
+)
+
+func TestPlanMasksScopeSchedule(t *testing.T) {
+	p := Plan{ErrorEvery: 1, SpikeEvery: 1, SpikeCycles: 100,
+		PlacementMask: PlacementBit(memsys.PCIeNoCache)}
+	for _, pl := range memsys.Placements {
+		f := p.OnAccess(pl, memsys.ClassRaw, 0)
+		if want := pl == memsys.PCIeNoCache; (f != memsys.Fault{}) != want {
+			t.Errorf("placement %v: fault %+v, want hit=%v", pl, f, want)
+		}
+	}
+
+	p = Plan{ErrorEvery: 1, ClassMask: ClassBit(memsys.ClassIntermediate)}
+	if f := p.OnAccess(memsys.RoCC, memsys.ClassRaw, 0); f != (memsys.Fault{}) {
+		t.Errorf("raw-class event faulted under intermediate-only mask: %+v", f)
+	}
+	if f := p.OnAccess(memsys.RoCC, memsys.ClassIntermediate, 0); !f.Error {
+		t.Error("intermediate-class event not faulted under its own mask")
+	}
+
+	// Zero masks keep the historical any-placement, any-class behavior.
+	p = Plan{ErrorEvery: 1}
+	for _, pl := range memsys.Placements {
+		for _, c := range []memsys.Class{memsys.ClassRaw, memsys.ClassIntermediate} {
+			if !p.OnAccess(pl, c, 0).Error {
+				t.Errorf("zero-mask plan skipped (%v, %v)", pl, c)
+			}
+		}
+	}
+
+	// Combined masks require both to admit the event.
+	p = Plan{ErrorEvery: 1,
+		PlacementMask: PlacementBit(memsys.Chiplet) | PlacementBit(memsys.RoCC),
+		ClassMask:     ClassBit(memsys.ClassRaw)}
+	if !p.Matches(memsys.RoCC, memsys.ClassRaw) || p.Matches(memsys.RoCC, memsys.ClassIntermediate) ||
+		p.Matches(memsys.PCIeNoCache, memsys.ClassRaw) {
+		t.Error("combined mask admission wrong")
+	}
+}
+
+// TestPlanMaskPreservesEventIndexing pins that masking scopes *which* events
+// fault without shifting the schedule: the event index advances on every
+// event, masked or not, so a targeted plan stays aligned with an untargeted
+// one.
+func TestPlanMaskPreservesEventIndexing(t *testing.T) {
+	masked := Plan{ErrorEvery: 2, PlacementMask: PlacementBit(memsys.RoCC)}
+	for ev := 0; ev < 8; ev++ {
+		if got, want := masked.OnAccess(memsys.RoCC, memsys.ClassRaw, ev).Error, (ev+1)%2 == 0; got != want {
+			t.Errorf("event %d: Error=%v want %v", ev, got, want)
+		}
+	}
+}
+
+func TestStormDrawDeterministic(t *testing.T) {
+	s := &Storm{Seed: 3, Rate: 0.3, MeanRepeats: 1.5}
+	for call := 0; call < 500; call++ {
+		k1, r1, h1 := s.Draw(call)
+		k2, r2, h2 := s.Draw(call)
+		if k1 != k2 || r1 != r2 || h1 != h2 {
+			t.Fatalf("call %d: Draw not pure", call)
+		}
+		if m1, m2 := s.MutationSeed(call), s.MutationSeed(call); m1 != m2 {
+			t.Fatalf("call %d: MutationSeed not pure", call)
+		}
+	}
+}
+
+func TestStormRateAndKinds(t *testing.T) {
+	s := &Storm{Seed: 11, Rate: 0.1}
+	const calls = 20000
+	hits := 0
+	seen := map[StormKind]int{}
+	for call := 0; call < calls; call++ {
+		kind, repeats, hit := s.Draw(call)
+		if !hit {
+			continue
+		}
+		hits++
+		seen[kind]++
+		if repeats != 1 {
+			t.Fatalf("call %d: repeats %d with MeanRepeats 0", call, repeats)
+		}
+	}
+	frac := float64(hits) / calls
+	if math.Abs(frac-0.1) > 0.02 {
+		t.Errorf("hit rate %.4f, want ~0.10", frac)
+	}
+	for _, k := range StormKinds {
+		if seen[k] == 0 {
+			t.Errorf("kind %v never drawn", k)
+		}
+	}
+
+	// Restricting Kinds restricts draws.
+	s = &Storm{Seed: 11, Rate: 0.2, Kinds: []StormKind{StormWatchdog}}
+	for call := 0; call < 2000; call++ {
+		if kind, _, hit := s.Draw(call); hit && kind != StormWatchdog {
+			t.Fatalf("call %d: drew %v outside Kinds", call, kind)
+		}
+	}
+}
+
+func TestStormRepeatsBoundedAndScaled(t *testing.T) {
+	s := &Storm{Seed: 5, Rate: 1, MeanRepeats: 2}
+	total, hits := 0, 0
+	for call := 0; call < 5000; call++ {
+		_, repeats, hit := s.Draw(call)
+		if !hit {
+			t.Fatal("rate 1 storm missed a call")
+		}
+		if repeats < 1 || repeats > maxRepeats {
+			t.Fatalf("repeats %d out of [1, %d]", repeats, maxRepeats)
+		}
+		total += repeats
+		hits++
+	}
+	mean := float64(total) / float64(hits)
+	if mean < 2.0 || mean > 4.0 {
+		t.Errorf("mean repeats %.2f, want ~3 (1 + MeanRepeats)", mean)
+	}
+}
+
+func TestStormNilAndZeroNeverHit(t *testing.T) {
+	var nilStorm *Storm
+	if _, _, hit := nilStorm.Draw(0); hit {
+		t.Error("nil storm hit")
+	}
+	if _, _, hit := (&Storm{Seed: 1}).Draw(0); hit {
+		t.Error("zero-rate storm hit")
+	}
+}
+
+func TestStormKindStringsAndTransience(t *testing.T) {
+	if StormBitFlip.Transient() {
+		t.Error("bit-flip marked transient")
+	}
+	if !StormMemFault.Transient() || !StormWatchdog.Transient() {
+		t.Error("device faults not transient")
+	}
+	for _, k := range StormKinds {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", int(k))
+		}
+	}
+}

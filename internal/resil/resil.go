@@ -1,0 +1,143 @@
+// Package resil is the recovery-policy layer of the CDPU model: what the
+// system does *after* a fault, not just that one occurred. Production
+// deployments never let an offload engine take down serving — they retry
+// transient device faults with capped, jittered backoff, escape to the
+// software codec path when the device stays sick, quarantine and reset a
+// pipeline that faults repeatedly, and shed load explicitly rather than let
+// queues grow without bound. Policy packages those four mechanisms as knobs;
+// its zero value disables all of them, reproducing the historical
+// abort-on-first-fault behavior bit-exactly.
+//
+// Every stochastic choice the policy makes (the backoff jitter) is a pure
+// function of a caller-provided seed, so a replay under any worker count —
+// or under the race detector — produces byte-identical Reports.
+package resil
+
+import (
+	"errors"
+	"math"
+
+	"cdpu/internal/obs"
+)
+
+// ErrShed is the explicit result of a call rejected by admission control:
+// the device's bounded queue was full, the call consumed zero service
+// cycles, and the caller is expected to retry elsewhere or degrade.
+var ErrShed = errors.New("resil: call shed by admission control")
+
+// Recovery-event instruments. The reconciliation invariant — counter deltas
+// match the per-call outcome totals a replay Report carries — is pinned by
+// the sim tests.
+var (
+	// MetricRetries counts device re-dispatches after a transient fault.
+	MetricRetries = obs.Default().Counter("resil.retries")
+	// MetricFallbacks counts calls served by the software codec path.
+	MetricFallbacks = obs.Default().Counter("resil.fallbacks")
+	// MetricQuarantines counts pipeline quarantine-and-reset events.
+	MetricQuarantines = obs.Default().Counter("resil.quarantines")
+	// MetricSheds counts calls rejected by admission control.
+	MetricSheds = obs.Default().Counter("resil.sheds")
+)
+
+// Policy parameterizes fault recovery. The zero value disables every
+// mechanism: a device fault aborts the whole run (the pre-recovery
+// behavior), no queue bound applies, and no pipeline is ever quarantined.
+type Policy struct {
+	// MaxAttempts is the total number of device dispatches a call may
+	// consume before recovery gives up on the device (0 or 1 = no retry).
+	// Only transient faults — memory faults and watchdog trips — are
+	// retried; corrupt-input faults skip straight to the fallback, since
+	// re-reading the same corrupt bytes cannot succeed.
+	MaxAttempts int
+	// BackoffBaseCycles is the delay before the first re-dispatch; each
+	// further retry doubles it, capped at BackoffMaxCycles. The wait is
+	// charged into the call's modeled latency (the dispatch slot is held),
+	// keeping Reports independent of worker count.
+	BackoffBaseCycles float64
+	// BackoffMaxCycles caps the exponential schedule (0 = uncapped).
+	BackoffMaxCycles float64
+	// JitterFrac spreads each delay over [1-JitterFrac, 1) of its nominal
+	// value using the caller's seeded stream, decorrelating retry storms.
+	// 0 means no jitter; values are clamped to [0, 1].
+	JitterFrac float64
+	// SoftwareFallback, when set, serves a call on the modeled CPU codec
+	// path (the xeon cost tables) after device recovery is exhausted, and
+	// marks the result degraded. Without it, an unrecovered fault aborts.
+	SoftwareFallback bool
+	// QuarantineK is the fault count within QuarantineWindowCycles that
+	// quarantines a pipeline (0 = never quarantine).
+	QuarantineK int
+	// QuarantineWindowCycles is the sliding window the fault count applies
+	// to (0 with QuarantineK > 0 = all faults count forever).
+	QuarantineWindowCycles float64
+	// QuarantinePenaltyCycles is how long a quarantined pipeline stays out
+	// of dispatch after its reset completes.
+	QuarantinePenaltyCycles float64
+	// ResetCycles is the drain-and-reinitialize cost charged when a
+	// pipeline enters quarantine. 0 defers to the device's placement-aware
+	// reset model (soc.Interface.PipelineResetCycles).
+	ResetCycles float64
+	// MaxQueue bounds the number of calls waiting (not yet in service) per
+	// device; an arrival finding the queue full is shed with ErrShed and
+	// zero service cycles. 0 = unbounded.
+	MaxQueue int
+}
+
+// Enabled reports whether any recovery mechanism is active — false exactly
+// for the zero value, which callers use to keep the historical code path
+// bit-identical.
+func (p Policy) Enabled() bool { return p != Policy{} }
+
+// Retries returns the number of re-dispatches the policy allows after the
+// first attempt.
+func (p Policy) Retries() int {
+	if p.MaxAttempts <= 1 {
+		return 0
+	}
+	return p.MaxAttempts - 1
+}
+
+// splitmix64 advances the canonical mixing function used across the repo for
+// seeded streams; tiny, portable, stable across Go releases.
+func splitmix64(state uint64) (uint64, uint64) {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return state, z ^ (z >> 31)
+}
+
+// BackoffSeed derives the backoff stream for one call from the replay seed
+// and the call index, independent of every other per-call stream (payload
+// kind, arrival jitter, chaos schedule), so adding recovery draws cannot
+// perturb an existing replay's sampling.
+func BackoffSeed(seed int64, call int) uint64 {
+	return (uint64(seed) ^ 0xb0ffc0de5eed1234) + (uint64(call)+1)*0x9e3779b97f4a7c15
+}
+
+// Backoff returns the jittered delay in cycles before re-dispatch number
+// `retry` (1 = the first retry). It is a pure function of (policy, seed,
+// retry): delay = min(BackoffMaxCycles, BackoffBaseCycles * 2^(retry-1)),
+// scaled into [1-JitterFrac, 1) by the retry's draw from the seeded stream.
+func (p Policy) Backoff(seed uint64, retry int) float64 {
+	if retry < 1 || p.BackoffBaseCycles <= 0 {
+		return 0
+	}
+	d := p.BackoffBaseCycles * math.Pow(2, float64(retry-1))
+	if p.BackoffMaxCycles > 0 && d > p.BackoffMaxCycles {
+		d = p.BackoffMaxCycles
+	}
+	j := p.JitterFrac
+	if j <= 0 {
+		return d
+	}
+	if j > 1 {
+		j = 1
+	}
+	// One draw per retry index, keyed by position so schedules are stable
+	// under any interleaving of calls.
+	state := seed + uint64(retry)*0x9e3779b97f4a7c15
+	_, u64 := splitmix64(state)
+	u := float64(u64>>11) / (1 << 53) // [0, 1)
+	return d * (1 - j + j*u)
+}

@@ -1,0 +1,110 @@
+package resil
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBackoffSchedulePinned pins the exact jittered delays for a fixed seed:
+// the schedule is part of the replay's determinism contract (Reports are
+// byte-identical at any worker count), so any change to the mixing function,
+// the jitter formula, or the cap behavior must show up here.
+func TestBackoffSchedulePinned(t *testing.T) {
+	p := Policy{MaxAttempts: 7, BackoffBaseCycles: 1000, BackoffMaxCycles: 16000, JitterFrac: 0.5}
+	seed := BackoffSeed(42, 7)
+	if seed != 0xa2bb8eaa5940f2c6 {
+		t.Fatalf("BackoffSeed(42, 7) = %#x", seed)
+	}
+	want := []float64{
+		915.75618923932961,
+		1131.7261679189373,
+		3637.9676538022873,
+		6627.0587792503175,
+		11182.722112760155,
+		8495.2985235248198, // capped at 16000 nominal, jittered below retry 5's draw
+	}
+	for i, w := range want {
+		if got := p.Backoff(seed, i+1); got != w {
+			t.Errorf("Backoff(retry %d) = %.17g, want %.17g", i+1, got, w)
+		}
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	p := Policy{BackoffBaseCycles: 1000, BackoffMaxCycles: 64000, JitterFrac: 0.5}
+	for call := 0; call < 200; call++ {
+		seed := BackoffSeed(1, call)
+		for r := 1; r <= 8; r++ {
+			nominal := math.Min(64000, 1000*math.Pow(2, float64(r-1)))
+			got := p.Backoff(seed, r)
+			if got < nominal*0.5 || got >= nominal {
+				t.Fatalf("call %d retry %d: delay %f outside [%f, %f)", call, r, got, nominal*0.5, nominal)
+			}
+		}
+	}
+}
+
+func TestBackoffNoJitterIsExactExponential(t *testing.T) {
+	p := Policy{BackoffBaseCycles: 500, BackoffMaxCycles: 4000}
+	want := []float64{500, 1000, 2000, 4000, 4000}
+	for i, w := range want {
+		if got := p.Backoff(BackoffSeed(9, 3), i+1); got != w {
+			t.Errorf("retry %d: %f, want %f", i+1, got, w)
+		}
+	}
+	// Uncapped: keeps doubling.
+	p.BackoffMaxCycles = 0
+	if got := p.Backoff(1, 4); got != 4000 {
+		t.Errorf("uncapped retry 4 = %f, want 4000", got)
+	}
+}
+
+func TestBackoffDeterministic(t *testing.T) {
+	p := Policy{BackoffBaseCycles: 1000, JitterFrac: 1.0}
+	for r := 1; r <= 5; r++ {
+		a := p.Backoff(BackoffSeed(5, 77), r)
+		b := p.Backoff(BackoffSeed(5, 77), r)
+		if a != b {
+			t.Fatalf("retry %d: %v != %v", r, a, b)
+		}
+	}
+	// Distinct calls draw distinct jitter.
+	if p.Backoff(BackoffSeed(5, 1), 1) == p.Backoff(BackoffSeed(5, 2), 1) {
+		t.Error("distinct calls share jitter draw")
+	}
+}
+
+func TestBackoffDegenerateInputs(t *testing.T) {
+	var zero Policy
+	if zero.Backoff(1, 1) != 0 {
+		t.Error("zero policy has non-zero backoff")
+	}
+	p := Policy{BackoffBaseCycles: 1000}
+	if p.Backoff(1, 0) != 0 || p.Backoff(1, -3) != 0 {
+		t.Error("non-positive retry index has non-zero backoff")
+	}
+	// JitterFrac above 1 clamps rather than going negative.
+	p = Policy{BackoffBaseCycles: 1000, JitterFrac: 5}
+	if d := p.Backoff(BackoffSeed(2, 2), 1); d < 0 || d >= 1000 {
+		t.Errorf("clamped jitter delay %f outside [0, 1000)", d)
+	}
+}
+
+func TestPolicyEnabled(t *testing.T) {
+	var zero Policy
+	if zero.Enabled() {
+		t.Error("zero policy reports enabled")
+	}
+	if !(Policy{MaxAttempts: 2}).Enabled() {
+		t.Error("retry policy reports disabled")
+	}
+	if !(Policy{MaxQueue: 8}).Enabled() {
+		t.Error("admission policy reports disabled")
+	}
+	if got := (Policy{}).Retries(); got != 0 {
+		t.Errorf("zero policy retries = %d", got)
+	}
+	if got := (Policy{MaxAttempts: 4}).Retries(); got != 3 {
+		t.Errorf("MaxAttempts 4 retries = %d", got)
+	}
+}

@@ -24,9 +24,11 @@ import (
 	"cdpu/internal/comp"
 	"cdpu/internal/core"
 	"cdpu/internal/corpus"
+	"cdpu/internal/fault"
 	"cdpu/internal/fleet"
 	"cdpu/internal/memsys"
 	"cdpu/internal/obs"
+	"cdpu/internal/resil"
 	"cdpu/internal/stats"
 	"cdpu/internal/xeon"
 )
@@ -63,6 +65,16 @@ type Config struct {
 	// one stream lane per pipeline. Tracing changes no modeled cycles — the
 	// Report is byte-identical with Trace nil or set.
 	Trace *obs.Trace
+	// Resilience is the recovery policy threaded through the replay: retry
+	// with backoff, software fallback, pipeline quarantine, and admission
+	// control. The zero value reproduces the historical abort-on-first-fault
+	// behavior bit-exactly.
+	Resilience resil.Policy
+	// Storm, when non-nil, subjects the replay to a seeded chaos fault storm
+	// (bit flips, memory faults, watchdog hangs at Storm.Rate). The storm's
+	// draws come from a stream independent of the replay's own sampling, so
+	// a stormed replay keeps the exact call mix of the healthy one.
+	Storm *fault.Storm
 }
 
 func (c Config) withDefaults() Config {
@@ -105,6 +117,16 @@ type Report struct {
 	SoftwareMeanLatencyUs float64
 	// AreaMM2 is the total device silicon deployed.
 	AreaMM2 float64
+	// Recovery outcome totals. All zero on a healthy replay with no storm;
+	// they reconcile exactly with the resil.* counter deltas.
+	FaultedCalls  int // calls with at least one faulted dispatch
+	RetryAttempts int // device re-dispatches after transient faults
+	DegradedCalls int // calls served by the software fallback
+	ShedCalls     int // calls rejected by admission control
+	Quarantines   int // pipeline quarantine-and-reset events
+	// GoodputBytes is the uncompressed bytes of calls actually served
+	// (device or fallback) — UncompressedBytes minus shed traffic.
+	GoodputBytes int
 }
 
 // payloadKinds gives replayed calls realistic byte content.
@@ -214,19 +236,33 @@ func Run(cfg Config) (*Report, error) {
 	metricSimWorkers.Set(float64(cfg.Workers))
 
 	// Phase B (parallel): synthesize each payload and run it through a
-	// functional device clone for its service cycles (plus, when tracing,
-	// each call's per-block span layout).
-	service, callSpans, err := execCalls(specs, cfg.Placement, cfg.Workers, cfg.Trace != nil)
+	// functional device clone for its service cycles — under the storm and
+	// recovery policy when configured — plus, when tracing, each call's
+	// per-block span layout.
+	outs, err := execCalls(specs, cfg)
 	if err != nil {
 		return nil, err
 	}
+	for i := range outs {
+		if outs[i].faults > 0 {
+			report.FaultedCalls++
+		}
+		report.RetryAttempts += outs[i].retries
+		if outs[i].degraded {
+			report.DegradedCalls++
+		}
+	}
 
 	// Phase C (serial): replay queueing per device in fixed order and merge.
+	// The recovery-aware pass only materializes its extra per-job inputs when
+	// something can populate them; with the zero policy ReplayPolicy is
+	// arithmetically identical to Replay, keeping healthy Reports byte-stable.
 	var devices [numDevices]*core.Device
 	perDev := make([][]int, numDevices)
 	for i, s := range specs {
 		perDev[s.dev] = append(perDev[s.dev], i)
 	}
+	chaos := cfg.Storm != nil || cfg.Resilience.Enabled()
 	latencies := make([]float64, 0, len(specs))
 	for d, slot := range deviceOrder {
 		dev, err := core.NewDevice(core.Config{Algo: slot.algo, Op: slot.op, Placement: cfg.Placement}, cfg.Pipelines)
@@ -237,19 +273,35 @@ func Run(cfg Config) (*Report, error) {
 		idxs := perDev[d]
 		jobs := make([]core.Job, len(idxs))
 		svc := make([]float64, len(idxs))
+		var post []float64
+		var flt []int
+		if chaos {
+			post = make([]float64, len(idxs))
+			flt = make([]int, len(idxs))
+		}
 		for ji, ci := range idxs {
 			jobs[ji] = core.Job{Arrival: specs[ci].arrival}
-			svc[ji] = service[ci]
+			svc[ji] = outs[ci].service
+			if chaos {
+				post[ji] = outs[ci].post
+				flt[ji] = outs[ci].faults
+			}
 		}
-		results, devStats, err := dev.Replay(jobs, svc)
+		results, devStats, err := dev.ReplayPolicy(jobs, svc, post, flt, cfg.Resilience)
 		if err != nil {
 			return nil, err
 		}
-		for _, r := range results {
+		for ji, r := range results {
+			if r.Err != nil {
+				report.ShedCalls++
+				continue
+			}
 			latencies = append(latencies, r.Latency)
+			report.GoodputBytes += specs[idxs[ji]].rec.UncompressedBytes
 		}
+		report.Quarantines += devStats.Quarantines
 		if cfg.Trace != nil {
-			emitDeviceTrace(cfg.Trace, d, slot.algo, slot.op, cfg.Pipelines, idxs, results, callSpans)
+			emitDeviceTrace(cfg.Trace, d, slot.algo, slot.op, cfg.Pipelines, idxs, results, outs)
 		}
 		if slot.op == comp.Compress {
 			report.CompUtil = max(report.CompUtil, devStats.Utilization)
@@ -290,7 +342,7 @@ func Run(cfg Config) (*Report, error) {
 // the viewer shows streaming concurrent with execution rather than nested
 // inside it. Called serially per device in fixed order, so the trace file is
 // deterministic.
-func emitDeviceTrace(tr *obs.Trace, pid int, algo comp.Algorithm, op comp.Op, pipelines int, idxs []int, results []core.JobResult, callSpans [][]obs.Span) {
+func emitDeviceTrace(tr *obs.Trace, pid int, algo comp.Algorithm, op comp.Op, pipelines int, idxs []int, results []core.JobResult, outs []execOut) {
 	dir := "C"
 	if op == comp.Decompress {
 		dir = "D"
@@ -301,7 +353,10 @@ func emitDeviceTrace(tr *obs.Trace, pid int, algo comp.Algorithm, op comp.Op, pi
 		tr.SetThreadName(pid, p*2+1, fmt.Sprintf("pipe %d stream", p))
 	}
 	for ji, r := range results {
-		for _, sp := range callSpans[idxs[ji]] {
+		if r.Err != nil {
+			continue // shed before dispatch: nothing ran
+		}
+		for _, sp := range outs[idxs[ji]].spans {
 			tid := r.Pipeline * 2
 			if sp.Block == core.BlockStream {
 				tid++
@@ -319,6 +374,7 @@ type shard struct {
 	devs  [numDevices]*core.Device
 	plain []byte
 	enc   []byte
+	fb    []byte // software-fallback compression scratch
 }
 
 func newShard(placement memsys.Placement, traced bool) (*shard, error) {
@@ -334,81 +390,87 @@ func newShard(placement memsys.Placement, traced bool) (*shard, error) {
 	return sh, nil
 }
 
-func (sh *shard) exec(s *callSpec) (float64, []obs.Span, error) {
+func (sh *shard) exec(s *callSpec, call int, cfg *Config) (execOut, error) {
 	sh.plain = corpus.AppendGenerate(sh.plain[:0], s.kind, s.rec.UncompressedBytes, s.payloadSeed)
 	payload := sh.plain
 	if s.rec.Op == comp.Decompress {
 		enc, err := sh.coder.AppendCompress(sh.enc[:0], s.rec.Algo, s.rec.Level, min(s.rec.WindowLog, 17), sh.plain)
 		if err != nil {
-			return 0, nil, err
+			return execOut{}, err
 		}
 		sh.enc = enc
 		payload = enc
 	}
+	if kind, repeats, hit := cfg.Storm.Draw(call); hit {
+		return sh.chaosExec(s, call, cfg, payload, kind, repeats)
+	}
 	res, err := sh.devs[s.dev].Exec(payload)
 	if err != nil {
-		return 0, nil, err
+		return execOut{}, err
 	}
-	return res.Cycles, res.Spans, nil
+	return execOut{service: res.Cycles, spans: res.Spans}, nil
 }
 
 // execCalls distributes specs over a bounded worker pool by atomic index and
-// returns each call's modeled service cycles (and, when traced, its span
-// layout). Results are index-addressed and each call's inputs derive only
-// from its spec, so the output is independent of worker count and scheduling.
-// On error the pool drains promptly and the lowest-index call error wins.
-func execCalls(specs []callSpec, placement memsys.Placement, workers int, traced bool) ([]float64, [][]obs.Span, error) {
-	workers = max(1, min(workers, len(specs)))
-	service := make([]float64, len(specs))
-	var callSpans [][]obs.Span
-	if traced {
-		callSpans = make([][]obs.Span, len(specs))
-	}
+// returns each call's execution outcome. Results are index-addressed and each
+// call's inputs derive only from its spec (and the seeded storm/backoff
+// streams), so the output is independent of worker count and scheduling.
+//
+// Error capture is deterministic: minErr tracks the lowest failing call
+// index, workers stop claiming work at or above it, and — because the atomic
+// counter hands out indices in increasing order and every claimed index runs
+// to completion — every call below the final minErr has been fully processed.
+// The reported error is therefore exactly the first error a serial run would
+// hit, at any worker count.
+func execCalls(specs []callSpec, cfg Config) ([]execOut, error) {
+	workers := max(1, min(cfg.Workers, len(specs)))
+	traced := cfg.Trace != nil
+	outs := make([]execOut, len(specs))
 	callErrs := make([]error, len(specs))
 	poolErrs := make([]error, workers)
 	var nextIdx atomic.Int64
-	var failed atomic.Bool
+	var poolFailed atomic.Bool
+	var minErr atomic.Int64
+	minErr.Store(int64(len(specs)))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			sh, err := newShard(placement, traced)
+			sh, err := newShard(cfg.Placement, traced)
 			if err != nil {
 				poolErrs[w] = err
-				failed.Store(true)
+				poolFailed.Store(true)
 				return
 			}
-			for !failed.Load() {
+			for !poolFailed.Load() {
 				i := int(nextIdx.Add(1)) - 1
-				if i >= len(specs) {
+				if i >= len(specs) || int64(i) >= minErr.Load() {
 					return
 				}
-				cycles, spans, err := sh.exec(&specs[i])
+				out, err := sh.exec(&specs[i], i, &cfg)
 				if err != nil {
 					callErrs[i] = err
-					failed.Store(true)
-					return
+					for {
+						cur := minErr.Load()
+						if int64(i) >= cur || minErr.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+					continue
 				}
-				service[i] = cycles
-				if traced {
-					callSpans[i] = spans
-				}
+				outs[i] = out
 			}
 		}(w)
 	}
 	wg.Wait()
-	if failed.Load() {
-		for i, err := range callErrs {
-			if err != nil {
-				return nil, nil, fmt.Errorf("sim: call %d: %w", i, err)
-			}
-		}
-		for _, err := range poolErrs {
-			if err != nil {
-				return nil, nil, err
-			}
+	if m := int(minErr.Load()); m < len(specs) {
+		return nil, fmt.Errorf("sim: call %d: %w", m, callErrs[m])
+	}
+	for _, err := range poolErrs {
+		if err != nil {
+			return nil, err
 		}
 	}
-	return service, callSpans, nil
+	return outs, nil
 }

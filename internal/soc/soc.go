@@ -17,6 +17,11 @@ const (
 	// SetupCycles covers per-call accelerator-side setup: clearing state
 	// machines, TLB lookups for the first page, response marshalling.
 	SetupCycles = 40
+	// PipelineResetBaseCycles covers quarantining one sick pipeline:
+	// draining its state machines, re-zeroing the history SRAM and entropy
+	// tables, and re-running the power-on configuration sequence. Dominated
+	// by the SRAM wipe (a 64 KiB history at 16 B/cycle is 4096 cycles).
+	PipelineResetBaseCycles = 4096
 )
 
 // Interface computes invocation costs against a memory system.
@@ -45,4 +50,15 @@ func (i *Interface) InvocationCycles(p memsys.Placement) float64 {
 // the doorbell always crosses the placement link.
 func (i *Interface) doorbellFault(p memsys.Placement) float64 {
 	return i.sys.FaultCycles(p, memsys.ClassRaw)
+}
+
+// PipelineResetCycles returns the cost of quarantining and reinitializing
+// one pipeline at the given placement: the on-die drain-and-wipe plus four
+// configuration round trips over the placement link (quiesce, status read,
+// reconfigure, re-arm). Near-core resets are SRAM-wipe-bound; across PCIe
+// the management round trips add ~3200 cycles more. Consulted by the replay
+// when resil.Policy.ResetCycles is zero.
+func (i *Interface) PipelineResetCycles(p memsys.Placement) float64 {
+	link := p.LinkLatencyNs() * i.sys.Config().FrequencyGHz
+	return PipelineResetBaseCycles + 4*(2*link+RoCCDispatchCycles)
 }
