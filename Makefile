@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all check vet build test race bench bench-json bench-resil-json bench-smoke trace-smoke chaos-smoke fuzz-smoke
+.PHONY: all check vet build test race bench bench-json bench-resil-json bench-smoke trace-smoke chaos-smoke fuzz-smoke profile
 
 all: check
 
@@ -25,16 +25,28 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
 
-# Refresh the checked-in replay benchmark numbers (per-call latency,
-# allocations, throughput for the full sampling+synthesis+replay pipeline).
+# Refresh the checked-in replay benchmark numbers: serial per-call latency,
+# allocations and throughput, plus the worker-scaling curve with parallel
+# efficiency (see docs/MODEL.md "Fleet replay at scale" for the schema).
 bench-json:
 	$(GO) run ./cmd/simbench -o BENCH_sim.json
 	@cat BENCH_sim.json
 
-# Cheap standing guarantee: the replay Report is byte-identical at any
-# worker count.
+# Cheap standing guarantees: the replay Report is byte-identical at any
+# worker count, steady-state replay stays (near) zero-alloc at every worker
+# count, and the worker-scaling curve shows no gross parallel-efficiency
+# regression (the efficiency gate self-skips on single-CPU hosts).
 bench-smoke:
 	$(GO) run ./cmd/simbench -check
+	$(GO) run ./cmd/simbench -scaling-check
+
+# Profile the replay hot path: pprof CPU + heap profiles of the full
+# benchmark sweep, with the top entries printed for a quick read. Open the
+# interactive views with `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`.
+profile:
+	$(GO) run ./cmd/simbench -calls 4000 -cpuprofile cpu.pprof -memprofile mem.pprof -o /dev/null
+	$(GO) tool pprof -top -nodecount 15 cpu.pprof
+	$(GO) tool pprof -top -nodecount 10 -sample_index=alloc_space mem.pprof
 
 # Observability gate: a traced replay leaves the Report byte-identical, the
 # exported Chrome trace parses, and the per-block attribution sums to Cycles

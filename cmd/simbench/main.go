@@ -8,8 +8,15 @@
 //	simbench                        # print the benchmark JSON to stdout
 //	simbench -o BENCH_sim.json      # write it to a file
 //	simbench -calls 10000 -workers 8
+//	simbench -cpuprofile cpu.out    # also write pprof CPU/heap profiles of the
+//	simbench -memprofile mem.out    # timed replays (for `make profile`)
 //	simbench -check                 # smoke mode: replay determinism across
 //	                                # worker counts, no timing (for `make check`)
+//	simbench -scaling-check         # perf smoke: steady-state replay stays
+//	                                # (near) zero-alloc at every worker count
+//	                                # and the worker-scaling curve shows no
+//	                                # gross parallel-efficiency regression
+//	                                # (efficiency gates skip on 1-CPU hosts)
 //	simbench -trace-smoke           # observability smoke: traced replay leaves
 //	                                # the report identical, the trace parses as
 //	                                # Chrome JSON, block sums match Cycles
@@ -37,6 +44,8 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"sort"
 	"testing"
 
 	"cdpu/internal/comp"
@@ -62,16 +71,114 @@ type result struct {
 	CallsPerSec float64 `json:"calls_per_sec"`
 }
 
+// scalePoint is one worker count on the scaling curve. Efficiency is the
+// parallel efficiency versus the serial point: speedup(workers)/workers, 1.0
+// meaning perfect linear scaling. On a host with fewer schedulable CPUs than
+// workers the extra workers cannot help, so efficiency is only meaningful up
+// to GOMAXPROCS.
+type scalePoint struct {
+	Workers     int     `json:"workers"`
+	Runs        int     `json:"runs"`
+	NsPerCall   float64 `json:"ns_per_call"`
+	AllocsCall  float64 `json:"allocs_per_call"`
+	BytesCall   float64 `json:"bytes_per_call"`
+	CallsPerSec float64 `json:"calls_per_sec"`
+	Efficiency  float64 `json:"parallel_efficiency"`
+}
+
+// benchReport is the BENCH_sim.json schema: the flat fields describe the
+// serial (workers=1) replay — the per-call figures the model docs quote —
+// and Scaling is the measured worker curve.
+type benchReport struct {
+	Calls       int          `json:"calls"`
+	Workers     int          `json:"workers"`
+	CPUs        int          `json:"cpus"`
+	GoMaxProcs  int          `json:"gomaxprocs"`
+	Runs        int          `json:"runs"`
+	NsPerCall   float64      `json:"ns_per_call"`
+	AllocsCall  float64      `json:"allocs_per_call"`
+	BytesCall   float64      `json:"bytes_per_call"`
+	CallsPerSec float64      `json:"calls_per_sec"`
+	Scaling     []scalePoint `json:"scaling"`
+}
+
+// measure times full replays of cfg at a fixed worker count.
+func measure(cfg sim.Config, workers int) (scalePoint, error) {
+	cfg.Workers = workers
+	var runErr error
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(cfg); err != nil {
+				runErr = err
+				b.Fatal(err)
+			}
+		}
+	})
+	if runErr != nil {
+		return scalePoint{}, runErr
+	}
+	perRun := float64(br.NsPerOp())
+	return scalePoint{
+		Workers:     workers,
+		Runs:        br.N,
+		NsPerCall:   perRun / float64(cfg.Calls),
+		AllocsCall:  float64(br.AllocsPerOp()) / float64(cfg.Calls),
+		BytesCall:   float64(br.AllocedBytesPerOp()) / float64(cfg.Calls),
+		CallsPerSec: float64(cfg.Calls) / (perRun / 1e9),
+	}, nil
+}
+
+// scalingWorkers is the worker-count ladder for the curve: 1, 2, 4 and the
+// default pool size, deduplicated and sorted.
+func scalingWorkers() []int {
+	set := map[int]bool{1: true, 2: true, 4: true, defaultWorkers(): true}
+	ws := make([]int, 0, len(set))
+	for w := range set {
+		ws = append(ws, w)
+	}
+	sort.Ints(ws)
+	return ws
+}
+
+// defaultWorkers mirrors sim's default pool sizing (GOMAXPROCS-aware, so a
+// CPU-limited container doesn't oversubscribe itself).
+func defaultWorkers() int { return max(1, min(8, runtime.GOMAXPROCS(0)-1)) }
+
+// runScaling measures the full worker curve; the serial point anchors the
+// efficiency column.
+func runScaling(cfg sim.Config) ([]scalePoint, error) {
+	var points []scalePoint
+	var serialNs float64
+	for _, w := range scalingWorkers() {
+		p, err := measure(cfg, w)
+		if err != nil {
+			return nil, err
+		}
+		if w == 1 {
+			serialNs = p.NsPerCall
+		}
+		if serialNs > 0 && p.NsPerCall > 0 {
+			p.Efficiency = serialNs / p.NsPerCall / float64(w)
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
 func main() {
 	calls := flag.Int("calls", 10000, "fleet calls per replay")
-	workers := flag.Int("workers", 0, "replay worker-pool size (default min(8, NumCPU-1))")
+	workers := flag.Int("workers", 0, "replay worker-pool size (default min(8, GOMAXPROCS-1))")
 	seed := flag.Int64("seed", 1, "sampling seed")
 	out := flag.String("o", "", "write JSON here instead of stdout")
 	check := flag.Bool("check", false, "smoke mode: verify worker-count invariance, skip timing")
+	scalingCheck := flag.Bool("scaling-check", false, "perf smoke: gate steady-state allocs and parallel efficiency")
 	traceSmoke := flag.Bool("trace-smoke", false, "smoke mode: verify the observability layer, skip timing")
 	chaosCheck := flag.Bool("chaos-check", false, "smoke mode: verify the recovery layer under a fault storm, skip timing")
 	resilBench := flag.Bool("resil", false, "benchmark zero policy vs full recovery policy under a storm, emit JSON")
 	httpAddr := flag.String("http", "", "serve net/http/pprof and expvar metrics on this address during the run")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the timed replays here")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile after the timed replays here")
 	flag.Parse()
 
 	if *httpAddr != "" {
@@ -89,7 +196,7 @@ func main() {
 	cfg := sim.Config{Seed: *seed, Calls: *calls, MaxCallBytes: 256 << 10, Workers: *workers}
 	if *workers == 0 {
 		// Mirror sim's default so the JSON records the pool size actually used.
-		*workers = max(1, min(8, runtime.NumCPU()-1))
+		*workers = defaultWorkers()
 	}
 	if *traceSmoke {
 		cfg.Calls = min(cfg.Calls, 300)
@@ -119,30 +226,68 @@ func main() {
 			cfg.Calls, smokeWorkers())
 		return
 	}
+	if *scalingCheck {
+		cfg.Calls = min(cfg.Calls, 2000)
+		if err := smokeScaling(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *resilBench {
 		benchResil(cfg, *workers, *out)
 		return
 	}
 
-	br := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := sim.Run(cfg); err != nil {
-				b.Fatal(err)
-			}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			os.Exit(1)
 		}
-	})
-	perRun := float64(br.NsPerOp())
-	res := result{
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	// The full benchmark: the worker-scaling curve, with the serial point
+	// doubling as the headline per-call figures.
+	points, err := runScaling(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+		os.Exit(1)
+	}
+	serial := points[0]
+	res := benchReport{
 		Calls:       cfg.Calls,
 		Workers:     *workers,
 		CPUs:        runtime.NumCPU(),
-		Runs:        br.N,
-		NsPerCall:   perRun / float64(cfg.Calls),
-		AllocsCall:  float64(br.AllocsPerOp()) / float64(cfg.Calls),
-		BytesCall:   float64(br.AllocedBytesPerOp()) / float64(cfg.Calls),
-		CallsPerSec: float64(cfg.Calls) / (perRun / 1e9),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Runs:        serial.Runs,
+		NsPerCall:   serial.NsPerCall,
+		AllocsCall:  serial.AllocsCall,
+		BytesCall:   serial.BytesCall,
+		CallsPerSec: serial.CallsPerSec,
+		Scaling:     points,
 	}
+
+	if *memProfile != "" {
+		runtime.GC()
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+
 	enc, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
@@ -159,7 +304,42 @@ func main() {
 	}
 }
 
-func smokeWorkers() int { return max(2, min(8, runtime.NumCPU())) }
+func smokeWorkers() int { return max(2, min(8, runtime.GOMAXPROCS(0))) }
+
+// smokeScaling is the `make bench-smoke` perf gate. Two standing guarantees:
+// (1) steady-state replay stays (near) zero-alloc at every worker count —
+// per-call allocations must amortize below 2, catching any reintroduced
+// per-call allocation while tolerating run-level setup; (2) on hosts with
+// at least two schedulable CPUs, two workers must retain a gross fraction of
+// perfect scaling — the gate is deliberately loose (0.3) so it trips on a
+// reintroduced global lock or serialization point, not on scheduler noise.
+func smokeScaling(cfg sim.Config) error {
+	points, err := runScaling(cfg)
+	if err != nil {
+		return err
+	}
+	for _, p := range points {
+		if p.AllocsCall >= 2 {
+			return fmt.Errorf("workers=%d: %.2f allocs/call; steady-state replay must stay below 2", p.Workers, p.AllocsCall)
+		}
+	}
+	procs := runtime.GOMAXPROCS(0)
+	if procs < 2 {
+		fmt.Printf("simbench: allocs/call < 2 at every worker count; efficiency gate skipped (GOMAXPROCS=%d)\n", procs)
+		return nil
+	}
+	for _, p := range points {
+		if p.Workers != 2 {
+			continue
+		}
+		if p.Efficiency < 0.3 {
+			return fmt.Errorf("workers=2: parallel efficiency %.2f below 0.3 — the replay has grown a serialization point", p.Efficiency)
+		}
+		fmt.Printf("simbench: allocs/call < 2 at every worker count; 2-worker efficiency %.2f\n", p.Efficiency)
+		return nil
+	}
+	return fmt.Errorf("scaling curve missing the 2-worker point")
+}
 
 // smokeTrace is the `make trace-smoke` gate: a traced replay must leave the
 // Report byte-identical, export parseable Chrome trace JSON, keep the

@@ -58,21 +58,53 @@ func (c *Coder) AppendCompress(dst []byte, a Algorithm, level, windowLog int, sr
 		}
 		return append(dst, lzo.Encode(src, level)...), nil
 	case ZStd, Flate, Brotli:
-		key := zstdKey{algo: a, level: level, windowLog: windowLog}
-		e := c.zstd[key]
-		if e == nil {
-			p, err := zstdParams(a, level, windowLog)
-			if err != nil {
-				return nil, err
-			}
-			e, err = zstdlite.NewEncoder(p)
-			if err != nil {
-				return nil, err
-			}
-			c.zstd[key] = e
+		e, err := c.zstdEncoder(a, level, windowLog)
+		if err != nil {
+			return nil, err
 		}
 		return e.AppendEncode(dst, src), nil
 	default:
 		return nil, fmt.Errorf("comp: unknown algorithm %v", a)
 	}
+}
+
+// AppendCompressPlan is AppendCompress that additionally returns the frame
+// Plan for zstdlite-backed algorithms (ZStd, Flate, Brotli) — the structural
+// record a planned decompression replay charges from without re-parsing the
+// frame. For other algorithms the plan is nil and the call is plain
+// AppendCompress. The returned Plan aliases the pooled encoder's scratch and
+// is valid only until the next compression of the same (algo, level, window)
+// through this Coder.
+func (c *Coder) AppendCompressPlan(dst []byte, a Algorithm, level, windowLog int, src []byte) ([]byte, *zstdlite.Plan, error) {
+	switch a {
+	case ZStd, Flate, Brotli:
+		e, err := c.zstdEncoder(a, level, windowLog)
+		if err != nil {
+			return nil, nil, err
+		}
+		out, plan := e.AppendEncodeWithPlan(dst, src)
+		return out, plan, nil
+	default:
+		out, err := c.AppendCompress(dst, a, level, windowLog, src)
+		return out, nil, err
+	}
+}
+
+// zstdEncoder returns the pooled zstdlite encoder for the key, building it
+// on first use.
+func (c *Coder) zstdEncoder(a Algorithm, level, windowLog int) (*zstdlite.Encoder, error) {
+	key := zstdKey{algo: a, level: level, windowLog: windowLog}
+	e := c.zstd[key]
+	if e == nil {
+		p, err := zstdParams(a, level, windowLog)
+		if err != nil {
+			return nil, err
+		}
+		e, err = zstdlite.NewEncoder(p)
+		if err != nil {
+			return nil, err
+		}
+		c.zstd[key] = e
+	}
+	return e, nil
 }

@@ -35,7 +35,20 @@ type Compressor struct {
 	zstd *zstdlite.Encoder
 
 	trace bool
+
+	// Result-reuse mode (SetResultReuse): the instance owns one Result and
+	// one output buffer, recycled across calls.
+	reuse  bool
+	res    Result
+	outBuf []byte
 }
+
+// SetResultReuse opts the instance into returning one owned Result whose
+// Output aliases an owned buffer, both recycled across calls: the returned
+// Result (and its Output) is valid only until the next call on this
+// instance. Replay loops that consume each result before issuing the next
+// call use this to run the steady-state hot path without allocating.
+func (c *Compressor) SetResultReuse(on bool) { c.reuse = on }
 
 // SetTracing enables (or disables) per-block span collection; see
 // Decompressor.SetTracing.
@@ -134,17 +147,29 @@ func lzCycles(s lz77.Stats, res *Result) {
 // compressed bytes and the modeled call latency.
 func (c *Compressor) Compress(src []byte) (*Result, error) {
 	c.sys.ResetFaults()
-	res := &Result{InputBytes: len(src), UncompressedBytes: len(src), traced: c.trace}
+	res := c.newResult(src)
 	switch c.cfg.Algo {
 	case comp.Snappy:
-		res.Output = c.snap.Encode(src)
+		if c.reuse {
+			c.outBuf = c.snap.AppendEncode(c.outBuf[:0], src)
+			res.Output = c.outBuf
+		} else {
+			res.Output = c.snap.Encode(src)
+		}
 		lzCycles(c.snap.Stats(), res)
 	case comp.ZStd:
-		res.Output = c.zstd.Encode(src)
-		lzCycles(c.zstd.LZStats(), res)
-		if err := c.zstdEntropyCycles(res.Output, res); err != nil {
-			return nil, fmt.Errorf("core: self-inspection failed: %w", err)
+		// The encoder records the frame's Plan as a side effect of encoding —
+		// the same block structure Inspect would parse back out — so the
+		// entropy-stage charges come for free instead of re-parsing the frame.
+		var plan *zstdlite.Plan
+		if c.reuse {
+			c.outBuf, plan = c.zstd.AppendEncodeWithPlan(c.outBuf[:0], src)
+			res.Output = c.outBuf
+		} else {
+			res.Output, plan = c.zstd.AppendEncodeWithPlan(nil, src)
 		}
+		lzCycles(c.zstd.LZStats(), res)
+		c.zstdEntropyCycles(plan, res)
 	default:
 		return nil, fmt.Errorf("core: compressor algo %v", c.cfg.Algo)
 	}
@@ -156,17 +181,25 @@ func (c *Compressor) Compress(src []byte) (*Result, error) {
 	return res, nil
 }
 
-// zstdEntropyCycles derives the entropy-stage costs by inspecting the frame
-// the functional pipeline just produced: literal counts and sequence counts
-// per block determine the dictionary-builder, table-build and encode times
-// (§5.6-§5.7).
-func (c *Compressor) zstdEntropyCycles(frame []byte, res *Result) error {
-	info, err := zstdlite.Inspect(frame)
-	if err != nil {
-		return err
+// newResult returns the Result for a fresh call: the owned, recycled one in
+// reuse mode, a fresh allocation otherwise.
+func (c *Compressor) newResult(src []byte) *Result {
+	if !c.reuse {
+		return &Result{InputBytes: len(src), UncompressedBytes: len(src), traced: c.trace}
 	}
-	for i := range info.Blocks {
-		b := &info.Blocks[i]
+	r := resetResult(&c.res, c.trace)
+	r.InputBytes = len(src)
+	r.UncompressedBytes = len(src)
+	return r
+}
+
+// zstdEntropyCycles derives the entropy-stage costs from the plan of the
+// frame the functional pipeline just produced: literal counts and sequence
+// counts per block determine the dictionary-builder, table-build and encode
+// times (§5.6-§5.7).
+func (c *Compressor) zstdEntropyCycles(plan *zstdlite.Plan, res *Result) {
+	for i := range plan.Blocks {
+		b := &plan.Blocks[i]
 		res.charge(BlockHeader, blockHeaderCycles)
 		if !b.IsCompressed() {
 			continue
@@ -188,7 +221,6 @@ func (c *Compressor) zstdEntropyCycles(frame []byte, res *Result) error {
 			res.charge(BlockFSE, n+n/extrasPackPerCycle)
 		}
 	}
-	return nil
 }
 
 // finishCall adds invocation, first-access and link-occupancy costs, as for

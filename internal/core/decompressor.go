@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 
@@ -50,6 +51,30 @@ type Decompressor struct {
 	litScratch []byte
 
 	trace bool
+
+	// Result-reuse mode (SetResultReuse): the instance owns one Result and
+	// one output buffer, recycled across calls.
+	reuse  bool
+	res    Result
+	outBuf []byte
+}
+
+// SetResultReuse opts the instance into returning one owned Result whose
+// Output aliases an owned buffer, both recycled across calls: the returned
+// Result (and its Output) is valid only until the next call on this
+// instance. Replay loops that consume each result before issuing the next
+// call use this to run the steady-state hot path without allocating.
+func (d *Decompressor) SetResultReuse(on bool) { d.reuse = on }
+
+// newResult returns the Result for a fresh call: the owned, recycled one in
+// reuse mode, a fresh allocation otherwise.
+func (d *Decompressor) newResult(inputBytes int) *Result {
+	if !d.reuse {
+		return &Result{InputBytes: inputBytes, traced: d.trace}
+	}
+	r := resetResult(&d.res, d.trace)
+	r.InputBytes = inputBytes
+	return r
 }
 
 // SetTracing enables (or disables) per-block span collection: subsequent
@@ -103,7 +128,7 @@ func (d *Decompressor) Area() *area.Breakdown {
 // injected memory faults and watchdog expiry abort likewise.
 func (d *Decompressor) Decompress(src []byte) (*Result, error) {
 	d.sys.ResetFaults()
-	res := &Result{InputBytes: len(src), traced: d.trace}
+	res := d.newResult(len(src))
 	var err error
 	switch d.cfg.Algo {
 	case comp.Snappy:
@@ -172,9 +197,17 @@ func (d *Decompressor) snappyCall(src []byte, res *Result) error {
 		return err
 	}
 	d.seqScratch, d.litScratch = seqs, literals
-	out, err := lz77.Reconstruct(seqs, literals, 0, n)
+	var out []byte
+	if d.reuse {
+		out, err = lz77.AppendReconstruct(d.outBuf[:0], seqs, literals, 0)
+	} else {
+		out, err = lz77.Reconstruct(seqs, literals, 0, n)
+	}
 	if err != nil {
 		return err
+	}
+	if d.reuse {
+		d.outBuf = out
 	}
 	res.Output = out
 	d.execSeqs(seqs, res)
@@ -228,6 +261,111 @@ func (d *Decompressor) zstdCall(src []byte, res *Result) error {
 			d.execSeqs(b.Seqs, res)
 		}
 	}
+	return nil
+}
+
+// DecompressPlanned runs one accelerator call over a compressed payload
+// whose structure is already known: plan is the frame Plan its producer
+// recorded (comp.Coder.AppendCompressPlan / zstdlite.AppendEncodeWithPlan)
+// and content is the original plaintext the frame was encoded from. The
+// charges are bit-identical to Decompress on the same frame — the Plan holds
+// exactly the block facts Inspect would parse back out — but the frame parse,
+// entropy decoding and table-cache lookups are all skipped: the LZ77 engine
+// re-derives each block's literals from content and replays the planned
+// sequences. The output is verified equal to content, so a plan that does
+// not match src's frame cannot silently misreport.
+//
+// Only meaningful on ZStd-family instances; src is used for size accounting
+// and error paths only.
+func (d *Decompressor) DecompressPlanned(src []byte, plan *zstdlite.Plan, content []byte) (*Result, error) {
+	d.sys.ResetFaults()
+	res := d.newResult(len(src))
+	var err error
+	if d.cfg.Algo != comp.ZStd {
+		err = fmt.Errorf("core: planned decompress on algo %v", d.cfg.Algo)
+	} else {
+		err = d.zstdPlanned(plan, content, res)
+	}
+	if err != nil {
+		metricCorruptInputs.Inc()
+		return nil, &DeviceError{
+			Reason: "corrupt-input", Unit: d.cfg.Name(),
+			Cycles: d.detectionCycles(len(src)), Err: err,
+		}
+	}
+	res.OutputBytes = len(res.Output)
+	res.UncompressedBytes = res.OutputBytes
+	d.finishCall(res)
+	if derr := checkDeviceHealth(d.cfg, d.sys, res); derr != nil {
+		return nil, derr
+	}
+	return res, nil
+}
+
+// zstdPlanned is zstdCall driven by a recorded Plan instead of a frame
+// parse. The charge sequence per block is identical, reading the planned
+// block facts; materialization replays the planned sequences against
+// literals re-derived from the original content.
+func (d *Decompressor) zstdPlanned(plan *zstdlite.Plan, content []byte, res *Result) error {
+	window := 1 << plan.WindowLog
+	var out []byte
+	if d.reuse {
+		out = d.outBuf[:0]
+	} else {
+		out = make([]byte, 0, plan.ContentSize)
+	}
+	blockStart := 0
+	for i := range plan.Blocks {
+		b := &plan.Blocks[i]
+		end := blockStart + b.RawSize
+		if end > len(content) {
+			return fmt.Errorf("core: plan block %d overruns content (%d > %d)", i, end, len(content))
+		}
+		res.charge(BlockHeader, blockHeaderCycles)
+		if !b.IsCompressed() {
+			out = append(out, content[blockStart:end]...)
+			res.chargeBytes(BlockLZ77, float64(b.RawSize)/rawMoveBytesPerCycle, b.RawSize)
+			blockStart = end
+			continue
+		}
+		if b.LitCount > 0 {
+			if b.HuffMaxBits > 0 {
+				build := float64(b.HuffLensN) + float64(int(1)<<b.HuffMaxBits)/huffTableFillPerCycle
+				res.charge(BlockHuffBuild, build)
+				avgBits := float64(b.LitPayload*8) / float64(b.LitCount)
+				if avgBits < 1 {
+					avgBits = 1
+				}
+				symsPerCycle := float64(d.cfg.Speculation) / avgBits
+				res.chargeBytes(BlockHuff, float64(b.LitCount)/symsPerCycle, b.LitCount)
+			} else {
+				res.chargeBytes(BlockLZ77, float64(b.LitCount)/literalBytesPerCycle, b.LitCount)
+			}
+		}
+		if len(b.Seqs) > 0 {
+			for s := 0; s < 3; s++ {
+				if b.FSETableLogs[s] > 0 {
+					res.charge(BlockFSEBuild, float64(int(1)<<b.FSETableLogs[s]))
+				}
+			}
+			res.charge(BlockFSE, float64(len(b.Seqs)))
+			d.execSeqs(b.Seqs, res)
+		}
+		d.litScratch = lz77.AppendLiteralsAt(d.litScratch[:0], content, blockStart, b.Seqs)
+		var err error
+		out, err = lz77.AppendReconstruct(out, b.Seqs, d.litScratch, window)
+		if err != nil {
+			return err
+		}
+		blockStart = end
+	}
+	if d.reuse {
+		d.outBuf = out
+	}
+	if !bytes.Equal(out, content) {
+		return fmt.Errorf("core: planned decompress produced %d bytes, content %d, or bytes differ", len(out), len(content))
+	}
+	res.Output = out
 	return nil
 }
 

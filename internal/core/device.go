@@ -9,6 +9,7 @@ import (
 	"cdpu/internal/memsys"
 	"cdpu/internal/resil"
 	"cdpu/internal/stats"
+	"cdpu/internal/zstdlite"
 )
 
 // Device models a CDPU integration with one or more identical pipelines
@@ -155,6 +156,28 @@ func (d *Device) Exec(payload []byte) (*Result, error) {
 		return d.comp.Compress(payload)
 	}
 	return d.decomp.Decompress(payload)
+}
+
+// ExecPlanned is Exec for a ZStd decompression device whose input frame's
+// Plan was recorded at synthesis time: charges are bit-identical to
+// Exec(payload) but the frame parse and entropy decode are skipped; see
+// Decompressor.DecompressPlanned.
+func (d *Device) ExecPlanned(payload []byte, plan *zstdlite.Plan, content []byte) (*Result, error) {
+	if d.decomp == nil {
+		return nil, fmt.Errorf("core: planned exec on a compression device")
+	}
+	return d.decomp.DecompressPlanned(payload, plan, content)
+}
+
+// SetResultReuse opts the device's pipeline into recycling one owned Result
+// and output buffer across calls; see Decompressor.SetResultReuse for the
+// aliasing contract.
+func (d *Device) SetResultReuse(on bool) {
+	if d.comp != nil {
+		d.comp.SetResultReuse(on)
+	} else {
+		d.decomp.SetResultReuse(on)
+	}
 }
 
 // Run services jobs FCFS across the device's pipelines (jobs must be sorted

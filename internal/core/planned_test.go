@@ -1,0 +1,165 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cdpu/internal/comp"
+	"cdpu/internal/corpus"
+	"cdpu/internal/memsys"
+)
+
+// plannedTestData generates a kind-diverse payload set.
+func plannedTestData() map[string][]byte {
+	data := map[string][]byte{"empty": nil}
+	rng := rand.New(rand.NewSource(7))
+	for _, kind := range corpus.Kinds {
+		size := 1 + rng.Intn(200<<10)
+		data[kind.String()] = corpus.Generate(kind, size, rng.Int63())
+	}
+	return data
+}
+
+// TestDecompressPlannedMatchesDecompress pins the planned decompress path to
+// the parse-based one, Result for Result: same Cycles, same per-block
+// attribution, same output bytes, on every placement and corpus kind. The
+// batched replay engine depends on this equivalence to keep Reports
+// byte-identical while skipping the frame parse.
+func TestDecompressPlannedMatchesDecompress(t *testing.T) {
+	coder := comp.NewCoder()
+	for _, placement := range memsys.Placements {
+		cfg := Config{Algo: comp.ZStd, Placement: placement}
+		for name, content := range plannedTestData() {
+			enc, plan, err := coder.AppendCompressPlan(nil, comp.ZStd, 0, 0, content)
+			if err != nil {
+				t.Fatalf("%v/%s: compress: %v", placement, name, err)
+			}
+			dParse, err := NewDecompressor(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := dParse.Decompress(enc)
+			if err != nil {
+				t.Fatalf("%v/%s: Decompress: %v", placement, name, err)
+			}
+			dPlan, err := NewDecompressor(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := dPlan.DecompressPlanned(enc, plan, content)
+			if err != nil {
+				t.Fatalf("%v/%s: DecompressPlanned: %v", placement, name, err)
+			}
+			if got.Cycles != want.Cycles {
+				t.Errorf("%v/%s: planned cycles %v != parsed %v", placement, name, got.Cycles, want.Cycles)
+			}
+			if !reflect.DeepEqual(got.Blocks, want.Blocks) {
+				t.Errorf("%v/%s: planned attribution %v != parsed %v", placement, name, got.Blocks, want.Blocks)
+			}
+			if got.StreamCycles != want.StreamCycles {
+				t.Errorf("%v/%s: planned stream %v != parsed %v", placement, name, got.StreamCycles, want.StreamCycles)
+			}
+			if !bytes.Equal(got.Output, want.Output) || !bytes.Equal(got.Output, content) {
+				t.Errorf("%v/%s: planned output differs from parsed output or content", placement, name)
+			}
+			if got.InputBytes != want.InputBytes || got.OutputBytes != want.OutputBytes ||
+				got.UncompressedBytes != want.UncompressedBytes {
+				t.Errorf("%v/%s: planned sizes (%d,%d,%d) != parsed (%d,%d,%d)", placement, name,
+					got.InputBytes, got.OutputBytes, got.UncompressedBytes,
+					want.InputBytes, want.OutputBytes, want.UncompressedBytes)
+			}
+		}
+	}
+}
+
+// TestResultReuseMatchesFresh pins reuse-mode instances to fresh-allocation
+// ones: identical cycles, attribution and output for compressors and
+// decompressors of both algorithms, across repeated calls on one instance.
+func TestResultReuseMatchesFresh(t *testing.T) {
+	data := plannedTestData()
+	names := make([]string, 0, len(data))
+	for name := range data {
+		names = append(names, name)
+	}
+	for _, algo := range []comp.Algorithm{comp.Snappy, comp.ZStd} {
+		cfg := Config{Algo: algo}
+		cFresh, err := NewCompressor(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cReuse, err := NewCompressor(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cReuse.SetResultReuse(true)
+		dFresh, err := NewDecompressor(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dReuse, err := NewDecompressor(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dReuse.SetResultReuse(true)
+		for _, name := range names {
+			content := data[name]
+			want, err := cFresh.Compress(content)
+			if err != nil {
+				t.Fatalf("%v/%s: fresh compress: %v", algo, name, err)
+			}
+			got, err := cReuse.Compress(content)
+			if err != nil {
+				t.Fatalf("%v/%s: reuse compress: %v", algo, name, err)
+			}
+			if got.Cycles != want.Cycles || !reflect.DeepEqual(got.Blocks, want.Blocks) ||
+				!bytes.Equal(got.Output, want.Output) {
+				t.Errorf("%v/%s: reuse compress result differs from fresh", algo, name)
+			}
+			dwant, err := dFresh.Decompress(want.Output)
+			if err != nil {
+				t.Fatalf("%v/%s: fresh decompress: %v", algo, name, err)
+			}
+			dgot, err := dReuse.Decompress(got.Output)
+			if err != nil {
+				t.Fatalf("%v/%s: reuse decompress: %v", algo, name, err)
+			}
+			if dgot.Cycles != dwant.Cycles || !reflect.DeepEqual(dgot.Blocks, dwant.Blocks) ||
+				!bytes.Equal(dgot.Output, dwant.Output) {
+				t.Errorf("%v/%s: reuse decompress result differs from fresh", algo, name)
+			}
+		}
+	}
+}
+
+// TestPlannedDecompressSteadyStateAllocs pins the planned decompress hot
+// path — synthesis plan in hand, result reuse on — at zero allocations per
+// call once warmed.
+func TestPlannedDecompressSteadyStateAllocs(t *testing.T) {
+	coder := comp.NewCoder()
+	content := corpus.Generate(corpus.Log, 64<<10, 11)
+	d, err := NewDecompressor(Config{Algo: comp.ZStd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetResultReuse(true)
+	var enc []byte
+	run := func() {
+		out, p, err := coder.AppendCompressPlan(enc[:0], comp.ZStd, 0, 0, content)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc = out
+		if _, err := d.DecompressPlanned(enc, p, content); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		run()
+	}
+	allocs := testing.AllocsPerRun(20, run)
+	if allocs != 0 {
+		t.Errorf("steady-state compress+planned-decompress: %v allocs/call, want 0", allocs)
+	}
+}

@@ -63,6 +63,15 @@ type Result struct {
 	cursor float64 // running start position for the next span
 }
 
+// resetResult prepares r for a new call, keeping its allocated Blocks map
+// and span backing — the recycling step behind SetResultReuse.
+func resetResult(r *Result, traced bool) *Result {
+	blocks := r.Blocks
+	clear(blocks)
+	*r = Result{Blocks: blocks, Spans: r.Spans[:0], traced: traced}
+	return r
+}
+
 // charge attributes cycles to a block, advancing the call timeline.
 func (r *Result) charge(block string, cycles float64) {
 	r.chargeBytes(block, cycles, 0)

@@ -117,7 +117,33 @@ func AppendGenerate(dst []byte, kind Kind, size int, seed int64) []byte {
 	if size <= 0 {
 		return dst
 	}
-	rng := rand.New(rand.NewSource(seed ^ int64(kind)<<32))
+	return appendGen(rand.New(rand.NewSource(seed^int64(kind)<<32)), dst, kind, size)
+}
+
+// Gen generates corpus data through a reusable RNG, removing the per-call
+// rand.New allocations of AppendGenerate. The zero value is ready to use.
+// Output is byte-identical to Generate/AppendGenerate for the same
+// (kind, size, seed). Not safe for concurrent use.
+type Gen struct {
+	rng *rand.Rand
+}
+
+// AppendGenerate appends size bytes of kind-shaped data to dst, reusing the
+// generator's RNG state.
+func (g *Gen) AppendGenerate(dst []byte, kind Kind, size int, seed int64) []byte {
+	if size <= 0 {
+		return dst
+	}
+	if g.rng == nil {
+		g.rng = rand.New(rand.NewSource(0))
+	}
+	// Seed resets the underlying source to the same stream rand.New would
+	// start, so reseeding in place is draw-for-draw identical to a fresh RNG.
+	g.rng.Seed(seed ^ int64(kind)<<32)
+	return appendGen(g.rng, dst, kind, size)
+}
+
+func appendGen(rng *rand.Rand, dst []byte, kind Kind, size int) []byte {
 	// The generators overshoot by up to one record; they fill to the target
 	// length and the tail is trimmed below.
 	target := len(dst) + size

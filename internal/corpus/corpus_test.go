@@ -112,3 +112,29 @@ func TestKindString(t *testing.T) {
 		t.Errorf("unknown kind string = %q", Kind(99).String())
 	}
 }
+
+func TestGenReusedMatchesGenerate(t *testing.T) {
+	var g Gen
+	buf := make([]byte, 0, 8<<10)
+	for _, kind := range Kinds {
+		for _, seed := range []int64{1, 7, 99} {
+			want := Generate(kind, 4096, seed)
+			buf = g.AppendGenerate(buf[:0], kind, 4096, seed)
+			if !bytes.Equal(buf, want) {
+				t.Fatalf("%v seed %d: reused Gen output diverges from Generate", kind, seed)
+			}
+		}
+	}
+}
+
+func TestGenSteadyStateAllocs(t *testing.T) {
+	var g Gen
+	buf := make([]byte, 0, 8<<10)
+	buf = g.AppendGenerate(buf[:0], Text, 4096, 3) // warm the RNG
+	allocs := testing.AllocsPerRun(50, func() {
+		buf = g.AppendGenerate(buf[:0], Log, 4096, 5)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Gen.AppendGenerate: %v allocs/call, want 0", allocs)
+	}
+}

@@ -39,6 +39,19 @@ var (
 // every present symbol at count >= 1. It returns ErrSingleSymbol when only
 // one symbol is present (callers should RLE-encode instead, as ZStd does).
 func Normalize(hist []int, tableLog int) ([]int, error) {
+	return AppendNormalize(nil, hist, tableLog)
+}
+
+// rem is one largest-remainder candidate during normalization.
+type rem struct {
+	sym  int
+	frac float64
+}
+
+// AppendNormalize is Normalize writing the counts into dst's backing array
+// (grown as needed), the buffer-reusing form for encoders that normalize a
+// histogram per block. The returned slice always has len(hist) entries.
+func AppendNormalize(dst []int, hist []int, tableLog int) ([]int, error) {
 	if tableLog < MinTableLog || tableLog > MaxTableLog {
 		return nil, fmt.Errorf("%w: %d", ErrBadTableLog, tableLog)
 	}
@@ -63,14 +76,19 @@ func Normalize(hist []int, tableLog int) ([]int, error) {
 	if present > size {
 		return nil, fmt.Errorf("%w: %d symbols exceed table size %d", ErrBadCounts, present, size)
 	}
-	norm := make([]int, len(hist))
-	// Largest-remainder scaling with a floor of 1 for present symbols.
-	assigned := 0
-	type rem struct {
-		sym  int
-		frac float64
+	var norm []int
+	if cap(dst) >= len(hist) {
+		norm = dst[:len(hist)]
+		clear(norm)
+	} else {
+		norm = make([]int, len(hist))
 	}
-	var rems []rem
+	// Largest-remainder scaling with a floor of 1 for present symbols. The
+	// candidate set is stack-allocated for the small alphabets the sequence
+	// streams use (<= maxSeqCode symbols); larger alphabets spill to the heap.
+	assigned := 0
+	var remsBuf [64]rem
+	rems := remsBuf[:0]
 	for s, c := range hist {
 		if c == 0 {
 			continue
@@ -142,78 +160,122 @@ func checkNorm(norm []int, tableLog int) error {
 }
 
 // spread distributes symbols across the state table using the standard
-// coprime-step walk ((size>>1)+(size>>3)+3).
-func spread(norm []int, tableLog int) []uint8 {
+// coprime-step walk ((size>>1)+(size>>3)+3), writing into dst (grown as
+// needed) so table rebuilds can reuse one scratch buffer.
+func spread(dst []uint8, norm []int, tableLog int) []uint8 {
 	size := 1 << tableLog
 	mask := size - 1
 	step := size>>1 + size>>3 + 3
-	tableSymbol := make([]uint8, size)
+	if cap(dst) >= size {
+		dst = dst[:size]
+	} else {
+		dst = make([]uint8, size)
+	}
 	pos := 0
 	for s, n := range norm {
 		for i := 0; i < n; i++ {
-			tableSymbol[pos] = uint8(s)
+			dst[pos] = uint8(s)
 			pos = (pos + step) & mask
 		}
 	}
-	return tableSymbol
+	return dst
 }
 
-// EncTable is a built FSE encoding table.
+// growInts returns a zeroed []int of length n reusing buf's backing array
+// when it is large enough.
+func growInts(buf []int, n int) []int {
+	if cap(buf) >= n {
+		buf = buf[:n]
+		clear(buf)
+		return buf
+	}
+	return make([]int, n)
+}
+
+// EncTable is a built FSE encoding table. Init rebuilds a table in place,
+// reusing every internal buffer, so a long-lived encoder can construct one
+// table per block with zero steady-state allocation.
 type EncTable struct {
 	tableLog       int
 	stateTable     []uint16 // indexed by cumulative rank
 	deltaNbBits    []uint32 // per symbol
 	deltaFindState []int32  // per symbol
 	norm           []int
+
+	// Rebuild + encode scratch, reused by Init and Encode.
+	symScratch []uint8
+	cumScratch []int
+	groups     []bitGroup
 }
 
 // NewEncTable builds an encoding table from normalized counts.
 func NewEncTable(norm []int, tableLog int) (*EncTable, error) {
-	if err := checkNorm(norm, tableLog); err != nil {
+	t := &EncTable{}
+	if err := t.Init(norm, tableLog); err != nil {
 		return nil, err
 	}
-	size := 1 << tableLog
-	tableSymbol := spread(norm, tableLog)
+	return t, nil
+}
 
-	cumul := make([]int, len(norm)+1)
-	for s, n := range norm {
-		cumul[s+1] = cumul[s] + n
+// Init (re)builds the table from normalized counts, reusing the receiver's
+// buffers. A failed Init leaves the table unusable until the next successful
+// one.
+func (t *EncTable) Init(norm []int, tableLog int) error {
+	if err := checkNorm(norm, tableLog); err != nil {
+		return err
 	}
-	stateTable := make([]uint16, size)
-	next := append([]int(nil), cumul[:len(norm)]...)
+	size := 1 << tableLog
+	t.symScratch = spread(t.symScratch, norm, tableLog)
+	tableSymbol := t.symScratch
+
+	// next[s] walks the cumulative ranks while the state table fills.
+	next := growInts(t.cumScratch, len(norm))
+	t.cumScratch = next
+	acc := 0
+	for s, n := range norm {
+		next[s] = acc
+		acc += n
+	}
+	if cap(t.stateTable) >= size {
+		t.stateTable = t.stateTable[:size]
+	} else {
+		t.stateTable = make([]uint16, size)
+	}
 	for u := 0; u < size; u++ {
 		s := tableSymbol[u]
-		stateTable[next[s]] = uint16(size + u)
+		t.stateTable[next[s]] = uint16(size + u)
 		next[s]++
 	}
 
-	deltaNbBits := make([]uint32, len(norm))
-	deltaFindState := make([]int32, len(norm))
+	if cap(t.deltaNbBits) >= len(norm) {
+		t.deltaNbBits = t.deltaNbBits[:len(norm)]
+		t.deltaFindState = t.deltaFindState[:len(norm)]
+		clear(t.deltaFindState)
+	} else {
+		t.deltaNbBits = make([]uint32, len(norm))
+		t.deltaFindState = make([]int32, len(norm))
+	}
 	total := 0
 	for s, n := range norm {
 		switch {
 		case n == 0:
-			deltaNbBits[s] = uint32(tableLog+1) << 16 // poisoned
+			t.deltaNbBits[s] = uint32(tableLog+1) << 16 // poisoned
 		case n == 1:
-			deltaNbBits[s] = uint32(tableLog)<<16 - uint32(size)
-			deltaFindState[s] = int32(total - 1)
+			t.deltaNbBits[s] = uint32(tableLog)<<16 - uint32(size)
+			t.deltaFindState[s] = int32(total - 1)
 			total++
 		default:
 			// highbit(n-1) = bits.Len32(n-1) - 1.
 			maxBitsOut := tableLog - (bits.Len32(uint32(n-1)) - 1)
 			minStatePlus := uint32(n) << uint(maxBitsOut)
-			deltaNbBits[s] = uint32(maxBitsOut)<<16 - minStatePlus
-			deltaFindState[s] = int32(total - n)
+			t.deltaNbBits[s] = uint32(maxBitsOut)<<16 - minStatePlus
+			t.deltaFindState[s] = int32(total - n)
 			total += n
 		}
 	}
-	return &EncTable{
-		tableLog:       tableLog,
-		stateTable:     stateTable,
-		deltaNbBits:    deltaNbBits,
-		deltaFindState: deltaFindState,
-		norm:           append([]int(nil), norm...),
-	}, nil
+	t.tableLog = tableLog
+	t.norm = append(t.norm[:0], norm...)
+	return nil
 }
 
 // TableLog returns the table accuracy.
@@ -230,13 +292,15 @@ type bitGroup struct {
 
 // Encode appends the FSE encoding of symbols to w. The emitted layout is
 // forward-decodable: first the final encoder state (tableLog bits), then one
-// bit group per symbol in decode order.
+// bit group per symbol in decode order. Encode reuses the table's deferred-bit
+// scratch, so concurrent Encode calls need separate tables (Init is likewise
+// per-table; only DecTable is shareable across goroutines).
 func (t *EncTable) Encode(w *ibits.Writer, symbols []uint8) error {
 	if len(symbols) == 0 {
 		return ErrEmptyInput
 	}
 	size := 1 << t.tableLog
-	groups := make([]bitGroup, 0, len(symbols))
+	groups := t.groups[:0]
 	// Initialize the state to one that decodes to the last symbol: the
 	// decoder's final emitted symbol comes straight from this state, so the
 	// last symbol costs no bits beyond the flushed state itself.
@@ -254,6 +318,7 @@ func (t *EncTable) Encode(w *ibits.Writer, symbols []uint8) error {
 		groups = append(groups, bitGroup{val: state & (1<<nb - 1), n: uint8(nb)})
 		state = uint32(t.stateTable[(state>>nb)+uint32(t.deltaFindState[s])])
 	}
+	t.groups = groups
 	// Forward layout: final state, then groups reversed (decode order).
 	w.WriteBits(uint64(state)-uint64(size), uint(t.tableLog))
 	for i := len(groups) - 1; i >= 0; i-- {
@@ -306,7 +371,7 @@ func NewDecTable(norm []int, tableLog int) (*DecTable, error) {
 		return nil, err
 	}
 	size := 1 << tableLog
-	tableSymbol := spread(norm, tableLog)
+	tableSymbol := spread(nil, norm, tableLog)
 	entries := make([]decEntry, size)
 	symbolNext := make([]int, len(norm))
 	copy(symbolNext, norm)

@@ -41,6 +41,60 @@ type CodeTable struct {
 // (1..MaxBitsLimit). At least one symbol must have nonzero frequency; a
 // single-symbol alphabet yields a 1-bit code.
 func Build(freqs []int, maxBits int) (*CodeTable, error) {
+	var b Builder
+	return b.Build(freqs, maxBits)
+}
+
+// hnode is one tree node during code-length computation.
+type hnode struct {
+	freq        int
+	sym         int // leaf symbol, -1 for internal
+	left, right int // node indices
+}
+
+// hitem is one stack entry of the iterative depth assignment.
+type hitem struct{ n, depth int }
+
+// leafSorter orders leaf indices by (freq, symbol) through sort.Sort without
+// the per-call closure allocation of sort.Slice.
+type leafSorter struct {
+	leaves []int
+	nodes  []hnode
+}
+
+func (ls *leafSorter) Len() int { return len(ls.leaves) }
+func (ls *leafSorter) Less(a, b int) bool {
+	na, nb := ls.nodes[ls.leaves[a]], ls.nodes[ls.leaves[b]]
+	if na.freq != nb.freq {
+		return na.freq < nb.freq
+	}
+	return na.sym < nb.sym
+}
+func (ls *leafSorter) Swap(a, b int) {
+	ls.leaves[a], ls.leaves[b] = ls.leaves[b], ls.leaves[a]
+}
+
+// Builder constructs code tables into reusable scratch: the tree nodes, code
+// lengths, canonical codes and the encoder's bit-reversed code array all live
+// on the Builder and are recycled across Build calls, so a steady-state
+// encode loop performs no allocation. The returned *CodeTable (and the
+// Encoder from Encoder()) aliases the Builder and is valid until the next
+// Build. Not safe for concurrent use.
+type Builder struct {
+	work      []int
+	lens      []uint8
+	nodes     []hnode
+	leaves    []int
+	internals []int
+	stack     []hitem
+	sorter    leafSorter
+	table     CodeTable
+	rev       []uint16
+	enc       Encoder
+}
+
+// Build is the scratch-reusing form of the package-level Build.
+func (b *Builder) Build(freqs []int, maxBits int) (*CodeTable, error) {
 	if maxBits < 1 || maxBits > MaxBitsLimit {
 		return nil, fmt.Errorf("huffman: maxBits %d out of range", maxBits)
 	}
@@ -56,10 +110,10 @@ func Build(freqs []int, maxBits int) (*CodeTable, error) {
 			return nil, fmt.Errorf("huffman: %d symbols cannot fit in %d-bit codes", nz, maxBits)
 		}
 	}
-	work := make([]int, len(freqs))
-	copy(work, freqs)
+	b.work = append(b.work[:0], freqs...)
+	work := b.work
 	for attempt := 0; ; attempt++ {
-		lens, err := huffmanLengths(work)
+		lens, err := b.lengths(work)
 		if err != nil {
 			return nil, err
 		}
@@ -71,7 +125,10 @@ func Build(freqs []int, maxBits int) (*CodeTable, error) {
 			}
 		}
 		if !over {
-			return FromLengths(lens)
+			if err := canonicalInto(&b.table, lens); err != nil {
+				return nil, err
+			}
+			return &b.table, nil
 		}
 		if attempt > 32 {
 			return nil, fmt.Errorf("huffman: length limiting failed to converge")
@@ -87,40 +144,46 @@ func Build(freqs []int, maxBits int) (*CodeTable, error) {
 	}
 }
 
-// huffmanLengths computes unrestricted Huffman code lengths via pairwise
-// merging (heap-free two-queue method over sorted leaves).
-func huffmanLengths(freqs []int) ([]uint8, error) {
-	type node struct {
-		freq        int
-		sym         int // leaf symbol, -1 for internal
-		left, right int // node indices
-	}
-	var nodes []node
-	var leaves []int
+// Encoder returns an encoder for the table the last Build produced, reusing
+// the Builder's reversed-code scratch. Valid until the next Build.
+func (b *Builder) Encoder() *Encoder {
+	b.rev = fillRev(b.rev, &b.table)
+	b.enc = Encoder{table: &b.table, rev: b.rev}
+	return &b.enc
+}
+
+// lengths computes unrestricted Huffman code lengths via pairwise merging
+// (heap-free two-queue method over sorted leaves), into b's scratch.
+func (b *Builder) lengths(freqs []int) ([]uint8, error) {
+	nodes := b.nodes[:0]
+	leaves := b.leaves[:0]
 	for s, f := range freqs {
 		if f > 0 {
-			nodes = append(nodes, node{freq: f, sym: s, left: -1, right: -1})
+			nodes = append(nodes, hnode{freq: f, sym: s, left: -1, right: -1})
 			leaves = append(leaves, len(nodes)-1)
 		}
 	}
+	if cap(b.lens) >= len(freqs) {
+		b.lens = b.lens[:len(freqs)]
+		clear(b.lens)
+	} else {
+		b.lens = make([]uint8, len(freqs))
+	}
+	lens := b.lens
 	if len(leaves) == 0 {
+		b.nodes, b.leaves = nodes, leaves
 		return nil, ErrEmptyAlphabet
 	}
-	lens := make([]uint8, len(freqs))
 	if len(leaves) == 1 {
 		lens[nodes[leaves[0]].sym] = 1
+		b.nodes, b.leaves = nodes, leaves
 		return lens, nil
 	}
-	sort.Slice(leaves, func(a, b int) bool {
-		na, nb := nodes[leaves[a]], nodes[leaves[b]]
-		if na.freq != nb.freq {
-			return na.freq < nb.freq
-		}
-		return na.sym < nb.sym
-	})
+	b.sorter = leafSorter{leaves: leaves, nodes: nodes}
+	sort.Sort(&b.sorter)
 	// Two-queue merge: leaves (sorted) and internal nodes (produced in
 	// non-decreasing freq order).
-	var internals []int
+	internals := b.internals[:0]
 	li, ii := 0, 0
 	pop := func() int {
 		if li < len(leaves) && (ii >= len(internals) || nodes[leaves[li]].freq <= nodes[internals[ii]].freq) {
@@ -132,16 +195,15 @@ func huffmanLengths(freqs []int) ([]uint8, error) {
 	}
 	remaining := len(leaves)
 	for remaining > 1 {
-		a := pop()
-		b := pop()
-		nodes = append(nodes, node{freq: nodes[a].freq + nodes[b].freq, sym: -1, left: a, right: b})
+		x := pop()
+		y := pop()
+		nodes = append(nodes, hnode{freq: nodes[x].freq + nodes[y].freq, sym: -1, left: x, right: y})
 		internals = append(internals, len(nodes)-1)
 		remaining--
 	}
 	root := pop()
 	// Iterative depth assignment.
-	type item struct{ n, depth int }
-	stack := []item{{root, 0}}
+	stack := append(b.stack[:0], hitem{root, 0})
 	for len(stack) > 0 {
 		it := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -154,8 +216,9 @@ func huffmanLengths(freqs []int) ([]uint8, error) {
 			lens[nd.sym] = uint8(d)
 			continue
 		}
-		stack = append(stack, item{nd.left, it.depth + 1}, item{nd.right, it.depth + 1})
+		stack = append(stack, hitem{nd.left, it.depth + 1}, hitem{nd.right, it.depth + 1})
 	}
+	b.nodes, b.leaves, b.internals, b.stack = nodes, leaves, internals, stack
 	return lens, nil
 }
 
@@ -163,6 +226,16 @@ func huffmanLengths(freqs []int) ([]uint8, error) {
 // Kraft inequality (the assignment must not be over-subscribed, and must be
 // complete unless only one symbol is present).
 func FromLengths(lens []uint8) (*CodeTable, error) {
+	t := &CodeTable{}
+	if err := canonicalInto(t, lens); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// canonicalInto fills t with the canonical assignment for lens, reusing t's
+// slices. lens is copied, so it may alias caller scratch.
+func canonicalInto(t *CodeTable, lens []uint8) error {
 	maxBits := 0
 	nz := 0
 	for _, l := range lens {
@@ -174,10 +247,10 @@ func FromLengths(lens []uint8) (*CodeTable, error) {
 		}
 	}
 	if nz == 0 {
-		return nil, ErrEmptyAlphabet
+		return ErrEmptyAlphabet
 	}
 	if maxBits > MaxBitsLimit {
-		return nil, fmt.Errorf("%w: length %d exceeds limit", ErrBadLengths, maxBits)
+		return fmt.Errorf("%w: length %d exceeds limit", ErrBadLengths, maxBits)
 	}
 	// Kraft sum in units of 2^-maxBits.
 	var kraft uint64
@@ -188,10 +261,10 @@ func FromLengths(lens []uint8) (*CodeTable, error) {
 	}
 	full := uint64(1) << maxBits
 	if kraft > full {
-		return nil, fmt.Errorf("%w: oversubscribed", ErrBadLengths)
+		return fmt.Errorf("%w: oversubscribed", ErrBadLengths)
 	}
 	if kraft < full && nz > 1 {
-		return nil, fmt.Errorf("%w: incomplete", ErrBadLengths)
+		return fmt.Errorf("%w: incomplete", ErrBadLengths)
 	}
 	// Canonical assignment: firstCode[l] advances through (length, symbol).
 	var countPerLen [MaxBitsLimit + 1]int
@@ -206,7 +279,13 @@ func FromLengths(lens []uint8) (*CodeTable, error) {
 		nextCode[l] = code
 		code = (code + uint16(countPerLen[l])) << 1
 	}
-	codes := make([]uint16, len(lens))
+	var codes []uint16
+	if cap(t.codes) >= len(lens) {
+		codes = t.codes[:len(lens)]
+		clear(codes)
+	} else {
+		codes = make([]uint16, len(lens))
+	}
 	for s, l := range lens {
 		if l == 0 {
 			continue
@@ -214,7 +293,10 @@ func FromLengths(lens []uint8) (*CodeTable, error) {
 		codes[s] = nextCode[l]
 		nextCode[l]++
 	}
-	return &CodeTable{Lens: append([]uint8(nil), lens...), codes: codes, MaxBits: maxBits}, nil
+	t.Lens = append(t.Lens[:0], lens...)
+	t.codes = codes
+	t.MaxBits = maxBits
+	return nil
 }
 
 // Code returns the canonical code and length for symbol s; length 0 means the
@@ -248,14 +330,25 @@ type Encoder struct {
 
 // NewEncoder prepares an encoder for t.
 func NewEncoder(t *CodeTable) *Encoder {
-	rev := make([]uint16, len(t.codes))
+	return &Encoder{table: t, rev: fillRev(nil, t)}
+}
+
+// fillRev writes the bit-reversed code array for t into buf (grown as
+// needed) and returns it.
+func fillRev(buf []uint16, t *CodeTable) []uint16 {
+	if cap(buf) >= len(t.codes) {
+		buf = buf[:len(t.codes)]
+		clear(buf)
+	} else {
+		buf = make([]uint16, len(t.codes))
+	}
 	for s, l := range t.Lens {
 		if l == 0 {
 			continue
 		}
-		rev[s] = uint16(bits.Reverse16(t.codes[s]) >> (16 - l))
+		buf[s] = uint16(bits.Reverse16(t.codes[s]) >> (16 - l))
 	}
-	return &Encoder{table: t, rev: rev}
+	return buf
 }
 
 // Encode appends the code for each byte of data to w. It returns an error if

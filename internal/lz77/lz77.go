@@ -140,18 +140,24 @@ type Stats struct {
 	MaxOffset    int // largest offset used by any emitted match
 }
 
-const invalidPos = ^uint32(0)
-
 // Matcher performs LZ77 parses under a fixed Config, retaining its hash table
 // across calls to avoid per-call allocation. A Matcher is not safe for
 // concurrent use.
+//
+// Table entries are stored as position+epoch rather than raw positions: each
+// parse advances the epoch past everything the previous parse could have
+// written, so stale entries decode below the current epoch and read as
+// absent. That makes starting a parse O(1) instead of an O(table) clear —
+// the table is physically zeroed only when the 32-bit encoding would wrap.
 type Matcher struct {
 	cfg   Config
-	table []uint32 // TableEntries * Associativity positions
+	table []uint32 // TableEntries * Associativity encoded positions
 	tags  []uint8  // parallel tags when ContentsOffsetAndTag
 	shift uint     // hash shift for fibonacci/xorshift
 	stats Stats
-	seqs  []Seq // parse output buffer, reused across calls
+	seqs  []Seq   // parse output buffer, reused across calls
+	epoch uint32  // encoding base for the current parse; entries below it are stale
+	next  uint32  // epoch for the next parse (current epoch + this parse's reach)
 }
 
 // NewMatcher returns a Matcher for cfg.
@@ -159,7 +165,7 @@ func NewMatcher(cfg Config) (*Matcher, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	m := &Matcher{cfg: cfg}
+	m := &Matcher{cfg: cfg, next: 1}
 	m.table = make([]uint32, cfg.TableEntries*cfg.Associativity)
 	if cfg.Contents == ContentsOffsetAndTag {
 		m.tags = make([]uint8, len(m.table))
@@ -253,9 +259,13 @@ func (m *Matcher) ParsePrefixed(src []byte, start int) []Seq {
 	if start < 0 || start > len(src) {
 		panic("lz77: ParsePrefixed start out of range")
 	}
-	for i := range m.table {
-		m.table[i] = invalidPos
+	// Start a fresh epoch instead of clearing the table (see Matcher doc).
+	if m.next > ^uint32(0)-uint32(len(src))-1 {
+		clear(m.table)
+		m.next = 1
 	}
+	m.epoch = m.next
+	m.next += uint32(len(src))
 	seqs := m.seqs[:0]
 	defer func() { m.seqs = seqs }()
 	n := len(src)
@@ -349,21 +359,30 @@ func (m *Matcher) extent(src []byte, cand, i int) int {
 func (m *Matcher) probe(src []byte, i int) (int, bool) {
 	key := m.key(src, i)
 	idx, tag := m.hash(key)
-	base := int(idx) * m.cfg.Associativity
+	assoc := m.cfg.Associativity
+	base := int(idx) * assoc
 	m.stats.Probes++
 	bestLen, bestPos := 0, -1
-	for w := 0; w < m.cfg.Associativity; w++ {
+	for w := 0; w < assoc; w++ {
 		pos := m.table[base+w]
-		if pos == invalidPos {
-			continue
+		if pos < m.epoch {
+			continue // empty, or left over from an earlier parse
 		}
 		if m.tags != nil && m.tags[base+w] != tag {
 			m.stats.TagFiltered++
 			continue
 		}
 		m.stats.WaysChecked++
-		p := int(pos)
+		p := int(pos - m.epoch)
 		if p >= i || i-p > m.cfg.WindowSize {
+			continue
+		}
+		// Cheap reject before the full extension: a candidate displaces the
+		// incumbent only by being strictly longer, or equal-length at a
+		// larger position. If the bytes at the incumbent's length already
+		// differ, the candidate cannot be longer; losing the position tie
+		// too means it cannot win, so the extension's outcome is irrelevant.
+		if p < bestPos && i+bestLen < len(src) && src[p+bestLen] != src[i+bestLen] {
 			continue
 		}
 		l := m.extent(src, p, i)
@@ -388,17 +407,23 @@ func (m *Matcher) insert(src []byte, i int) {
 	}
 	key := m.key(src, i)
 	idx, tag := m.hash(key)
-	base := int(idx) * m.cfg.Associativity
-	for w := m.cfg.Associativity - 1; w > 0; w-- {
-		m.table[base+w] = m.table[base+w-1]
-		if m.tags != nil {
+	assoc := m.cfg.Associativity
+	base := int(idx) * assoc
+	// FIFO shift within the bucket. Specialized on the tag array so typical
+	// low-associativity tables shift with register moves, not memmove calls.
+	if m.tags != nil {
+		for w := assoc - 1; w > 0; w-- {
+			m.table[base+w] = m.table[base+w-1]
 			m.tags[base+w] = m.tags[base+w-1]
 		}
-	}
-	m.table[base] = uint32(i)
-	if m.tags != nil {
+		m.table[base] = uint32(i) + m.epoch
 		m.tags[base] = tag
+		return
 	}
+	for w := assoc - 1; w > 0; w-- {
+		m.table[base+w] = m.table[base+w-1]
+	}
+	m.table[base] = uint32(i) + m.epoch
 }
 
 // Literals extracts the literal bytes referenced by seqs from src, in order.

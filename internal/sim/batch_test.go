@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"testing"
+
+	"cdpu/internal/fault"
+	"cdpu/internal/resil"
+)
+
+// chaosTestPolicy mirrors the full-featured recovery policy the benchmarks
+// ship (cmd/simbench), so the determinism tests cover every recovery path:
+// retries, backoff, fallback, quarantine and admission control.
+func chaosTestPolicy() resil.Policy {
+	return resil.Policy{
+		MaxAttempts: 3, BackoffBaseCycles: 2000, BackoffMaxCycles: 64000,
+		JitterFrac: 0.5, SoftwareFallback: true, QuarantineK: 3,
+		QuarantineWindowCycles: 2e6, QuarantinePenaltyCycles: 1e5, MaxQueue: 256,
+	}
+}
+
+// TestRunWorkerCountInvariantChaos extends the worker-invariance pin to a
+// stormed replay under the full recovery policy: every Report field —
+// including the resilience counters (FaultedCalls, RetryAttempts,
+// DegradedCalls, ShedCalls, Quarantines, GoodputBytes) — must be
+// byte-identical for workers 1, 2, 4 and 8, because fault draws, mutation
+// seeds and backoff jitter are all keyed on (seed, call index), never on
+// which shard executes the call.
+func TestRunWorkerCountInvariantChaos(t *testing.T) {
+	base := Config{
+		Seed: 9, Calls: 400, MaxCallBytes: 128 << 10, Pipelines: 2,
+		Resilience: chaosTestPolicy(),
+		Storm:      &fault.Storm{Seed: 1009, Rate: 0.05, MeanRepeats: 2},
+		Workers:    1,
+	}
+	want, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.FaultedCalls == 0 || want.RetryAttempts == 0 || want.DegradedCalls == 0 {
+		t.Fatalf("storm produced no recovery activity; test config too weak: %+v", want)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		cfg := base
+		cfg.Workers = workers
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if *got != *want {
+			t.Errorf("workers=%d: stormed report differs from serial run:\n got %+v\nwant %+v", workers, got, want)
+		}
+	}
+}
+
+// TestRunGoldenReport pins the replay to exact pre-batching Report values for
+// one healthy and one stormed configuration. The batched engine (column
+// synthesis, planned decompression, result reuse, parallel reduction) was
+// introduced under the contract that it changes no modeled arithmetic; these
+// literals catch any silent drift in that contract.
+func TestRunGoldenReport(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want Report
+	}{
+		{
+			name: "healthy-500",
+			cfg:  Config{Seed: 1, Calls: 500, MaxCallBytes: 256 << 10},
+			want: Report{
+				Calls:                 500,
+				UncompressedBytes:     5695196,
+				XeonCoresNeeded:       3.19652560556381,
+				MeanLatencyUs:         2.2409452964036434,
+				P99LatencyUs:          34.689,
+				CompUtil:              0.11268901970391408,
+				DecompUtil:            0.10350311863488905,
+				SoftwareMeanLatencyUs: 19.280606413130435,
+				AreaMM2:               6.666396800000001,
+				GoodputBytes:          5695196,
+			},
+		},
+		{
+			name: "chaos-500",
+			cfg: Config{
+				Seed: 1, Calls: 500, MaxCallBytes: 256 << 10,
+				Resilience: chaosTestPolicy(),
+				Storm:      &fault.Storm{Seed: 1001, Rate: 0.02, MeanRepeats: 1},
+			},
+			want: Report{
+				Calls:                 500,
+				UncompressedBytes:     5695196,
+				XeonCoresNeeded:       3.19652560556381,
+				MeanLatencyUs:         3523.767196916788,
+				P99LatencyUs:          7083.456698511947,
+				CompUtil:              0.1768959861132642,
+				DecompUtil:            0.9063193414737074,
+				SoftwareMeanLatencyUs: 19.280606413130435,
+				AreaMM2:               6.666396800000001,
+				FaultedCalls:          8,
+				RetryAttempts:         6,
+				DegradedCalls:         5,
+				ShedCalls:             44,
+				Quarantines:           2,
+				GoodputBytes:          5284236,
+			},
+		},
+	}
+	for _, tc := range cases {
+		for _, workers := range []int{1, 3} {
+			cfg := tc.cfg
+			cfg.Workers = workers
+			got, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%s w=%d: %v", tc.name, workers, err)
+			}
+			if *got != tc.want {
+				t.Errorf("%s w=%d: report drifted from golden values:\n got %+v\nwant %+v", tc.name, workers, got, tc.want)
+			}
+		}
+	}
+}
+
+// TestShardExecSteadyStateAllocs pins the tentpole zero-alloc property: once
+// a shard is warm, replaying calls through the column-oriented batch path —
+// payload synthesis, compressed-input synthesis, planned or parsed device
+// execution, result reuse — allocates nothing per call.
+func TestShardExecSteadyStateAllocs(t *testing.T) {
+	cfg := Config{Seed: 21, Calls: 192, MaxCallBytes: 64 << 10}.withDefaults()
+	var report Report
+	specs, _, _ := sampleCalls(cfg, &report)
+	sh, err := newShard(cfg.Placement, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := make([]execOut, len(specs))
+	run := func() {
+		if at, err := sh.execTile(specs, 0, len(specs), &cfg, outs); err != nil {
+			t.Fatalf("call %d: %v", at, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		run()
+	}
+	if allocs := testing.AllocsPerRun(10, run); allocs != 0 {
+		t.Errorf("steady-state shard replay: %v allocs over %d calls, want 0",
+			allocs*float64(len(specs)), len(specs))
+	}
+}
+
+// replayFixture prepares one warmed shard plus sampled specs and executed
+// outs for the per-stage benchmarks.
+type replayFixture struct {
+	cfg   Config
+	specs []callSpec
+	sh    *shard
+	outs  []execOut
+}
+
+func newReplayFixture(b *testing.B, calls int) *replayFixture {
+	cfg := Config{Seed: 1, Calls: calls, MaxCallBytes: 256 << 10}.withDefaults()
+	var report Report
+	specs, _, _ := sampleCalls(cfg, &report)
+	sh, err := newShard(cfg.Placement, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := &replayFixture{cfg: cfg, specs: specs, sh: sh, outs: make([]execOut, len(specs))}
+	if at, err := sh.execTile(specs, 0, len(specs), &cfg, f.outs); err != nil {
+		b.Fatalf("warmup call %d: %v", at, err)
+	}
+	return f
+}
+
+func (f *replayFixture) perCall(b *testing.B) {
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(f.specs)), "ns/call")
+}
+
+// BenchmarkReplayShard breaks the replay into its three stages so a
+// regression localizes immediately: payload synthesis alone, the device
+// execution pass alone (compressed-input synthesis + planned/parsed exec on
+// pre-generated payloads), and the FCFS queueing reduction alone.
+func BenchmarkReplayShard(b *testing.B) {
+	const calls = 512
+	b.Run("synthesis-only", func(b *testing.B) {
+		f := newReplayFixture(b, calls)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sh := f.sh
+			sh.arena = sh.arena[:0]
+			sh.offs = append(sh.offs[:0], 0)
+			for j := range f.specs {
+				s := &f.specs[j]
+				sh.arena = sh.gen.AppendGenerate(sh.arena, s.kind, s.rec.UncompressedBytes, s.payloadSeed)
+				sh.offs = append(sh.offs, len(sh.arena))
+			}
+		}
+		f.perCall(b)
+	})
+	b.Run("exec-only", func(b *testing.B) {
+		f := newReplayFixture(b, calls)
+		sh := f.sh
+		// Pre-synthesize every payload once; the loop then measures only the
+		// compressed-input synthesis and device execution.
+		sh.arena = sh.arena[:0]
+		sh.offs = append(sh.offs[:0], 0)
+		for j := range f.specs {
+			s := &f.specs[j]
+			sh.arena = sh.gen.AppendGenerate(sh.arena, s.kind, s.rec.UncompressedBytes, s.payloadSeed)
+			sh.offs = append(sh.offs, len(sh.arena))
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range f.specs {
+				out, err := sh.execOne(&f.specs[j], j, &f.cfg, sh.arena[sh.offs[j]:sh.offs[j+1]])
+				if err != nil {
+					b.Fatal(err)
+				}
+				f.outs[j] = out
+			}
+		}
+		f.perCall(b)
+	})
+	b.Run("reduction-only", func(b *testing.B) {
+		f := newReplayFixture(b, calls)
+		perDev := make([][]int, numDevices)
+		for i, s := range f.specs {
+			perDev[s.dev] = append(perDev[s.dev], i)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for d := range perDev {
+				red := reduceDevice(d, perDev[d], f.specs, f.outs, &f.cfg, false)
+				if red.err != nil {
+					b.Fatal(red.err)
+				}
+			}
+		}
+		f.perCall(b)
+	})
+}

@@ -68,12 +68,15 @@ func corruptErr(s *callSpec, cfg *Config, cycles float64, cause error) error {
 
 // chaosExec runs one storm-hit call through the recovery policy. Corruption
 // is non-transient and skips straight to the fallback decision; device faults
-// retry with seeded backoff first.
-func (sh *shard) chaosExec(s *callSpec, call int, cfg *Config, payload []byte, kind fault.StormKind, repeats int) (execOut, error) {
+// retry with seeded backoff first. plain is the call's uncompressed payload
+// (living in the shard's batch arena); devInput is what the device actually
+// consumes — the compressed frame for decompress-op calls, plain itself for
+// compression.
+func (sh *shard) chaosExec(s *callSpec, call int, cfg *Config, plain, devInput []byte, kind fault.StormKind, repeats int) (execOut, error) {
 	if kind == fault.StormBitFlip {
-		return sh.chaosBitFlip(s, call, cfg, payload)
+		return sh.chaosBitFlip(s, call, cfg, plain, devInput)
 	}
-	return sh.chaosTransient(s, call, cfg, payload, kind, repeats)
+	return sh.chaosTransient(s, call, cfg, plain, devInput, kind, repeats)
 }
 
 // chaosBitFlip models payload corruption on the device path. The host's copy
@@ -82,15 +85,15 @@ func (sh *shard) chaosExec(s *callSpec, call int, cfg *Config, payload []byte, k
 // or completes and fails the end-to-end verification (charging the full
 // call). Retrying is pointless — the corrupt buffer reads back identically —
 // so a bit flip never consumes retry attempts.
-func (sh *shard) chaosBitFlip(s *callSpec, call int, cfg *Config, payload []byte) (execOut, error) {
+func (sh *shard) chaosBitFlip(s *callSpec, call int, cfg *Config, plain, devInput []byte) (execOut, error) {
 	dev := sh.devs[s.dev]
 	traced := cfg.Trace != nil
 	var out execOut
 	if s.rec.Op == comp.Decompress {
-		mutated := fault.Mutate(cfg.Storm.MutationSeed(call), fault.BitFlip, payload)
+		mutated := fault.Mutate(cfg.Storm.MutationSeed(call), fault.BitFlip, devInput)
 		res, err := dev.Exec(mutated)
 		switch {
-		case err == nil && bytes.Equal(res.Output, sh.plain):
+		case err == nil && bytes.Equal(res.Output, plain):
 			// The flips landed in don't-care bytes: the output still
 			// verifies, so the corruption was harmless and nothing recovers.
 			return execOut{service: res.Cycles, spans: res.Spans}, nil
@@ -112,12 +115,12 @@ func (sh *shard) chaosBitFlip(s *callSpec, call int, cfg *Config, payload []byte
 		if !cfg.Resilience.SoftwareFallback {
 			return out, err
 		}
-		return sh.fallback(s, out, cfg)
+		return sh.fallback(s, out, cfg, plain, devInput)
 	}
 	// Compression: the call itself runs on healthy input and the result
 	// buffer is corrupted on the device->host return path, so the full
 	// call's cycles are spent before verification rejects the output.
-	res, err := dev.Exec(payload)
+	res, err := dev.Exec(devInput)
 	if err != nil {
 		return execOut{}, err
 	}
@@ -127,7 +130,7 @@ func (sh *shard) chaosBitFlip(s *callSpec, call int, cfg *Config, payload []byte
 	if !cfg.Resilience.SoftwareFallback {
 		return out, corruptErr(s, cfg, res.Cycles, errors.New("sim: compressed output failed verification"))
 	}
-	return sh.fallback(s, out, cfg)
+	return sh.fallback(s, out, cfg, plain, devInput)
 }
 
 // chaosTransient retries a device fault (memory fault or watchdog trip) with
@@ -136,7 +139,7 @@ func (sh *shard) chaosBitFlip(s *callSpec, call int, cfg *Config, payload []byte
 // the call may consume. Failed dispatches charge their abort-detection
 // latency, backoff waits charge into the same modeled service time (the
 // dispatch slot is held), and exhaustion falls back to software or aborts.
-func (sh *shard) chaosTransient(s *callSpec, call int, cfg *Config, payload []byte, kind fault.StormKind, repeats int) (execOut, error) {
+func (sh *shard) chaosTransient(s *callSpec, call int, cfg *Config, plain, devInput []byte, kind fault.StormKind, repeats int) (execOut, error) {
 	dev := sh.devs[s.dev]
 	pol := cfg.Resilience
 	traced := cfg.Trace != nil
@@ -150,7 +153,7 @@ func (sh *shard) chaosTransient(s *callSpec, call int, cfg *Config, payload []by
 		if faulted {
 			dev.SetFaultInjector(stormPlan(kind))
 		}
-		res, err := dev.Exec(payload)
+		res, err := dev.Exec(devInput)
 		if faulted {
 			dev.SetFaultInjector(nil)
 		}
@@ -192,7 +195,7 @@ func (sh *shard) chaosTransient(s *callSpec, call int, cfg *Config, payload []by
 	if !pol.SoftwareFallback {
 		return out, lastErr
 	}
-	return sh.fallback(s, out, cfg)
+	return sh.fallback(s, out, cfg, plain, devInput)
 }
 
 // fallback serves the call on the modeled CPU codec path after device
@@ -200,21 +203,21 @@ func (sh *shard) chaosTransient(s *callSpec, call int, cfg *Config, payload []by
 // (converted to device-clock cycles and charged after the device time already
 // spent), and the result is verified functionally by round trip so no corrupt
 // bytes can ever surface from a degraded call.
-func (sh *shard) fallback(s *callSpec, out execOut, cfg *Config) (execOut, error) {
+func (sh *shard) fallback(s *callSpec, out execOut, cfg *Config, plain, devInput []byte) (execOut, error) {
 	cycles := xeon.Seconds(xeon.Cycles(s.rec.Algo, s.rec.Op, s.rec.Level, s.rec.UncompressedBytes)) * 2.0e9
 	if s.rec.Op == comp.Decompress {
-		plain, err := comp.DecompressCall(s.rec.Algo, sh.enc)
-		if err != nil || !bytes.Equal(plain, sh.plain) {
+		got, err := comp.DecompressCall(s.rec.Algo, devInput)
+		if err != nil || !bytes.Equal(got, plain) {
 			return execOut{}, fmt.Errorf("sim: software fallback verification failed: %v", err)
 		}
 	} else {
-		enc, err := sh.coder.AppendCompress(sh.fb[:0], s.rec.Algo, s.rec.Level, min(s.rec.WindowLog, 17), sh.plain)
+		enc, err := sh.coder.AppendCompress(sh.fb[:0], s.rec.Algo, s.rec.Level, min(s.rec.WindowLog, 17), plain)
 		if err != nil {
 			return execOut{}, fmt.Errorf("sim: software fallback compress: %w", err)
 		}
 		sh.fb = enc
-		plain, err := comp.DecompressCall(s.rec.Algo, enc)
-		if err != nil || !bytes.Equal(plain, sh.plain) {
+		got, err := comp.DecompressCall(s.rec.Algo, enc)
+		if err != nil || !bytes.Equal(got, plain) {
 			return execOut{}, fmt.Errorf("sim: software fallback verification failed: %v", err)
 		}
 	}

@@ -6,13 +6,16 @@
 // (payload bytes), the CDPU device model (queueing + cycles) and the Xeon
 // cost model (baseline).
 //
-// The replay is sharded: call sampling and the arrival schedule are drawn
-// serially (they are cheap and order-dependent), payload synthesis and
-// functional execution fan out across a bounded worker pool (they dominate
-// runtime and are pure per call), and queueing replays serially over the
-// precomputed service cycles. Every per-call random draw comes from a stream
-// keyed on (seed, call index), so the Report is byte-identical at any worker
-// count.
+// The replay is sharded and batched: call sampling and the arrival schedule
+// are drawn serially (they are cheap and order-dependent); payload synthesis
+// and functional execution fan out across a bounded worker pool in
+// column-oriented batches — each worker claims a tile of consecutive calls,
+// synthesizes the whole batch's payloads into one arena, then executes them
+// back-to-back through its leased coder and device clones so codec tables,
+// frame plans and scratch stay hot; and the FCFS queueing reduction runs as
+// four independent per-device partial replays merged in a deterministic fixed
+// order. Every per-call random draw comes from a stream keyed on (seed, call
+// index), so the Report is byte-identical at any worker count.
 package sim
 
 import (
@@ -31,6 +34,7 @@ import (
 	"cdpu/internal/resil"
 	"cdpu/internal/stats"
 	"cdpu/internal/xeon"
+	"cdpu/internal/zstdlite"
 )
 
 // Replay-shape instruments. Updated only in the serial phases, so they add no
@@ -57,8 +61,8 @@ type Config struct {
 	Placement memsys.Placement
 	// MaxCallBytes caps replayed call sizes for runtime (0 = 1 MiB).
 	MaxCallBytes int
-	// Workers bounds the payload-synthesis pool (0 = one per CPU up to 8).
-	// The Report does not depend on it.
+	// Workers bounds the payload-synthesis pool (0 = one per available CPU
+	// up to 8). The Report does not depend on it.
 	Workers int
 	// Trace, when non-nil, collects every call's per-block spans into a
 	// Chrome trace-event timeline: one process per device, one exec lane and
@@ -96,8 +100,11 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// defaultWorkers sizes the pool from GOMAXPROCS, not raw NumCPU: in a
+// container limited to fewer logical CPUs than the host exposes, NumCPU
+// would oversubscribe the pool with workers that only add scheduling churn.
 func defaultWorkers() int {
-	return max(1, min(8, runtime.NumCPU()-1))
+	return max(1, min(8, runtime.GOMAXPROCS(0)-1))
 }
 
 // Report summarizes a replay.
@@ -193,21 +200,16 @@ type callSpec struct {
 	dev         int
 }
 
-// Run replays cfg.Calls fleet calls through CDPU devices.
-func Run(cfg Config) (*Report, error) {
-	cfg = cfg.withDefaults()
+// sampleCalls is phase A: sample the call mix and lay out the arrival
+// schedule. The fleet model's sampler is stateful, so this stays
+// single-threaded; it draws no payload bytes and is cheap. Arrivals match
+// the offered bandwidth (device cycles at 2 GHz: bytes / (GB/s) * 2
+// cycles/ns). Returns the specs, the summed software baseline cycles, and
+// the arrival-clock end time.
+func sampleCalls(cfg Config, report *Report) (specs []callSpec, xeonCycles, at float64) {
 	model := fleet.NewModel(cfg.Seed)
-	report := &Report{}
-
-	// Phase A (serial): sample the call mix and lay out the arrival
-	// schedule. The fleet model's sampler is stateful, so this stays
-	// single-threaded; it draws no payload bytes and is cheap.
-	// Arrivals match the offered bandwidth (device cycles at 2 GHz:
-	// bytes / (GB/s) * 2 cycles/ns).
 	cyclesPerByte := 2.0 / cfg.OfferedGBps
-	specs := make([]callSpec, 0, cfg.Calls)
-	var xeonCycles float64
-	at := 0.0
+	specs = make([]callSpec, 0, cfg.Calls)
 	for len(specs) < cfg.Calls {
 		rec := model.SampleCall()
 		// The CDPU serves the dominant pair; other algorithms stay on CPU.
@@ -232,6 +234,72 @@ func Run(cfg Config) (*Report, error) {
 		specs = append(specs, s)
 	}
 	report.Calls = len(specs)
+	return specs, xeonCycles, at
+}
+
+// devReduction is one device's partial queueing reduction, produced in
+// parallel during phase C and merged serially in deviceOrder.
+type devReduction struct {
+	dev       *core.Device
+	results   []core.JobResult
+	idxs      []int
+	stats     core.DeviceStats
+	latencies []float64
+	goodput   int
+	shed      int
+	err       error
+}
+
+// reduceDevice replays one device's FCFS queue over the precomputed service
+// cycles. The four device queues are fully independent — each call belongs
+// to exactly one device and pipelines are per-device — so the four
+// reductions run concurrently and the merge only has to respect deviceOrder.
+func reduceDevice(d int, idxs []int, specs []callSpec, outs []execOut, cfg *Config, chaos bool) devReduction {
+	slot := deviceOrder[d]
+	dev, err := core.NewDevice(core.Config{Algo: slot.algo, Op: slot.op, Placement: cfg.Placement}, cfg.Pipelines)
+	if err != nil {
+		return devReduction{err: err}
+	}
+	jobs := make([]core.Job, len(idxs))
+	svc := make([]float64, len(idxs))
+	var post []float64
+	var flt []int
+	if chaos {
+		post = make([]float64, len(idxs))
+		flt = make([]int, len(idxs))
+	}
+	for ji, ci := range idxs {
+		jobs[ji] = core.Job{Arrival: specs[ci].arrival}
+		svc[ji] = outs[ci].service
+		if chaos {
+			post[ji] = outs[ci].post
+			flt[ji] = outs[ci].faults
+		}
+	}
+	results, devStats, err := dev.ReplayPolicy(jobs, svc, post, flt, cfg.Resilience)
+	if err != nil {
+		return devReduction{err: err}
+	}
+	red := devReduction{dev: dev, results: results, idxs: idxs, stats: devStats}
+	red.latencies = make([]float64, 0, len(results))
+	for ji, r := range results {
+		if r.Err != nil {
+			red.shed++
+			continue
+		}
+		red.latencies = append(red.latencies, r.Latency)
+		red.goodput += specs[idxs[ji]].rec.UncompressedBytes
+	}
+	return red
+}
+
+// Run replays cfg.Calls fleet calls through CDPU devices.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	report := &Report{}
+
+	// Phase A (serial): sampling and the arrival schedule.
+	specs, xeonCycles, at := sampleCalls(cfg, report)
 	metricSimCalls.Add(int64(len(specs)))
 	metricSimWorkers.Set(float64(cfg.Workers))
 
@@ -253,60 +321,46 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 
-	// Phase C (serial): replay queueing per device in fixed order and merge.
+	// Phase C (parallel reductions, serial merge): replay queueing per device
+	// concurrently — the four FCFS queues are independent given the arrival
+	// schedule — then merge in fixed deviceOrder: latencies concatenate in
+	// device order and are summed in one loop, so the float accumulation
+	// order (and therefore the Report) is bit-identical to a serial pass.
 	// The recovery-aware pass only materializes its extra per-job inputs when
 	// something can populate them; with the zero policy ReplayPolicy is
 	// arithmetically identical to Replay, keeping healthy Reports byte-stable.
-	var devices [numDevices]*core.Device
 	perDev := make([][]int, numDevices)
 	for i, s := range specs {
 		perDev[s.dev] = append(perDev[s.dev], i)
 	}
 	chaos := cfg.Storm != nil || cfg.Resilience.Enabled()
+	var reds [numDevices]devReduction
+	var wg sync.WaitGroup
+	for d := range deviceOrder {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			reds[d] = reduceDevice(d, perDev[d], specs, outs, &cfg, chaos)
+		}(d)
+	}
+	wg.Wait()
 	latencies := make([]float64, 0, len(specs))
 	for d, slot := range deviceOrder {
-		dev, err := core.NewDevice(core.Config{Algo: slot.algo, Op: slot.op, Placement: cfg.Placement}, cfg.Pipelines)
-		if err != nil {
-			return nil, err
+		red := &reds[d]
+		if red.err != nil {
+			return nil, red.err
 		}
-		devices[d] = dev
-		idxs := perDev[d]
-		jobs := make([]core.Job, len(idxs))
-		svc := make([]float64, len(idxs))
-		var post []float64
-		var flt []int
-		if chaos {
-			post = make([]float64, len(idxs))
-			flt = make([]int, len(idxs))
-		}
-		for ji, ci := range idxs {
-			jobs[ji] = core.Job{Arrival: specs[ci].arrival}
-			svc[ji] = outs[ci].service
-			if chaos {
-				post[ji] = outs[ci].post
-				flt[ji] = outs[ci].faults
-			}
-		}
-		results, devStats, err := dev.ReplayPolicy(jobs, svc, post, flt, cfg.Resilience)
-		if err != nil {
-			return nil, err
-		}
-		for ji, r := range results {
-			if r.Err != nil {
-				report.ShedCalls++
-				continue
-			}
-			latencies = append(latencies, r.Latency)
-			report.GoodputBytes += specs[idxs[ji]].rec.UncompressedBytes
-		}
-		report.Quarantines += devStats.Quarantines
+		latencies = append(latencies, red.latencies...)
+		report.ShedCalls += red.shed
+		report.GoodputBytes += red.goodput
+		report.Quarantines += red.stats.Quarantines
 		if cfg.Trace != nil {
-			emitDeviceTrace(cfg.Trace, d, slot.algo, slot.op, cfg.Pipelines, idxs, results, outs)
+			emitDeviceTrace(cfg.Trace, d, slot.algo, slot.op, cfg.Pipelines, red.idxs, red.results, outs)
 		}
 		if slot.op == comp.Compress {
-			report.CompUtil = max(report.CompUtil, devStats.Utilization)
+			report.CompUtil = max(report.CompUtil, red.stats.Utilization)
 		} else {
-			report.DecompUtil = max(report.DecompUtil, devStats.Utilization)
+			report.DecompUtil = max(report.DecompUtil, red.stats.Utilization)
 		}
 	}
 	if len(latencies) == 0 {
@@ -329,8 +383,8 @@ func Run(cfg Config) (*Report, error) {
 	// Silicon: the four devices (areas already share interfaces within each
 	// device; a real SoC would share across directions too, so this is the
 	// conservative bound).
-	for _, dev := range devices {
-		report.AreaMM2 += dev.Area().Total()
+	for d := range reds {
+		report.AreaMM2 += reds[d].dev.Area().Total()
 	}
 	return report, nil
 }
@@ -366,69 +420,160 @@ func emitDeviceTrace(tr *obs.Trace, pid int, algo comp.Algorithm, op comp.Op, pi
 	}
 }
 
+// Batching geometry for phase B. tileSize is the claim unit — one atomic
+// increment hands a worker 64 consecutive calls, cutting counter contention
+// 64x versus per-call claims while keeping the tail balanced. Within a tile,
+// calls are processed in synthesis batches bounded by batchBytes of summed
+// payload, so the per-shard arena stays cache-sized even when MaxCallBytes
+// allows megabyte calls.
+const (
+	tileSize   = 64
+	batchBytes = 2 << 20
+)
+
 // shard is one worker's leased execution state: a pooled Coder for
 // decompress-op payload synthesis, functional single-pipeline device clones,
-// and payload buffers that amortize to zero steady-state allocation.
+// the batch payload arena, and the scratch buffers that take steady-state
+// replay to zero allocations per call. Shards are recycled through a
+// process-wide pool across Replay invocations, so repeated Runs (benchmark
+// loops, scaling sweeps) skip device construction entirely.
 type shard struct {
-	coder *comp.Coder
-	devs  [numDevices]*core.Device
-	plain []byte
-	enc   []byte
-	fb    []byte // software-fallback compression scratch
+	placement memsys.Placement
+	traced    bool
+	coder     *comp.Coder
+	gen       corpus.Gen
+	devs      [numDevices]*core.Device
+	arena     []byte // batch payload bytes, addressed by offs
+	offs      []int  // arena offsets: batch call k's payload is arena[offs[k]:offs[k+1]]
+	enc       []byte // compressed-input scratch for decompress-op calls
+	fb        []byte // software-fallback compression scratch
+}
+
+// shardPool recycles shards across Run invocations. Entries are keyed by
+// construction parameters (placement, traced); a Get that pulls a mismatched
+// shard drops it and builds fresh.
+var shardPool sync.Pool
+
+func getShard(placement memsys.Placement, traced bool) (*shard, error) {
+	if v := shardPool.Get(); v != nil {
+		sh := v.(*shard)
+		if sh.placement == placement && sh.traced == traced {
+			return sh, nil
+		}
+	}
+	return newShard(placement, traced)
 }
 
 func newShard(placement memsys.Placement, traced bool) (*shard, error) {
-	sh := &shard{coder: comp.NewCoder()}
+	sh := &shard{placement: placement, traced: traced, coder: comp.NewCoder()}
 	for d, slot := range deviceOrder {
 		dev, err := core.NewDevice(core.Config{Algo: slot.algo, Op: slot.op, Placement: placement}, 1)
 		if err != nil {
 			return nil, err
 		}
 		dev.SetTracing(traced)
+		// Result reuse recycles each clone's Result and output buffer across
+		// calls; the shard consumes every result before its next Exec.
+		// Traced runs keep fresh Results: execOut.spans outlives the call.
+		dev.SetResultReuse(!traced)
 		sh.devs[d] = dev
 	}
 	return sh, nil
 }
 
-func (sh *shard) exec(s *callSpec, call int, cfg *Config) (execOut, error) {
-	sh.plain = corpus.AppendGenerate(sh.plain[:0], s.kind, s.rec.UncompressedBytes, s.payloadSeed)
-	payload := sh.plain
+// execTile processes calls [lo, hi) in synthesis batches. On error it
+// reports the failing call index.
+func (sh *shard) execTile(specs []callSpec, lo, hi int, cfg *Config, outs []execOut) (int, error) {
+	for lo < hi {
+		j := lo
+		budget := 0
+		for j < hi && (j == lo || budget < batchBytes) {
+			budget += specs[j].rec.UncompressedBytes
+			j++
+		}
+		if at, err := sh.execBatch(specs, lo, j, cfg, outs); err != nil {
+			return at, err
+		}
+		lo = j
+	}
+	return 0, nil
+}
+
+// execBatch is the column-oriented hot path: synthesize every payload of the
+// batch into the arena in one pass, then execute the batch back-to-back, so
+// each stage's tables and scratch stay hot across consecutive calls.
+func (sh *shard) execBatch(specs []callSpec, lo, hi int, cfg *Config, outs []execOut) (int, error) {
+	sh.arena = sh.arena[:0]
+	sh.offs = append(sh.offs[:0], 0)
+	for i := lo; i < hi; i++ {
+		s := &specs[i]
+		sh.arena = sh.gen.AppendGenerate(sh.arena, s.kind, s.rec.UncompressedBytes, s.payloadSeed)
+		sh.offs = append(sh.offs, len(sh.arena))
+	}
+	for i := lo; i < hi; i++ {
+		out, err := sh.execOne(&specs[i], i, cfg, sh.arena[sh.offs[i-lo]:sh.offs[i-lo+1]])
+		if err != nil {
+			return i, err
+		}
+		outs[i] = out
+	}
+	return 0, nil
+}
+
+// execOne runs one call. Decompress-op calls synthesize their compressed
+// input through the leased coder; ZStd-family frames carry their recorded
+// Plan straight into the device clone (core.ExecPlanned), which charges
+// bit-identically to a frame parse without performing one. Storm-hit calls
+// take the unplanned recovery paths (a mutated frame has no valid plan).
+func (sh *shard) execOne(s *callSpec, call int, cfg *Config, plain []byte) (execOut, error) {
+	devInput := plain
+	var plan *zstdlite.Plan
 	if s.rec.Op == comp.Decompress {
-		enc, err := sh.coder.AppendCompress(sh.enc[:0], s.rec.Algo, s.rec.Level, min(s.rec.WindowLog, 17), sh.plain)
+		enc, p, err := sh.coder.AppendCompressPlan(sh.enc[:0], s.rec.Algo, s.rec.Level, min(s.rec.WindowLog, 17), plain)
 		if err != nil {
 			return execOut{}, err
 		}
 		sh.enc = enc
-		payload = enc
+		devInput = enc
+		plan = p
 	}
 	if kind, repeats, hit := cfg.Storm.Draw(call); hit {
-		return sh.chaosExec(s, call, cfg, payload, kind, repeats)
+		return sh.chaosExec(s, call, cfg, plain, devInput, kind, repeats)
 	}
-	res, err := sh.devs[s.dev].Exec(payload)
+	dev := sh.devs[s.dev]
+	var res *core.Result
+	var err error
+	if plan != nil {
+		res, err = dev.ExecPlanned(devInput, plan, plain)
+	} else {
+		res, err = dev.Exec(devInput)
+	}
 	if err != nil {
 		return execOut{}, err
 	}
 	return execOut{service: res.Cycles, spans: res.Spans}, nil
 }
 
-// execCalls distributes specs over a bounded worker pool by atomic index and
-// returns each call's execution outcome. Results are index-addressed and each
-// call's inputs derive only from its spec (and the seeded storm/backoff
-// streams), so the output is independent of worker count and scheduling.
+// execCalls distributes specs over a bounded worker pool by atomic tile
+// claims and returns each call's execution outcome. Results are
+// index-addressed and each call's inputs derive only from its spec (and the
+// seeded storm/backoff streams), so the output is independent of worker
+// count and scheduling.
 //
 // Error capture is deterministic: minErr tracks the lowest failing call
-// index, workers stop claiming work at or above it, and — because the atomic
-// counter hands out indices in increasing order and every claimed index runs
-// to completion — every call below the final minErr has been fully processed.
-// The reported error is therefore exactly the first error a serial run would
-// hit, at any worker count.
+// index, workers stop claiming tiles at or above it, and — because tiles
+// hand out index ranges in increasing order and every claimed tile runs to
+// its first error — every call below the final minErr has been fully
+// processed. The reported error is therefore exactly the first error a
+// serial run would hit, at any worker count.
 func execCalls(specs []callSpec, cfg Config) ([]execOut, error) {
-	workers := max(1, min(cfg.Workers, len(specs)))
+	tiles := (len(specs) + tileSize - 1) / tileSize
+	workers := max(1, min(cfg.Workers, tiles))
 	traced := cfg.Trace != nil
 	outs := make([]execOut, len(specs))
 	callErrs := make([]error, len(specs))
 	poolErrs := make([]error, workers)
-	var nextIdx atomic.Int64
+	var nextTile atomic.Int64
 	var poolFailed atomic.Bool
 	var minErr atomic.Int64
 	minErr.Store(int64(len(specs)))
@@ -437,29 +582,28 @@ func execCalls(specs []callSpec, cfg Config) ([]execOut, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			sh, err := newShard(cfg.Placement, traced)
+			sh, err := getShard(cfg.Placement, traced)
 			if err != nil {
 				poolErrs[w] = err
 				poolFailed.Store(true)
 				return
 			}
+			defer shardPool.Put(sh)
 			for !poolFailed.Load() {
-				i := int(nextIdx.Add(1)) - 1
-				if i >= len(specs) || int64(i) >= minErr.Load() {
+				lo := (int(nextTile.Add(1)) - 1) * tileSize
+				if lo >= len(specs) || int64(lo) >= minErr.Load() {
 					return
 				}
-				out, err := sh.exec(&specs[i], i, &cfg)
-				if err != nil {
-					callErrs[i] = err
+				hi := min(lo+tileSize, len(specs))
+				if at, err := sh.execTile(specs, lo, hi, &cfg, outs); err != nil {
+					callErrs[at] = err
 					for {
 						cur := minErr.Load()
-						if int64(i) >= cur || minErr.CompareAndSwap(cur, int64(i)) {
+						if int64(at) >= cur || minErr.CompareAndSwap(cur, int64(at)) {
 							break
 						}
 					}
-					continue
 				}
-				outs[i] = out
 			}
 		}(w)
 	}

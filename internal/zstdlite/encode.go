@@ -140,12 +140,58 @@ type Encoder struct {
 	// invisible to callers.
 	litBuf    []byte
 	bodyBuf   []byte
+	dictBuf   []byte
 	codeBuf   [3][]uint8
 	extras    ibits.Writer
 	streamBuf ibits.Writer
 	planBuf   []blockPlan
 	planSeqs  []lz77.Seq
+
+	// Entropy-stage scratch: the literal Huffman builder, the sequence-code
+	// normalized histogram and the FSE encode table are rebuilt in place each
+	// block instead of reallocated.
+	huffB    huffman.Builder
+	normBuf  []int
+	encTable fse.EncTable
+
+	// Frame-plan recording (AppendEncodeWithPlan).
+	recordPlan bool
+	plan       Plan
 }
+
+// Plan records the structure of the frame the encoder just produced: the
+// facts a decompressor model would otherwise recover by parsing the frame
+// (block carving, literal coding choices, sequence streams). Produced by
+// AppendEncodeWithPlan; each PlanBlock matches the BlockInfo that Inspect
+// would parse from the same frame, field for field on the modelled costs.
+//
+// PlanBlock.Seqs aliases encoder scratch, so a Plan is valid only until the
+// encoder's next Encode call.
+type Plan struct {
+	WindowLog   int
+	ContentSize int
+	Blocks      []PlanBlock
+}
+
+// PlanBlock mirrors the charge-relevant fields of BlockInfo.
+type PlanBlock struct {
+	Type    int // blockRaw, blockRLE, blockCompressed
+	RawSize int
+
+	// Literals-section detail (compressed blocks only).
+	LitMode      int // litRaw or litHuffman
+	LitCount     int
+	LitPayload   int // compressed literal bytes (huffman mode)
+	HuffMaxBits  int
+	HuffLensN    int // serialized code-length count (trailing zeros trimmed)
+	SeqModes     [3]int
+	FSETableLogs [3]int
+	Seqs         []lz77.Seq
+	CompSize     int // compressed body bytes (compressed blocks only)
+}
+
+// IsCompressed reports whether the block ran the full pipeline.
+func (b *PlanBlock) IsCompressed() bool { return b.Type == blockCompressed }
 
 // NewEncoder returns an Encoder for p.
 func NewEncoder(p Params) (*Encoder, error) {
@@ -181,13 +227,16 @@ func (e *Encoder) AppendEncode(dst, src []byte) []byte {
 	if len(src) == 0 {
 		dst = append(dst, byte(blockRaw<<1|1)) // empty last raw block
 		dst = ibits.AppendUvarint(dst, 0)
+		if e.recordPlan {
+			e.plan.Blocks = append(e.plan.Blocks, PlanBlock{Type: blockRaw})
+		}
 		return e.appendChecksum(dst, src)
 	}
 	dict := e.usableDict()
 	data := src
 	if len(dict) > 0 {
-		data = make([]byte, 0, len(dict)+len(src))
-		data = append(append(data, dict...), src...)
+		e.dictBuf = append(append(e.dictBuf[:0], dict...), src...)
+		data = e.dictBuf
 	}
 	seqs := e.matcher.ParsePrefixed(data, len(dict))
 	plans := e.splitBlocks(seqs, len(src))
@@ -197,6 +246,21 @@ func (e *Encoder) AppendEncode(dst, src []byte) []byte {
 		dst = e.encodeBlock(dst, blockData, e.litBuf, p.seqs, i == len(plans)-1)
 	}
 	return e.appendChecksum(dst, src)
+}
+
+// AppendEncodeWithPlan compresses src like AppendEncode and additionally
+// returns the frame's Plan — the same structural facts Inspect would parse
+// back out of the frame, recorded for free during encoding. The Plan (and
+// its Seqs slices, which alias encoder scratch) is valid only until the next
+// Encode call on this encoder.
+func (e *Encoder) AppendEncodeWithPlan(dst, src []byte) ([]byte, *Plan) {
+	e.recordPlan = true
+	e.plan.Blocks = e.plan.Blocks[:0]
+	dst = e.AppendEncode(dst, src)
+	e.recordPlan = false
+	e.plan.WindowLog = e.params.WindowLog
+	e.plan.ContentSize = len(src)
+	return dst, &e.plan
 }
 
 // appendChecksum trails the frame with the content checksum when enabled.
@@ -275,6 +339,12 @@ func (e *Encoder) splitBlocks(seqs []lz77.Seq, total int) []blockPlan {
 		}
 	}
 	push := func(s lz77.Seq) {
+		if s.MatchLen == 0 {
+			// A terminal literal run carries no match: zero the offset so
+			// recorded plans compare equal to decoder-parsed sequences
+			// (which leave it 0). The wire format never encodes it.
+			s.Offset = 0
+		}
 		all = append(all, s)
 		cur.size += s.LitLen + s.MatchLen
 		room -= s.LitLen + s.MatchLen
@@ -321,8 +391,15 @@ func Encode(src []byte) []byte {
 }
 
 // encodeBlock appends one block (header + body) to dst. The caller supplies
-// the block's slice of the frame-wide parse and its literal bytes.
+// the block's slice of the frame-wide parse and its literal bytes. When plan
+// recording is on, one PlanBlock is appended describing the block as
+// actually emitted (RLE and raw fallbacks included).
 func (e *Encoder) encodeBlock(dst, block, literals []byte, seqs []lz77.Seq, last bool) []byte {
+	var pb *PlanBlock
+	if e.recordPlan {
+		e.plan.Blocks = append(e.plan.Blocks, PlanBlock{})
+		pb = &e.plan.Blocks[len(e.plan.Blocks)-1]
+	}
 	lastBit := byte(0)
 	if last {
 		lastBit = 1
@@ -332,20 +409,31 @@ func (e *Encoder) encodeBlock(dst, block, literals []byte, seqs []lz77.Seq, last
 	if allSame(block) {
 		dst = append(dst, byte(blockRLE<<1)|lastBit)
 		dst = ibits.AppendUvarint(dst, uint64(len(block)))
+		if pb != nil {
+			*pb = PlanBlock{Type: blockRLE, RawSize: len(block)}
+		}
 		return append(dst, block[0])
 	}
-	body := e.appendLiteralsSection(e.bodyBuf[:0], literals)
-	body = e.appendSequencesSection(body, seqs)
+	body := e.appendLiteralsSection(e.bodyBuf[:0], literals, pb)
+	body = e.appendSequencesSection(body, seqs, pb)
 	e.bodyBuf = body[:0] // keep the (possibly regrown) buffer for the next block
 	if len(body) >= len(block) {
 		// Incompressible: raw block.
 		dst = append(dst, byte(blockRaw<<1)|lastBit)
 		dst = ibits.AppendUvarint(dst, uint64(len(block)))
+		if pb != nil {
+			*pb = PlanBlock{Type: blockRaw, RawSize: len(block)}
+		}
 		return append(dst, block...)
 	}
 	dst = append(dst, byte(blockCompressed<<1)|lastBit)
 	dst = ibits.AppendUvarint(dst, uint64(len(block)))
 	dst = ibits.AppendUvarint(dst, uint64(len(body)))
+	if pb != nil {
+		pb.Type = blockCompressed
+		pb.RawSize = len(block)
+		pb.CompSize = len(body)
+	}
 	return append(dst, body...)
 }
 
@@ -360,50 +448,74 @@ func allSame(b []byte) bool {
 
 // appendLiteralsSection emits: mode byte, varint literal count, then for
 // Huffman mode a varint byte-length-prefixed bitstream holding the code
-// table and codes.
-func (e *Encoder) appendLiteralsSection(dst, literals []byte) []byte {
+// table and codes. pb, when non-nil, receives the literal-coding facts as a
+// decoder would parse them back.
+func (e *Encoder) appendLiteralsSection(dst, literals []byte, pb *PlanBlock) []byte {
 	if len(literals) == 0 {
 		dst = append(dst, litRaw)
+		if pb != nil {
+			pb.LitMode = litRaw
+		}
 		return ibits.AppendUvarint(dst, 0)
 	}
-	huffBytes := e.huffmanLiterals(literals)
+	huffBytes, maxBits, lensN := e.huffmanLiterals(literals)
 	if huffBytes == nil || len(huffBytes) >= len(literals) {
 		dst = append(dst, litRaw)
 		dst = ibits.AppendUvarint(dst, uint64(len(literals)))
+		if pb != nil {
+			pb.LitMode = litRaw
+			pb.LitCount = len(literals)
+		}
 		return append(dst, literals...)
 	}
 	dst = append(dst, litHuffman)
 	dst = ibits.AppendUvarint(dst, uint64(len(literals)))
 	dst = ibits.AppendUvarint(dst, uint64(len(huffBytes)))
+	if pb != nil {
+		pb.LitMode = litHuffman
+		pb.LitCount = len(literals)
+		pb.LitPayload = len(huffBytes)
+		pb.HuffMaxBits = maxBits
+		pb.HuffLensN = lensN
+	}
 	return append(dst, huffBytes...)
 }
 
-// huffmanLiterals returns the Huffman-coded literal stream (table + codes),
-// or nil if the literals are degenerate or incompressible.
-func (e *Encoder) huffmanLiterals(literals []byte) []byte {
+// huffmanLiterals returns the Huffman-coded literal stream (table + codes)
+// with the table's max code length and serialized length count, or nil if
+// the literals are degenerate or incompressible.
+func (e *Encoder) huffmanLiterals(literals []byte) (stream []byte, maxBits, lensN int) {
 	var hist [256]int
 	for _, b := range literals {
 		hist[b]++
 	}
-	table, err := huffman.Build(hist[:], e.params.HuffMaxBits)
+	table, err := e.huffB.Build(hist[:], e.params.HuffMaxBits)
 	if err != nil {
-		return nil
+		return nil, 0, 0
 	}
 	// The stream scratch is free here: sequence-section encoding only starts
 	// after the literals section is fully copied into the block body.
 	w := &e.streamBuf
 	w.Reset()
 	table.WriteTable(w)
-	if err := huffman.NewEncoder(table).Encode(w, literals); err != nil {
-		return nil
+	if err := e.huffB.Encoder().Encode(w, literals); err != nil {
+		return nil, 0, 0
 	}
-	return w.Bytes()
+	lensN = len(table.Lens)
+	for lensN > 0 && table.Lens[lensN-1] == 0 {
+		lensN--
+	}
+	return w.Bytes(), table.MaxBits, lensN
 }
 
 // appendSequencesSection emits: varint sequence count, then the three code
-// streams (LL, OF, ML) and the shared extra-bits stream.
-func (e *Encoder) appendSequencesSection(dst []byte, seqs []lz77.Seq) []byte {
+// streams (LL, OF, ML) and the shared extra-bits stream. pb, when non-nil,
+// receives the per-stream coding modes, table logs and the sequence list.
+func (e *Encoder) appendSequencesSection(dst []byte, seqs []lz77.Seq, pb *PlanBlock) []byte {
 	dst = ibits.AppendUvarint(dst, uint64(len(seqs)))
+	if pb != nil {
+		pb.Seqs = seqs
+	}
 	if len(seqs) == 0 {
 		return dst
 	}
@@ -435,9 +547,14 @@ func (e *Encoder) appendSequencesSection(dst []byte, seqs []lz77.Seq) []byte {
 		mlCodes[i], x, w = seqCode(uint32(s.MatchLen))
 		extras.WriteBits(uint64(x), uint(w))
 	}
-	dst = e.appendCodeStream(dst, llCodes)
-	dst = e.appendCodeStream(dst, ofCodes)
-	dst = e.appendCodeStream(dst, mlCodes)
+	for s, codes := range [3][]uint8{llCodes, ofCodes, mlCodes} {
+		var mode, tableLog int
+		dst, mode, tableLog = e.appendCodeStream(dst, codes)
+		if pb != nil {
+			pb.SeqModes[s] = mode
+			pb.FSETableLogs[s] = tableLog
+		}
+	}
 	eb := extras.Bytes()
 	dst = ibits.AppendUvarint(dst, uint64(len(eb)))
 	return append(dst, eb...)
@@ -446,9 +563,10 @@ func (e *Encoder) appendSequencesSection(dst []byte, seqs []lz77.Seq) []byte {
 // appendCodeStream emits one sequence-code stream: mode byte, varint byte
 // length, payload. FSE mode embeds the normalized counts ahead of the coded
 // bits; raw mode packs 6-bit codes (and is forced by DisableFSE, the
-// Flate-class configuration).
-func (e *Encoder) appendCodeStream(dst []byte, codes []uint8) []byte {
-	tableLog := e.params.TableLog
+// Flate-class configuration). Returns the coding mode chosen and the FSE
+// table log (0 in raw mode), matching what parseCodeStream reports.
+func (e *Encoder) appendCodeStream(dst []byte, codes []uint8) (out []byte, mode, tableLog int) {
+	tl := e.params.TableLog
 	var histBuf [maxSeqCode]int
 	hist := histBuf[:]
 	for _, c := range codes {
@@ -458,15 +576,16 @@ func (e *Encoder) appendCodeStream(dst []byte, codes []uint8) []byte {
 		hist = nil // fall through to the raw encoding below
 	}
 	w := &e.streamBuf // payload scratch; contents are copied into dst below
-	if norm, err := fse.Normalize(hist, tableLog); err == nil {
-		if enc, err := fse.NewEncTable(norm, tableLog); err == nil {
+	if norm, err := fse.AppendNormalize(e.normBuf[:0], hist, tl); err == nil {
+		e.normBuf = norm
+		if err := e.encTable.Init(norm, tl); err == nil {
 			w.Reset()
-			if fse.WriteNorm(w, norm, tableLog) == nil && enc.Encode(w, codes) == nil {
+			if fse.WriteNorm(w, norm, tl) == nil && e.encTable.Encode(w, codes) == nil {
 				payload := w.Bytes()
 				if len(payload) < (len(codes)*seqCodeBits+7)/8 {
 					dst = append(dst, seqFSE)
 					dst = ibits.AppendUvarint(dst, uint64(len(payload)))
-					return append(dst, payload...)
+					return append(dst, payload...), seqFSE, tl
 				}
 			}
 		}
@@ -479,5 +598,5 @@ func (e *Encoder) appendCodeStream(dst []byte, codes []uint8) []byte {
 	payload := w.Bytes()
 	dst = append(dst, seqRaw)
 	dst = ibits.AppendUvarint(dst, uint64(len(payload)))
-	return append(dst, payload...)
+	return append(dst, payload...), seqRaw, 0
 }
