@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all check vet build test race bench bench-json bench-resil-json bench-smoke trace-smoke chaos-smoke fuzz-smoke profile
+.PHONY: all check vet build test race bench bench-json bench-resil-json bench-cluster-json bench-smoke trace-smoke chaos-smoke fuzz-smoke profile
 
 all: check
 
@@ -17,10 +17,11 @@ build:
 test:
 	$(GO) test ./...
 
-# The scheduler, experiment caches and the sharded replay engine are the
-# concurrency-sensitive core; run them under the race detector.
+# The scheduler, experiment caches, the sharded replay engine and the replica
+# dispatcher are the concurrency-sensitive core; run them under the race
+# detector.
 race:
-	$(GO) test -race ./internal/exp/... ./internal/sim/...
+	$(GO) test -race ./internal/cluster/... ./internal/exp/... ./internal/sim/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
@@ -55,15 +56,26 @@ trace-smoke:
 	$(GO) run ./cmd/simbench -trace-smoke
 
 # Recovery gate: a stormed, recovered replay is byte-identical across worker
-# counts and the abort baseline fails on the same call everywhere.
+# counts and the abort baseline fails on the same call everywhere. The
+# failover half replays through replica groups under a device-lifecycle storm
+# and additionally pins the cluster path's bit-compat at Replicas=1 (the JSON
+# it prints is the cluster benchmark; `make bench-cluster-json` checks it in).
 chaos-smoke:
 	$(GO) run ./cmd/simbench -chaos-check
+	$(GO) run ./cmd/simbench -failover-check -calls 2000 -o /dev/null
 
 # Refresh the checked-in recovery-layer benchmark (zero policy vs full policy
 # under a 2% storm on the same call mix).
 bench-resil-json:
 	$(GO) run ./cmd/simbench -resil -o BENCH_resil.json
 	@cat BENCH_resil.json
+
+# Refresh the checked-in cluster benchmark (plain Replicas=1 engine vs a
+# 3-replica group under a 2% device-lifecycle storm on the same call mix:
+# dispatcher overhead and availability).
+bench-cluster-json:
+	$(GO) run ./cmd/simbench -failover-check -o BENCH_cluster.json
+	@cat BENCH_cluster.json
 
 # Adversarial-input smoke: run every native fuzz target for FUZZTIME each,
 # starting from the checked-in seed corpora (regenerate those with

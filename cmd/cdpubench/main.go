@@ -12,6 +12,7 @@
 //	cdpubench -files 500 -seed 2   # scale/seed overrides
 //	cdpubench -workers 4           # simulation worker-pool size
 //	cdpubench -calls 50000         # service-replay call count
+//	cdpubench -replicas 6          # failover-sweep max replica-group width
 //	cdpubench -csv out/            # also write each table as CSV
 //	cdpubench -metrics             # dump the metrics registry to stderr after
 //	                               # the run (cache traffic, bytes/placement,
@@ -41,6 +42,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "generation seed (default 1)")
 	workers := flag.Int("workers", 0, "simulation worker-pool size (default min(8, NumCPU-1))")
 	calls := flag.Int("calls", 0, "fleet calls per service-replay cell (default 10000)")
+	replicas := flag.Int("replicas", 0, "maximum replica-group width the failover sweep scales to (default 4)")
 	csvDir := flag.String("csv", "", "directory to write per-table CSV files into")
 	metrics := flag.Bool("metrics", false, "dump the metrics registry to stderr after the run")
 	flag.Parse()
@@ -60,13 +62,17 @@ func main() {
 	if *calls > 0 {
 		cfg.ReplayCalls = *calls
 	}
+	if *replicas > 0 {
+		cfg.Replicas = *replicas
+	}
 
 	var ids []string
 	switch {
 	case *all:
 		ids = []string{"fig7", "fig11", "fig12", "fig13", "fig14", "fig15", "dse-summary",
 			"ablation-hash", "ablation-fse", "ablation-stats",
-			"chaining", "pipelines", "deployment", "levels", "fault-sweep", "fleet-replay", "chaos-sweep"}
+			"chaining", "pipelines", "deployment", "levels", "fault-sweep", "fleet-replay", "chaos-sweep",
+			"failover-sweep"}
 	case *summary:
 		ids = []string{"dse-summary"}
 	case *ablation != "":

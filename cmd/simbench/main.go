@@ -30,6 +30,17 @@
 //	simbench -resil                 # benchmark the recovery layer: zero policy
 //	                                # vs full policy under a storm, as JSON
 //	                                # (BENCH_resil.json via `make bench-resil-json`)
+//	simbench -failover-check        # cluster smoke + bench: a replicated replay
+//	                                # under a device-lifecycle storm is
+//	                                # byte-identical across worker counts, the
+//	                                # cluster path at Replicas=1 with the zero
+//	                                # policy reproduces the single-device engine
+//	                                # bit for bit, the no-failover crash baseline
+//	                                # aborts on the same call everywhere; then
+//	                                # emits overhead vs the Replicas=1 baseline
+//	                                # and availability under a 2% lifecycle storm
+//	                                # as JSON (BENCH_cluster.json via
+//	                                # `make bench-cluster-json`)
 //	simbench -http :6060            # serve net/http/pprof + expvar (including
 //	                                # the metrics registry) during the run
 package main
@@ -48,6 +59,7 @@ import (
 	"sort"
 	"testing"
 
+	"cdpu/internal/cluster"
 	"cdpu/internal/comp"
 	"cdpu/internal/core"
 	"cdpu/internal/corpus"
@@ -176,6 +188,7 @@ func main() {
 	traceSmoke := flag.Bool("trace-smoke", false, "smoke mode: verify the observability layer, skip timing")
 	chaosCheck := flag.Bool("chaos-check", false, "smoke mode: verify the recovery layer under a fault storm, skip timing")
 	resilBench := flag.Bool("resil", false, "benchmark zero policy vs full recovery policy under a storm, emit JSON")
+	failoverCheck := flag.Bool("failover-check", false, "cluster smoke + bench: verify failover determinism, emit overhead/availability JSON")
 	httpAddr := flag.String("http", "", "serve net/http/pprof and expvar metrics on this address during the run")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the timed replays here")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile after the timed replays here")
@@ -236,6 +249,18 @@ func main() {
 	}
 	if *resilBench {
 		benchResil(cfg, *workers, *out)
+		return
+	}
+	if *failoverCheck {
+		smokeCfg := cfg
+		smokeCfg.Calls = min(cfg.Calls, 500)
+		if err := smokeFailover(smokeCfg); err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "simbench: clustered %d-call replay identical at 1 and %d workers; R=1 bit-compat holds; crash baseline aborted deterministically\n",
+			smokeCfg.Calls, smokeWorkers())
+		benchCluster(cfg, *workers, *out)
 		return
 	}
 
@@ -554,6 +579,188 @@ func benchResil(cfg sim.Config, workers int, out string) {
 	}
 	if baseline.NsPerCall > 0 {
 		res.OverheadPct = 100 * (recovered.NsPerCall - baseline.NsPerCall) / baseline.NsPerCall
+	}
+	enc, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// benchFailoverPolicy mirrors the failover-sweep experiment's reference
+// cluster policy.
+func benchFailoverPolicy() cluster.FailoverPolicy {
+	return cluster.FailoverPolicy{
+		MaxFailovers:          3,
+		FailoverPenaltyCycles: 2000,
+		BreakerFailures:       3,
+		BreakerWindow:         32,
+		BreakerErrorRate:      0.5,
+		BreakerOpenCycles:     2e5,
+		BreakerHalfOpenProbes: 2,
+		Hedge:                 true,
+		HedgeDelayCycles:      120000,
+		CrashDetectCycles:     4000,
+		RestartCycles:         50000,
+	}
+}
+
+func benchLifecycle(seed int64, rate float64) *fault.Lifecycle {
+	return &fault.Lifecycle{Seed: seed + 2000, Rate: rate, EpochCalls: 64, MeanEventCalls: 24}
+}
+
+// smokeFailover pins the cluster layer's three standing guarantees cheaply:
+// (1) a replicated replay under a crash/hang/brownout lifecycle storm with
+// failover and hedging produces a byte-identical Report at 1 and N workers;
+// (2) forcing the cluster dispatcher at Replicas=1 with the zero failover
+// policy (via an event-free lifecycle) reproduces the single-device engine
+// bit for bit; (3) the no-failover crash baseline aborts, naming the same
+// lowest failing call at every worker count.
+func smokeFailover(cfg sim.Config) error {
+	clustered := cfg
+	clustered.Replicas = 3
+	clustered.Resilience = benchPolicy()
+	clustered.Failover = benchFailoverPolicy()
+	clustered.Lifecycle = benchLifecycle(cfg.Seed, 0.2)
+	clustered.Workers = 1
+	serial, err := sim.Run(clustered)
+	if err != nil {
+		return fmt.Errorf("clustered serial replay: %w", err)
+	}
+	clustered.Workers = smokeWorkers()
+	sharded, err := sim.Run(clustered)
+	if err != nil {
+		return fmt.Errorf("clustered sharded replay: %w", err)
+	}
+	if *serial != *sharded {
+		return fmt.Errorf("clustered report differs between 1 and %d workers:\n  %+v\n  %+v", clustered.Workers, serial, sharded)
+	}
+
+	plain := cfg
+	want, err := sim.Run(plain)
+	if err != nil {
+		return err
+	}
+	forced := cfg
+	forced.Replicas = 1
+	forced.Lifecycle = &fault.Lifecycle{Seed: 1, Rate: 0} // cluster path, zero events
+	got, err := sim.Run(forced)
+	if err != nil {
+		return err
+	}
+	if *got != *want {
+		return fmt.Errorf("cluster path at Replicas=1 + zero policy differs from the single-device engine:\n  %+v\n  %+v", got, want)
+	}
+
+	abortCfg := cfg
+	abortCfg.Replicas = 2
+	abortCfg.Lifecycle = &fault.Lifecycle{Seed: cfg.Seed + 3000, Rate: 1,
+		Kinds: []fault.LifeKind{fault.LifeCrash}, EpochCalls: 32, MeanEventCalls: 1 << 20}
+	abortCfg.Workers = 1
+	_, serialErr := sim.Run(abortCfg)
+	if serialErr == nil {
+		return fmt.Errorf("no-failover crash baseline survived")
+	}
+	abortCfg.Workers = smokeWorkers()
+	_, shardedErr := sim.Run(abortCfg)
+	if shardedErr == nil {
+		return fmt.Errorf("no-failover crash baseline survived at %d workers", abortCfg.Workers)
+	}
+	if serialErr.Error() != shardedErr.Error() {
+		return fmt.Errorf("abort error differs between 1 and %d workers:\n  %v\n  %v", abortCfg.Workers, serialErr, shardedErr)
+	}
+	return nil
+}
+
+// benchCluster times the plain Replicas=1 engine against a 3-replica group
+// under a 2% device-lifecycle storm with the full failover policy, on the
+// same call mix, and emits both as JSON — the checked-in BENCH_cluster.json
+// records what replication costs in wall clock and what it buys in
+// availability.
+func benchCluster(cfg sim.Config, workers int, out string) {
+	const replicas = 3
+	const lifecycleRate = 0.02
+	time := func(c sim.Config) (result, *sim.Report) {
+		var last *sim.Report
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := sim.Run(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+		})
+		perRun := float64(br.NsPerOp())
+		return result{
+			Calls:       c.Calls,
+			Workers:     workers,
+			CPUs:        runtime.NumCPU(),
+			Runs:        br.N,
+			NsPerCall:   perRun / float64(c.Calls),
+			AllocsCall:  float64(br.AllocsPerOp()) / float64(c.Calls),
+			BytesCall:   float64(br.AllocedBytesPerOp()) / float64(c.Calls),
+			CallsPerSec: float64(c.Calls) / (perRun / 1e9),
+		}, last
+	}
+	baseline, _ := time(cfg)
+	clustered := cfg
+	clustered.Replicas = replicas
+	clustered.Resilience = benchPolicy()
+	clustered.Failover = benchFailoverPolicy()
+	clustered.Lifecycle = benchLifecycle(cfg.Seed, lifecycleRate)
+	stormed, report := time(clustered)
+
+	res := struct {
+		Baseline  result `json:"baseline"`
+		Clustered result `json:"clustered"`
+		Replicas  int    `json:"replicas"`
+		// LifecycleRate is the per-(replica, epoch) event probability of the
+		// crash/hang/brownout storm the clustered run rides.
+		LifecycleRate float64 `json:"lifecycle_rate"`
+		// Availability is the served fraction of offered calls under the
+		// storm (device or verified fallback; sheds are the only loss).
+		Availability    float64 `json:"availability"`
+		DeviceServed    int     `json:"device_served_calls"`
+		Degraded        int     `json:"degraded_calls"`
+		Shed            int     `json:"shed_calls"`
+		Failovers       int     `json:"failovers"`
+		HedgedCalls     int     `json:"hedged_calls"`
+		HedgeWins       int     `json:"hedge_wins"`
+		BreakerOpens    int     `json:"breaker_opens"`
+		ReplicaRestarts int     `json:"replica_restarts"`
+		UnavailCycles   float64 `json:"unavailable_cycles"`
+		// OverheadPct is the wall-clock cost of the replica dispatcher plus
+		// the storm's failover traffic, relative to the plain engine.
+		OverheadPct float64 `json:"overhead_pct"`
+	}{
+		Baseline:        baseline,
+		Clustered:       stormed,
+		Replicas:        replicas,
+		LifecycleRate:   lifecycleRate,
+		Availability:    float64(report.Calls-report.ShedCalls) / float64(report.Calls),
+		DeviceServed:    report.Calls - report.ShedCalls - report.DegradedCalls,
+		Degraded:        report.DegradedCalls,
+		Shed:            report.ShedCalls,
+		Failovers:       report.Failovers,
+		HedgedCalls:     report.HedgedCalls,
+		HedgeWins:       report.HedgeWins,
+		BreakerOpens:    report.BreakerOpens,
+		ReplicaRestarts: report.ReplicaRestarts,
+		UnavailCycles:   report.UnavailableCycles,
+	}
+	if baseline.NsPerCall > 0 {
+		res.OverheadPct = 100 * (stormed.NsPerCall - baseline.NsPerCall) / baseline.NsPerCall
 	}
 	enc, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {

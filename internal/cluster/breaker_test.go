@@ -1,0 +1,212 @@
+package cluster
+
+import "testing"
+
+// step is one scripted breaker interaction.
+type step struct {
+	op        string  // "observe", "ok", "fail"
+	at        float64 // modeled time
+	wantState BreakerState
+	wantOpens int
+}
+
+// TestBreakerTransitions exhaustively scripts the closed→open→half-open→
+// closed machine: both trip conditions, the open deadline, the half-open
+// probe budget, and re-open on probe failure.
+func TestBreakerTransitions(t *testing.T) {
+	cases := []struct {
+		name  string
+		b     Breaker
+		steps []step
+	}{
+		{
+			name: "consecutive failures trip at threshold",
+			b:    Breaker{Failures: 3, OpenCycles: 100},
+			steps: []step{
+				{"fail", 0, BreakerClosed, 0},
+				{"fail", 1, BreakerClosed, 0},
+				{"fail", 2, BreakerOpen, 1},
+			},
+		},
+		{
+			name: "success resets the consecutive count",
+			b:    Breaker{Failures: 3, OpenCycles: 100},
+			steps: []step{
+				{"fail", 0, BreakerClosed, 0},
+				{"fail", 1, BreakerClosed, 0},
+				{"ok", 2, BreakerClosed, 0},
+				{"fail", 3, BreakerClosed, 0},
+				{"fail", 4, BreakerClosed, 0},
+				{"fail", 5, BreakerOpen, 1},
+			},
+		},
+		{
+			name: "windowed error rate trips only on a full window",
+			b:    Breaker{Window: 4, ErrorRate: 0.5, OpenCycles: 100},
+			steps: []step{
+				{"fail", 0, BreakerClosed, 0},
+				{"fail", 1, BreakerClosed, 0}, // 2/2 failures but window not full
+				{"ok", 2, BreakerClosed, 0},
+				{"ok", 3, BreakerClosed, 0}, // full at 2/4 = 0.5, but rate checks on failure
+				{"fail", 4, BreakerOpen, 1}, // slides to {fail,ok,ok,fail} = 0.5 and trips
+			},
+		},
+		{
+			name: "windowed rate below threshold never trips",
+			b:    Breaker{Window: 4, ErrorRate: 0.75, OpenCycles: 100},
+			steps: []step{
+				{"fail", 0, BreakerClosed, 0},
+				{"ok", 1, BreakerClosed, 0},
+				{"fail", 2, BreakerClosed, 0},
+				{"ok", 3, BreakerClosed, 0},
+				{"fail", 4, BreakerClosed, 0}, // slides to {ok,fail,ok,fail} = 0.5 < 0.75
+				{"ok", 5, BreakerClosed, 0},
+			},
+		},
+		{
+			name: "open holds until the deadline, then half-open",
+			b:    Breaker{Failures: 1, OpenCycles: 100, HalfOpenProbes: 1},
+			steps: []step{
+				{"fail", 10, BreakerOpen, 1},
+				{"observe", 50, BreakerOpen, 1},
+				{"observe", 109.9, BreakerOpen, 1},
+				{"observe", 110, BreakerHalfOpen, 1},
+			},
+		},
+		{
+			name: "half-open closes after the probe budget",
+			b:    Breaker{Failures: 1, OpenCycles: 10, HalfOpenProbes: 3},
+			steps: []step{
+				{"fail", 0, BreakerOpen, 1},
+				{"observe", 10, BreakerHalfOpen, 1},
+				{"ok", 11, BreakerHalfOpen, 1},
+				{"ok", 12, BreakerHalfOpen, 1},
+				{"ok", 13, BreakerClosed, 1},
+			},
+		},
+		{
+			name: "half-open probe budget defaults to one",
+			b:    Breaker{Failures: 1, OpenCycles: 10},
+			steps: []step{
+				{"fail", 0, BreakerOpen, 1},
+				{"observe", 10, BreakerHalfOpen, 1},
+				{"ok", 11, BreakerClosed, 1},
+			},
+		},
+		{
+			name: "probe failure re-opens immediately",
+			b:    Breaker{Failures: 2, OpenCycles: 10, HalfOpenProbes: 2},
+			steps: []step{
+				{"fail", 0, BreakerClosed, 0},
+				{"fail", 1, BreakerOpen, 1},
+				{"observe", 11, BreakerHalfOpen, 1},
+				{"ok", 12, BreakerHalfOpen, 1},
+				{"fail", 13, BreakerOpen, 2},
+				{"observe", 23, BreakerHalfOpen, 2},
+				{"ok", 24, BreakerHalfOpen, 2},
+				{"ok", 25, BreakerClosed, 2},
+			},
+		},
+		{
+			name: "closing resets both trip conditions",
+			b:    Breaker{Failures: 2, Window: 2, ErrorRate: 1.0, OpenCycles: 10, HalfOpenProbes: 1},
+			steps: []step{
+				{"fail", 0, BreakerClosed, 0},
+				{"fail", 1, BreakerOpen, 1},
+				{"observe", 11, BreakerHalfOpen, 1},
+				{"ok", 12, BreakerClosed, 1},
+				// One failure after closing must not trip on stale state.
+				{"fail", 13, BreakerClosed, 1},
+				{"ok", 14, BreakerClosed, 1},
+				{"fail", 15, BreakerClosed, 1},
+				{"fail", 16, BreakerOpen, 2},
+			},
+		},
+		{
+			name: "disabled breaker never opens",
+			b:    Breaker{},
+			steps: []step{
+				{"fail", 0, BreakerClosed, 0},
+				{"fail", 1, BreakerClosed, 0},
+				{"fail", 2, BreakerClosed, 0},
+				{"fail", 3, BreakerClosed, 0},
+				{"observe", 100, BreakerClosed, 0},
+			},
+		},
+		{
+			name: "zero open-cycles transitions to half-open at the next observe",
+			b:    Breaker{Failures: 1, HalfOpenProbes: 1},
+			steps: []step{
+				{"fail", 5, BreakerOpen, 1},
+				{"observe", 5, BreakerHalfOpen, 1},
+				{"ok", 6, BreakerClosed, 1},
+			},
+		},
+		{
+			name: "both conditions configured, whichever trips first wins",
+			b:    Breaker{Failures: 5, Window: 2, ErrorRate: 1.0, OpenCycles: 10},
+			steps: []step{
+				{"fail", 0, BreakerClosed, 0},
+				{"fail", 1, BreakerOpen, 1}, // window 2/2 before 5 consecutive
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.b
+			for si, s := range tc.steps {
+				switch s.op {
+				case "observe":
+					b.Observe(s.at)
+				case "ok":
+					b.Observe(s.at)
+					b.OnSuccess(s.at)
+				case "fail":
+					b.Observe(s.at)
+					b.OnFailure(s.at)
+				default:
+					t.Fatalf("bad op %q", s.op)
+				}
+				if got := b.State(); got != s.wantState {
+					t.Fatalf("step %d (%s @%v): state %v, want %v", si, s.op, s.at, got, s.wantState)
+				}
+				if got := b.Opens(); got != s.wantOpens {
+					t.Fatalf("step %d (%s @%v): opens %d, want %d", si, s.op, s.at, got, s.wantOpens)
+				}
+			}
+		})
+	}
+}
+
+func TestBreakerUnavailableAccounting(t *testing.T) {
+	b := Breaker{Failures: 1, OpenCycles: 100}
+	b.OnFailure(10) // open [10, 110)
+	b.Observe(50)
+	if got := b.UnavailableCycles(); got != 0 {
+		t.Fatalf("unavailability booked before the window closed: %v", got)
+	}
+	b.Observe(120) // transitions at deadline: the full window books
+	if got := b.UnavailableCycles(); got != 100 {
+		t.Fatalf("completed open window unavailability = %v, want 100", got)
+	}
+	// A window still open at the end of the replay books its elapsed time,
+	// clamped to the deadline.
+	b.OnFailure(200) // half-open probe failure -> re-open [200, 300)
+	b.Finish(250)
+	if got := b.UnavailableCycles(); got != 150 {
+		t.Fatalf("after Finish(250): unavailability = %v, want 150", got)
+	}
+	b2 := Breaker{Failures: 1, OpenCycles: 100}
+	b2.OnFailure(0)
+	b2.Finish(500) // past the deadline: clamp to the window
+	if got := b2.UnavailableCycles(); got != 100 {
+		t.Fatalf("clamped Finish unavailability = %v, want 100", got)
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	if BreakerClosed.String() != "closed" || BreakerOpen.String() != "open" ||
+		BreakerHalfOpen.String() != "half-open" {
+		t.Fatal("BreakerState strings wrong")
+	}
+}

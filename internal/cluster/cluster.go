@@ -1,0 +1,594 @@
+// Package cluster models a replica group of CDPU devices behind a
+// deterministic failover dispatcher — the resilience tier between the
+// per-pipeline recovery of internal/resil and the fleet replay of
+// internal/sim. One Group owns N identical replicas (physical cards, each
+// with the device's pipeline count); calls arrive in modeled time, and the
+// dispatcher routes each one through per-replica circuit breakers, failover
+// re-dispatch, optional hedged dispatch, and the device-lifecycle weather of
+// a fault.Lifecycle schedule (crash / hang / brownout / warm restart).
+//
+// Everything runs on the modeled clock in one serial pass per group, so a
+// replay embedding Groups stays byte-identical at any worker count: the only
+// inputs are the call list (index-addressed, precomputed in a parallel phase)
+// and pure seeded schedules.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"cdpu/internal/core"
+	"cdpu/internal/fault"
+	"cdpu/internal/obs"
+	"cdpu/internal/resil"
+	"cdpu/internal/stats"
+)
+
+// Failover outcome instruments; they reconcile with the Totals a Replay
+// returns (and, one level up, with sim.Report counters).
+var (
+	metricFailovers = obs.Default().Counter("cluster.failovers")
+	metricHedged    = obs.Default().Counter("cluster.hedged_calls")
+	metricHedgeWins = obs.Default().Counter("cluster.hedge_wins")
+	metricOpens     = obs.Default().Counter("cluster.breaker_opens")
+	metricRestarts  = obs.Default().Counter("cluster.replica_restarts")
+	metricSwServed  = obs.Default().Counter("cluster.sw_served")
+)
+
+// ErrNoReplica is the underlying cause when a call finds no replica able to
+// serve it and the policy allows no software fallback.
+var ErrNoReplica = errors.New("cluster: no replica available")
+
+// FailoverPolicy parameterizes the dispatcher. The zero value disables every
+// mechanism: no failover, no breakers, no hedging — a single-candidate
+// dispatch that aborts when the replica is sick, mirroring the historical
+// abort-on-first-fault contract of the zero resil.Policy.
+type FailoverPolicy struct {
+	// MaxFailovers is how many additional replicas a failed dispatch may try
+	// (0 = the call lives or dies on its first candidate).
+	MaxFailovers int
+	// FailoverPenaltyCycles is charged into the call's modeled latency per
+	// failover hop (re-dispatch overhead: doorbell, descriptor rewrite).
+	FailoverPenaltyCycles float64
+	// BreakerFailures / BreakerWindow / BreakerErrorRate / BreakerOpenCycles /
+	// BreakerHalfOpenProbes parameterize each replica's Breaker; see Breaker.
+	BreakerFailures       int
+	BreakerWindow         int
+	BreakerErrorRate      float64
+	BreakerOpenCycles     float64
+	BreakerHalfOpenProbes int
+	// Hedge enables hedged dispatch: when a call's primary would keep the
+	// caller waiting past the hedge delay (queue plus service, measured from
+	// dispatch), a second dispatch fires on the next candidate and the first
+	// completion wins; the loser is cancelled and only its occupancy up to
+	// the cancel instant is charged.
+	Hedge bool
+	// HedgeDelayCycles fixes the hedge delay; 0 derives it from the running
+	// P99 of served dispatch-to-completion waits (hedging stays off until
+	// enough samples accumulate).
+	HedgeDelayCycles float64
+	// CrashDetectCycles is the modeled cost of discovering a crashed replica
+	// (dead doorbell timeout) before failing over (0 = 4000).
+	CrashDetectCycles float64
+	// RestartCycles is the warm-restart charge when a crashed replica rejoins
+	// (0 = placement-aware: pipelines × the device's PipelineResetCycles).
+	RestartCycles float64
+}
+
+// Enabled reports whether any failover mechanism is configured.
+func (p FailoverPolicy) Enabled() bool { return p != FailoverPolicy{} }
+
+func (p FailoverPolicy) crashDetect() float64 {
+	if p.CrashDetectCycles > 0 {
+		return p.CrashDetectCycles
+	}
+	return 4000
+}
+
+func (p FailoverPolicy) restart(pipelines int, reset float64) float64 {
+	if p.RestartCycles > 0 {
+		return p.RestartCycles
+	}
+	return float64(pipelines) * reset
+}
+
+func (p FailoverPolicy) breaker() Breaker {
+	return Breaker{
+		Failures:       p.BreakerFailures,
+		Window:         p.BreakerWindow,
+		ErrorRate:      p.BreakerErrorRate,
+		OpenCycles:     p.BreakerOpenCycles,
+		HalfOpenProbes: p.BreakerHalfOpenProbes,
+	}
+}
+
+// Call is one precomputed call entering the group, in arrival order. Service
+// and the annotations are produced by a parallel execution phase; the
+// dispatcher only does deterministic queueing arithmetic with them.
+type Call struct {
+	// Arrival is the submission time in device cycles (non-decreasing).
+	Arrival float64
+	// Index is the call's global replay index — the key into the lifecycle
+	// schedule and the identity reported on an abort.
+	Index int
+	// Service is the healthy device service time in cycles.
+	Service float64
+	// Post is latency observed after the device (a phase-B software-fallback
+	// tail); charged to the call, not to pipeline occupancy.
+	Post float64
+	// Faults counts the device-fault events the call's dispatches inflicted
+	// (feeds pipeline quarantine).
+	Faults int
+	// Degraded marks a call already served by the phase-B software fallback.
+	Degraded bool
+	// Brown is the degraded-bandwidth service time used when the serving
+	// replica is browned out (0 = fall back to Service).
+	Brown float64
+	// HangBudget is the watchdog budget a hung dispatch burns before failing.
+	HangBudget float64
+	// Software is the software service time for serving the call when no
+	// replica is available (0 = no software fallback, the group aborts).
+	Software float64
+	// Bytes is the call's uncompressed size (goodput accounting upstream).
+	Bytes int
+}
+
+// Totals aggregates the failover outcomes of one Replay.
+type Totals struct {
+	Failovers         int     // re-dispatch hops after a failed attempt
+	HedgedCalls       int     // calls that fired a hedge dispatch
+	HedgeWins         int     // hedges that completed before the primary
+	BreakerOpens      int     // breaker open transitions across replicas
+	ReplicaRestarts   int     // warm restarts of rejoining crashed replicas
+	UnavailableCycles float64 // summed modeled time replicas spent open
+	SwServed          int     // calls served in software with all replicas down
+	Degraded          int     // SwServed calls not already degraded in phase B
+	Dispatches        []int   // served calls per replica (hedge wins count for the hedge)
+}
+
+// CallError reports the lowest-index call a Group could not serve; the sim
+// layer merges CallErrors across groups by Index so the surfaced abort is
+// the first failure a serial run would hit.
+type CallError struct {
+	Index int
+	Err   error
+}
+
+func (e *CallError) Error() string { return fmt.Sprintf("call %d: %v", e.Index, e.Err) }
+func (e *CallError) Unwrap() error { return e.Err }
+
+// Group is one deviceOrder slot's replica set.
+type Group struct {
+	// Replicas is the replica count (minimum 1).
+	Replicas int
+	// Pipelines per replica.
+	Pipelines int
+	// ResetCycles is the device's placement-aware pipeline reset cost — the
+	// quarantine default and the per-pipeline unit of the warm-restart charge.
+	ResetCycles float64
+	// Unit names the device in abort errors (core.Config.Name()).
+	Unit string
+	// Resil supplies the group-level admission queue (MaxQueue), the
+	// quarantine thresholds, and whether software fallback may serve a call
+	// when every replica is down.
+	Resil resil.Policy
+	// Policy is the failover policy.
+	Policy FailoverPolicy
+	// Lifecycle is the seeded device-lifecycle schedule (nil = always
+	// healthy).
+	Lifecycle *fault.Lifecycle
+}
+
+// hedgeMinSamples gates P99-derived hedging until the running histogram has
+// seen enough served calls to estimate a tail.
+const hedgeMinSamples = 64
+
+// svcHist is a log2 histogram of served dispatch-to-completion waits (queue
+// plus service) — the running P99 estimate behind the derived hedge delay.
+// Bin b covers [2^(b-1), 2^b).
+type svcHist struct {
+	n    int
+	bins [65]int
+}
+
+func (h *svcHist) observe(v float64) {
+	h.bins[svcBin(v)]++
+	h.n++
+}
+
+func svcBin(v float64) int {
+	if v < 1 {
+		return 0
+	}
+	if v >= float64(uint64(1)<<62) {
+		return 63
+	}
+	return bits.Len64(uint64(v))
+}
+
+// delay returns the hedge delay: the override when set, else the histogram's
+// P99 bin upper bound once hedgeMinSamples have accumulated.
+func (h *svcHist) delay(override float64) (float64, bool) {
+	if override > 0 {
+		return override, true
+	}
+	if h.n < hedgeMinSamples {
+		return 0, false
+	}
+	rank := (h.n*99 + 99) / 100
+	cum := 0
+	for b, c := range h.bins {
+		cum += c
+		if cum >= rank {
+			return float64(uint64(1) << uint(min(b, 63))), true
+		}
+	}
+	return 0, false
+}
+
+// minFree returns the earliest next-free time across one replica's pipelines.
+func minFree(free []float64) float64 {
+	m := free[0]
+	for _, f := range free[1:] {
+		if f < m {
+			m = f
+		}
+	}
+	return m
+}
+
+// earliest returns the index of the earliest-free pipeline.
+func earliest(free []float64) int {
+	p := 0
+	for k := 1; k < len(free); k++ {
+		if free[k] < free[p] {
+			p = k
+		}
+	}
+	return p
+}
+
+// order rebuilds the candidate list for one dispatch: half-open replicas
+// first in ascending index (probes rebuild confidence before load returns),
+// then closed replicas by earliest-free time. Equal-free closed replicas —
+// the common case under light load, where every pipeline is already idle —
+// round-robin on the call's global index rather than always electing replica
+// 0, so dispatch spreads across the group and every replica's lifecycle is
+// actually exercised. Open replicas are excluded. Deterministic by
+// construction: the rotation depends only on the call index and the
+// insertion sort is stable.
+func order(cand []int, free [][]float64, brk []Breaker, rot int) []int {
+	cand = cand[:0]
+	for r := range brk {
+		if brk[r].State() == BreakerHalfOpen {
+			cand = append(cand, r)
+		}
+	}
+	closed := len(cand)
+	for k := range brk {
+		r := (rot + k) % len(brk)
+		if brk[r].State() == BreakerClosed {
+			cand = append(cand, r)
+		}
+	}
+	sorted := cand[closed:]
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && minFree(free[sorted[j]]) < minFree(free[sorted[j-1]]); j-- {
+			sorted[j-1], sorted[j] = sorted[j], sorted[j-1]
+		}
+	}
+	return cand
+}
+
+// Replay dispatches calls (sorted by Arrival) across the group's replicas in
+// one deterministic serial pass and returns per-call results, the device
+// statistics of the whole group (utilization is over replicas × pipelines),
+// and the failover totals. On an unservable call it returns a *CallError
+// carrying the call's global Index; because calls are processed in order,
+// that is the lowest failing index in the group.
+func (g *Group) Replay(calls []Call) ([]core.JobResult, core.DeviceStats, Totals, error) {
+	nR := max(1, g.Replicas)
+	nP := max(1, g.Pipelines)
+	tot := Totals{Dispatches: make([]int, nR)}
+	if len(calls) == 0 {
+		return nil, core.DeviceStats{}, tot, nil
+	}
+	free := make([][]float64, nR)
+	for r := range free {
+		free[r] = make([]float64, nP)
+	}
+	brk := make([]Breaker, nR)
+	for r := range brk {
+		brk[r] = g.Policy.breaker()
+	}
+	needRestart := make([]bool, nR)
+	results := make([]core.JobResult, len(calls))
+	var faultLog [][]float64
+	if g.Resil.QuarantineK > 0 {
+		faultLog = make([][]float64, nR*nP)
+	}
+	var pending []float64
+	pendingHead := 0
+	var hist svcHist
+	cand := make([]int, 0, nR)
+	busy := 0.0
+	first := calls[0].Arrival
+	lastDone := 0.0
+	served, shed, quar := 0, 0, 0
+	maxAttempts := 1 + max(0, g.Policy.MaxFailovers)
+
+	for i := range calls {
+		c := &calls[i]
+		if i > 0 && c.Arrival < calls[i-1].Arrival {
+			return nil, core.DeviceStats{}, tot, fmt.Errorf("cluster: calls not sorted by arrival")
+		}
+		for _, v := range [4]float64{c.Service, c.Post, c.Brown, c.HangBudget} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return nil, core.DeviceStats{}, tot,
+					fmt.Errorf("cluster: call %d cycles %v (want finite, non-negative)", c.Index, v)
+			}
+		}
+		// Group-level admission: one logical queue in front of the replica
+		// set, same FIFO-window bookkeeping as core.ReplayPolicy.
+		if g.Resil.MaxQueue > 0 {
+			for pendingHead < len(pending) && pending[pendingHead] <= c.Arrival {
+				pendingHead++
+			}
+			if len(pending)-pendingHead >= g.Resil.MaxQueue {
+				results[i] = core.JobResult{Start: c.Arrival, Pipeline: -1, Err: resil.ErrShed}
+				shed++
+				resil.MetricSheds.Inc()
+				continue
+			}
+		}
+		now := c.Arrival
+		for r := range brk {
+			brk[r].Observe(now)
+		}
+		cand = order(cand, free, brk, max(0, c.Index))
+
+		servedOK := false
+		var start, done, svc, prevFree float64
+		var sr, sp int
+		ai := 0
+		for attempt := 0; ai < len(cand) && attempt < maxAttempts; attempt++ {
+			r := cand[ai]
+			ai++
+			if attempt > 0 {
+				now += g.Policy.FailoverPenaltyCycles
+				tot.Failovers++
+				metricFailovers.Inc()
+			}
+			kind, sick := g.Lifecycle.State(r, c.Index)
+			if sick && kind == fault.LifeCrash {
+				// Dead doorbell: the detect timeout elapses, the replica is
+				// marked for warm restart when its window ends.
+				now += g.Policy.crashDetect()
+				needRestart[r] = true
+				brk[r].OnFailure(now)
+				continue
+			}
+			if sick && kind == fault.LifeHang {
+				// The dispatch is accepted and never completes: it holds a
+				// pipeline for the watchdog budget, then fails.
+				p := earliest(free[r])
+				hs := math.Max(now, free[r][p])
+				he := hs + c.HangBudget
+				free[r][p] = he
+				busy += c.HangBudget
+				if he > lastDone {
+					lastDone = he
+				}
+				now = he
+				brk[r].OnFailure(now)
+				continue
+			}
+			if needRestart[r] {
+				// The replica's crash window has ended; it rejoins through a
+				// warm restart charged on every pipeline before serving.
+				rc := g.Policy.restart(nP, g.ResetCycles)
+				for p := range free[r] {
+					free[r][p] = math.Max(free[r][p], now) + rc
+				}
+				busy += rc * float64(nP)
+				needRestart[r] = false
+				tot.ReplicaRestarts++
+				metricRestarts.Inc()
+			}
+			svc = c.Service
+			if sick && c.Brown > 0 { // kind == LifeBrownout: the only sick kind left
+				svc = c.Brown
+			}
+			sp = earliest(free[r])
+			prevFree = free[r][sp]
+			start = math.Max(now, free[r][sp])
+			done = start + svc
+			free[r][sp] = done
+			busy += svc
+			sr = r
+			servedOK = true
+			break
+		}
+
+		if !servedOK {
+			// Every candidate was sick or every breaker open: the group is
+			// dark for this call. Software fallback keeps serving when the
+			// policy allows it; otherwise this is the deterministic abort.
+			if g.Resil.SoftwareFallback && c.Software > 0 {
+				done = now + c.Software
+				if done > lastDone {
+					lastDone = done
+				}
+				results[i] = core.JobResult{
+					Service: c.Software, Latency: done - c.Arrival + c.Post,
+					Start: now, Pipeline: -1,
+				}
+				served++
+				tot.SwServed++
+				metricSwServed.Inc()
+				if !c.Degraded {
+					tot.Degraded++
+					resil.MetricFallbacks.Inc()
+				}
+				if g.Resil.MaxQueue > 0 {
+					pending = append(pending, now)
+				}
+				continue
+			}
+			finishBreakers(brk, &tot, lastDone)
+			return nil, core.DeviceStats{}, tot, &CallError{
+				Index: c.Index,
+				Err: &core.DeviceError{
+					Reason: "replica-down", Unit: g.Unit,
+					Cycles: now - c.Arrival, Err: ErrNoReplica,
+				},
+			}
+		}
+
+		// Hedged dispatch runs on the dispatch clock: if the primary would
+		// keep the caller waiting past the hedge delay — deep queue, browned
+		// replica, slow call — a second dispatch fires on the next candidate
+		// at now+delay, and the first completion wins. The loser is
+		// cancelled, charging only the occupancy it consumed before the
+		// cancel instant. Replicas pending a warm restart are skipped (the
+		// probe path handles their rejoin).
+		if g.Policy.Hedge && ai < len(cand) && !needRestart[cand[ai]] {
+			if d, ok := hist.delay(g.Policy.HedgeDelayCycles); ok && done-now > d {
+				h := cand[ai]
+				tot.HedgedCalls++
+				metricHedged.Inc()
+				hkind, hsick := g.Lifecycle.State(h, c.Index)
+				switch {
+				case hsick && hkind == fault.LifeCrash:
+					// The hedge fails fast in the background; no occupancy.
+					needRestart[h] = true
+					brk[h].OnFailure(now + d + g.Policy.crashDetect())
+				case hsick && hkind == fault.LifeHang:
+					brk[h].OnFailure(now + d + c.HangBudget)
+				default:
+					hsvc := c.Service
+					if hsick && c.Brown > 0 {
+						hsvc = c.Brown
+					}
+					hp := earliest(free[h])
+					hstart := math.Max(now+d, free[h][hp])
+					hdone := hstart + hsvc
+					if hdone < done {
+						// Hedge wins: cancel the primary at the win instant.
+						// A primary cancelled before its service even began
+						// releases its slot entirely (back to the pipeline's
+						// prior commitment); one cancelled mid-service keeps
+						// the occupancy it consumed.
+						if hdone <= start {
+							free[sr][sp] = prevFree
+							busy -= svc
+						} else {
+							free[sr][sp] = hdone
+							busy -= done - hdone
+						}
+						free[h][hp] = hdone
+						busy += hsvc
+						done, start, svc = hdone, hstart, hsvc
+						sr, sp = h, hp
+						tot.HedgeWins++
+						metricHedgeWins.Inc()
+					} else if hstart < done {
+						// Primary wins: the hedge is cancelled mid-flight and
+						// charged only up to the primary's completion.
+						free[h][hp] = done
+						busy += done - hstart
+					}
+				}
+			}
+		}
+
+		brk[sr].OnSuccess(done)
+		if done > lastDone {
+			lastDone = done
+		}
+		hist.observe(done - now)
+		tot.Dispatches[sr]++
+
+		// Pipeline quarantine, ported from core.ReplayPolicy and keyed by
+		// (replica, pipeline).
+		if faultLog != nil && c.Faults > 0 {
+			key := sr*nP + sp
+			log := faultLog[key]
+			if w := g.Resil.QuarantineWindowCycles; w > 0 {
+				keep := 0
+				for _, ts := range log {
+					if ts >= done-w {
+						log[keep] = ts
+						keep++
+					}
+				}
+				log = log[:keep]
+			}
+			for e := 0; e < c.Faults; e++ {
+				log = append(log, done)
+			}
+			if len(log) >= g.Resil.QuarantineK {
+				reset := g.Resil.ResetCycles
+				if reset == 0 {
+					reset = g.ResetCycles
+				}
+				free[sr][sp] = done + reset + g.Resil.QuarantinePenaltyCycles
+				log = log[:0]
+				quar++
+				resil.MetricQuarantines.Inc()
+			}
+			faultLog[key] = log
+		}
+
+		latency := done - c.Arrival
+		if c.Post > 0 {
+			latency += c.Post
+		}
+		results[i] = core.JobResult{
+			Queue:    start - c.Arrival,
+			Service:  svc,
+			Latency:  latency,
+			Start:    start,
+			Pipeline: sr*nP + sp,
+		}
+		served++
+		if g.Resil.MaxQueue > 0 {
+			pending = append(pending, start)
+		}
+	}
+
+	finishBreakers(brk, &tot, lastDone)
+	devStats := core.DeviceStats{Jobs: len(calls), Makespan: lastDone - first, Shed: shed, Quarantines: quar}
+	if devStats.Makespan > 0 {
+		devStats.Utilization = busy / (float64(nR*nP) * devStats.Makespan)
+	}
+	if served == 0 {
+		return results, devStats, tot, nil
+	}
+	lat := make([]float64, 0, served)
+	sum := 0.0
+	for i := range results {
+		if results[i].Err != nil {
+			continue
+		}
+		lat = append(lat, results[i].Latency)
+		sum += results[i].Latency
+	}
+	devStats.MeanLatency = sum / float64(len(lat))
+	devStats.P50Latency = stats.SelectNth(lat, len(lat)/2)
+	devStats.P99Latency = stats.SelectNth(lat, min(len(lat)-1, len(lat)*99/100))
+	return results, devStats, tot, nil
+}
+
+// finishBreakers closes the books: still-open windows account their elapsed
+// unavailability, and opens/unavailable roll up into the totals.
+func finishBreakers(brk []Breaker, tot *Totals, end float64) {
+	for r := range brk {
+		brk[r].Finish(end)
+		tot.BreakerOpens += brk[r].Opens()
+		tot.UnavailableCycles += brk[r].UnavailableCycles()
+		metricOpens.Add(int64(brk[r].Opens()))
+	}
+}

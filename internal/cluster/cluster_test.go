@@ -1,0 +1,443 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"cdpu/internal/comp"
+	"cdpu/internal/core"
+	"cdpu/internal/fault"
+	"cdpu/internal/resil"
+)
+
+// synthCalls builds a deterministic arrival-sorted call list with varied
+// service times.
+func synthCalls(n int, seed uint64) []Call {
+	calls := make([]Call, n)
+	at := 0.0
+	state := seed
+	for i := range calls {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		svc := 1000 + float64(z%100000)
+		calls[i] = Call{
+			Arrival:    at,
+			Index:      i,
+			Service:    svc,
+			Brown:      svc * 4,
+			HangBudget: 8 * (10000 + 16*4096),
+			Bytes:      4096,
+		}
+		at += float64(z>>32%20000) + 500
+	}
+	return calls
+}
+
+func refPolicy() FailoverPolicy {
+	return FailoverPolicy{
+		MaxFailovers:          3,
+		FailoverPenaltyCycles: 2000,
+		BreakerFailures:       3,
+		BreakerWindow:         32,
+		BreakerErrorRate:      0.5,
+		BreakerOpenCycles:     2e6,
+		BreakerHalfOpenProbes: 2,
+		CrashDetectCycles:     4000,
+	}
+}
+
+// TestGroupMatchesReplayPolicy pins the dispatch arithmetic to the proven
+// single-device engine: with one replica, the zero failover policy and no
+// lifecycle, Group.Replay must reproduce core.Device.ReplayPolicy exactly —
+// results, stats, admission shedding and quarantines included.
+func TestGroupMatchesReplayPolicy(t *testing.T) {
+	dev, err := core.NewDevice(core.Config{Algo: comp.ZStd, Op: comp.Decompress}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := synthCalls(500, 7)
+	// Pile up a queue so admission control engages, and sprinkle faults so
+	// quarantine engages.
+	for i := range calls {
+		calls[i].Arrival = float64(i) * 800
+		if i%17 == 0 {
+			calls[i].Faults = 2
+		}
+		if i%23 == 0 {
+			calls[i].Post = 5000
+		}
+	}
+	pol := resil.Policy{
+		MaxQueue: 4, QuarantineK: 3, QuarantineWindowCycles: 2e6,
+		QuarantinePenaltyCycles: 1e5, ResetCycles: 7000,
+	}
+	jobs := make([]core.Job, len(calls))
+	svc := make([]float64, len(calls))
+	post := make([]float64, len(calls))
+	flt := make([]int, len(calls))
+	for i, c := range calls {
+		jobs[i] = core.Job{Arrival: c.Arrival}
+		svc[i], post[i], flt[i] = c.Service, c.Post, c.Faults
+	}
+	wantRes, wantStats, err := dev.ReplayPolicy(jobs, svc, post, flt, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &Group{Replicas: 1, Pipelines: 2, ResetCycles: dev.PipelineResetCycles(), Resil: pol}
+	gotRes, gotStats, tot, err := g.Replay(calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotStats != wantStats {
+		t.Fatalf("stats diverge:\n got %+v\nwant %+v", gotStats, wantStats)
+	}
+	for i := range wantRes {
+		w, g := wantRes[i], gotRes[i]
+		if w.Queue != g.Queue || w.Service != g.Service || w.Latency != g.Latency ||
+			w.Start != g.Start || w.Pipeline != g.Pipeline || !errors.Is(g.Err, w.Err) {
+			t.Fatalf("call %d diverges:\n got %+v\nwant %+v", i, g, w)
+		}
+	}
+	if tot.Failovers != 0 || tot.HedgedCalls != 0 || tot.BreakerOpens != 0 || tot.ReplicaRestarts != 0 {
+		t.Fatalf("failover machinery fired with the zero policy: %+v", tot)
+	}
+}
+
+func TestGroupReplayDeterministic(t *testing.T) {
+	life := &fault.Lifecycle{Seed: 5, Rate: 0.3, EpochCalls: 64}
+	pol := refPolicy()
+	pol.Hedge = true
+	g := &Group{
+		Replicas: 3, Pipelines: 2, ResetCycles: 9000, Unit: "zstd-d",
+		Resil:  resil.Policy{SoftwareFallback: true},
+		Policy: pol, Lifecycle: life,
+	}
+	calls := synthCalls(800, 11)
+	for i := range calls {
+		calls[i].Software = calls[i].Service * 40
+	}
+	res1, st1, tot1, err1 := g.Replay(calls)
+	res2, st2, tot2, err2 := g.Replay(calls)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errs: %v, %v", err1, err2)
+	}
+	if st1 != st2 {
+		t.Fatalf("stats diverge across identical replays:\n%+v\n%+v", st1, st2)
+	}
+	if !reflect.DeepEqual(tot1, tot2) {
+		t.Fatalf("totals diverge:\n%+v\n%+v", tot1, tot2)
+	}
+	for i := range res1 {
+		if res1[i] != res2[i] {
+			t.Fatalf("result %d diverges", i)
+		}
+	}
+}
+
+// TestGroupFailoverSurvivesLifecycle is the core robustness claim: under a
+// heavy crash/hang/brownout schedule, a group with failover serves every
+// call (no aborts), while the same schedule with the zero policy aborts.
+func TestGroupFailoverSurvivesLifecycle(t *testing.T) {
+	life := &fault.Lifecycle{Seed: 3, Rate: 0.5, EpochCalls: 64, MeanEventCalls: 32}
+	calls := synthCalls(1000, 13)
+	for i := range calls {
+		calls[i].Software = calls[i].Service * 40
+	}
+
+	g := &Group{
+		Replicas: 3, Pipelines: 2, ResetCycles: 9000, Unit: "snappy-c",
+		Resil:  resil.Policy{SoftwareFallback: true},
+		Policy: refPolicy(), Lifecycle: life,
+	}
+	results, devStats, tot, err := g.Replay(calls)
+	if err != nil {
+		t.Fatalf("failover group aborted: %v", err)
+	}
+	servedCalls := 0
+	for i := range results {
+		if results[i].Err == nil {
+			servedCalls++
+		}
+	}
+	if servedCalls != len(calls) {
+		t.Fatalf("served %d of %d calls", servedCalls, len(calls))
+	}
+	if tot.Failovers == 0 {
+		t.Error("no failovers under a 50% lifecycle storm")
+	}
+	if tot.ReplicaRestarts == 0 {
+		t.Error("no warm restarts despite crash windows")
+	}
+	if tot.BreakerOpens == 0 {
+		t.Error("no breaker opens despite sustained failures")
+	}
+	if tot.UnavailableCycles <= 0 {
+		t.Error("breaker opens booked no unavailability")
+	}
+	if devStats.Makespan <= 0 || devStats.P99Latency < devStats.P50Latency {
+		t.Errorf("implausible stats: %+v", devStats)
+	}
+
+	// Abort baseline: same weather, zero policies — the group must abort,
+	// with a replica-down DeviceError carrying the lowest failing index.
+	ab := &Group{Replicas: 3, Pipelines: 2, ResetCycles: 9000, Unit: "snappy-c", Lifecycle: life}
+	_, _, _, err = ab.Replay(calls)
+	if err == nil {
+		t.Fatal("zero-policy group survived the lifecycle storm")
+	}
+	var ce *CallError
+	if !errors.As(err, &ce) {
+		t.Fatalf("abort error is not a CallError: %v", err)
+	}
+	var derr *core.DeviceError
+	if !errors.As(err, &derr) || derr.Reason != "replica-down" {
+		t.Fatalf("abort error is not a replica-down DeviceError: %v", err)
+	}
+	// Lowest-index guarantee: no call below the reported index is unservable
+	// under the same single-candidate zero policy. Re-running on the prefix
+	// must succeed.
+	if ce.Index > 0 {
+		prefix := calls[:ce.Index]
+		if _, _, _, perr := ab.Replay(prefix); perr != nil {
+			t.Fatalf("call below reported abort index %d also fails: %v", ce.Index, perr)
+		}
+	}
+}
+
+// TestGroupGoodputMonotoneInReplicas: adding replicas under a fixed lifecycle
+// schedule must not reduce served calls.
+func TestGroupServedMonotoneInReplicas(t *testing.T) {
+	life := &fault.Lifecycle{Seed: 17, Rate: 0.4, EpochCalls: 64}
+	calls := synthCalls(600, 23)
+	prev := -1
+	for _, replicas := range []int{1, 2, 3, 4} {
+		g := &Group{
+			Replicas: replicas, Pipelines: 2, ResetCycles: 9000,
+			Resil:  resil.Policy{SoftwareFallback: true},
+			Policy: refPolicy(), Lifecycle: life,
+		}
+		cs := make([]Call, len(calls))
+		copy(cs, calls)
+		for i := range cs {
+			cs[i].Software = cs[i].Service * 40
+		}
+		_, _, tot, err := g.Replay(cs)
+		if err != nil {
+			t.Fatalf("replicas=%d: %v", replicas, err)
+		}
+		deviceServed := 0
+		for _, d := range tot.Dispatches {
+			deviceServed += d
+		}
+		if deviceServed < prev {
+			t.Fatalf("device-served calls shrank from %d to %d at replicas=%d", prev, deviceServed, replicas)
+		}
+		prev = deviceServed
+	}
+}
+
+// TestGroupHedging: under a brownout-heavy lifecycle, calls stuck on a
+// degraded replica hedge to a healthy one and win; hedging must not make
+// mean latency worse than the unhedged run under the same weather.
+func TestGroupHedging(t *testing.T) {
+	life := &fault.Lifecycle{
+		Seed: 29, Rate: 0.6, Kinds: []fault.LifeKind{fault.LifeBrownout},
+		EpochCalls: 64, MeanEventCalls: 48,
+	}
+	calls := synthCalls(600, 31)
+	// Light load: hedging helps when spare capacity exists; under overload
+	// duplicate dispatches only deepen queues.
+	for i := range calls {
+		calls[i].Arrival *= 10
+	}
+	pol := refPolicy()
+	pol.Hedge = true
+	pol.HedgeDelayCycles = 120000
+	g := &Group{Replicas: 3, Pipelines: 2, ResetCycles: 9000, Policy: pol, Lifecycle: life}
+	_, hedged, tot, err := g.Replay(calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tot.HedgedCalls == 0 {
+		t.Fatal("no hedges fired under a brownout storm")
+	}
+	if tot.HedgeWins == 0 {
+		t.Fatal("no hedge ever won against a browned-out primary")
+	}
+	if tot.HedgeWins > tot.HedgedCalls {
+		t.Fatalf("wins %d exceed hedges %d", tot.HedgeWins, tot.HedgedCalls)
+	}
+	gNo := &Group{Replicas: 3, Pipelines: 2, ResetCycles: 9000, Policy: refPolicy(), Lifecycle: life}
+	_, plain, _, err := gNo.Replay(calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hedged.MeanLatency > plain.MeanLatency*1.001 {
+		t.Fatalf("hedging worsened mean latency: %.0f vs %.0f", hedged.MeanLatency, plain.MeanLatency)
+	}
+}
+
+// TestGroupP99DerivedHedgeDelay: with HedgeDelayCycles zero the delay derives
+// from the running P99 histogram; hedges only start once enough samples have
+// accumulated, and only tail calls fire them.
+func TestGroupP99DerivedHedgeDelay(t *testing.T) {
+	calls := synthCalls(600, 37)
+	for i := range calls {
+		if i%40 == 0 {
+			calls[i].Service *= 100
+		}
+	}
+	pol := refPolicy()
+	pol.Hedge = true
+	g := &Group{Replicas: 2, Pipelines: 2, ResetCycles: 9000, Policy: pol}
+	_, _, tot, err := g.Replay(calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tot.HedgedCalls == 0 {
+		t.Fatal("P99-derived hedging never fired on a 10x-tail workload")
+	}
+	// The tail is ~10% of calls; hedging everything would mean the derived
+	// delay collapsed below the body of the distribution.
+	if tot.HedgedCalls > len(calls)/4 {
+		t.Fatalf("hedged %d of %d calls — delay not tail-selective", tot.HedgedCalls, len(calls))
+	}
+}
+
+// TestGroupAllDownSoftwareFallback: one replica crashed for a whole window
+// with fallback enabled serves in software and counts degraded calls.
+func TestGroupAllDownSoftwareFallback(t *testing.T) {
+	life := &fault.Lifecycle{
+		Seed: 2, Rate: 1.0, Kinds: []fault.LifeKind{fault.LifeCrash},
+		EpochCalls: 32, MeanEventCalls: 32,
+	}
+	// Rate 1 with short epochs and near-epoch-length events: the lone
+	// replica is crashed for large stretches of the replay.
+	calls := synthCalls(300, 41)
+	for i := range calls {
+		calls[i].Software = calls[i].Service * 40
+	}
+	g := &Group{
+		Replicas: 1, Pipelines: 2, ResetCycles: 9000,
+		Resil:  resil.Policy{SoftwareFallback: true},
+		Policy: refPolicy(), Lifecycle: life,
+	}
+	results, _, tot, err := g.Replay(calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tot.SwServed == 0 {
+		t.Fatal("no software-served calls with the only replica crashed")
+	}
+	if tot.Degraded != tot.SwServed {
+		t.Fatalf("degraded %d != sw-served %d with no phase-B degradation", tot.Degraded, tot.SwServed)
+	}
+	for i := range results {
+		if results[i].Err != nil {
+			t.Fatalf("call %d not served: %v", i, results[i].Err)
+		}
+	}
+	// Without fallback the same schedule aborts.
+	g.Resil = resil.Policy{}
+	for i := range calls {
+		calls[i].Software = 0
+	}
+	if _, _, _, err := g.Replay(calls); err == nil {
+		t.Fatal("all-down group without fallback did not abort")
+	}
+}
+
+// TestGroupBrownoutUsesDegradedService: calls landing in a brownout window
+// are charged the degraded service time.
+func TestGroupBrownoutUsesDegradedService(t *testing.T) {
+	life := &fault.Lifecycle{
+		Seed: 9, Rate: 1.0, Kinds: []fault.LifeKind{fault.LifeBrownout},
+		EpochCalls: 32, MeanEventCalls: 32,
+	}
+	calls := synthCalls(200, 43)
+	g := &Group{Replicas: 1, Pipelines: 2, ResetCycles: 9000, Policy: refPolicy(), Lifecycle: life}
+	browned, _, _, err := g.Replay(calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gH := &Group{Replicas: 1, Pipelines: 2, ResetCycles: 9000, Policy: refPolicy()}
+	healthy, _, _, err := gH.Replay(calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slower := 0
+	for i := range browned {
+		if browned[i].Service > healthy[i].Service {
+			slower++
+		}
+	}
+	if slower == 0 {
+		t.Fatal("no call charged the brownout service time under a permanent brownout")
+	}
+}
+
+// TestGroupRestartChargedOnRejoin: a crash window followed by healthy calls
+// charges exactly one warm restart, and the rejoining call pays it in queue
+// time.
+func TestGroupRestartChargedOnRejoin(t *testing.T) {
+	life := &fault.Lifecycle{
+		Seed: 1, Rate: 1.0, Kinds: []fault.LifeKind{fault.LifeCrash},
+		EpochCalls: 64, MeanEventCalls: 16,
+	}
+	calls := synthCalls(400, 47)
+	for i := range calls {
+		calls[i].Software = calls[i].Service * 40
+	}
+	g := &Group{
+		Replicas: 2, Pipelines: 2, ResetCycles: 9000,
+		Resil:  resil.Policy{SoftwareFallback: true},
+		Policy: refPolicy(), Lifecycle: life,
+	}
+	_, _, tot, err := g.Replay(calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tot.ReplicaRestarts == 0 {
+		t.Fatal("no restarts after crash windows ended")
+	}
+	if tot.ReplicaRestarts > tot.BreakerOpens+tot.Failovers+1 {
+		t.Fatalf("implausible restart count %d", tot.ReplicaRestarts)
+	}
+}
+
+func TestGroupRejectsBadInputs(t *testing.T) {
+	g := &Group{Replicas: 2, Pipelines: 1}
+	if _, _, _, err := g.Replay([]Call{{Arrival: 10}, {Arrival: 5}}); err == nil {
+		t.Error("unsorted arrivals accepted")
+	}
+	if _, _, _, err := g.Replay([]Call{{Service: math.Inf(1)}}); err == nil {
+		t.Error("infinite service accepted")
+	}
+	if _, _, _, err := g.Replay([]Call{{Service: -1}}); err == nil {
+		t.Error("negative service accepted")
+	}
+	if _, _, _, err := g.Replay([]Call{{HangBudget: math.NaN()}}); err == nil {
+		t.Error("NaN hang budget accepted")
+	}
+	res, st, tot, err := g.Replay(nil)
+	if err != nil || res != nil || st != (core.DeviceStats{}) || len(tot.Dispatches) != 2 {
+		t.Error("empty replay not a clean no-op")
+	}
+}
+
+func TestFailoverPolicyEnabled(t *testing.T) {
+	if (FailoverPolicy{}).Enabled() {
+		t.Error("zero policy reports enabled")
+	}
+	if !(FailoverPolicy{MaxFailovers: 1}).Enabled() {
+		t.Error("failover policy reports disabled")
+	}
+	if !(FailoverPolicy{Hedge: true}).Enabled() {
+		t.Error("hedge policy reports disabled")
+	}
+}

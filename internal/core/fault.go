@@ -51,6 +51,15 @@ func (e *DeviceError) Unwrap() error { return e.Err }
 // recovery policies route it straight to the software fallback.
 func (e *DeviceError) Transient() bool { return e.Reason != "corrupt-input" }
 
+// WatchdogBudget returns the abort threshold in cycles for a call moving the
+// given payload bytes, or 0 when the watchdog is disabled (negative factor).
+// Exported so higher layers (the cluster failover dispatcher) can charge a
+// hung replica for exactly the cycles the watchdog would let it burn before
+// declaring the call dead.
+func (c Config) WatchdogBudget(inBytes, outBytes int) float64 {
+	return c.watchdogBudget(inBytes, outBytes)
+}
+
 // watchdogBudget returns the abort threshold in cycles for a call moving the
 // given payload bytes, or 0 when the watchdog is disabled (negative factor).
 func (c Config) watchdogBudget(inBytes, outBytes int) float64 {

@@ -31,7 +31,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fleet-summary", "dse-summary",
 		"ablation-hash", "ablation-fse", "ablation-stats",
 		"chaining", "pipelines", "deployment", "levels", "fault-sweep",
-		"fleet-replay", "chaos-sweep",
+		"fleet-replay", "chaos-sweep", "failover-sweep",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {
@@ -282,6 +282,29 @@ func TestChaosSweepRuns(t *testing.T) {
 		if row[1] != "aborted" {
 			t.Errorf("abort baseline row not aborted: %v", row)
 		}
+	}
+}
+
+// TestFailoverSweepRuns executes the failover sweep at test scale. The
+// experiment asserts its own invariants internally (zero aborts and zero
+// surfaced corruption with failover on, goodput monotone non-decreasing in
+// replicas, crash/hang storms driving failovers, brownouts opening no
+// breaker, the no-failover baseline aborting), so a clean return already
+// carries the interesting guarantees; the shape checks here pin the layout.
+func TestFailoverSweepRuns(t *testing.T) {
+	tables := run(t, "failover-sweep")
+	if len(tables) != 3 {
+		t.Fatalf("failover-sweep produced %d tables, want 3", len(tables))
+	}
+	scaling, anatomy, abort := tables[0], tables[1], tables[2]
+	if len(scaling.Rows) != QuickConfig().Replicas {
+		t.Errorf("scaling table has %d rows, want %d", len(scaling.Rows), QuickConfig().Replicas)
+	}
+	if len(anatomy.Rows) != 4 { // healthy baseline + 3 lifecycle kinds
+		t.Errorf("anatomy table has %d rows, want 4", len(anatomy.Rows))
+	}
+	if len(abort.Rows) != 1 || abort.Rows[0][1] != "aborted" {
+		t.Errorf("abort baseline table wrong: %v", abort.Rows)
 	}
 }
 

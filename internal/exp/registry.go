@@ -19,6 +19,9 @@ type Config struct {
 	// ReplayCalls is the number of fleet calls the service-replay
 	// experiments push through simulated devices.
 	ReplayCalls int
+	// Replicas is the maximum replica-group width the failover sweep
+	// scales to.
+	Replicas int
 	// Seed makes every experiment deterministic.
 	Seed int64
 }
@@ -30,6 +33,7 @@ func DefaultConfig() Config {
 		MaxFileBytes: 4 << 20,
 		FleetSamples: 300000,
 		ReplayCalls:  10000,
+		Replicas:     4,
 		Seed:         1,
 	}
 }
@@ -41,6 +45,7 @@ func QuickConfig() Config {
 		MaxFileBytes: 1 << 20,
 		FleetSamples: 40000,
 		ReplayCalls:  400,
+		Replicas:     3,
 		Seed:         1,
 	}
 }
@@ -58,6 +63,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReplayCalls == 0 {
 		c.ReplayCalls = d.ReplayCalls
+	}
+	if c.Replicas == 0 {
+		c.Replicas = d.Replicas
 	}
 	if c.Seed == 0 {
 		c.Seed = d.Seed

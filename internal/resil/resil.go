@@ -115,17 +115,30 @@ func BackoffSeed(seed int64, call int) uint64 {
 	return (uint64(seed) ^ 0xb0ffc0de5eed1234) + (uint64(call)+1)*0x9e3779b97f4a7c15
 }
 
+// uncappedBackoffCeiling bounds the exponential delay when BackoffMaxCycles
+// is zero (uncapped). Without it, BackoffBaseCycles * 2^(retry-1) overflows
+// to +Inf around retry ~1024, and the replay layer rejects a non-finite
+// service time; 2^62 cycles (~73 years at 2 GHz) is already "never" while
+// keeping sums of many waits comfortably finite.
+const uncappedBackoffCeiling = float64(1 << 62)
+
 // Backoff returns the jittered delay in cycles before re-dispatch number
 // `retry` (1 = the first retry). It is a pure function of (policy, seed,
 // retry): delay = min(BackoffMaxCycles, BackoffBaseCycles * 2^(retry-1)),
 // scaled into [1-JitterFrac, 1) by the retry's draw from the seeded stream.
+// The result is always finite: with no configured cap the exponential is
+// clamped at uncappedBackoffCeiling instead of overflowing to +Inf.
 func (p Policy) Backoff(seed uint64, retry int) float64 {
 	if retry < 1 || p.BackoffBaseCycles <= 0 {
 		return 0
 	}
 	d := p.BackoffBaseCycles * math.Pow(2, float64(retry-1))
-	if p.BackoffMaxCycles > 0 && d > p.BackoffMaxCycles {
-		d = p.BackoffMaxCycles
+	if p.BackoffMaxCycles > 0 {
+		if d > p.BackoffMaxCycles {
+			d = p.BackoffMaxCycles
+		}
+	} else if !(d < uncappedBackoffCeiling) { // catches +Inf too
+		d = uncappedBackoffCeiling
 	}
 	j := p.JitterFrac
 	if j <= 0 {

@@ -59,6 +59,44 @@ func TestBackoffNoJitterIsExactExponential(t *testing.T) {
 	}
 }
 
+// TestBackoffUncappedStaysFinite is the regression test for the +Inf
+// overflow: with BackoffMaxCycles == 0 the exponential used to overflow to
+// +Inf around retry ~1100, and the replay layer rejects non-finite service
+// times. The uncapped schedule must clamp to a finite ceiling instead.
+func TestBackoffUncappedStaysFinite(t *testing.T) {
+	p := Policy{BackoffBaseCycles: 2000}
+	for _, retry := range []int{1, 64, 1024, 1100, 4096, 1 << 20, math.MaxInt32} {
+		d := p.Backoff(BackoffSeed(3, 11), retry)
+		if math.IsInf(d, 0) || math.IsNaN(d) || d < 0 {
+			t.Fatalf("uncapped retry %d: non-finite delay %v", retry, d)
+		}
+		if d > uncappedBackoffCeiling {
+			t.Fatalf("uncapped retry %d: delay %v above ceiling %v", retry, d, uncappedBackoffCeiling)
+		}
+	}
+	// Jitter applies on top of the clamped value and must stay finite too.
+	p.JitterFrac = 0.5
+	for _, retry := range []int{1100, 1 << 16} {
+		d := p.Backoff(BackoffSeed(3, 11), retry)
+		if math.IsInf(d, 0) || math.IsNaN(d) || d <= 0 {
+			t.Fatalf("uncapped jittered retry %d: bad delay %v", retry, d)
+		}
+	}
+	// Below the ceiling the uncapped schedule is unchanged.
+	if got := p.Backoff(1, 4); got <= 0 || got >= 16000 {
+		t.Fatalf("uncapped retry 4 with jitter = %v, want (0, 16000)", got)
+	}
+	p.JitterFrac = 0
+	if got := p.Backoff(1, 4); got != 16000 {
+		t.Fatalf("uncapped retry 4 = %v, want 16000", got)
+	}
+	// A configured cap still wins over the overflow ceiling.
+	p.BackoffMaxCycles = 64000
+	if got := p.Backoff(1, 4096); got != 64000 {
+		t.Fatalf("capped huge retry = %v, want 64000", got)
+	}
+}
+
 func TestBackoffDeterministic(t *testing.T) {
 	p := Policy{BackoffBaseCycles: 1000, JitterFrac: 1.0}
 	for r := 1; r <= 5; r++ {

@@ -28,10 +28,15 @@ const (
 // the device-side service cycles (all dispatches plus backoff waits), the
 // software-fallback cycles appended after the device gives up, how many
 // dispatches faulted (feeds pipeline quarantine), how many re-dispatches the
-// call consumed, and whether it was ultimately served degraded.
+// call consumed, and whether it was ultimately served degraded. Cluster-mode
+// replays (Config.Lifecycle set) additionally carry the call's watchdog
+// budget (what a hung replica burns before failing the dispatch) and, for
+// calls landing in a brownout window, the degraded-bandwidth service cycles.
 type execOut struct {
 	service  float64
 	post     float64
+	budget   float64
+	brown    float64
 	faults   int
 	retries  int
 	degraded bool

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"cdpu/internal/cluster"
+	"cdpu/internal/comp"
+	"cdpu/internal/core"
+	"cdpu/internal/fault"
+	"cdpu/internal/obs"
+	"cdpu/internal/xeon"
+)
+
+// clusterMode reports whether the replay routes through replica groups. With
+// one replica, the zero failover policy and no lifecycle schedule, the
+// historical single-device reduction runs untouched — the structural
+// guarantee behind the bit-identical-at-Replicas=1 contract.
+func (c Config) clusterMode() bool {
+	return c.Replicas > 1 || c.Failover.Enabled() || c.Lifecycle != nil
+}
+
+// annotateCluster fills the cluster-mode fields of one call's phase-B
+// outcome: the watchdog budget a hung replica would burn, and — for calls
+// whose index lands in any replica's brownout window — the
+// degraded-bandwidth service cycles, measured by re-executing the call with
+// the brownout's stalled-MSHR injector installed. Both are pure functions of
+// (spec, seed, call index), so the annotation is byte-identical at any
+// worker count. Storm-hit calls keep brown zero: their service time already
+// reflects the storm's recovery arc, and layering a second degradation model
+// on top would double-charge them.
+func (sh *shard) annotateCluster(out *execOut, s *callSpec, call int, cfg *Config, plain, devInput []byte, stormHit bool) error {
+	devCfg := core.Config{Algo: s.rec.Algo, Op: s.rec.Op, Placement: cfg.Placement}
+	// Budget bytes mirror the real watchdog's post-call accounting where the
+	// sizes are knowable up front: a decompression call's output is the
+	// uncompressed payload; a compression call's output size is unknown
+	// before it runs, so its budget conservatively covers the input only.
+	inB, outB := len(plain), 0
+	if s.rec.Op == comp.Decompress {
+		inB, outB = len(devInput), len(plain)
+	}
+	out.budget = devCfg.WatchdogBudget(inB, outB)
+	if stormHit || !cfg.Lifecycle.AnyBrownout(max(1, cfg.Replicas), call) {
+		return nil
+	}
+	dev := sh.devs[s.dev]
+	dev.SetFaultInjector(fault.Plan{StallEvery: 1, StallMSHRs: cfg.Lifecycle.StallMSHRs()})
+	res, err := dev.Exec(devInput)
+	dev.SetFaultInjector(nil)
+	if err != nil {
+		return fmt.Errorf("sim: brownout service for call %d: %w", call, err)
+	}
+	out.brown = res.Cycles
+	return nil
+}
+
+// reduceCluster is the cluster-mode replacement for reduceDevice: one
+// deviceOrder slot becomes a cluster.Group of Replicas devices behind the
+// failover dispatcher, fed the same index-addressed phase-B outcomes. The
+// probe device supplies the placement-aware reset cost and the per-replica
+// silicon area.
+func reduceCluster(d int, idxs []int, specs []callSpec, outs []execOut, cfg *Config) devReduction {
+	slot := deviceOrder[d]
+	devCfg := core.Config{Algo: slot.algo, Op: slot.op, Placement: cfg.Placement}
+	dev, err := core.NewDevice(devCfg, cfg.Pipelines)
+	if err != nil {
+		return devReduction{err: err}
+	}
+	g := &cluster.Group{
+		Replicas:    max(1, cfg.Replicas),
+		Pipelines:   cfg.Pipelines,
+		ResetCycles: dev.PipelineResetCycles(),
+		Unit:        devCfg.Name(),
+		Resil:       cfg.Resilience,
+		Policy:      cfg.Failover,
+		Lifecycle:   cfg.Lifecycle,
+	}
+	calls := make([]cluster.Call, len(idxs))
+	for ji, ci := range idxs {
+		s := &specs[ci]
+		calls[ji] = cluster.Call{
+			Arrival:    s.arrival,
+			Index:      ci,
+			Service:    outs[ci].service,
+			Post:       outs[ci].post,
+			Faults:     outs[ci].faults,
+			Degraded:   outs[ci].degraded,
+			Brown:      outs[ci].brown,
+			HangBudget: outs[ci].budget,
+			Bytes:      s.rec.UncompressedBytes,
+		}
+		if cfg.Resilience.SoftwareFallback {
+			calls[ji].Software = xeon.Seconds(xeon.Cycles(s.rec.Algo, s.rec.Op, s.rec.Level, s.rec.UncompressedBytes)) * 2.0e9
+		}
+	}
+	results, devStats, tot, err := g.Replay(calls)
+	if err != nil {
+		return devReduction{dev: dev, err: err}
+	}
+	red := devReduction{dev: dev, results: results, idxs: idxs, stats: devStats, tot: tot}
+	red.latencies = make([]float64, 0, len(results))
+	for ji, r := range results {
+		if r.Err != nil {
+			red.shed++
+			continue
+		}
+		red.latencies = append(red.latencies, r.Latency)
+		red.goodput += specs[idxs[ji]].rec.UncompressedBytes
+	}
+	return red
+}
+
+// mergeClusterTotals rolls one group's failover totals into the Report and
+// publishes the per-replica dispatch gauges the totals reconcile against.
+// Called serially in deviceOrder.
+func mergeClusterTotals(report *Report, d int, tot *cluster.Totals) {
+	report.Failovers += tot.Failovers
+	report.HedgedCalls += tot.HedgedCalls
+	report.HedgeWins += tot.HedgeWins
+	report.BreakerOpens += tot.BreakerOpens
+	report.ReplicaRestarts += tot.ReplicaRestarts
+	report.UnavailableCycles += tot.UnavailableCycles
+	report.DegradedCalls += tot.Degraded
+	for r, n := range tot.Dispatches {
+		obs.Default().Gauge(fmt.Sprintf("cluster.dispatches.d%d.r%d", d, r)).Set(float64(n))
+	}
+}
+
+// firstReductionError surfaces the deterministic first error across the four
+// reductions: construction and validation errors return as-is in deviceOrder
+// (the historical behavior), while cluster CallErrors — each already the
+// lowest failing index within its group — merge by global call index, so the
+// surfaced abort is exactly the first failure a serial single-group run
+// would hit, at any worker count.
+func firstReductionError(reds []devReduction, totalCalls int) error {
+	minIdx := totalCalls
+	var minErr error
+	for d := range reds {
+		err := reds[d].err
+		if err == nil {
+			continue
+		}
+		var ce *cluster.CallError
+		if !errors.As(err, &ce) {
+			return err
+		}
+		if ce.Index < minIdx {
+			minIdx = ce.Index
+			minErr = fmt.Errorf("sim: call %d: %w", ce.Index, ce.Err)
+		}
+	}
+	return minErr
+}

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"cdpu/internal/cluster"
 	"cdpu/internal/comp"
 	"cdpu/internal/core"
 	"cdpu/internal/corpus"
@@ -79,6 +80,18 @@ type Config struct {
 	// draws come from a stream independent of the replay's own sampling, so
 	// a stormed replay keeps the exact call mix of the healthy one.
 	Storm *fault.Storm
+	// Replicas turns each deviceOrder slot into a cluster.Group of N devices
+	// behind the failover dispatcher (0/1 = the historical single device;
+	// the single-device engine is bit-identical when Replicas <= 1 with the
+	// zero Failover policy and no Lifecycle).
+	Replicas int
+	// Failover parameterizes the replica dispatcher: circuit breakers,
+	// failover re-dispatch, hedging, crash detection and warm-restart costs.
+	Failover cluster.FailoverPolicy
+	// Lifecycle, when non-nil, subjects replicas to a seeded device-lifecycle
+	// schedule (crash / hang / brownout windows); like Storm, its draws come
+	// from an independent stream, so the call mix is unperturbed.
+	Lifecycle *fault.Lifecycle
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +147,15 @@ type Report struct {
 	// GoodputBytes is the uncompressed bytes of calls actually served
 	// (device or fallback) — UncompressedBytes minus shed traffic.
 	GoodputBytes int
+	// Cluster failover outcome totals. All zero outside cluster mode; they
+	// reconcile exactly with the cluster.* counter deltas and the
+	// per-replica dispatch gauges.
+	Failovers         int     // re-dispatch hops to another replica
+	HedgedCalls       int     // calls that fired a hedged dispatch
+	HedgeWins         int     // hedges that beat their primary
+	BreakerOpens      int     // circuit-breaker open transitions
+	ReplicaRestarts   int     // warm restarts of rejoining crashed replicas
+	UnavailableCycles float64 // summed modeled time replicas spent breaker-open
 }
 
 // payloadKinds gives replayed calls realistic byte content.
@@ -244,6 +266,7 @@ type devReduction struct {
 	results   []core.JobResult
 	idxs      []int
 	stats     core.DeviceStats
+	tot       cluster.Totals
 	latencies []float64
 	goodput   int
 	shed      int
@@ -334,28 +357,37 @@ func Run(cfg Config) (*Report, error) {
 		perDev[s.dev] = append(perDev[s.dev], i)
 	}
 	chaos := cfg.Storm != nil || cfg.Resilience.Enabled()
+	clustered := cfg.clusterMode()
+	replicas := max(1, cfg.Replicas)
 	var reds [numDevices]devReduction
 	var wg sync.WaitGroup
 	for d := range deviceOrder {
 		wg.Add(1)
 		go func(d int) {
 			defer wg.Done()
-			reds[d] = reduceDevice(d, perDev[d], specs, outs, &cfg, chaos)
+			if clustered {
+				reds[d] = reduceCluster(d, perDev[d], specs, outs, &cfg)
+			} else {
+				reds[d] = reduceDevice(d, perDev[d], specs, outs, &cfg, chaos)
+			}
 		}(d)
 	}
 	wg.Wait()
+	if err := firstReductionError(reds[:], len(specs)); err != nil {
+		return nil, err
+	}
 	latencies := make([]float64, 0, len(specs))
 	for d, slot := range deviceOrder {
 		red := &reds[d]
-		if red.err != nil {
-			return nil, red.err
-		}
 		latencies = append(latencies, red.latencies...)
 		report.ShedCalls += red.shed
 		report.GoodputBytes += red.goodput
 		report.Quarantines += red.stats.Quarantines
+		if clustered {
+			mergeClusterTotals(report, d, &red.tot)
+		}
 		if cfg.Trace != nil {
-			emitDeviceTrace(cfg.Trace, d, slot.algo, slot.op, cfg.Pipelines, red.idxs, red.results, outs)
+			emitDeviceTrace(cfg.Trace, d, slot.algo, slot.op, replicas, cfg.Pipelines, red.idxs, red.results, outs)
 		}
 		if slot.op == comp.Compress {
 			report.CompUtil = max(report.CompUtil, red.stats.Utilization)
@@ -382,9 +414,9 @@ func Run(cfg Config) (*Report, error) {
 
 	// Silicon: the four devices (areas already share interfaces within each
 	// device; a real SoC would share across directions too, so this is the
-	// conservative bound).
+	// conservative bound). Cluster mode deploys Replicas full copies of each.
 	for d := range reds {
-		report.AreaMM2 += reds[d].dev.Area().Total()
+		report.AreaMM2 += reds[d].dev.Area().Total() * float64(replicas)
 	}
 	return report, nil
 }
@@ -394,21 +426,26 @@ func Run(cfg Config) (*Report, error) {
 // job actually ran on. Exec-side blocks share a lane per pipeline (they are
 // sequential within a call); the overlapping bulk stream gets its own lane so
 // the viewer shows streaming concurrent with execution rather than nested
-// inside it. Called serially per device in fixed order, so the trace file is
-// deterministic.
-func emitDeviceTrace(tr *obs.Trace, pid int, algo comp.Algorithm, op comp.Op, pipelines int, idxs []int, results []core.JobResult, outs []execOut) {
+// inside it. In cluster mode each replica contributes its own lane block
+// (JobResult.Pipeline encodes replica*pipelines+pipeline). Called serially
+// per device in fixed order, so the trace file is deterministic.
+func emitDeviceTrace(tr *obs.Trace, pid int, algo comp.Algorithm, op comp.Op, replicas, pipelines int, idxs []int, results []core.JobResult, outs []execOut) {
 	dir := "C"
 	if op == comp.Decompress {
 		dir = "D"
 	}
 	tr.SetProcessName(pid, fmt.Sprintf("%s-%s", algo, dir))
-	for p := 0; p < pipelines; p++ {
-		tr.SetThreadName(pid, p*2, fmt.Sprintf("pipe %d exec", p))
-		tr.SetThreadName(pid, p*2+1, fmt.Sprintf("pipe %d stream", p))
+	for lane := 0; lane < replicas*pipelines; lane++ {
+		name := fmt.Sprintf("pipe %d", lane)
+		if replicas > 1 {
+			name = fmt.Sprintf("r%d pipe %d", lane/pipelines, lane%pipelines)
+		}
+		tr.SetThreadName(pid, lane*2, name+" exec")
+		tr.SetThreadName(pid, lane*2+1, name+" stream")
 	}
 	for ji, r := range results {
-		if r.Err != nil {
-			continue // shed before dispatch: nothing ran
+		if r.Err != nil || r.Pipeline < 0 {
+			continue // shed before dispatch or served in software: nothing ran
 		}
 		for _, sp := range outs[idxs[ji]].spans {
 			tid := r.Pipeline * 2
@@ -538,7 +575,11 @@ func (sh *shard) execOne(s *callSpec, call int, cfg *Config, plain []byte) (exec
 		plan = p
 	}
 	if kind, repeats, hit := cfg.Storm.Draw(call); hit {
-		return sh.chaosExec(s, call, cfg, plain, devInput, kind, repeats)
+		out, err := sh.chaosExec(s, call, cfg, plain, devInput, kind, repeats)
+		if err == nil && cfg.Lifecycle != nil {
+			err = sh.annotateCluster(&out, s, call, cfg, plain, devInput, true)
+		}
+		return out, err
 	}
 	dev := sh.devs[s.dev]
 	var res *core.Result
@@ -551,7 +592,13 @@ func (sh *shard) execOne(s *callSpec, call int, cfg *Config, plain []byte) (exec
 	if err != nil {
 		return execOut{}, err
 	}
-	return execOut{service: res.Cycles, spans: res.Spans}, nil
+	out := execOut{service: res.Cycles, spans: res.Spans}
+	if cfg.Lifecycle != nil {
+		if err := sh.annotateCluster(&out, s, call, cfg, plain, devInput, false); err != nil {
+			return execOut{}, err
+		}
+	}
+	return out, nil
 }
 
 // execCalls distributes specs over a bounded worker pool by atomic tile
