@@ -17,26 +17,29 @@ build:
 test:
 	$(GO) test ./...
 
-# The scheduler, experiment caches, the sharded replay engine and the replica
-# dispatcher are the concurrency-sensitive core; run them under the race
-# detector.
+# The scheduler, experiment caches, the sharded replay engine, the
+# discrete-event engine and the replica dispatcher are the
+# concurrency-sensitive core; run them under the race detector.
 race:
-	$(GO) test -race ./internal/cluster/... ./internal/exp/... ./internal/sim/...
+	$(GO) test -race ./internal/cluster/... ./internal/des/... ./internal/exp/... ./internal/sim/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
 
 # Refresh the checked-in replay benchmark numbers: serial per-call latency,
-# allocations and throughput, plus the worker-scaling curve with parallel
-# efficiency (see docs/MODEL.md "Fleet replay at scale" for the schema).
+# allocations and throughput, the worker-scaling curve with parallel
+# efficiency, and the 1/8/32/128 device-count scaling curve (see docs/MODEL.md
+# "Fleet replay at scale" for the schema).
 bench-json:
-	$(GO) run ./cmd/simbench -o BENCH_sim.json
+	$(GO) run ./cmd/simbench -device-scaling -o BENCH_sim.json
 	@cat BENCH_sim.json
 
 # Cheap standing guarantees: the replay Report is byte-identical at any
 # worker count, steady-state replay stays (near) zero-alloc at every worker
-# count, and the worker-scaling curve shows no gross parallel-efficiency
-# regression (the efficiency gate self-skips on single-CPU hosts).
+# count, the worker-scaling curve shows no gross parallel-efficiency
+# regression, and a 128-device fleet replay hits the discrete-event engine's
+# 3x multicore speedup target (the efficiency gates self-skip below 2 and 4
+# schedulable CPUs respectively).
 bench-smoke:
 	$(GO) run ./cmd/simbench -check
 	$(GO) run ./cmd/simbench -scaling-check

@@ -8,6 +8,10 @@
 //	simbench                        # print the benchmark JSON to stdout
 //	simbench -o BENCH_sim.json      # write it to a file
 //	simbench -calls 10000 -workers 8
+//	simbench -devices 32            # 32 device instances per fleet slot
+//	                                # (128 fleet devices, 128 partitions)
+//	simbench -device-scaling        # also measure the 1/8/32/128 fleet-width
+//	                                # curve (device_scaling in the JSON)
 //	simbench -cpuprofile cpu.out    # also write pprof CPU/heap profiles of the
 //	simbench -memprofile mem.out    # timed replays (for `make profile`)
 //	simbench -check                 # smoke mode: replay determinism across
@@ -100,18 +104,35 @@ type scalePoint struct {
 
 // benchReport is the BENCH_sim.json schema: the flat fields describe the
 // serial (workers=1) replay — the per-call figures the model docs quote —
-// and Scaling is the measured worker curve.
+// Scaling is the measured worker curve, and DeviceScaling (present when
+// -device-scaling is set) is the fleet-width curve: how the partitioned
+// discrete-event engine's parallel speedup holds as the device count grows.
 type benchReport struct {
-	Calls       int          `json:"calls"`
-	Workers     int          `json:"workers"`
-	CPUs        int          `json:"cpus"`
-	GoMaxProcs  int          `json:"gomaxprocs"`
-	Runs        int          `json:"runs"`
-	NsPerCall   float64      `json:"ns_per_call"`
-	AllocsCall  float64      `json:"allocs_per_call"`
-	BytesCall   float64      `json:"bytes_per_call"`
-	CallsPerSec float64      `json:"calls_per_sec"`
-	Scaling     []scalePoint `json:"scaling"`
+	Calls         int           `json:"calls"`
+	Workers       int           `json:"workers"`
+	Devices       int           `json:"devices"`
+	CPUs          int           `json:"cpus"`
+	GoMaxProcs    int           `json:"gomaxprocs"`
+	Runs          int           `json:"runs"`
+	NsPerCall     float64       `json:"ns_per_call"`
+	AllocsCall    float64       `json:"allocs_per_call"`
+	BytesCall     float64       `json:"bytes_per_call"`
+	CallsPerSec   float64       `json:"calls_per_sec"`
+	Scaling       []scalePoint  `json:"scaling"`
+	DeviceScaling []devicePoint `json:"device_scaling,omitempty"`
+}
+
+// devicePoint is one fleet width on the device-scaling curve: the same call
+// mix fanned across Devices instances per slot, replayed serially and with
+// the multicore worker pool. Speedup is serial ns over parallel ns — the
+// engine's whole-run multicore win at that fleet width.
+type devicePoint struct {
+	Devices     int     `json:"devices"`
+	Workers     int     `json:"workers"`
+	SerialNs    float64 `json:"serial_ns_per_call"`
+	NsPerCall   float64 `json:"ns_per_call"`
+	Speedup     float64 `json:"speedup"`
+	CallsPerSec float64 `json:"calls_per_sec"`
 }
 
 // measure times full replays of cfg at a fixed worker count.
@@ -157,6 +178,43 @@ func scalingWorkers() []int {
 // CPU-limited container doesn't oversubscribe itself).
 func defaultWorkers() int { return max(1, min(8, runtime.GOMAXPROCS(0)-1)) }
 
+// deviceCounts is the fleet-width ladder for -device-scaling: 1 instance per
+// slot (the historical 4-partition fleet) up to 32 per slot (128 partitions).
+func deviceCounts() []int { return []int{1, 8, 32, 128} }
+
+// runDeviceScaling measures the fleet-width curve: each device count replayed
+// serially and at the default pool size, the ratio being the partitioned
+// engine's multicore speedup at that width. deviceCounts are instances ACROSS
+// the whole fleet, spread over the 4 deviceOrder slots — Devices is per-slot,
+// so 128 fleet devices = 32 per slot.
+func runDeviceScaling(cfg sim.Config, workers int) ([]devicePoint, error) {
+	var points []devicePoint
+	for _, n := range deviceCounts() {
+		c := cfg
+		c.Devices = max(1, n/sim.FleetSlots)
+		serial, err := measure(c, 1)
+		if err != nil {
+			return nil, err
+		}
+		par, err := measure(c, workers)
+		if err != nil {
+			return nil, err
+		}
+		p := devicePoint{
+			Devices:     n,
+			Workers:     workers,
+			SerialNs:    serial.NsPerCall,
+			NsPerCall:   par.NsPerCall,
+			CallsPerSec: par.CallsPerSec,
+		}
+		if par.NsPerCall > 0 {
+			p.Speedup = serial.NsPerCall / par.NsPerCall
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
 // runScaling measures the full worker curve; the serial point anchors the
 // efficiency column.
 func runScaling(cfg sim.Config) ([]scalePoint, error) {
@@ -181,6 +239,8 @@ func runScaling(cfg sim.Config) ([]scalePoint, error) {
 func main() {
 	calls := flag.Int("calls", 10000, "fleet calls per replay")
 	workers := flag.Int("workers", 0, "replay worker-pool size (default min(8, GOMAXPROCS-1))")
+	devices := flag.Int("devices", 0, "device instances per fleet slot (0/1 = historical 4-device fleet)")
+	deviceScaling := flag.Bool("device-scaling", false, "also measure the 1/8/32/128 fleet-width scaling curve")
 	seed := flag.Int64("seed", 1, "sampling seed")
 	out := flag.String("o", "", "write JSON here instead of stdout")
 	check := flag.Bool("check", false, "smoke mode: verify worker-count invariance, skip timing")
@@ -206,7 +266,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "simbench: pprof+expvar on http://%s/debug/\n", *httpAddr)
 	}
 
-	cfg := sim.Config{Seed: *seed, Calls: *calls, MaxCallBytes: 256 << 10, Workers: *workers}
+	cfg := sim.Config{Seed: *seed, Calls: *calls, MaxCallBytes: 256 << 10, Workers: *workers, Devices: *devices}
 	if *workers == 0 {
 		// Mirror sim's default so the JSON records the pool size actually used.
 		*workers = defaultWorkers()
@@ -289,6 +349,7 @@ func main() {
 	res := benchReport{
 		Calls:       cfg.Calls,
 		Workers:     *workers,
+		Devices:     max(1, *devices),
 		CPUs:        runtime.NumCPU(),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Runs:        serial.Runs,
@@ -297,6 +358,16 @@ func main() {
 		BytesCall:   serial.BytesCall,
 		CallsPerSec: serial.CallsPerSec,
 		Scaling:     points,
+	}
+	if *deviceScaling {
+		dcfg := cfg
+		dcfg.Devices = 0 // the curve sets its own fleet width per point
+		dpoints, err := runDeviceScaling(dcfg, *workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			os.Exit(1)
+		}
+		res.DeviceScaling = dpoints
 	}
 
 	if *memProfile != "" {
@@ -331,13 +402,16 @@ func main() {
 
 func smokeWorkers() int { return max(2, min(8, runtime.GOMAXPROCS(0))) }
 
-// smokeScaling is the `make bench-smoke` perf gate. Two standing guarantees:
-// (1) steady-state replay stays (near) zero-alloc at every worker count —
-// per-call allocations must amortize below 2, catching any reintroduced
-// per-call allocation while tolerating run-level setup; (2) on hosts with
-// at least two schedulable CPUs, two workers must retain a gross fraction of
-// perfect scaling — the gate is deliberately loose (0.3) so it trips on a
-// reintroduced global lock or serialization point, not on scheduler noise.
+// smokeScaling is the `make bench-smoke` perf gate. Three standing
+// guarantees: (1) steady-state replay stays (near) zero-alloc at every worker
+// count — per-call allocations must amortize below 2, catching any
+// reintroduced per-call allocation while tolerating run-level setup; (2) on
+// hosts with at least two schedulable CPUs, two workers must retain a gross
+// fraction of perfect scaling — the gate is deliberately loose (0.3) so it
+// trips on a reintroduced global lock or serialization point, not on
+// scheduler noise; (3) on hosts with at least four schedulable CPUs, a
+// 128-device fleet replay must run at least 3x faster with the worker pool
+// than serially — the partitioned discrete-event engine's scaling target.
 func smokeScaling(cfg sim.Config) error {
 	points, err := runScaling(cfg)
 	if err != nil {
@@ -350,20 +424,46 @@ func smokeScaling(cfg sim.Config) error {
 	}
 	procs := runtime.GOMAXPROCS(0)
 	if procs < 2 {
-		fmt.Printf("simbench: allocs/call < 2 at every worker count; efficiency gate skipped (GOMAXPROCS=%d)\n", procs)
+		fmt.Printf("simbench: allocs/call < 2 at every worker count; efficiency gates skipped (GOMAXPROCS=%d)\n", procs)
 		return nil
 	}
+	twoWorker := -1.0
 	for _, p := range points {
-		if p.Workers != 2 {
-			continue
+		if p.Workers == 2 {
+			twoWorker = p.Efficiency
 		}
-		if p.Efficiency < 0.3 {
-			return fmt.Errorf("workers=2: parallel efficiency %.2f below 0.3 — the replay has grown a serialization point", p.Efficiency)
-		}
-		fmt.Printf("simbench: allocs/call < 2 at every worker count; 2-worker efficiency %.2f\n", p.Efficiency)
+	}
+	if twoWorker < 0 {
+		return fmt.Errorf("scaling curve missing the 2-worker point")
+	}
+	if twoWorker < 0.3 {
+		return fmt.Errorf("workers=2: parallel efficiency %.2f below 0.3 — the replay has grown a serialization point", twoWorker)
+	}
+	if procs < 4 {
+		fmt.Printf("simbench: allocs/call < 2 at every worker count; 2-worker efficiency %.2f; 128-device gate skipped (GOMAXPROCS=%d)\n",
+			twoWorker, procs)
 		return nil
 	}
-	return fmt.Errorf("scaling curve missing the 2-worker point")
+	wide := cfg
+	wide.Devices = 128 / sim.FleetSlots
+	serial, err := measure(wide, 1)
+	if err != nil {
+		return err
+	}
+	par, err := measure(wide, min(defaultWorkers(), procs))
+	if err != nil {
+		return err
+	}
+	speedup := 0.0
+	if par.NsPerCall > 0 {
+		speedup = serial.NsPerCall / par.NsPerCall
+	}
+	if speedup < 3 {
+		return fmt.Errorf("128-device replay speedup %.2fx at %d workers, below the 3x scaling target", speedup, par.Workers)
+	}
+	fmt.Printf("simbench: allocs/call < 2 at every worker count; 2-worker efficiency %.2f; 128-device speedup %.2fx at %d workers\n",
+		twoWorker, speedup, par.Workers)
+	return nil
 }
 
 // smokeTrace is the `make trace-smoke` gate: a traced replay must leave the

@@ -21,6 +21,7 @@ import (
 func main() {
 	calls := flag.Int("calls", 10000, "fleet calls to replay per load/placement cell")
 	workers := flag.Int("workers", 0, "replay worker-pool size (default min(8, NumCPU-1); results do not depend on it)")
+	devices := flag.Int("devices", 0, "device instances per fleet slot (0/1 = historical 4-device fleet; fleet capacity and area scale with it)")
 	seed := flag.Int64("seed", 11, "sampling seed")
 	chaos := flag.Float64("chaos", 0, "fault-storm rate (0..1); >0 replays each cell under a seeded storm with the reference recovery policy and reports recovery counts")
 	replicas := flag.Int("replicas", 1, "replica-group width per device slot; >1 dispatches through the cluster failover layer (area scales with width)")
@@ -30,7 +31,7 @@ func main() {
 	flag.Parse()
 
 	if *failover > 0 {
-		if err := runFailover(*seed, *calls, *workers, *failover, max(2, *replicas)); err != nil {
+		if err := runFailover(*seed, *calls, *workers, *devices, *failover, max(2, *replicas)); err != nil {
 			log.Fatal(err)
 		}
 		if *metrics {
@@ -40,7 +41,7 @@ func main() {
 	}
 
 	if *chaos > 0 {
-		if err := runChaos(*seed, *calls, *workers, *chaos); err != nil {
+		if err := runChaos(*seed, *calls, *workers, *devices, *chaos); err != nil {
 			log.Fatal(err)
 		}
 		if *metrics {
@@ -50,7 +51,7 @@ func main() {
 	}
 
 	if *traceOut != "" {
-		if err := writeTrace(*traceOut, *seed, min(*calls, 500), *workers); err != nil {
+		if err := writeTrace(*traceOut, *seed, min(*calls, 500), *workers, *devices); err != nil {
 			log.Fatal(err)
 		}
 		if *metrics {
@@ -72,6 +73,7 @@ func main() {
 				Placement:   placement,
 				Workers:     *workers,
 				Replicas:    *replicas,
+				Devices:     *devices,
 			})
 			if err != nil {
 				log.Fatal(err)
@@ -94,7 +96,7 @@ func main() {
 // quarantine, bounded admission queue): the graceful-degradation picture —
 // how much goodput survives, what recovery each mechanism absorbed, and where
 // the tail lands. The same seeds always produce the same table.
-func runChaos(seed int64, calls, workers int, rate float64) error {
+func runChaos(seed int64, calls, workers, devices int, rate float64) error {
 	pol := resil.Policy{
 		MaxAttempts:             3,
 		BackoffBaseCycles:       2000,
@@ -118,6 +120,7 @@ func runChaos(seed int64, calls, workers int, rate float64) error {
 				Pipelines:   1,
 				Placement:   placement,
 				Workers:     workers,
+				Devices:     devices,
 				Resilience:  pol,
 				Storm:       &fault.Storm{Seed: seed + 7, Rate: rate, MeanRepeats: 1},
 			})
@@ -143,7 +146,7 @@ func runChaos(seed int64, calls, workers int, rate float64) error {
 // cluster layer absorbing whole-device failures that would otherwise abort the
 // replay or spill to the CPU fallback. The same seeds always produce the same
 // table.
-func runFailover(seed int64, calls, workers int, rate float64, replicas int) error {
+func runFailover(seed int64, calls, workers, devices int, rate float64, replicas int) error {
 	pol := resil.Policy{
 		MaxAttempts:             3,
 		BackoffBaseCycles:       2000,
@@ -180,6 +183,7 @@ func runFailover(seed int64, calls, workers int, rate float64, replicas int) err
 				Pipelines:   1,
 				Placement:   placement,
 				Workers:     workers,
+				Devices:     devices,
 				Resilience:  pol,
 				Replicas:    replicas,
 				Failover:    fpol,
@@ -206,7 +210,7 @@ func runFailover(seed int64, calls, workers int, rate float64, replicas int) err
 // timeline as Chrome trace-event JSON: one process per device, one exec lane
 // and one stream lane per pipeline. The call count is kept small so the file
 // stays viewer-friendly.
-func writeTrace(path string, seed int64, calls, workers int) error {
+func writeTrace(path string, seed int64, calls, workers, devices int) error {
 	tr := obs.NewTrace(2.0)
 	r, err := sim.Run(sim.Config{
 		Seed:        seed,
@@ -215,6 +219,7 @@ func writeTrace(path string, seed int64, calls, workers int) error {
 		Pipelines:   2,
 		Placement:   memsys.RoCC,
 		Workers:     workers,
+		Devices:     devices,
 		Trace:       tr,
 	})
 	if err != nil {

@@ -179,6 +179,12 @@ type Group struct {
 	// Lifecycle is the seeded device-lifecycle schedule (nil = always
 	// healthy).
 	Lifecycle *fault.Lifecycle
+	// ReplicaBase offsets this group's replica indices into the lifecycle
+	// schedule's replica space. A fleet that fans one device slot out into
+	// several instances gives each instance a disjoint base so the instances
+	// see independent lifecycle weather from the same seed (0 = historical
+	// single-instance behavior).
+	ReplicaBase int
 }
 
 // hedgeMinSamples gates P99-derived hedging until the running histogram has
@@ -289,285 +295,382 @@ func order(cand []int, free [][]float64, brk []Breaker, rot int) []int {
 // carrying the call's global Index; because calls are processed in order,
 // that is the lowest failing index in the group.
 func (g *Group) Replay(calls []Call) ([]core.JobResult, core.DeviceStats, Totals, error) {
+	st := g.NewState(len(calls))
+	if len(calls) == 0 {
+		return nil, core.DeviceStats{}, st.tot, nil
+	}
+	for i := range calls {
+		if err := st.Step(&calls[i]); err != nil {
+			return nil, core.DeviceStats{}, st.tot, err
+		}
+	}
+	results, devStats, tot := st.Finish()
+	return results, devStats, tot, nil
+}
+
+// GroupState is Replay unrolled into one Step per call, so a discrete-event
+// engine can drive a replica group arrival by arrival instead of walking a
+// fully materialized call slice. Replay itself is now a thin loop over Step +
+// Finish; the per-call arithmetic is the same operations in the same order,
+// so driving the state from an event queue produces results bit-identical to
+// the serial pass.
+type GroupState struct {
+	g      *Group
+	nR, nP int
+	tot    Totals
+
+	free        [][]float64
+	brk         []Breaker
+	needRestart []bool
+	results     []core.JobResult
+	faultLog    [][]float64
+	pending     []float64
+	pendingHead int
+	hist        svcHist
+	cand        []int
+	busy        float64
+	first       float64
+	lastDone    float64
+	served      int
+	shed        int
+	quar        int
+	maxAttempts int
+	prev        float64 // previous arrival, for the sorted-input check
+	n           int     // calls stepped so far
+}
+
+// NewState prepares an incremental dispatch pass over n expected calls.
+func (g *Group) NewState(n int) *GroupState {
 	nR := max(1, g.Replicas)
 	nP := max(1, g.Pipelines)
-	tot := Totals{Dispatches: make([]int, nR)}
-	if len(calls) == 0 {
-		return nil, core.DeviceStats{}, tot, nil
+	st := &GroupState{
+		g:           g,
+		nR:          nR,
+		nP:          nP,
+		tot:         Totals{Dispatches: make([]int, nR)},
+		free:        make([][]float64, nR),
+		brk:         make([]Breaker, nR),
+		needRestart: make([]bool, nR),
+		results:     make([]core.JobResult, 0, n),
+		cand:        make([]int, 0, nR),
+		maxAttempts: 1 + max(0, g.Policy.MaxFailovers),
 	}
-	free := make([][]float64, nR)
-	for r := range free {
-		free[r] = make([]float64, nP)
+	for r := range st.free {
+		st.free[r] = make([]float64, nP)
 	}
-	brk := make([]Breaker, nR)
-	for r := range brk {
-		brk[r] = g.Policy.breaker()
+	for r := range st.brk {
+		st.brk[r] = g.Policy.breaker()
 	}
-	needRestart := make([]bool, nR)
-	results := make([]core.JobResult, len(calls))
-	var faultLog [][]float64
 	if g.Resil.QuarantineK > 0 {
-		faultLog = make([][]float64, nR*nP)
+		st.faultLog = make([][]float64, nR*nP)
 	}
-	var pending []float64
-	pendingHead := 0
-	var hist svcHist
-	cand := make([]int, 0, nR)
-	busy := 0.0
-	first := calls[0].Arrival
-	lastDone := 0.0
-	served, shed, quar := 0, 0, 0
-	maxAttempts := 1 + max(0, g.Policy.MaxFailovers)
+	return st
+}
 
-	for i := range calls {
-		c := &calls[i]
-		if i > 0 && c.Arrival < calls[i-1].Arrival {
-			return nil, core.DeviceStats{}, tot, fmt.Errorf("cluster: calls not sorted by arrival")
-		}
-		for _, v := range [4]float64{c.Service, c.Post, c.Brown, c.HangBudget} {
-			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
-				return nil, core.DeviceStats{}, tot,
-					fmt.Errorf("cluster: call %d cycles %v (want finite, non-negative)", c.Index, v)
-			}
-		}
-		// Group-level admission: one logical queue in front of the replica
-		// set, same FIFO-window bookkeeping as core.ReplayPolicy.
-		if g.Resil.MaxQueue > 0 {
-			for pendingHead < len(pending) && pending[pendingHead] <= c.Arrival {
-				pendingHead++
-			}
-			if len(pending)-pendingHead >= g.Resil.MaxQueue {
-				results[i] = core.JobResult{Start: c.Arrival, Pipeline: -1, Err: resil.ErrShed}
-				shed++
-				resil.MetricSheds.Inc()
-				continue
-			}
-		}
-		now := c.Arrival
-		for r := range brk {
-			brk[r].Observe(now)
-		}
-		cand = order(cand, free, brk, max(0, c.Index))
+// Calls returns how many calls have been stepped so far.
+func (st *GroupState) Calls() int { return st.n }
 
-		servedOK := false
-		var start, done, svc, prevFree float64
-		var sr, sp int
-		ai := 0
-		for attempt := 0; ai < len(cand) && attempt < maxAttempts; attempt++ {
-			r := cand[ai]
-			ai++
-			if attempt > 0 {
-				now += g.Policy.FailoverPenaltyCycles
-				tot.Failovers++
-				metricFailovers.Inc()
-			}
-			kind, sick := g.Lifecycle.State(r, c.Index)
-			if sick && kind == fault.LifeCrash {
-				// Dead doorbell: the detect timeout elapses, the replica is
-				// marked for warm restart when its window ends.
-				now += g.Policy.crashDetect()
-				needRestart[r] = true
-				brk[r].OnFailure(now)
-				continue
-			}
-			if sick && kind == fault.LifeHang {
-				// The dispatch is accepted and never completes: it holds a
-				// pipeline for the watchdog budget, then fails.
-				p := earliest(free[r])
-				hs := math.Max(now, free[r][p])
-				he := hs + c.HangBudget
-				free[r][p] = he
-				busy += c.HangBudget
-				if he > lastDone {
-					lastDone = he
-				}
-				now = he
-				brk[r].OnFailure(now)
-				continue
-			}
-			if needRestart[r] {
-				// The replica's crash window has ended; it rejoins through a
-				// warm restart charged on every pipeline before serving.
-				rc := g.Policy.restart(nP, g.ResetCycles)
-				for p := range free[r] {
-					free[r][p] = math.Max(free[r][p], now) + rc
-				}
-				busy += rc * float64(nP)
-				needRestart[r] = false
-				tot.ReplicaRestarts++
-				metricRestarts.Inc()
-			}
-			svc = c.Service
-			if sick && c.Brown > 0 { // kind == LifeBrownout: the only sick kind left
-				svc = c.Brown
-			}
-			sp = earliest(free[r])
-			prevFree = free[r][sp]
-			start = math.Max(now, free[r][sp])
-			done = start + svc
-			free[r][sp] = done
-			busy += svc
-			sr = r
-			servedOK = true
-			break
-		}
+// Restarts returns the warm-restart count accumulated so far. A
+// discrete-event driver diffs it across Steps to attribute restart work to
+// the epoch in which it happened.
+func (st *GroupState) Restarts() int { return st.tot.ReplicaRestarts }
 
-		if !servedOK {
-			// Every candidate was sick or every breaker open: the group is
-			// dark for this call. Software fallback keeps serving when the
-			// policy allows it; otherwise this is the deterministic abort.
-			if g.Resil.SoftwareFallback && c.Software > 0 {
-				done = now + c.Software
-				if done > lastDone {
-					lastDone = done
-				}
-				results[i] = core.JobResult{
-					Service: c.Software, Latency: done - c.Arrival + c.Post,
-					Start: now, Pipeline: -1,
-				}
-				served++
-				tot.SwServed++
-				metricSwServed.Inc()
-				if !c.Degraded {
-					tot.Degraded++
-					resil.MetricFallbacks.Inc()
-				}
-				if g.Resil.MaxQueue > 0 {
-					pending = append(pending, now)
-				}
-				continue
-			}
-			finishBreakers(brk, &tot, lastDone)
-			return nil, core.DeviceStats{}, tot, &CallError{
-				Index: c.Index,
-				Err: &core.DeviceError{
-					Reason: "replica-down", Unit: g.Unit,
-					Cycles: now - c.Arrival, Err: ErrNoReplica,
-				},
-			}
-		}
+// Last returns the result of the most recently stepped call (nil before the
+// first Step). The pointer is into the state's result slice; it is valid
+// until the next Step.
+func (st *GroupState) Last() *core.JobResult {
+	if len(st.results) == 0 {
+		return nil
+	}
+	return &st.results[len(st.results)-1]
+}
 
-		// Hedged dispatch runs on the dispatch clock: if the primary would
-		// keep the caller waiting past the hedge delay — deep queue, browned
-		// replica, slow call — a second dispatch fires on the next candidate
-		// at now+delay, and the first completion wins. The loser is
-		// cancelled, charging only the occupancy it consumed before the
-		// cancel instant. Replicas pending a warm restart are skipped (the
-		// probe path handles their rejoin).
-		if g.Policy.Hedge && ai < len(cand) && !needRestart[cand[ai]] {
-			if d, ok := hist.delay(g.Policy.HedgeDelayCycles); ok && done-now > d {
-				h := cand[ai]
-				tot.HedgedCalls++
-				metricHedged.Inc()
-				hkind, hsick := g.Lifecycle.State(h, c.Index)
-				switch {
-				case hsick && hkind == fault.LifeCrash:
-					// The hedge fails fast in the background; no occupancy.
-					needRestart[h] = true
-					brk[h].OnFailure(now + d + g.Policy.crashDetect())
-				case hsick && hkind == fault.LifeHang:
-					brk[h].OnFailure(now + d + c.HangBudget)
-				default:
-					hsvc := c.Service
-					if hsick && c.Brown > 0 {
-						hsvc = c.Brown
-					}
-					hp := earliest(free[h])
-					hstart := math.Max(now+d, free[h][hp])
-					hdone := hstart + hsvc
-					if hdone < done {
-						// Hedge wins: cancel the primary at the win instant.
-						// A primary cancelled before its service even began
-						// releases its slot entirely (back to the pipeline's
-						// prior commitment); one cancelled mid-service keeps
-						// the occupancy it consumed.
-						if hdone <= start {
-							free[sr][sp] = prevFree
-							busy -= svc
-						} else {
-							free[sr][sp] = hdone
-							busy -= done - hdone
-						}
-						free[h][hp] = hdone
-						busy += hsvc
-						done, start, svc = hdone, hstart, hsvc
-						sr, sp = h, hp
-						tot.HedgeWins++
-						metricHedgeWins.Inc()
-					} else if hstart < done {
-						// Primary wins: the hedge is cancelled mid-flight and
-						// charged only up to the primary's completion.
-						free[h][hp] = done
-						busy += done - hstart
-					}
-				}
-			}
+// NextBreakerDeadline returns the earliest open-window expiry across the
+// group's breakers, and whether any breaker is open. A discrete-event driver
+// schedules the half-open transition as an event at that time.
+func (st *GroupState) NextBreakerDeadline() (float64, bool) {
+	best, any := 0.0, false
+	for r := range st.brk {
+		if until, open := st.brk[r].OpenDeadline(); open && (!any || until < best) {
+			best, any = until, true
 		}
+	}
+	return best, any
+}
 
-		brk[sr].OnSuccess(done)
-		if done > lastDone {
-			lastDone = done
-		}
-		hist.observe(done - now)
-		tot.Dispatches[sr]++
+// ObserveBreakers advances every breaker to the modeled time, transitioning
+// expired open windows to half-open. Calling it from a scheduled event is
+// outcome-identical to the lazy per-arrival Observe (see Breaker.OpenDeadline).
+func (st *GroupState) ObserveBreakers(now float64) {
+	for r := range st.brk {
+		st.brk[r].Observe(now)
+	}
+}
 
-		// Pipeline quarantine, ported from core.ReplayPolicy and keyed by
-		// (replica, pipeline).
-		if faultLog != nil && c.Faults > 0 {
-			key := sr*nP + sp
-			log := faultLog[key]
-			if w := g.Resil.QuarantineWindowCycles; w > 0 {
-				keep := 0
-				for _, ts := range log {
-					if ts >= done-w {
-						log[keep] = ts
-						keep++
-					}
-				}
-				log = log[:keep]
-			}
-			for e := 0; e < c.Faults; e++ {
-				log = append(log, done)
-			}
-			if len(log) >= g.Resil.QuarantineK {
-				reset := g.Resil.ResetCycles
-				if reset == 0 {
-					reset = g.ResetCycles
-				}
-				free[sr][sp] = done + reset + g.Resil.QuarantinePenaltyCycles
-				log = log[:0]
-				quar++
-				resil.MetricQuarantines.Inc()
-			}
-			faultLog[key] = log
+// Step admits, dispatches and completes one call. Arrivals must be
+// non-decreasing across calls. On an unservable call it finishes the breaker
+// books and returns a *CallError carrying the call's global Index; the state
+// must not be stepped again after an error.
+func (st *GroupState) Step(c *Call) error {
+	g := st.g
+	i := st.n
+	if i > 0 && c.Arrival < st.prev {
+		return fmt.Errorf("cluster: calls not sorted by arrival")
+	}
+	for _, v := range [4]float64{c.Service, c.Post, c.Brown, c.HangBudget} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("cluster: call %d cycles %v (want finite, non-negative)", c.Index, v)
 		}
+	}
+	if i == 0 {
+		st.first = c.Arrival
+	}
+	st.prev = c.Arrival
+	st.n++
+	// Group-level admission: one logical queue in front of the replica
+	// set, same FIFO-window bookkeeping as core.ReplayPolicy.
+	if g.Resil.MaxQueue > 0 {
+		for st.pendingHead < len(st.pending) && st.pending[st.pendingHead] <= c.Arrival {
+			st.pendingHead++
+		}
+		if len(st.pending)-st.pendingHead >= g.Resil.MaxQueue {
+			st.results = append(st.results, core.JobResult{Start: c.Arrival, Pipeline: -1, Err: resil.ErrShed})
+			st.shed++
+			resil.MetricSheds.Inc()
+			return nil
+		}
+	}
+	now := c.Arrival
+	for r := range st.brk {
+		st.brk[r].Observe(now)
+	}
+	st.cand = order(st.cand, st.free, st.brk, max(0, c.Index))
+	cand := st.cand
 
-		latency := done - c.Arrival
-		if c.Post > 0 {
-			latency += c.Post
+	servedOK := false
+	var start, done, svc, prevFree float64
+	var sr, sp int
+	ai := 0
+	for attempt := 0; ai < len(cand) && attempt < st.maxAttempts; attempt++ {
+		r := cand[ai]
+		ai++
+		if attempt > 0 {
+			now += g.Policy.FailoverPenaltyCycles
+			st.tot.Failovers++
+			metricFailovers.Inc()
 		}
-		results[i] = core.JobResult{
-			Queue:    start - c.Arrival,
-			Service:  svc,
-			Latency:  latency,
-			Start:    start,
-			Pipeline: sr*nP + sp,
+		kind, sick := g.Lifecycle.State(g.ReplicaBase+r, c.Index)
+		if sick && kind == fault.LifeCrash {
+			// Dead doorbell: the detect timeout elapses, the replica is
+			// marked for warm restart when its window ends.
+			now += g.Policy.crashDetect()
+			st.needRestart[r] = true
+			st.brk[r].OnFailure(now)
+			continue
 		}
-		served++
-		if g.Resil.MaxQueue > 0 {
-			pending = append(pending, start)
+		if sick && kind == fault.LifeHang {
+			// The dispatch is accepted and never completes: it holds a
+			// pipeline for the watchdog budget, then fails.
+			p := earliest(st.free[r])
+			hs := math.Max(now, st.free[r][p])
+			he := hs + c.HangBudget
+			st.free[r][p] = he
+			st.busy += c.HangBudget
+			if he > st.lastDone {
+				st.lastDone = he
+			}
+			now = he
+			st.brk[r].OnFailure(now)
+			continue
+		}
+		if st.needRestart[r] {
+			// The replica's crash window has ended; it rejoins through a
+			// warm restart charged on every pipeline before serving.
+			rc := g.Policy.restart(st.nP, g.ResetCycles)
+			for p := range st.free[r] {
+				st.free[r][p] = math.Max(st.free[r][p], now) + rc
+			}
+			st.busy += rc * float64(st.nP)
+			st.needRestart[r] = false
+			st.tot.ReplicaRestarts++
+			metricRestarts.Inc()
+		}
+		svc = c.Service
+		if sick && c.Brown > 0 { // kind == LifeBrownout: the only sick kind left
+			svc = c.Brown
+		}
+		sp = earliest(st.free[r])
+		prevFree = st.free[r][sp]
+		start = math.Max(now, st.free[r][sp])
+		done = start + svc
+		st.free[r][sp] = done
+		st.busy += svc
+		sr = r
+		servedOK = true
+		break
+	}
+
+	if !servedOK {
+		// Every candidate was sick or every breaker open: the group is
+		// dark for this call. Software fallback keeps serving when the
+		// policy allows it; otherwise this is the deterministic abort.
+		if g.Resil.SoftwareFallback && c.Software > 0 {
+			done = now + c.Software
+			if done > st.lastDone {
+				st.lastDone = done
+			}
+			st.results = append(st.results, core.JobResult{
+				Service: c.Software, Latency: done - c.Arrival + c.Post,
+				Start: now, Pipeline: -1,
+			})
+			st.served++
+			st.tot.SwServed++
+			metricSwServed.Inc()
+			if !c.Degraded {
+				st.tot.Degraded++
+				resil.MetricFallbacks.Inc()
+			}
+			if g.Resil.MaxQueue > 0 {
+				st.pending = append(st.pending, now)
+			}
+			return nil
+		}
+		finishBreakers(st.brk, &st.tot, st.lastDone)
+		return &CallError{
+			Index: c.Index,
+			Err: &core.DeviceError{
+				Reason: "replica-down", Unit: g.Unit,
+				Cycles: now - c.Arrival, Err: ErrNoReplica,
+			},
 		}
 	}
 
-	finishBreakers(brk, &tot, lastDone)
-	devStats := core.DeviceStats{Jobs: len(calls), Makespan: lastDone - first, Shed: shed, Quarantines: quar}
+	// Hedged dispatch runs on the dispatch clock: if the primary would
+	// keep the caller waiting past the hedge delay — deep queue, browned
+	// replica, slow call — a second dispatch fires on the next candidate
+	// at now+delay, and the first completion wins. The loser is
+	// cancelled, charging only the occupancy it consumed before the
+	// cancel instant. Replicas pending a warm restart are skipped (the
+	// probe path handles their rejoin).
+	if g.Policy.Hedge && ai < len(cand) && !st.needRestart[cand[ai]] {
+		if d, ok := st.hist.delay(g.Policy.HedgeDelayCycles); ok && done-now > d {
+			h := cand[ai]
+			st.tot.HedgedCalls++
+			metricHedged.Inc()
+			hkind, hsick := g.Lifecycle.State(g.ReplicaBase+h, c.Index)
+			switch {
+			case hsick && hkind == fault.LifeCrash:
+				// The hedge fails fast in the background; no occupancy.
+				st.needRestart[h] = true
+				st.brk[h].OnFailure(now + d + g.Policy.crashDetect())
+			case hsick && hkind == fault.LifeHang:
+				st.brk[h].OnFailure(now + d + c.HangBudget)
+			default:
+				hsvc := c.Service
+				if hsick && c.Brown > 0 {
+					hsvc = c.Brown
+				}
+				hp := earliest(st.free[h])
+				hstart := math.Max(now+d, st.free[h][hp])
+				hdone := hstart + hsvc
+				if hdone < done {
+					// Hedge wins: cancel the primary at the win instant.
+					// A primary cancelled before its service even began
+					// releases its slot entirely (back to the pipeline's
+					// prior commitment); one cancelled mid-service keeps
+					// the occupancy it consumed.
+					if hdone <= start {
+						st.free[sr][sp] = prevFree
+						st.busy -= svc
+					} else {
+						st.free[sr][sp] = hdone
+						st.busy -= done - hdone
+					}
+					st.free[h][hp] = hdone
+					st.busy += hsvc
+					done, start, svc = hdone, hstart, hsvc
+					sr, sp = h, hp
+					st.tot.HedgeWins++
+					metricHedgeWins.Inc()
+				} else if hstart < done {
+					// Primary wins: the hedge is cancelled mid-flight and
+					// charged only up to the primary's completion.
+					st.free[h][hp] = done
+					st.busy += done - hstart
+				}
+			}
+		}
+	}
+
+	st.brk[sr].OnSuccess(done)
+	if done > st.lastDone {
+		st.lastDone = done
+	}
+	st.hist.observe(done - now)
+	st.tot.Dispatches[sr]++
+
+	// Pipeline quarantine, ported from core.ReplayPolicy and keyed by
+	// (replica, pipeline).
+	if st.faultLog != nil && c.Faults > 0 {
+		key := sr*st.nP + sp
+		log := st.faultLog[key]
+		if w := g.Resil.QuarantineWindowCycles; w > 0 {
+			keep := 0
+			for _, ts := range log {
+				if ts >= done-w {
+					log[keep] = ts
+					keep++
+				}
+			}
+			log = log[:keep]
+		}
+		for e := 0; e < c.Faults; e++ {
+			log = append(log, done)
+		}
+		if len(log) >= g.Resil.QuarantineK {
+			reset := g.Resil.ResetCycles
+			if reset == 0 {
+				reset = g.ResetCycles
+			}
+			st.free[sr][sp] = done + reset + g.Resil.QuarantinePenaltyCycles
+			log = log[:0]
+			st.quar++
+			resil.MetricQuarantines.Inc()
+		}
+		st.faultLog[key] = log
+	}
+
+	latency := done - c.Arrival
+	if c.Post > 0 {
+		latency += c.Post
+	}
+	st.results = append(st.results, core.JobResult{
+		Queue:    start - c.Arrival,
+		Service:  svc,
+		Latency:  latency,
+		Start:    start,
+		Pipeline: sr*st.nP + sp,
+	})
+	st.served++
+	if g.Resil.MaxQueue > 0 {
+		st.pending = append(st.pending, start)
+	}
+	return nil
+}
+
+// Finish closes the breaker books and computes the group statistics over
+// every stepped call. The state must not be stepped again afterwards.
+func (st *GroupState) Finish() ([]core.JobResult, core.DeviceStats, Totals) {
+	finishBreakers(st.brk, &st.tot, st.lastDone)
+	results := st.results
+	devStats := core.DeviceStats{Jobs: st.n, Makespan: st.lastDone - st.first, Shed: st.shed, Quarantines: st.quar}
 	if devStats.Makespan > 0 {
-		devStats.Utilization = busy / (float64(nR*nP) * devStats.Makespan)
+		devStats.Utilization = st.busy / (float64(st.nR*st.nP) * devStats.Makespan)
 	}
-	if served == 0 {
-		return results, devStats, tot, nil
+	if st.served == 0 {
+		return results, devStats, st.tot
 	}
-	lat := make([]float64, 0, served)
+	lat := make([]float64, 0, st.served)
 	sum := 0.0
 	for i := range results {
 		if results[i].Err != nil {
@@ -579,7 +682,7 @@ func (g *Group) Replay(calls []Call) ([]core.JobResult, core.DeviceStats, Totals
 	devStats.MeanLatency = sum / float64(len(lat))
 	devStats.P50Latency = stats.SelectNth(lat, len(lat)/2)
 	devStats.P99Latency = stats.SelectNth(lat, min(len(lat)-1, len(lat)*99/100))
-	return results, devStats, tot, nil
+	return results, devStats, st.tot
 }
 
 // finishBreakers closes the books: still-open windows account their elapsed

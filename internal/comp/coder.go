@@ -90,6 +90,30 @@ func (c *Coder) AppendCompressPlan(dst []byte, a Algorithm, level, windowLog int
 	}
 }
 
+// AppendCompressPlanSizeOnly is AppendCompressPlan with zstdlite's size-only
+// entropy coding enabled: frame layout, Plan, and encoded length are
+// bit-identical to the full encoder's, but entropy payloads are zeros of the
+// exact length the coders would emit. The frame is NOT decodable — it exists
+// for plan-charging replay pipelines that model decode cost from the Plan and
+// only consume the frame's length. Algorithms outside the zstdlite family
+// (Snappy, Gipfeli, LZO) have byte-parsing decoders, so they always encode in
+// full.
+func (c *Coder) AppendCompressPlanSizeOnly(dst []byte, a Algorithm, level, windowLog int, src []byte) ([]byte, *zstdlite.Plan, error) {
+	switch a {
+	case ZStd, Flate, Brotli:
+		e, err := c.zstdEncoder(a, level, windowLog)
+		if err != nil {
+			return nil, nil, err
+		}
+		e.SetSizeOnly(true)
+		out, plan := e.AppendEncodeWithPlan(dst, src)
+		e.SetSizeOnly(false)
+		return out, plan, nil
+	default:
+		return c.AppendCompressPlan(dst, a, level, windowLog, src)
+	}
+}
+
 // zstdEncoder returns the pooled zstdlite encoder for the key, building it
 // on first use.
 func (c *Coder) zstdEncoder(a Algorithm, level, windowLog int) (*zstdlite.Encoder, error) {

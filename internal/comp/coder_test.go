@@ -47,6 +47,67 @@ func TestCoderMatchesCompressCall(t *testing.T) {
 	}
 }
 
+// TestCoderSizeOnlyMatchesFullLengthAndPlan pins the size-only fast path at
+// the Coder layer: for every algorithm, AppendCompressPlanSizeOnly emits a
+// frame of exactly the full path's byte length with an identical Plan, the
+// encoder pool is not left in size-only mode afterwards, and non-zstd-family
+// frames remain fully decodable (they never get size-only treatment).
+func TestCoderSizeOnlyMatchesFullLengthAndPlan(t *testing.T) {
+	c := NewCoder()
+	src := corpus.Generate(corpus.Log, 48<<10, 7)
+	for round := 0; round < 2; round++ {
+		for _, a := range Algorithms {
+			level := a.DefaultLevel()
+			want, wantPlan, err := c.AppendCompressPlan(nil, a, level, 0, src)
+			if err != nil {
+				t.Fatalf("%v: %v", a, err)
+			}
+			// The returned Plan aliases pooled encoder scratch; snapshot what
+			// the comparison needs before the next compression invalidates it.
+			hadPlan, wantBlocks := wantPlan != nil, 0
+			if hadPlan {
+				wantBlocks = len(wantPlan.Blocks)
+			}
+			got, gotPlan, err := c.AppendCompressPlanSizeOnly(nil, a, level, 0, src)
+			if err != nil {
+				t.Fatalf("%v: %v", a, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("round %d %v: size-only frame %d bytes, full %d", round, a, len(got), len(want))
+			}
+			if (gotPlan == nil) == hadPlan {
+				t.Fatalf("round %d %v: plan presence differs (size-only %v, full %v)",
+					round, a, gotPlan != nil, hadPlan)
+			}
+			if gotPlan != nil && len(gotPlan.Blocks) != wantBlocks {
+				t.Fatalf("round %d %v: plan blocks %d vs %d", round, a, len(gotPlan.Blocks), wantBlocks)
+			}
+			if gotPlan == nil { // byte-parsing decoder: frame must stay real
+				back, err := DecompressCall(a, got)
+				if err != nil {
+					t.Fatalf("round %d %v: size-only path broke non-zstd frame: %v", round, a, err)
+				}
+				if !bytes.Equal(back, src) {
+					t.Fatalf("round %d %v: round trip mismatch", round, a)
+				}
+			}
+			// The pooled encoder must leave size-only mode: the next full
+			// compression through the same Coder has to be decodable.
+			full, err := c.AppendCompress(nil, a, level, 0, src)
+			if err != nil {
+				t.Fatalf("%v: %v", a, err)
+			}
+			back, err := DecompressCall(a, full)
+			if err != nil {
+				t.Fatalf("round %d %v: full encode after size-only does not decode: %v", round, a, err)
+			}
+			if !bytes.Equal(back, src) {
+				t.Fatalf("round %d %v: round trip mismatch after size-only", round, a)
+			}
+		}
+	}
+}
+
 // TestCoderAppendsToDst verifies the append contract (prefix preserved).
 func TestCoderAppendsToDst(t *testing.T) {
 	c := NewCoder()

@@ -253,115 +253,195 @@ func (d *Device) ReplayPolicy(jobs []Job, service, post []float64, faults []int,
 	if len(jobs) == 0 {
 		return nil, DeviceStats{}, nil
 	}
-	free := make([]float64, d.pipelines) // next-free time per pipeline
-	results := make([]JobResult, len(jobs))
-	busy := 0.0
-	first := jobs[0].Arrival
-	lastDone := 0.0
-	served := 0
-	shed := 0
-	quarantines := 0
+	st := d.NewReplayState(len(jobs), pol, post != nil, faults != nil)
+	for i, job := range jobs {
+		var x float64
+		if post != nil {
+			x = post[i]
+		}
+		var f int
+		if faults != nil {
+			f = faults[i]
+		}
+		if err := st.Step(job.Arrival, service[i], x, f); err != nil {
+			return nil, DeviceStats{}, err
+		}
+	}
+	results, devStats := st.Finish()
+	return results, devStats, nil
+}
+
+// ReplayState is ReplayPolicy unrolled into one Step per job, so a
+// discrete-event engine can drive a device arrival by arrival instead of
+// walking a fully materialized job slice. ReplayPolicy itself is now a thin
+// loop over Step + Finish; the per-job arithmetic is the same operations in
+// the same order, so driving the state from an event queue produces results
+// bit-identical to the serial pass.
+type ReplayState struct {
+	dev        *Device
+	pol        resil.Policy
+	withPost   bool
+	withFaults bool
+
+	free        []float64 // next-free time per pipeline
+	results     []JobResult
+	busy        float64
+	first       float64
+	lastDone    float64
+	served      int
+	shed        int
+	quarantines int
 	// Admission queue: starts are non-decreasing (arrivals are sorted and
 	// pipeline free times only grow), so the waiting set is a FIFO window
 	// over the start times of already-assigned jobs.
-	var pending []float64
-	pendingHead := 0
+	pending     []float64
+	pendingHead int
 	// Quarantine bookkeeping: per-pipeline fault-event times within the
 	// sliding window.
-	var faultLog [][]float64
-	if pol.QuarantineK > 0 && faults != nil {
-		faultLog = make([][]float64, d.pipelines)
+	faultLog [][]float64
+	prev     float64 // previous arrival, for the sorted-input check
+	n        int     // jobs stepped so far
+}
+
+// NewReplayState prepares an incremental FCFS pass over n expected jobs under
+// pol. withPost and withFaults mirror ReplayPolicy's nil-slice distinctions:
+// they decide whether Step's post and faults arguments participate at all
+// (validation included), so a wrapped slice-driven pass stays bit-identical.
+func (d *Device) NewReplayState(n int, pol resil.Policy, withPost, withFaults bool) *ReplayState {
+	st := &ReplayState{
+		dev:        d,
+		pol:        pol,
+		withPost:   withPost,
+		withFaults: withFaults,
+		free:       make([]float64, d.pipelines),
+		results:    make([]JobResult, 0, n),
 	}
-	for i, job := range jobs {
-		if i > 0 && job.Arrival < jobs[i-1].Arrival {
-			return nil, DeviceStats{}, fmt.Errorf("core: jobs not sorted by arrival")
-		}
-		if s := service[i]; math.IsNaN(s) || math.IsInf(s, 0) || s < 0 {
-			return nil, DeviceStats{}, fmt.Errorf("core: job %d service cycles %v (want finite, non-negative)", i, s)
-		}
-		if post != nil {
-			if x := post[i]; math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
-				return nil, DeviceStats{}, fmt.Errorf("core: job %d post cycles %v (want finite, non-negative)", i, x)
-			}
-		}
-		if pol.MaxQueue > 0 {
-			for pendingHead < len(pending) && pending[pendingHead] <= job.Arrival {
-				pendingHead++
-			}
-			if len(pending)-pendingHead >= pol.MaxQueue {
-				results[i] = JobResult{Start: job.Arrival, Pipeline: -1, Err: resil.ErrShed}
-				shed++
-				resil.MetricSheds.Inc()
-				continue
-			}
-		}
-		// Earliest-free pipeline.
-		p := 0
-		for k := 1; k < d.pipelines; k++ {
-			if free[k] < free[p] {
-				p = k
-			}
-		}
-		start := math.Max(job.Arrival, free[p])
-		done := start + service[i]
-		free[p] = done
-		busy += service[i]
-		if done > lastDone {
-			lastDone = done
-		}
-		latency := done - job.Arrival
-		if post != nil && post[i] > 0 {
-			latency += post[i]
-		}
-		results[i] = JobResult{
-			Queue:    start - job.Arrival,
-			Service:  service[i],
-			Latency:  latency,
-			Start:    start,
-			Pipeline: p,
-		}
-		served++
-		if pol.MaxQueue > 0 {
-			pending = append(pending, start)
-		}
-		if faultLog != nil && faults[i] > 0 {
-			log := faultLog[p]
-			if w := pol.QuarantineWindowCycles; w > 0 {
-				keep := 0
-				for _, ts := range log {
-					if ts >= done-w {
-						log[keep] = ts
-						keep++
-					}
-				}
-				log = log[:keep]
-			}
-			for e := 0; e < faults[i]; e++ {
-				log = append(log, done)
-			}
-			if len(log) >= pol.QuarantineK {
-				reset := pol.ResetCycles
-				if reset == 0 {
-					reset = d.PipelineResetCycles()
-				}
-				free[p] = done + reset + pol.QuarantinePenaltyCycles
-				log = log[:0]
-				quarantines++
-				resil.MetricQuarantines.Inc()
-			}
-			faultLog[p] = log
+	if pol.QuarantineK > 0 && withFaults {
+		st.faultLog = make([][]float64, d.pipelines)
+	}
+	return st
+}
+
+// Jobs returns how many jobs have been stepped so far.
+func (st *ReplayState) Jobs() int { return st.n }
+
+// Last returns the result of the most recently stepped job (nil before the
+// first Step). The pointer is into the state's result slice; it is valid
+// until the next Step.
+func (st *ReplayState) Last() *JobResult {
+	if len(st.results) == 0 {
+		return nil
+	}
+	return &st.results[len(st.results)-1]
+}
+
+// Step admits, queues and serves one job. Arrivals must be non-decreasing
+// across calls; service and post must be finite and non-negative. post and
+// faults are ignored unless the state was built with the corresponding
+// with* flag.
+func (st *ReplayState) Step(arrival, service, post float64, faults int) error {
+	i := st.n
+	if i > 0 && arrival < st.prev {
+		return fmt.Errorf("core: jobs not sorted by arrival")
+	}
+	if math.IsNaN(service) || math.IsInf(service, 0) || service < 0 {
+		return fmt.Errorf("core: job %d service cycles %v (want finite, non-negative)", i, service)
+	}
+	if st.withPost {
+		if math.IsNaN(post) || math.IsInf(post, 0) || post < 0 {
+			return fmt.Errorf("core: job %d post cycles %v (want finite, non-negative)", i, post)
 		}
 	}
-	devStats := DeviceStats{Jobs: len(jobs), Makespan: lastDone - first, Shed: shed, Quarantines: quarantines}
+	if i == 0 {
+		st.first = arrival
+	}
+	st.prev = arrival
+	st.n++
+	pol := st.pol
+	if pol.MaxQueue > 0 {
+		for st.pendingHead < len(st.pending) && st.pending[st.pendingHead] <= arrival {
+			st.pendingHead++
+		}
+		if len(st.pending)-st.pendingHead >= pol.MaxQueue {
+			st.results = append(st.results, JobResult{Start: arrival, Pipeline: -1, Err: resil.ErrShed})
+			st.shed++
+			resil.MetricSheds.Inc()
+			return nil
+		}
+	}
+	// Earliest-free pipeline.
+	p := 0
+	for k := 1; k < st.dev.pipelines; k++ {
+		if st.free[k] < st.free[p] {
+			p = k
+		}
+	}
+	start := math.Max(arrival, st.free[p])
+	done := start + service
+	st.free[p] = done
+	st.busy += service
+	if done > st.lastDone {
+		st.lastDone = done
+	}
+	latency := done - arrival
+	if st.withPost && post > 0 {
+		latency += post
+	}
+	st.results = append(st.results, JobResult{
+		Queue:    start - arrival,
+		Service:  service,
+		Latency:  latency,
+		Start:    start,
+		Pipeline: p,
+	})
+	st.served++
+	if pol.MaxQueue > 0 {
+		st.pending = append(st.pending, start)
+	}
+	if st.faultLog != nil && faults > 0 {
+		log := st.faultLog[p]
+		if w := pol.QuarantineWindowCycles; w > 0 {
+			keep := 0
+			for _, ts := range log {
+				if ts >= done-w {
+					log[keep] = ts
+					keep++
+				}
+			}
+			log = log[:keep]
+		}
+		for e := 0; e < faults; e++ {
+			log = append(log, done)
+		}
+		if len(log) >= pol.QuarantineK {
+			reset := pol.ResetCycles
+			if reset == 0 {
+				reset = st.dev.PipelineResetCycles()
+			}
+			st.free[p] = done + reset + pol.QuarantinePenaltyCycles
+			log = log[:0]
+			st.quarantines++
+			resil.MetricQuarantines.Inc()
+		}
+		st.faultLog[p] = log
+	}
+	return nil
+}
+
+// Finish computes the batch statistics over every stepped job and returns
+// the per-job results. The state must not be stepped again afterwards.
+func (st *ReplayState) Finish() ([]JobResult, DeviceStats) {
+	results := st.results
+	devStats := DeviceStats{Jobs: st.n, Makespan: st.lastDone - st.first, Shed: st.shed, Quarantines: st.quarantines}
 	if devStats.Makespan > 0 {
-		devStats.Utilization = busy / (float64(d.pipelines) * devStats.Makespan)
+		devStats.Utilization = st.busy / (float64(st.dev.pipelines) * devStats.Makespan)
 	}
-	if served == 0 {
-		return results, devStats, nil
+	if st.served == 0 {
+		return results, devStats
 	}
 	// Single-pass mean over served jobs, then quickselect for the percentile
 	// samples: O(n) total, and the only latency copy is the selection scratch.
-	lat := make([]float64, 0, served)
+	lat := make([]float64, 0, st.served)
 	sum := 0.0
 	for i := range results {
 		if results[i].Err != nil {
@@ -373,5 +453,5 @@ func (d *Device) ReplayPolicy(jobs []Job, service, post []float64, faults []int,
 	devStats.MeanLatency = sum / float64(len(lat))
 	devStats.P50Latency = stats.SelectNth(lat, len(lat)/2)
 	devStats.P99Latency = stats.SelectNth(lat, min(len(lat)-1, len(lat)*99/100))
-	return results, devStats, nil
+	return results, devStats
 }

@@ -74,6 +74,7 @@ func runChaosSweep(cfg Config) ([]*Table, error) {
 			Pipelines:   2,
 			Placement:   p,
 			Workers:     Workers(),
+			Devices:     cfg.Devices,
 		}
 	}
 

@@ -83,6 +83,7 @@ func runFailoverSweep(cfg Config) ([]*Table, error) {
 			Pipelines:   2,
 			Placement:   memsys.RoCC,
 			Workers:     Workers(),
+			Devices:     cfg.Devices,
 			Resilience:  rp,
 			Replicas:    replicas,
 			Failover:    pol,
@@ -207,6 +208,7 @@ func runFailoverSweep(cfg Config) ([]*Table, error) {
 		Pipelines:   2,
 		Placement:   memsys.RoCC,
 		Workers:     Workers(),
+		Devices:     cfg.Devices,
 		Resilience:  resil.Policy{},
 		Replicas:    2,
 		Lifecycle: &fault.Lifecycle{

@@ -22,6 +22,9 @@ type Config struct {
 	// Replicas is the maximum replica-group width the failover sweep
 	// scales to.
 	Replicas int
+	// Devices is the number of device instances per fleet slot the replay
+	// experiments fan calls across (0/1 = the historical 4-device fleet).
+	Devices int
 	// Seed makes every experiment deterministic.
 	Seed int64
 }

@@ -36,6 +36,7 @@ func runFleetReplay(cfg Config) ([]*Table, error) {
 				Pipelines:   1,
 				Placement:   placement,
 				Workers:     Workers(),
+				Devices:     cfg.Devices,
 			})
 			if err != nil {
 				return nil, err

@@ -170,10 +170,18 @@ func (l *Lifecycle) State(replica, call int) (LifeKind, bool) {
 // out at the given call index — the phase-B predicate deciding whether a
 // replay must also compute the call's degraded-bandwidth service time.
 func (l *Lifecycle) AnyBrownout(replicas, call int) bool {
+	return l.AnyBrownoutRange(0, replicas, call)
+}
+
+// AnyBrownoutRange is AnyBrownout over the replica-index window
+// [base, base+n): the predicate for a device instance whose replica group
+// lives at a nonzero base in the schedule's replica space (cluster.Group's
+// ReplicaBase).
+func (l *Lifecycle) AnyBrownoutRange(base, n, call int) bool {
 	if l == nil || l.Rate <= 0 {
 		return false
 	}
-	for r := 0; r < replicas; r++ {
+	for r := base; r < base+n; r++ {
 		if kind, ok := l.State(r, call); ok && kind == LifeBrownout {
 			return true
 		}

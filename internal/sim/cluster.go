@@ -40,7 +40,12 @@ func (sh *shard) annotateCluster(out *execOut, s *callSpec, call int, cfg *Confi
 		inB, outB = len(devInput), len(plain)
 	}
 	out.budget = devCfg.WatchdogBudget(inB, outB)
-	if stormHit || !cfg.Lifecycle.AnyBrownout(max(1, cfg.Replicas), call) {
+	// The brownout window that matters is the one covering this call's own
+	// replica group: instance inst of a slot owns replicas
+	// [inst*Replicas, (inst+1)*Replicas) of the lifecycle schedule's replica
+	// space, so each device instance sees independent lifecycle weather.
+	replicas := max(1, cfg.Replicas)
+	if stormHit || !cfg.Lifecycle.AnyBrownoutRange(s.inst*replicas, replicas, call) {
 		return nil
 	}
 	dev := sh.devs[s.dev]
@@ -54,12 +59,20 @@ func (sh *shard) annotateCluster(out *execOut, s *callSpec, call int, cfg *Confi
 	return nil
 }
 
-// reduceCluster is the cluster-mode replacement for reduceDevice: one
-// deviceOrder slot becomes a cluster.Group of Replicas devices behind the
-// failover dispatcher, fed the same index-addressed phase-B outcomes. The
-// probe device supplies the placement-aware reset cost and the per-replica
-// silicon area.
-func reduceCluster(d int, idxs []int, specs []callSpec, outs []execOut, cfg *Config) devReduction {
+// softwareCycles is the Xeon-baseline service time of one call in device
+// cycles (2 GHz) — what the software fallback charges when a dispatch
+// degrades to the CPU.
+func softwareCycles(s *callSpec) float64 {
+	return xeon.Seconds(xeon.Cycles(s.rec.Algo, s.rec.Op, s.rec.Level, s.rec.UncompressedBytes)) * 2.0e9
+}
+
+// reduceCluster is the cluster-mode replacement for reduceDevice: one device
+// instance of a deviceOrder slot becomes a cluster.Group of Replicas devices
+// behind the failover dispatcher, fed the same index-addressed phase-B
+// outcomes. base anchors the group's replicas in the lifecycle schedule's
+// replica space (inst*Replicas; 0 when Devices is 1). The probe device
+// supplies the placement-aware reset cost and the per-replica silicon area.
+func reduceCluster(d, base int, idxs []int, specs []callSpec, outs []execOut, cfg *Config) devReduction {
 	slot := deviceOrder[d]
 	devCfg := core.Config{Algo: slot.algo, Op: slot.op, Placement: cfg.Placement}
 	dev, err := core.NewDevice(devCfg, cfg.Pipelines)
@@ -74,6 +87,7 @@ func reduceCluster(d int, idxs []int, specs []callSpec, outs []execOut, cfg *Con
 		Resil:       cfg.Resilience,
 		Policy:      cfg.Failover,
 		Lifecycle:   cfg.Lifecycle,
+		ReplicaBase: base,
 	}
 	calls := make([]cluster.Call, len(idxs))
 	for ji, ci := range idxs {
@@ -90,7 +104,7 @@ func reduceCluster(d int, idxs []int, specs []callSpec, outs []execOut, cfg *Con
 			Bytes:      s.rec.UncompressedBytes,
 		}
 		if cfg.Resilience.SoftwareFallback {
-			calls[ji].Software = xeon.Seconds(xeon.Cycles(s.rec.Algo, s.rec.Op, s.rec.Level, s.rec.UncompressedBytes)) * 2.0e9
+			calls[ji].Software = softwareCycles(s)
 		}
 	}
 	results, devStats, tot, err := g.Replay(calls)
@@ -98,21 +112,14 @@ func reduceCluster(d int, idxs []int, specs []callSpec, outs []execOut, cfg *Con
 		return devReduction{dev: dev, err: err}
 	}
 	red := devReduction{dev: dev, results: results, idxs: idxs, stats: devStats, tot: tot}
-	red.latencies = make([]float64, 0, len(results))
-	for ji, r := range results {
-		if r.Err != nil {
-			red.shed++
-			continue
-		}
-		red.latencies = append(red.latencies, r.Latency)
-		red.goodput += specs[idxs[ji]].rec.UncompressedBytes
-	}
+	red.summarize(specs)
 	return red
 }
 
 // mergeClusterTotals rolls one group's failover totals into the Report and
 // publishes the per-replica dispatch gauges the totals reconcile against.
-// Called serially in deviceOrder.
+// Called serially in partition order (d is the partition index, which equals
+// the deviceOrder slot when Devices is 1).
 func mergeClusterTotals(report *Report, d int, tot *cluster.Totals) {
 	report.Failovers += tot.Failovers
 	report.HedgedCalls += tot.HedgedCalls
@@ -126,12 +133,12 @@ func mergeClusterTotals(report *Report, d int, tot *cluster.Totals) {
 	}
 }
 
-// firstReductionError surfaces the deterministic first error across the four
-// reductions: construction and validation errors return as-is in deviceOrder
-// (the historical behavior), while cluster CallErrors — each already the
-// lowest failing index within its group — merge by global call index, so the
-// surfaced abort is exactly the first failure a serial single-group run
-// would hit, at any worker count.
+// firstReductionError surfaces the deterministic first error across the
+// partition reductions: construction and validation errors return as-is in
+// partition order (the historical behavior), while cluster CallErrors — each
+// already the lowest failing index within its group — merge by global call
+// index, so the surfaced abort is exactly the first failure a serial
+// single-group run would hit, at any worker or device count.
 func firstReductionError(reds []devReduction, totalCalls int) error {
 	minIdx := totalCalls
 	var minErr error

@@ -12,10 +12,14 @@
 // column-oriented batches — each worker claims a tile of consecutive calls,
 // synthesizes the whole batch's payloads into one arena, then executes them
 // back-to-back through its leased coder and device clones so codec tables,
-// frame plans and scratch stay hot; and the FCFS queueing reduction runs as
-// four independent per-device partial replays merged in a deterministic fixed
-// order. Every per-call random draw comes from a stream keyed on (seed, call
-// index), so the Report is byte-identical at any worker count.
+// frame plans and scratch stay hot; and the FCFS queueing reduction runs as a
+// partitioned discrete-event engine (internal/des): one event-queue partition
+// per device instance — 4×Devices partitions, so a 128-device fleet replays as
+// 128 independently advanceable event queues — advanced in parallel by a
+// worker pool and merged in a deterministic fixed order. Every per-call random
+// draw comes from a stream keyed on (seed, call index) and every partition's
+// events replay in (time, insertion) order, so the Report is byte-identical at
+// any worker count.
 package sim
 
 import (
@@ -28,6 +32,7 @@ import (
 	"cdpu/internal/comp"
 	"cdpu/internal/core"
 	"cdpu/internal/corpus"
+	"cdpu/internal/des"
 	"cdpu/internal/fault"
 	"cdpu/internal/fleet"
 	"cdpu/internal/memsys"
@@ -92,6 +97,31 @@ type Config struct {
 	// schedule (crash / hang / brownout windows); like Storm, its draws come
 	// from an independent stream, so the call mix is unperturbed.
 	Lifecycle *fault.Lifecycle
+	// Devices fans each deviceOrder slot out into N device instances (0/1 =
+	// the historical one instance per slot). Calls route to instances
+	// round-robin within their slot during the serial sampling phase, so the
+	// routing — like every other per-call decision — is independent of worker
+	// count. Each instance is its own discrete-event partition (its own FCFS
+	// queue, or its own replica group in cluster mode, with a disjoint
+	// lifecycle replica base), so a 128-device fleet replays as 128
+	// independently advanceable partitions. Area scales with Devices.
+	Devices int
+	// Contention, when non-nil, makes the partitions contend the fleet-shared
+	// resources (memory-fabric bandwidth, host-link doorbell ops, LLC
+	// capacity) at deterministic epoch barriers: each epoch's aggregate
+	// demand, summed in fixed partition order, stretches the next epoch's
+	// service times (see des.Shared). This changes modeled arithmetic — it is
+	// the honest cross-device coupling the per-device model lacks — so it is
+	// opt-in; the Report remains byte-identical at any worker count, but not
+	// to a Contention-nil run.
+	Contention *des.Shared
+	// EpochCycles is the barrier spacing on the modeled clock when Contention
+	// is set (0 = des.DefaultEpochCycles).
+	EpochCycles float64
+	// legacyPhaseC routes the queueing reduction through the pre-DES serial
+	// per-partition loops instead of the event engine. Test-only: it is the
+	// golden oracle the byte-identity differential tests replay against.
+	legacyPhaseC bool
 }
 
 func (c Config) withDefaults() Config {
@@ -109,6 +139,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers == 0 {
 		c.Workers = defaultWorkers()
+	}
+	if c.Devices == 0 {
+		c.Devices = 1
 	}
 	return c
 }
@@ -178,6 +211,12 @@ var deviceOrder = [...]struct {
 
 const numDevices = len(deviceOrder)
 
+// FleetSlots is the number of (algorithm, direction) device slots in the
+// replayed fleet — the fleet width at Devices=1. Tools that sweep total fleet
+// size divide by this to get the per-slot Devices setting (128 fleet devices
+// = Devices 32).
+const FleetSlots = numDevices
+
 func deviceIndex(a comp.Algorithm, op comp.Op) int {
 	i := 0
 	if a == comp.ZStd {
@@ -220,6 +259,7 @@ type callSpec struct {
 	payloadSeed int64
 	arrival     float64
 	dev         int
+	inst        int // device instance within the slot, in [0, Config.Devices)
 }
 
 // sampleCalls is phase A: sample the call mix and lay out the arrival
@@ -232,6 +272,12 @@ func sampleCalls(cfg Config, report *Report) (specs []callSpec, xeonCycles, at f
 	model := fleet.NewModel(cfg.Seed)
 	cyclesPerByte := 2.0 / cfg.OfferedGBps
 	specs = make([]callSpec, 0, cfg.Calls)
+	// Instance routing: calls round-robin across a slot's device instances in
+	// sampling order. A per-slot counter in this serial phase keeps the routing
+	// a pure function of the call sequence — no extra RNG draws, so the call
+	// mix is unperturbed relative to Devices=1.
+	devices := max(1, cfg.Devices)
+	var rr [numDevices]int
 	for len(specs) < cfg.Calls {
 		rec := model.SampleCall()
 		// The CDPU serves the dominant pair; other algorithms stay on CPU.
@@ -249,6 +295,8 @@ func sampleCalls(cfg Config, report *Report) (specs []callSpec, xeonCycles, at f
 			arrival:     at,
 			dev:         deviceIndex(rec.Algo, rec.Op),
 		}
+		s.inst = rr[s.dev] % devices
+		rr[s.dev]++
 		at += float64(rec.UncompressedBytes) * cyclesPerByte * (0.5 + r.float64())
 		report.UncompressedBytes += rec.UncompressedBytes
 		xeonCycles += xeon.Cycles(rec.Algo, rec.Op, rec.Level, rec.UncompressedBytes)
@@ -259,8 +307,10 @@ func sampleCalls(cfg Config, report *Report) (specs []callSpec, xeonCycles, at f
 	return specs, xeonCycles, at
 }
 
-// devReduction is one device's partial queueing reduction, produced in
-// parallel during phase C and merged serially in deviceOrder.
+// devReduction is one partition's partial queueing reduction — one device
+// instance (or one replica group) — produced in parallel during phase C and
+// merged serially in partition order (slot-major, instance-minor; exactly
+// deviceOrder when Devices is 1).
 type devReduction struct {
 	dev       *core.Device
 	results   []core.JobResult
@@ -271,6 +321,20 @@ type devReduction struct {
 	goodput   int
 	shed      int
 	err       error
+}
+
+// summarize derives the merge-ready served latencies, goodput bytes and shed
+// count from the partition's per-call results, in call order.
+func (red *devReduction) summarize(specs []callSpec) {
+	red.latencies = make([]float64, 0, len(red.results))
+	for ji, r := range red.results {
+		if r.Err != nil {
+			red.shed++
+			continue
+		}
+		red.latencies = append(red.latencies, r.Latency)
+		red.goodput += specs[red.idxs[ji]].rec.UncompressedBytes
+	}
 }
 
 // reduceDevice replays one device's FCFS queue over the precomputed service
@@ -304,15 +368,7 @@ func reduceDevice(d int, idxs []int, specs []callSpec, outs []execOut, cfg *Conf
 		return devReduction{err: err}
 	}
 	red := devReduction{dev: dev, results: results, idxs: idxs, stats: devStats}
-	red.latencies = make([]float64, 0, len(results))
-	for ji, r := range results {
-		if r.Err != nil {
-			red.shed++
-			continue
-		}
-		red.latencies = append(red.latencies, r.Latency)
-		red.goodput += specs[idxs[ji]].rec.UncompressedBytes
-	}
+	red.summarize(specs)
 	return red
 }
 
@@ -344,50 +400,47 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 
-	// Phase C (parallel reductions, serial merge): replay queueing per device
-	// concurrently — the four FCFS queues are independent given the arrival
-	// schedule — then merge in fixed deviceOrder: latencies concatenate in
-	// device order and are summed in one loop, so the float accumulation
-	// order (and therefore the Report) is bit-identical to a serial pass.
-	// The recovery-aware pass only materializes its extra per-job inputs when
-	// something can populate them; with the zero policy ReplayPolicy is
-	// arithmetically identical to Replay, keeping healthy Reports byte-stable.
-	perDev := make([][]int, numDevices)
+	// Phase C (partitioned discrete-event reduction, serial merge): each
+	// device instance is one event-queue partition — its FCFS queue (or its
+	// replica group) is independent of every other given the arrival schedule
+	// and instance routing — advanced in parallel by the des engine, then
+	// merged in fixed partition order (slot-major, instance-minor): latencies
+	// concatenate in partition order and are summed in one loop, so the float
+	// accumulation order (and therefore the Report) is bit-identical to a
+	// serial pass at any worker count. The recovery-aware pass only
+	// materializes its extra per-job inputs when something can populate them;
+	// with the zero policy the stepper is arithmetically identical to Replay,
+	// keeping healthy Reports byte-stable.
+	devices := max(1, cfg.Devices)
+	perPart := make([][]int, numDevices*devices)
 	for i, s := range specs {
-		perDev[s.dev] = append(perDev[s.dev], i)
+		perPart[s.dev*devices+s.inst] = append(perPart[s.dev*devices+s.inst], i)
 	}
 	chaos := cfg.Storm != nil || cfg.Resilience.Enabled()
 	clustered := cfg.clusterMode()
 	replicas := max(1, cfg.Replicas)
-	var reds [numDevices]devReduction
-	var wg sync.WaitGroup
-	for d := range deviceOrder {
-		wg.Add(1)
-		go func(d int) {
-			defer wg.Done()
-			if clustered {
-				reds[d] = reduceCluster(d, perDev[d], specs, outs, &cfg)
-			} else {
-				reds[d] = reduceDevice(d, perDev[d], specs, outs, &cfg, chaos)
-			}
-		}(d)
+	var reds []devReduction
+	if cfg.legacyPhaseC {
+		reds = runLegacyReduction(perPart, devices, specs, outs, &cfg, chaos, clustered)
+	} else {
+		reds = runEngineReduction(perPart, devices, specs, outs, &cfg, chaos, clustered)
 	}
-	wg.Wait()
-	if err := firstReductionError(reds[:], len(specs)); err != nil {
+	if err := firstReductionError(reds, len(specs)); err != nil {
 		return nil, err
 	}
 	latencies := make([]float64, 0, len(specs))
-	for d, slot := range deviceOrder {
-		red := &reds[d]
+	for p := range reds {
+		red := &reds[p]
+		slot := deviceOrder[p/devices]
 		latencies = append(latencies, red.latencies...)
 		report.ShedCalls += red.shed
 		report.GoodputBytes += red.goodput
 		report.Quarantines += red.stats.Quarantines
 		if clustered {
-			mergeClusterTotals(report, d, &red.tot)
+			mergeClusterTotals(report, p, &red.tot)
 		}
 		if cfg.Trace != nil {
-			emitDeviceTrace(cfg.Trace, d, slot.algo, slot.op, replicas, cfg.Pipelines, red.idxs, red.results, outs)
+			emitDeviceTrace(cfg.Trace, p, slot.algo, slot.op, p%devices, devices, replicas, cfg.Pipelines, red.idxs, red.results, outs)
 		}
 		if slot.op == comp.Compress {
 			report.CompUtil = max(report.CompUtil, red.stats.Utilization)
@@ -412,11 +465,12 @@ func Run(cfg Config) (*Report, error) {
 	}
 	report.SoftwareMeanLatencyUs = xeon.Seconds(xeonCycles/float64(len(specs))) * 1e6
 
-	// Silicon: the four devices (areas already share interfaces within each
-	// device; a real SoC would share across directions too, so this is the
-	// conservative bound). Cluster mode deploys Replicas full copies of each.
-	for d := range reds {
-		report.AreaMM2 += reds[d].dev.Area().Total() * float64(replicas)
+	// Silicon: every deployed device instance (areas already share interfaces
+	// within each device; a real SoC would share across directions too, so
+	// this is the conservative bound). Cluster mode deploys Replicas full
+	// copies of each instance, and Devices fans each slot out N-wide.
+	for p := range reds {
+		report.AreaMM2 += reds[p].dev.Area().Total() * float64(replicas)
 	}
 	return report, nil
 }
@@ -427,14 +481,20 @@ func Run(cfg Config) (*Report, error) {
 // sequential within a call); the overlapping bulk stream gets its own lane so
 // the viewer shows streaming concurrent with execution rather than nested
 // inside it. In cluster mode each replica contributes its own lane block
-// (JobResult.Pipeline encodes replica*pipelines+pipeline). Called serially
-// per device in fixed order, so the trace file is deterministic.
-func emitDeviceTrace(tr *obs.Trace, pid int, algo comp.Algorithm, op comp.Op, replicas, pipelines int, idxs []int, results []core.JobResult, outs []execOut) {
+// (JobResult.Pipeline encodes replica*pipelines+pipeline). With multiple
+// device instances per slot, each partition is its own trace process, named
+// with its instance index. Called serially per partition in fixed order, so
+// the trace file is deterministic.
+func emitDeviceTrace(tr *obs.Trace, pid int, algo comp.Algorithm, op comp.Op, inst, devices, replicas, pipelines int, idxs []int, results []core.JobResult, outs []execOut) {
 	dir := "C"
 	if op == comp.Decompress {
 		dir = "D"
 	}
-	tr.SetProcessName(pid, fmt.Sprintf("%s-%s", algo, dir))
+	name := fmt.Sprintf("%s-%s", algo, dir)
+	if devices > 1 {
+		name = fmt.Sprintf("%s#%d", name, inst)
+	}
+	tr.SetProcessName(pid, name)
 	for lane := 0; lane < replicas*pipelines; lane++ {
 		name := fmt.Sprintf("pipe %d", lane)
 		if replicas > 1 {
@@ -565,8 +625,30 @@ func (sh *shard) execBatch(specs []callSpec, lo, hi int, cfg *Config, outs []exe
 func (sh *shard) execOne(s *callSpec, call int, cfg *Config, plain []byte) (execOut, error) {
 	devInput := plain
 	var plan *zstdlite.Plan
+	// The storm draw is a pure function of (seed, call), so drawing before
+	// synthesis changes nothing downstream — it only tells the synthesizer
+	// whether anything will parse the frame's actual bytes.
+	kind, repeats, stormHit := cfg.Storm.Draw(call)
 	if s.rec.Op == comp.Decompress {
-		enc, p, err := sh.coder.AppendCompressPlan(sh.enc[:0], s.rec.Algo, s.rec.Level, min(s.rec.WindowLog, 17), plain)
+		// Healthy zstd-family frames are consumed only through their Plan and
+		// byte length (core.ExecPlanned charges without parsing), so their
+		// entropy payloads can be size-only zeros — skipping the Huffman/FSE
+		// bit-writing that dominates synthesis. Any path that does parse real
+		// bytes — storm mutation and recovery re-execution, brownout
+		// re-execution under the fault injector — forces the full encoder.
+		// Non-zstd-family algorithms always encode in full (their decoders
+		// parse bytes); AppendCompressPlanSizeOnly falls through for them.
+		replicas := max(1, cfg.Replicas)
+		needReal := stormHit ||
+			(cfg.Lifecycle != nil && cfg.Lifecycle.AnyBrownoutRange(s.inst*replicas, replicas, call))
+		var enc []byte
+		var p *zstdlite.Plan
+		var err error
+		if needReal {
+			enc, p, err = sh.coder.AppendCompressPlan(sh.enc[:0], s.rec.Algo, s.rec.Level, min(s.rec.WindowLog, 17), plain)
+		} else {
+			enc, p, err = sh.coder.AppendCompressPlanSizeOnly(sh.enc[:0], s.rec.Algo, s.rec.Level, min(s.rec.WindowLog, 17), plain)
+		}
 		if err != nil {
 			return execOut{}, err
 		}
@@ -574,7 +656,7 @@ func (sh *shard) execOne(s *callSpec, call int, cfg *Config, plain []byte) (exec
 		devInput = enc
 		plan = p
 	}
-	if kind, repeats, hit := cfg.Storm.Draw(call); hit {
+	if stormHit {
 		out, err := sh.chaosExec(s, call, cfg, plain, devInput, kind, repeats)
 		if err == nil && cfg.Lifecycle != nil {
 			err = sh.annotateCluster(&out, s, call, cfg, plain, devInput, true)

@@ -157,6 +157,35 @@ type Encoder struct {
 	// Frame-plan recording (AppendEncodeWithPlan).
 	recordPlan bool
 	plan       Plan
+
+	// Size-only entropy coding (SetSizeOnly): entropy payloads are emitted as
+	// zeros of exactly the length the full coders would produce.
+	sizeOnly bool
+	zeroBuf  []byte
+}
+
+// SetSizeOnly toggles size-only entropy coding. When on, the encoder still
+// runs the dictionary stage, block carving, table construction and every
+// mode decision exactly as before — so the frame layout, every recorded Plan
+// field and the total frame length are bit-identical to a full encode — but
+// the Huffman/FSE/extra-bits payloads are emitted as zero bytes of exactly
+// the length the full bitstream writers would produce (computed from the
+// built tables' EncodedBits), skipping the per-symbol bit-writing loops.
+//
+// A size-only frame is NOT decodable; it exists for replay pipelines that
+// charge from the recorded Plan and the frame's byte counts without ever
+// entropy-decoding the payload (core.ExecPlanned). Callers that may hand the
+// frame to a real decoder — corruption storms, unplanned decode paths — must
+// keep size-only off.
+func (e *Encoder) SetSizeOnly(on bool) { e.sizeOnly = on }
+
+// zeroBytes returns n zero bytes of reused scratch (never written to, so it
+// stays zero).
+func (e *Encoder) zeroBytes(n int) []byte {
+	if cap(e.zeroBuf) < n {
+		e.zeroBuf = make([]byte, n)
+	}
+	return e.zeroBuf[:n]
 }
 
 // Plan records the structure of the frame the encoder just produced: the
@@ -493,6 +522,22 @@ func (e *Encoder) huffmanLiterals(literals []byte) (stream []byte, maxBits, lens
 	if err != nil {
 		return nil, 0, 0
 	}
+	lensN = len(table.Lens)
+	for lensN > 0 && table.Lens[lensN-1] == 0 {
+		lensN--
+	}
+	if e.sizeOnly {
+		// WriteTable emits a 9-bit count plus 4 bits per serialized length;
+		// the code bits follow from the histogram already in hand. Same
+		// padding as the bitstream writer: round up to whole bytes.
+		bits := 9 + 4*lensN
+		for s, n := range hist {
+			if n > 0 {
+				bits += n * int(table.Lens[s])
+			}
+		}
+		return e.zeroBytes((bits + 7) / 8), table.MaxBits, lensN
+	}
 	// The stream scratch is free here: sequence-section encoding only starts
 	// after the literals section is fully copied into the block body.
 	w := &e.streamBuf
@@ -500,10 +545,6 @@ func (e *Encoder) huffmanLiterals(literals []byte) (stream []byte, maxBits, lens
 	table.WriteTable(w)
 	if err := e.huffB.Encoder().Encode(w, literals); err != nil {
 		return nil, 0, 0
-	}
-	lensN = len(table.Lens)
-	for lensN > 0 && table.Lens[lensN-1] == 0 {
-		lensN--
 	}
 	return w.Bytes(), table.MaxBits, lensN
 }
@@ -529,11 +570,16 @@ func (e *Encoder) appendSequencesSection(dst []byte, seqs []lz77.Seq, pb *PlanBl
 	extras := &e.extras
 	extras.Reset()
 	reps := newRepHistory() // per-block recent-offset state, as the decoder's
+	ebits := 0              // size-only: extras length in bits, no writes
 	for i, s := range seqs {
 		var w uint8
 		var x uint32
 		llCodes[i], x, w = seqCode(uint32(s.LitLen))
-		extras.WriteBits(uint64(x), uint(w))
+		if e.sizeOnly {
+			ebits += int(w)
+		} else {
+			extras.WriteBits(uint64(x), uint(w))
+		}
 		if s.MatchLen == 0 {
 			// Terminal literal run: offset code 0 / matchlen code 0 encode
 			// "no match" (offset value 0 is otherwise impossible).
@@ -541,11 +587,19 @@ func (e *Encoder) appendSequencesSection(dst []byte, seqs []lz77.Seq, pb *PlanBl
 			continue
 		}
 		ofCodes[i], x, w = seqCode(reps.encode(s.Offset))
-		extras.WriteBits(uint64(x), uint(w))
+		if e.sizeOnly {
+			ebits += int(w)
+		} else {
+			extras.WriteBits(uint64(x), uint(w))
+		}
 		// Match lengths are coded directly (not biased by MinMatch): block
 		// splitting can leave match continuations shorter than MinMatch.
 		mlCodes[i], x, w = seqCode(uint32(s.MatchLen))
-		extras.WriteBits(uint64(x), uint(w))
+		if e.sizeOnly {
+			ebits += int(w)
+		} else {
+			extras.WriteBits(uint64(x), uint(w))
+		}
 	}
 	for s, codes := range [3][]uint8{llCodes, ofCodes, mlCodes} {
 		var mode, tableLog int
@@ -554,6 +608,11 @@ func (e *Encoder) appendSequencesSection(dst []byte, seqs []lz77.Seq, pb *PlanBl
 			pb.SeqModes[s] = mode
 			pb.FSETableLogs[s] = tableLog
 		}
+	}
+	if e.sizeOnly {
+		sz := (ebits + 7) / 8
+		dst = ibits.AppendUvarint(dst, uint64(sz))
+		return append(dst, e.zeroBytes(sz)...)
 	}
 	eb := extras.Bytes()
 	dst = ibits.AppendUvarint(dst, uint64(len(eb)))
@@ -579,18 +638,40 @@ func (e *Encoder) appendCodeStream(dst []byte, codes []uint8) (out []byte, mode,
 	if norm, err := fse.AppendNormalize(e.normBuf[:0], hist, tl); err == nil {
 		e.normBuf = norm
 		if err := e.encTable.Init(norm, tl); err == nil {
-			w.Reset()
-			if fse.WriteNorm(w, norm, tl) == nil && e.encTable.Encode(w, codes) == nil {
-				payload := w.Bytes()
-				if len(payload) < (len(codes)*seqCodeBits+7)/8 {
+			if e.sizeOnly {
+				// WriteNorm emits 8+4 header bits plus (tableLog+1) bits per
+				// count with trailing zeros trimmed; EncodedBits is the exact
+				// coded-stream length the table would produce.
+				n := len(norm)
+				for n > 0 && norm[n-1] == 0 {
+					n--
+				}
+				bits := 8 + 4 + n*(tl+1) + e.encTable.EncodedBits(codes)
+				if sz := (bits + 7) / 8; sz < (len(codes)*seqCodeBits+7)/8 {
 					dst = append(dst, seqFSE)
-					dst = ibits.AppendUvarint(dst, uint64(len(payload)))
-					return append(dst, payload...), seqFSE, tl
+					dst = ibits.AppendUvarint(dst, uint64(sz))
+					return append(dst, e.zeroBytes(sz)...), seqFSE, tl
+				}
+			} else {
+				w.Reset()
+				if fse.WriteNorm(w, norm, tl) == nil && e.encTable.Encode(w, codes) == nil {
+					payload := w.Bytes()
+					if len(payload) < (len(codes)*seqCodeBits+7)/8 {
+						dst = append(dst, seqFSE)
+						dst = ibits.AppendUvarint(dst, uint64(len(payload)))
+						return append(dst, payload...), seqFSE, tl
+					}
 				}
 			}
 		}
 	}
 	// Raw fallback: fixed-width codes (degenerate or FSE-unprofitable).
+	if e.sizeOnly {
+		sz := (len(codes)*seqCodeBits + 7) / 8
+		dst = append(dst, seqRaw)
+		dst = ibits.AppendUvarint(dst, uint64(sz))
+		return append(dst, e.zeroBytes(sz)...), seqRaw, 0
+	}
 	w.Reset()
 	for _, c := range codes {
 		w.WriteBits(uint64(c), seqCodeBits)
