@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all check vet build test race bench bench-json bench-resil-json bench-cluster-json bench-smoke trace-smoke chaos-smoke fuzz-smoke profile
+.PHONY: all check vet build test race bench bench-json bench-resil-json bench-cluster-json bench-traffic-json bench-smoke trace-smoke chaos-smoke fuzz-smoke profile
 
 all: check
 
@@ -18,10 +18,11 @@ test:
 	$(GO) test ./...
 
 # The scheduler, experiment caches, the sharded replay engine, the
-# discrete-event engine and the replica dispatcher are the
-# concurrency-sensitive core; run them under the race detector.
+# discrete-event engine, the replica dispatcher and the open-loop traffic
+# generator are the concurrency-sensitive core; run them under the race
+# detector.
 race:
-	$(GO) test -race ./internal/cluster/... ./internal/des/... ./internal/exp/... ./internal/sim/...
+	$(GO) test -race ./internal/cluster/... ./internal/des/... ./internal/exp/... ./internal/sim/... ./internal/traffic/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
@@ -43,6 +44,7 @@ bench-json:
 bench-smoke:
 	$(GO) run ./cmd/simbench -check
 	$(GO) run ./cmd/simbench -scaling-check
+	$(GO) run ./cmd/simbench -openloop-check
 
 # Profile the replay hot path: pprof CPU + heap profiles of the full
 # benchmark sweep, with the top entries printed for a quick read. Open the
@@ -80,6 +82,13 @@ bench-cluster-json:
 	$(GO) run ./cmd/simbench -failover-check -o BENCH_cluster.json
 	@cat BENCH_cluster.json
 
+# Refresh the checked-in open-loop traffic benchmark (generator-path overhead
+# vs the closed-loop schedule, one near-knee replay with per-class sheds and
+# SLO violations, and one autoscaled burst replay).
+bench-traffic-json:
+	$(GO) run ./cmd/simbench -openloop -o BENCH_traffic.json
+	@cat BENCH_traffic.json
+
 # Adversarial-input smoke: run every native fuzz target for FUZZTIME each,
 # starting from the checked-in seed corpora (regenerate those with
 # `go run ./cmd/fuzzcorpus`). Go allows one -fuzz target per invocation.
@@ -89,3 +98,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecompress$$' -fuzztime $(FUZZTIME) ./internal/lzo
 	$(GO) test -run '^$$' -fuzz '^FuzzDecompress$$' -fuzztime $(FUZZTIME) ./internal/gipfeli
 	$(GO) test -run '^$$' -fuzz '^FuzzDifferential$$' -fuzztime $(FUZZTIME) ./internal/fault
+	$(GO) test -run '^$$' -fuzz '^FuzzGen$$' -fuzztime $(FUZZTIME) ./internal/traffic

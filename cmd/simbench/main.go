@@ -45,6 +45,16 @@
 //	                                # and availability under a 2% lifecycle storm
 //	                                # as JSON (BENCH_cluster.json via
 //	                                # `make bench-cluster-json`)
+//	simbench -openloop-check        # traffic smoke: an open-loop replay (diurnal
+//	                                # + bursty arrivals, priority admission) is
+//	                                # byte-identical across worker counts, zero
+//	                                # shed below the fleet knee, shed monotone in
+//	                                # offered rate, bronze shed rate >= gold
+//	simbench -openloop              # benchmark the open-loop generator path vs
+//	                                # the closed-loop schedule and report one
+//	                                # near-knee replay + one autoscaled burst
+//	                                # replay as JSON (BENCH_traffic.json via
+//	                                # `make bench-traffic-json`)
 //	simbench -http :6060            # serve net/http/pprof + expvar (including
 //	                                # the metrics registry) during the run
 package main
@@ -249,6 +259,8 @@ func main() {
 	chaosCheck := flag.Bool("chaos-check", false, "smoke mode: verify the recovery layer under a fault storm, skip timing")
 	resilBench := flag.Bool("resil", false, "benchmark zero policy vs full recovery policy under a storm, emit JSON")
 	failoverCheck := flag.Bool("failover-check", false, "cluster smoke + bench: verify failover determinism, emit overhead/availability JSON")
+	openLoop := flag.Bool("openloop", false, "benchmark the open-loop traffic engine vs the closed-loop baseline, emit JSON")
+	openLoopCheck := flag.Bool("openloop-check", false, "smoke mode: open-loop worker invariance plus shed-curve gates, skip timing")
 	httpAddr := flag.String("http", "", "serve net/http/pprof and expvar metrics on this address during the run")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the timed replays here")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile after the timed replays here")
@@ -321,6 +333,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "simbench: clustered %d-call replay identical at 1 and %d workers; R=1 bit-compat holds; crash baseline aborted deterministically\n",
 			smokeCfg.Calls, smokeWorkers())
 		benchCluster(cfg, *workers, *out)
+		return
+	}
+	if *openLoopCheck {
+		cfg.Calls = min(cfg.Calls, 600)
+		if err := smokeOpenLoop(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("simbench: open-loop %d-call replay identical at 1 and %d workers; shed-curve gates held\n",
+			cfg.Calls, smokeWorkers())
+		return
+	}
+	if *openLoop {
+		benchTraffic(cfg, *workers, *out)
 		return
 	}
 

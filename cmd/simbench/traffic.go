@@ -1,0 +1,202 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"cdpu/internal/resil"
+	"cdpu/internal/sim"
+	"cdpu/internal/traffic"
+)
+
+// openLoopBase shapes a simbench config for the open-loop engine: 64 KiB max
+// calls (the calibrated reference where the 4-slot fleet's knee sits near
+// 3000 calls/Mcycle), a bounded queue so admission control is live, and a
+// tenant skew that populates all three SLO classes.
+func openLoopBase(cfg sim.Config, rate float64) sim.Config {
+	cfg.MaxCallBytes = 64 << 10
+	cfg.Pipelines = 2
+	cfg.Resilience = resil.Policy{MaxQueue: 32}
+	cfg.Traffic = traffic.Pattern{CallsPerMcycle: rate}
+	cfg.Tenants = traffic.Tenants{ZipfS: 0.7}
+	return cfg
+}
+
+// smokeOpenLoop is the `make bench-smoke` open-loop gate. Four standing
+// guarantees: (1) an open-loop replay — diurnal curve, bursts, priority
+// admission — is byte-identical at 1 and N workers; (2) far below the fleet's
+// knee nothing is shed; (3) shed count is monotone non-decreasing in offered
+// rate; (4) wherever anything sheds, bronze sheds at a rate at or above gold
+// (class-differentiated admission holds end to end).
+func smokeOpenLoop(cfg sim.Config) error {
+	inv := openLoopBase(cfg, 4000)
+	inv.Traffic.Diurnal = []float64{1, 3}
+	inv.Traffic.BurstFactor = 4
+	inv.Traffic.BurstOnCycles = 1e5
+	inv.Traffic.BurstOffCycles = 3e5
+	inv.Workers = 1
+	serial, err := sim.Run(inv)
+	if err != nil {
+		return fmt.Errorf("open-loop serial replay: %w", err)
+	}
+	inv.Workers = smokeWorkers()
+	sharded, err := sim.Run(inv)
+	if err != nil {
+		return fmt.Errorf("open-loop sharded replay: %w", err)
+	}
+	if *serial != *sharded {
+		return fmt.Errorf("open-loop report differs between 1 and %d workers:\n  %+v\n  %+v", inv.Workers, serial, sharded)
+	}
+
+	prev := -1
+	for i, rate := range []float64{1000, 3000, 6000} {
+		r, err := sim.Run(openLoopBase(cfg, rate))
+		if err != nil {
+			return fmt.Errorf("open-loop rate=%v: %w", rate, err)
+		}
+		if i == 0 && r.ShedCalls != 0 {
+			return fmt.Errorf("open-loop: %d calls shed at the low-utilization rate %v", r.ShedCalls, rate)
+		}
+		if r.ShedCalls < prev {
+			return fmt.Errorf("open-loop: shed fell from %d to %d at rate %v", prev, r.ShedCalls, rate)
+		}
+		prev = r.ShedCalls
+		gold, bronze := r.PerClass[0], r.PerClass[traffic.NumClasses-1]
+		if r.ShedCalls > 0 && gold.Calls > 0 && bronze.Calls > 0 {
+			goldRate := float64(gold.ShedCalls) / float64(gold.Calls)
+			bronzeRate := float64(bronze.ShedCalls) / float64(bronze.Calls)
+			if bronzeRate < goldRate {
+				return fmt.Errorf("open-loop rate=%v: bronze shed rate %.3f below gold %.3f", rate, bronzeRate, goldRate)
+			}
+		}
+	}
+	if prev == 0 {
+		return fmt.Errorf("open-loop: nothing shed even at 6000 calls/Mcycle — the gate lost its teeth")
+	}
+	return nil
+}
+
+// classOut is one SLO class's row in BENCH_traffic.json.
+type classOut struct {
+	Class         int `json:"class"`
+	Calls         int `json:"calls"`
+	Shed          int `json:"shed_calls"`
+	SLOViolations int `json:"slo_violations"`
+	GoodputBytes  int `json:"goodput_bytes"`
+}
+
+// benchTraffic times the open-loop generator path against the closed-loop
+// baseline on the same fleet mix and emits BENCH_traffic.json: the generator's
+// wall-clock overhead plus the modeled outcome of one near-knee open-loop
+// replay and one autoscaled burst replay.
+func benchTraffic(cfg sim.Config, workers int, out string) {
+	const rate = 3000.0
+	time := func(c sim.Config) (result, *sim.Report) {
+		var last *sim.Report
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := sim.Run(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+		})
+		perRun := float64(br.NsPerOp())
+		return result{
+			Calls:       c.Calls,
+			Workers:     workers,
+			CPUs:        runtime.NumCPU(),
+			Runs:        br.N,
+			NsPerCall:   perRun / float64(c.Calls),
+			AllocsCall:  float64(br.AllocsPerOp()) / float64(c.Calls),
+			BytesCall:   float64(br.AllocedBytesPerOp()) / float64(c.Calls),
+			CallsPerSec: float64(c.Calls) / (perRun / 1e9),
+		}, last
+	}
+	closed := cfg
+	closed.MaxCallBytes = 64 << 10
+	closed.Resilience = resil.Policy{MaxQueue: 32}
+	baseline, _ := time(closed)
+	open, report := time(openLoopBase(cfg, rate))
+
+	// The autoscale row is outcome-only (one run, no timing): what the
+	// queue-depth scaler does to a 6x on/off burst train.
+	scaled := openLoopBase(cfg, 2000)
+	scaled.Calls = max(cfg.Calls, 1200)
+	scaled.Replicas = 3
+	scaled.Traffic.BurstFactor = 6
+	scaled.Traffic.BurstOnCycles = 2e5
+	scaled.Traffic.BurstOffCycles = 8e5
+	scaled.Autoscale = traffic.Autoscale{MinReplicas: 1, UpQueueDepth: 6, DownQueueDepth: 2, CooldownCycles: 5e4}
+	sr, err := sim.Run(scaled)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	var classes []classOut
+	for c := range report.PerClass {
+		classes = append(classes, classOut{
+			Class:         c,
+			Calls:         report.PerClass[c].Calls,
+			Shed:          report.PerClass[c].ShedCalls,
+			SLOViolations: report.PerClass[c].SLOViolations,
+			GoodputBytes:  report.PerClass[c].GoodputBytes,
+		})
+	}
+	res := struct {
+		ClosedLoop result  `json:"closed_loop"`
+		OpenLoop   result  `json:"open_loop"`
+		Rate       float64 `json:"calls_per_mcycle"`
+		// OverheadPct is the wall-clock cost of the arrival generator and
+		// per-class accounting relative to the closed-loop schedule.
+		OverheadPct   float64    `json:"overhead_pct"`
+		Shed          int        `json:"shed_calls"`
+		SLOViolations int        `json:"slo_violations"`
+		PerClass      []classOut `json:"per_class"`
+		Autoscale     struct {
+			Replicas int     `json:"replicas"`
+			Ups      int     `json:"scale_ups"`
+			Downs    int     `json:"scale_downs"`
+			Shed     int     `json:"shed_calls"`
+			MeanUs   float64 `json:"mean_us"`
+			P99Us    float64 `json:"p99_us"`
+		} `json:"autoscale"`
+	}{
+		ClosedLoop:    baseline,
+		OpenLoop:      open,
+		Rate:          rate,
+		Shed:          report.ShedCalls,
+		SLOViolations: report.SLOViolations,
+		PerClass:      classes,
+	}
+	if baseline.NsPerCall > 0 {
+		res.OverheadPct = 100 * (open.NsPerCall - baseline.NsPerCall) / baseline.NsPerCall
+	}
+	res.Autoscale.Replicas = scaled.Replicas
+	res.Autoscale.Ups = sr.AutoscaleUps
+	res.Autoscale.Downs = sr.AutoscaleDowns
+	res.Autoscale.Shed = sr.ShedCalls
+	res.Autoscale.MeanUs = sr.MeanLatencyUs
+	res.Autoscale.P99Us = sr.P99LatencyUs
+
+	enc, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"cdpu/internal/obs"
 	"cdpu/internal/resil"
 	"cdpu/internal/sim"
+	"cdpu/internal/traffic"
 )
 
 func main() {
@@ -26,9 +27,20 @@ func main() {
 	chaos := flag.Float64("chaos", 0, "fault-storm rate (0..1); >0 replays each cell under a seeded storm with the reference recovery policy and reports recovery counts")
 	replicas := flag.Int("replicas", 1, "replica-group width per device slot; >1 dispatches through the cluster failover layer (area scales with width)")
 	failover := flag.Float64("failover", 0, "device-lifecycle event rate (0..1) per replica-epoch; >0 replays each cell through replica groups under a seeded crash/hang/brownout storm with the reference failover policy")
+	openloop := flag.Bool("openloop", false, "drive the fleet open-loop: seeded diurnal+bursty arrivals over a Zipf tenant population with per-class SLOs, priority admission, and queue-depth autoscaling, swept across offered rates")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON timeline of one traced replay here (chrome://tracing, Perfetto) instead of the sweep")
 	metrics := flag.Bool("metrics", false, "dump the metrics registry to stderr after the run")
 	flag.Parse()
+
+	if *openloop {
+		if err := runOpenLoop(*seed, *calls, *workers, *devices, max(1, *replicas)); err != nil {
+			log.Fatal(err)
+		}
+		if *metrics {
+			dumpMetrics()
+		}
+		return
+	}
 
 	if *failover > 0 {
 		if err := runFailover(*seed, *calls, *workers, *devices, *failover, max(2, *replicas)); err != nil {
@@ -203,6 +215,59 @@ func runFailover(seed int64, calls, workers, devices int, rate float64, replicas
 	fmt.Println("browned-out replicas serve slow and attract hedges instead of")
 	fmt.Println("tripping breakers. Without the failover layer the same storm")
 	fmt.Println("aborts the replay on its first all-replicas-down call.")
+	return nil
+}
+
+// runOpenLoop drives the fleet open-loop instead of by offered bandwidth: a
+// seeded modulated-Poisson arrival process (diurnal curve plus on/off bursts)
+// over a Zipf-skewed tenant population, each tenant bound to an SLO class
+// (gold/silver/bronze) that sets its admission priority and latency target.
+// With replicas > 1 a queue-depth autoscaler widens and drains each replica
+// group through warm restarts as the bursts come and go. The sweep walks
+// offered rate across the fleet's capacity knee; the same seeds always produce
+// the same table.
+func runOpenLoop(seed int64, calls, workers, devices, replicas int) error {
+	fmt.Printf("open-loop replay: %d arrivals per cell, Zipf s=0.7 tenants, 6x bursts", calls)
+	var auto traffic.Autoscale
+	if replicas > 1 {
+		auto = traffic.Autoscale{MinReplicas: 1, UpQueueDepth: 6, DownQueueDepth: 2, CooldownCycles: 5e4}
+		fmt.Printf(", autoscaling 1..%d replicas", replicas)
+	}
+	fmt.Println()
+	fmt.Printf("%-10s %7s %7s %7s %7s %9s %6s %6s %10s %10s\n",
+		"calls/Mcyc", "shed-g", "shed-s", "shed-b", "slo-v", "goodput-MB", "ups", "downs", "mean-us", "p99-us")
+	for _, rate := range []float64{1000, 3000, 6000, 12000} {
+		r, err := sim.Run(sim.Config{
+			Seed:         seed,
+			Calls:        calls,
+			MaxCallBytes: 64 << 10,
+			Pipelines:    2,
+			Workers:      workers,
+			Devices:      devices,
+			Replicas:     replicas,
+			Resilience:   resil.Policy{MaxQueue: 32},
+			Traffic: traffic.Pattern{
+				CallsPerMcycle: rate,
+				Diurnal:        []float64{1, 2},
+				BurstFactor:    6,
+				BurstOnCycles:  2e5,
+				BurstOffCycles: 8e5,
+			},
+			Tenants:   traffic.Tenants{ZipfS: 0.7},
+			Autoscale: auto,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10d %7d %7d %7d %7d %9.1f %6d %6d %10.1f %10.1f\n",
+			int(rate), r.PerClass[0].ShedCalls, r.PerClass[1].ShedCalls, r.PerClass[2].ShedCalls,
+			r.SLOViolations, float64(r.GoodputBytes)/(1<<20),
+			r.AutoscaleUps, r.AutoscaleDowns, r.MeanLatencyUs, r.P99LatencyUs)
+	}
+	fmt.Println("\nThe bounded queues shed bronze tenants first and gold last — even at")
+	fmt.Println("low base rates the 6x bursts overrun the fleet briefly — and the")
+	fmt.Println("autoscaler (with -replicas > 1) widens groups through the bursts and")
+	fmt.Println("drains them in the quiet valleys.")
 	return nil
 }
 

@@ -24,6 +24,7 @@ import (
 	"cdpu/internal/obs"
 	"cdpu/internal/resil"
 	"cdpu/internal/stats"
+	"cdpu/internal/traffic"
 )
 
 // Failover outcome instruments; they reconcile with the Totals a Replay
@@ -35,6 +36,8 @@ var (
 	metricOpens     = obs.Default().Counter("cluster.breaker_opens")
 	metricRestarts  = obs.Default().Counter("cluster.replica_restarts")
 	metricSwServed  = obs.Default().Counter("cluster.sw_served")
+	metricScaleUps  = obs.Default().Counter("cluster.scale_ups")
+	metricScaleDown = obs.Default().Counter("cluster.scale_downs")
 )
 
 // ErrNoReplica is the underlying cause when a call finds no replica able to
@@ -69,6 +72,18 @@ type FailoverPolicy struct {
 	// P99 of served dispatch-to-completion waits (hedging stays off until
 	// enough samples accumulate).
 	HedgeDelayCycles float64
+	// HedgeMinSamples gates the derived delay until the latency histogram has
+	// seen this many served dispatches (0 = 64). Below the gate an empty or
+	// sparse histogram has no usable tail — its "P99" would be bin 0, a
+	// ~1-cycle delay that hedges every early call — so cold hedging uses
+	// HedgeColdDelayCycles instead, or stays off.
+	HedgeMinSamples int
+	// HedgeColdDelayCycles is the fixed fallback delay used while the
+	// adaptive histogram is still cold (fewer than HedgeMinSamples served
+	// dispatches): first calls after start, or after a restart drain on a
+	// fresh group. 0 keeps hedging off until the gate is met (the historical
+	// behavior).
+	HedgeColdDelayCycles float64
 	// CrashDetectCycles is the modeled cost of discovering a crashed replica
 	// (dead doorbell timeout) before failing over (0 = 4000).
 	CrashDetectCycles float64
@@ -133,6 +148,10 @@ type Call struct {
 	Software float64
 	// Bytes is the call's uncompressed size (goodput accounting upstream).
 	Bytes int
+	// Priority is the call's admission class (0 = highest): the group-level
+	// queue sheds it once the depth reaches Resil.QueueBound(Priority), so
+	// under a priority-classed policy the lowest class is refused first.
+	Priority int
 }
 
 // Totals aggregates the failover outcomes of one Replay.
@@ -146,6 +165,8 @@ type Totals struct {
 	SwServed          int     // calls served in software with all replicas down
 	Degraded          int     // SwServed calls not already degraded in phase B
 	Dispatches        []int   // served calls per replica (hedge wins count for the hedge)
+	ScaleUps          int     // autoscaler replica activations
+	ScaleDowns        int     // autoscaler replica drains
 }
 
 // CallError reports the lowest-index call a Group could not serve; the sim
@@ -185,6 +206,13 @@ type Group struct {
 	// see independent lifecycle weather from the same seed (0 = historical
 	// single-instance behavior).
 	ReplicaBase int
+	// Autoscale, when enabled, keeps only a sliding prefix of the deployed
+	// replicas active: the group starts at Autoscale.Min() active replicas,
+	// activates the next drained one (charged the warm-restart cost) when the
+	// admission queue reaches UpQueueDepth, and drains the highest active one
+	// back when the queue empties to DownQueueDepth. The zero value keeps
+	// every replica active — the historical behavior.
+	Autoscale traffic.Autoscale
 }
 
 // hedgeMinSamples gates P99-derived hedging until the running histogram has
@@ -214,13 +242,23 @@ func svcBin(v float64) int {
 	return bits.Len64(uint64(v))
 }
 
-// delay returns the hedge delay: the override when set, else the histogram's
-// P99 bin upper bound once hedgeMinSamples have accumulated.
-func (h *svcHist) delay(override float64) (float64, bool) {
-	if override > 0 {
-		return override, true
+// hedgeDelay returns the hedge delay under p: the fixed override when set;
+// the histogram's P99 bin upper bound once the policy's minimum sample count
+// has accumulated; the cold fallback delay (when configured) below it. An
+// empty histogram therefore never collapses the delay to its bin-0 value —
+// cold hedging is either the explicit fixed delay or off.
+func (p FailoverPolicy) hedgeDelay(h *svcHist) (float64, bool) {
+	if p.HedgeDelayCycles > 0 {
+		return p.HedgeDelayCycles, true
 	}
-	if h.n < hedgeMinSamples {
+	minSamples := p.HedgeMinSamples
+	if minSamples <= 0 {
+		minSamples = hedgeMinSamples
+	}
+	if h.n < minSamples {
+		if p.HedgeColdDelayCycles > 0 {
+			return p.HedgeColdDelayCycles, true
+		}
 		return 0, false
 	}
 	rank := (h.n*99 + 99) / 100
@@ -262,19 +300,20 @@ func earliest(free []float64) int {
 // the common case under light load, where every pipeline is already idle —
 // round-robin on the call's global index rather than always electing replica
 // 0, so dispatch spreads across the group and every replica's lifecycle is
-// actually exercised. Open replicas are excluded. Deterministic by
-// construction: the rotation depends only on the call index and the
-// insertion sort is stable.
-func order(cand []int, free [][]float64, brk []Breaker, rot int) []int {
+// actually exercised. Open replicas are excluded, as are replicas at or above
+// active (drained by the autoscaler; active == len(brk) without autoscaling).
+// Deterministic by construction: the rotation depends only on the call index
+// and the insertion sort is stable.
+func order(cand []int, free [][]float64, brk []Breaker, rot, active int) []int {
 	cand = cand[:0]
-	for r := range brk {
+	for r := 0; r < active; r++ {
 		if brk[r].State() == BreakerHalfOpen {
 			cand = append(cand, r)
 		}
 	}
 	closed := len(cand)
-	for k := range brk {
-		r := (rot + k) % len(brk)
+	for k := 0; k < active; k++ {
+		r := (rot + k) % active
 		if brk[r].State() == BreakerClosed {
 			cand = append(cand, r)
 		}
@@ -337,6 +376,12 @@ type GroupState struct {
 	maxAttempts int
 	prev        float64 // previous arrival, for the sorted-input check
 	n           int     // calls stepped so far
+	// Autoscaler state: replicas [0, active) take dispatch; the rest are
+	// drained. trackQueue keeps the pending window maintained even without a
+	// MaxQueue bound, so the scaler can read the depth.
+	active     int
+	coolUntil  float64
+	trackQueue bool
 }
 
 // NewState prepares an incremental dispatch pass over n expected calls.
@@ -363,6 +408,12 @@ func (g *Group) NewState(n int) *GroupState {
 	}
 	if g.Resil.QuarantineK > 0 {
 		st.faultLog = make([][]float64, nR*nP)
+	}
+	st.active = nR
+	st.trackQueue = g.Resil.MaxQueue > 0
+	if g.Autoscale.Enabled() {
+		st.active = min(nR, g.Autoscale.Min())
+		st.trackQueue = true
 	}
 	return st
 }
@@ -407,6 +458,38 @@ func (st *GroupState) ObserveBreakers(now float64) {
 	}
 }
 
+// autoscale applies the queue-depth replica policy at one arrival instant.
+// Scale-up activates the next drained replica and charges it the same
+// warm-restart cost a crash-rejoin pays, so capacity is never free; scale-down
+// drains the highest active replica (it finishes in-flight work but receives
+// no new dispatches). Both directions share one cooldown on the modeled
+// clock. Driven only by the serial arrival stream, the decision sequence is
+// independent of worker count.
+func (st *GroupState) autoscale(now float64, depth int) {
+	auto := st.g.Autoscale
+	if now < st.coolUntil {
+		return
+	}
+	if depth >= auto.UpQueueDepth && st.active < st.nR {
+		r := st.active
+		st.active++
+		rc := st.g.Policy.restart(st.nP, st.g.ResetCycles)
+		for p := range st.free[r] {
+			st.free[r][p] = math.Max(st.free[r][p], now) + rc
+		}
+		st.busy += rc * float64(st.nP)
+		st.needRestart[r] = false
+		st.tot.ScaleUps++
+		metricScaleUps.Inc()
+		st.coolUntil = now + auto.Cooldown()
+	} else if depth <= auto.DownQueueDepth && st.active > min(st.nR, auto.Min()) {
+		st.active--
+		st.tot.ScaleDowns++
+		metricScaleDown.Inc()
+		st.coolUntil = now + auto.Cooldown()
+	}
+}
+
 // Step admits, dispatches and completes one call. Arrivals must be
 // non-decreasing across calls. On an unservable call it finishes the breaker
 // books and returns a *CallError carrying the call's global Index; the state
@@ -428,12 +511,19 @@ func (st *GroupState) Step(c *Call) error {
 	st.prev = c.Arrival
 	st.n++
 	// Group-level admission: one logical queue in front of the replica
-	// set, same FIFO-window bookkeeping as core.ReplayPolicy.
-	if g.Resil.MaxQueue > 0 {
+	// set, same FIFO-window bookkeeping as core.ReplayPolicy. The window is
+	// also maintained bound-free when the autoscaler needs to read the
+	// depth; the scaler acts before admission, so a burst can activate a
+	// replica on the very arrival that would otherwise be refused.
+	if st.trackQueue {
 		for st.pendingHead < len(st.pending) && st.pending[st.pendingHead] <= c.Arrival {
 			st.pendingHead++
 		}
-		if len(st.pending)-st.pendingHead >= g.Resil.MaxQueue {
+		depth := len(st.pending) - st.pendingHead
+		if g.Autoscale.Enabled() {
+			st.autoscale(c.Arrival, depth)
+		}
+		if g.Resil.MaxQueue > 0 && depth >= g.Resil.QueueBound(c.Priority) {
 			st.results = append(st.results, core.JobResult{Start: c.Arrival, Pipeline: -1, Err: resil.ErrShed})
 			st.shed++
 			resil.MetricSheds.Inc()
@@ -444,7 +534,7 @@ func (st *GroupState) Step(c *Call) error {
 	for r := range st.brk {
 		st.brk[r].Observe(now)
 	}
-	st.cand = order(st.cand, st.free, st.brk, max(0, c.Index))
+	st.cand = order(st.cand, st.free, st.brk, max(0, c.Index), st.active)
 	cand := st.cand
 
 	servedOK := false
@@ -530,7 +620,7 @@ func (st *GroupState) Step(c *Call) error {
 				st.tot.Degraded++
 				resil.MetricFallbacks.Inc()
 			}
-			if g.Resil.MaxQueue > 0 {
+			if st.trackQueue {
 				st.pending = append(st.pending, now)
 			}
 			return nil
@@ -553,7 +643,7 @@ func (st *GroupState) Step(c *Call) error {
 	// cancel instant. Replicas pending a warm restart are skipped (the
 	// probe path handles their rejoin).
 	if g.Policy.Hedge && ai < len(cand) && !st.needRestart[cand[ai]] {
-		if d, ok := st.hist.delay(g.Policy.HedgeDelayCycles); ok && done-now > d {
+		if d, ok := g.Policy.hedgeDelay(&st.hist); ok && done-now > d {
 			h := cand[ai]
 			st.tot.HedgedCalls++
 			metricHedged.Inc()
@@ -652,7 +742,7 @@ func (st *GroupState) Step(c *Call) error {
 		Pipeline: sr*st.nP + sp,
 	})
 	st.served++
-	if g.Resil.MaxQueue > 0 {
+	if st.trackQueue {
 		st.pending = append(st.pending, start)
 	}
 	return nil

@@ -10,6 +10,7 @@ import (
 	"cdpu/internal/core"
 	"cdpu/internal/fault"
 	"cdpu/internal/resil"
+	"cdpu/internal/traffic"
 )
 
 // synthCalls builds a deterministic arrival-sorted call list with varied
@@ -439,5 +440,167 @@ func TestFailoverPolicyEnabled(t *testing.T) {
 	}
 	if !(FailoverPolicy{Hedge: true}).Enabled() {
 		t.Error("hedge policy reports disabled")
+	}
+}
+
+// TestHedgeColdStart: with the derived delay and a cold histogram, hedging
+// stays off — an empty histogram must never collapse the delay to its bin-0
+// value and hedge every early call. HedgeColdDelayCycles turns cold hedging
+// into an explicit fixed delay, and HedgeMinSamples moves the warm-up gate.
+func TestHedgeColdStart(t *testing.T) {
+	// A tail-heavy workload shorter than the default 64-sample warm-up: the
+	// adaptive delay has nothing to derive from, so nothing may hedge.
+	calls := synthCalls(40, 53)
+	for i := range calls {
+		if i%5 == 0 {
+			calls[i].Service *= 200
+		}
+	}
+	pol := refPolicy()
+	pol.Hedge = true
+	g := &Group{Replicas: 2, Pipelines: 2, ResetCycles: 9000, Policy: pol}
+	_, _, tot, err := g.Replay(calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tot.HedgedCalls != 0 {
+		t.Fatalf("adaptive hedging fired %d times before the histogram warmed up", tot.HedgedCalls)
+	}
+
+	// A cold fallback delay makes the same workload hedge its giant calls.
+	pol.HedgeColdDelayCycles = 120000
+	g = &Group{Replicas: 2, Pipelines: 2, ResetCycles: 9000, Policy: pol}
+	_, _, tot, err = g.Replay(calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tot.HedgedCalls == 0 {
+		t.Fatal("cold-delay hedging never fired on a 200x tail")
+	}
+
+	// Lowering the warm-up gate activates the derived delay without any cold
+	// fallback.
+	pol.HedgeColdDelayCycles = 0
+	pol.HedgeMinSamples = 8
+	g = &Group{Replicas: 2, Pipelines: 2, ResetCycles: 9000, Policy: pol}
+	_, _, tot, err = g.Replay(calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tot.HedgedCalls == 0 {
+		t.Fatal("derived hedging never fired with an 8-sample gate")
+	}
+}
+
+// TestGroupAutoscale: a saturating burst scales the group up from its
+// minimum (paying the warm-restart charge in queue time), the quiet tail
+// scales it back down, and cooldown bounds the decision rate.
+func TestGroupAutoscale(t *testing.T) {
+	calls := synthCalls(600, 59)
+	// First 400 calls arrive far faster than one replica serves; the last
+	// 200 are sparse enough for a single replica.
+	for i := range calls {
+		if i < 400 {
+			calls[i].Arrival = float64(i) * 2000
+		} else {
+			calls[i].Arrival = 800000 + float64(i-400)*300000
+		}
+	}
+	auto := traffic.Autoscale{MinReplicas: 1, UpQueueDepth: 8, DownQueueDepth: 1, CooldownCycles: 50000}
+	g := &Group{Replicas: 4, Pipelines: 2, ResetCycles: 9000, Autoscale: auto}
+	_, stats, tot, err := g.Replay(calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tot.ScaleUps == 0 {
+		t.Fatal("burst never scaled the group up")
+	}
+	if tot.ScaleDowns == 0 {
+		t.Fatal("quiet tail never scaled the group down")
+	}
+	if tot.ScaleUps > 3+tot.ScaleDowns {
+		t.Fatalf("more activations than deployed spares allow: up %d down %d", tot.ScaleUps, tot.ScaleDowns)
+	}
+
+	// The scaled group must beat the pinned minimum on mean latency (extra
+	// replicas absorbed the burst) while a fully-active fixed group of the
+	// same size is at least as fast (autoscaling is reactive, not free).
+	gMin := &Group{Replicas: 1, Pipelines: 2, ResetCycles: 9000}
+	_, minStats, _, err := gMin.Replay(calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gFix := &Group{Replicas: 4, Pipelines: 2, ResetCycles: 9000}
+	_, fixStats, _, err := gFix.Replay(calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MeanLatency >= minStats.MeanLatency {
+		t.Fatalf("autoscaled mean %.0f no better than pinned minimum %.0f", stats.MeanLatency, minStats.MeanLatency)
+	}
+	if fixStats.MeanLatency > stats.MeanLatency*1.001 {
+		t.Fatalf("fixed 4-replica mean %.0f worse than autoscaled %.0f", fixStats.MeanLatency, stats.MeanLatency)
+	}
+
+	// A prohibitive cooldown pins the group at one scale-up.
+	auto.CooldownCycles = 1e12
+	gCool := &Group{Replicas: 4, Pipelines: 2, ResetCycles: 9000, Autoscale: auto}
+	_, _, coolTot, err := gCool.Replay(calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coolTot.ScaleUps+coolTot.ScaleDowns != 1 {
+		t.Fatalf("prohibitive cooldown allowed %d decisions", coolTot.ScaleUps+coolTot.ScaleDowns)
+	}
+}
+
+// TestGroupPriorityShed: under overload with priority classes, admission
+// refuses the lowest class first — bronze sheds strictly more than gold.
+func TestGroupPriorityShed(t *testing.T) {
+	calls := synthCalls(600, 61)
+	// Overload: arrivals an order of magnitude faster than service.
+	for i := range calls {
+		calls[i].Arrival = float64(i) * 300
+		calls[i].Priority = i % 3
+	}
+	g := &Group{
+		Replicas: 1, Pipelines: 2, ResetCycles: 9000,
+		Resil: resil.Policy{MaxQueue: 8, PriorityClasses: 3},
+	}
+	results, _, _, err := g.Replay(calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shed [3]int
+	for i := range results {
+		if errors.Is(results[i].Err, resil.ErrShed) {
+			shed[calls[i].Priority]++
+		}
+	}
+	if shed[2] == 0 {
+		t.Fatal("no bronze call shed under 10x overload")
+	}
+	if !(shed[0] <= shed[1] && shed[1] <= shed[2]) {
+		t.Fatalf("shed counts not ordered by priority: %v", shed)
+	}
+	if shed[0] >= shed[2] {
+		t.Fatalf("gold shed as much as bronze: %v", shed)
+	}
+
+	// Without priority classes every class sees the same bound, so the shed
+	// distribution flattens to the arrival pattern.
+	g.Resil.PriorityClasses = 0
+	results, _, _, err = g.Replay(calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flat [3]int
+	for i := range results {
+		if errors.Is(results[i].Err, resil.ErrShed) {
+			flat[calls[i].Priority]++
+		}
+	}
+	if flat[2] > flat[0]+len(calls)/20 {
+		t.Fatalf("classless admission still skewed against bronze: %v", flat)
 	}
 }

@@ -108,6 +108,10 @@ type Job struct {
 	// Payload is the call input (plaintext for compression devices,
 	// compressed bytes for decompression devices).
 	Payload []byte
+	// Priority selects the job's admission bound under a priority-classed
+	// policy (resil.Policy.QueueBound; 0 = highest priority, the full
+	// MaxQueue — the historical behavior).
+	Priority int
 }
 
 // JobResult reports one completed job.
@@ -263,7 +267,7 @@ func (d *Device) ReplayPolicy(jobs []Job, service, post []float64, faults []int,
 		if faults != nil {
 			f = faults[i]
 		}
-		if err := st.Step(job.Arrival, service[i], x, f); err != nil {
+		if err := st.StepPri(job.Arrival, service[i], x, f, job.Priority); err != nil {
 			return nil, DeviceStats{}, err
 		}
 	}
@@ -340,6 +344,15 @@ func (st *ReplayState) Last() *JobResult {
 // faults are ignored unless the state was built with the corresponding
 // with* flag.
 func (st *ReplayState) Step(arrival, service, post float64, faults int) error {
+	return st.StepPri(arrival, service, post, faults, 0)
+}
+
+// StepPri is Step for a prioritized arrival: priority (0 = highest) selects
+// the job's admission bound via the policy's QueueBound, so under a
+// priority-classed policy a nearly full queue refuses low-priority arrivals
+// while still admitting high-priority ones. Priority 0 is bit-identical to
+// Step.
+func (st *ReplayState) StepPri(arrival, service, post float64, faults, priority int) error {
 	i := st.n
 	if i > 0 && arrival < st.prev {
 		return fmt.Errorf("core: jobs not sorted by arrival")
@@ -362,7 +375,7 @@ func (st *ReplayState) Step(arrival, service, post float64, faults int) error {
 		for st.pendingHead < len(st.pending) && st.pending[st.pendingHead] <= arrival {
 			st.pendingHead++
 		}
-		if len(st.pending)-st.pendingHead >= pol.MaxQueue {
+		if len(st.pending)-st.pendingHead >= pol.QueueBound(priority) {
 			st.results = append(st.results, JobResult{Start: arrival, Pipeline: -1, Err: resil.ErrShed})
 			st.shed++
 			resil.MetricSheds.Inc()

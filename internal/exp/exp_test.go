@@ -31,7 +31,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fleet-summary", "dse-summary",
 		"ablation-hash", "ablation-fse", "ablation-stats",
 		"chaining", "pipelines", "deployment", "levels", "fault-sweep",
-		"fleet-replay", "chaos-sweep", "failover-sweep",
+		"fleet-replay", "chaos-sweep", "failover-sweep", "openloop-sweep",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {
@@ -318,5 +318,34 @@ func TestLevelsExperiment(t *testing.T) {
 	last, _ := strconv.ParseFloat(tab.Rows[len(tab.Rows)-1][1], 64)
 	if last < first {
 		t.Errorf("level 22 ratio %.3f below level -5's %.3f", last, first)
+	}
+}
+
+// TestOpenLoopSweepRuns: the openloop-sweep experiment asserts its own
+// invariants internally (zero shed at low rate, monotone shed/violation
+// curves, class-ordered shedding, gold share monotone in Zipf s, the
+// autoscaler scaling both directions and beating the pinned minimum), so a
+// clean return already carries the interesting guarantees; the shape checks
+// here pin the layout.
+func TestOpenLoopSweepRuns(t *testing.T) {
+	tables := run(t, "openloop-sweep")
+	if len(tables) != 3 {
+		t.Fatalf("openloop-sweep produced %d tables, want 3", len(tables))
+	}
+	knee, skew, auto := tables[0], tables[1], tables[2]
+	if len(knee.Rows) != 4 {
+		t.Errorf("rate-knee table has %d rows, want 4", len(knee.Rows))
+	}
+	if shed, _ := strconv.Atoi(knee.Rows[0][1]); shed != 0 {
+		t.Errorf("lowest rate shed %d calls", shed)
+	}
+	if len(skew.Rows) != 3 {
+		t.Errorf("skew table has %d rows, want 3", len(skew.Rows))
+	}
+	if len(auto.Rows) != 3 {
+		t.Errorf("autoscale table has %d rows, want 3", len(auto.Rows))
+	}
+	if auto.Rows[1][0] != "autoscaled" {
+		t.Errorf("autoscale table middle row %v", auto.Rows[1])
 	}
 }

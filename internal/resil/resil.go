@@ -81,12 +81,42 @@ type Policy struct {
 	// device; an arrival finding the queue full is shed with ErrShed and
 	// zero service cycles. 0 = unbounded.
 	MaxQueue int
+	// PriorityClasses differentiates admission by call priority (0 or 1 =
+	// every call sees the full MaxQueue). With C classes, a call of priority
+	// p (0 = highest) is admitted only while the queue depth is below
+	// QueueBound(p): nested thresholds where each lower class gives up an
+	// equal share of the queue's upper half, so as the queue fills the
+	// lowest class is refused first and the highest keeps the whole bound —
+	// the open-loop SLO contract of shedding bronze before gold.
+	PriorityClasses int
 }
 
 // Enabled reports whether any recovery mechanism is active — false exactly
 // for the zero value, which callers use to keep the historical code path
 // bit-identical.
 func (p Policy) Enabled() bool { return p != Policy{} }
+
+// QueueBound returns the admission-queue depth at which a call of the given
+// priority (0 = highest) is shed. With MaxQueue Q and PriorityClasses C > 1,
+// priority p's bound is Q - p·(Q/2)/(C-1): class 0 keeps the full queue,
+// the lowest class is refused once the queue is half full, and intermediate
+// classes interpolate linearly — never below 1. Priority 0, an unbounded
+// queue, or fewer than two classes reproduce MaxQueue exactly, which is what
+// keeps closed-loop replays bit-identical.
+func (p Policy) QueueBound(priority int) int {
+	q := p.MaxQueue
+	if q <= 0 || p.PriorityClasses <= 1 || priority <= 0 {
+		return q
+	}
+	if priority >= p.PriorityClasses {
+		priority = p.PriorityClasses - 1
+	}
+	b := q - priority*(q/2)/(p.PriorityClasses-1)
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
 
 // Retries returns the number of re-dispatches the policy allows after the
 // first attempt.

@@ -146,3 +146,44 @@ func TestPolicyEnabled(t *testing.T) {
 		t.Errorf("MaxAttempts 4 retries = %d", got)
 	}
 }
+
+func TestQueueBound(t *testing.T) {
+	cases := []struct {
+		q, classes, priority, want int
+	}{
+		// No differentiation: unbounded queue, single class, top priority.
+		{0, 3, 2, 0},
+		{32, 0, 2, 32},
+		{32, 1, 2, 32},
+		{32, 3, 0, 32},
+		// Three classes over Q=32: 32, 24, 16.
+		{32, 3, 1, 24},
+		{32, 3, 2, 16},
+		// Out-of-range priority clamps to the lowest class.
+		{32, 3, 9, 16},
+		{32, 3, -1, 32},
+		// Two classes: full and half.
+		{10, 2, 1, 5},
+		// Tiny queues never bound below one waiter.
+		{1, 3, 2, 1},
+		{2, 4, 3, 1},
+	}
+	for _, c := range cases {
+		pol := Policy{MaxQueue: c.q, PriorityClasses: c.classes}
+		if got := pol.QueueBound(c.priority); got != c.want {
+			t.Errorf("QueueBound(q=%d, classes=%d, pri=%d) = %d, want %d",
+				c.q, c.classes, c.priority, got, c.want)
+		}
+	}
+	// Bounds are monotone non-increasing in priority: lower classes never get
+	// more queue than higher ones.
+	pol := Policy{MaxQueue: 57, PriorityClasses: 5}
+	prev := pol.QueueBound(0)
+	for pri := 1; pri < 7; pri++ {
+		b := pol.QueueBound(pri)
+		if b > prev || b < 1 {
+			t.Fatalf("QueueBound(%d) = %d after %d (want monotone, >= 1)", pri, b, prev)
+		}
+		prev = b
+	}
+}

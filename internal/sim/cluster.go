@@ -88,6 +88,7 @@ func reduceCluster(d, base int, idxs []int, specs []callSpec, outs []execOut, cf
 		Policy:      cfg.Failover,
 		Lifecycle:   cfg.Lifecycle,
 		ReplicaBase: base,
+		Autoscale:   cfg.Autoscale,
 	}
 	calls := make([]cluster.Call, len(idxs))
 	for ji, ci := range idxs {
@@ -102,6 +103,7 @@ func reduceCluster(d, base int, idxs []int, specs []callSpec, outs []execOut, cf
 			Brown:      outs[ci].brown,
 			HangBudget: outs[ci].budget,
 			Bytes:      s.rec.UncompressedBytes,
+			Priority:   s.class,
 		}
 		if cfg.Resilience.SoftwareFallback {
 			calls[ji].Software = softwareCycles(s)
@@ -112,7 +114,7 @@ func reduceCluster(d, base int, idxs []int, specs []callSpec, outs []execOut, cf
 		return devReduction{dev: dev, err: err}
 	}
 	red := devReduction{dev: dev, results: results, idxs: idxs, stats: devStats, tot: tot}
-	red.summarize(specs)
+	red.summarize(specs, cfg.sloCycles())
 	return red
 }
 
@@ -128,6 +130,8 @@ func mergeClusterTotals(report *Report, d int, tot *cluster.Totals) {
 	report.ReplicaRestarts += tot.ReplicaRestarts
 	report.UnavailableCycles += tot.UnavailableCycles
 	report.DegradedCalls += tot.Degraded
+	report.AutoscaleUps += tot.ScaleUps
+	report.AutoscaleDowns += tot.ScaleDowns
 	for r, n := range tot.Dispatches {
 		obs.Default().Gauge(fmt.Sprintf("cluster.dispatches.d%d.r%d", d, r)).Set(float64(n))
 	}

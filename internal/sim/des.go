@@ -76,6 +76,7 @@ func newSimPart(slot, base int, idxs []int, specs []callSpec, outs []execOut, cf
 			Policy:      cfg.Failover,
 			Lifecycle:   cfg.Lifecycle,
 			ReplicaBase: base,
+			Autoscale:   cfg.Autoscale,
 		}
 		p.gst = g.NewState(len(idxs))
 	} else {
@@ -150,6 +151,7 @@ func (p *simPart) stepArrival(ci int) error {
 			Brown:      o.brown * p.stretch,
 			HangBudget: o.budget,
 			Bytes:      s.rec.UncompressedBytes,
+			Priority:   s.class,
 		}
 		if p.cfg.Resilience.SoftwareFallback {
 			c.Software = softwareCycles(s)
@@ -176,7 +178,7 @@ func (p *simPart) stepArrival(ci int) error {
 		post = o.post
 		flt = o.faults
 	}
-	if err := p.dst.Step(s.arrival, o.service*p.stretch, post, flt); err != nil {
+	if err := p.dst.StepPri(s.arrival, o.service*p.stretch, post, flt, s.class); err != nil {
 		return err
 	}
 	if p.shared {
@@ -228,7 +230,7 @@ func (p *simPart) finish(err error) devReduction {
 	} else {
 		red.results, red.stats = p.dst.Finish()
 	}
-	red.summarize(p.specs)
+	red.summarize(p.specs, p.cfg.sloCycles())
 	return red
 }
 

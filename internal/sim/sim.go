@@ -39,6 +39,7 @@ import (
 	"cdpu/internal/obs"
 	"cdpu/internal/resil"
 	"cdpu/internal/stats"
+	"cdpu/internal/traffic"
 	"cdpu/internal/xeon"
 	"cdpu/internal/zstdlite"
 )
@@ -118,6 +119,24 @@ type Config struct {
 	// EpochCycles is the barrier spacing on the modeled clock when Contention
 	// is set (0 = des.DefaultEpochCycles).
 	EpochCycles float64
+	// Traffic, when enabled (CallsPerMcycle != 0), switches the replay to
+	// open-loop arrivals: the schedule comes from a seeded modulated-Poisson
+	// generator (diurnal rate curve, on/off bursts) instead of being spaced
+	// from OfferedGBps, and every call carries the SLO class of its sampled
+	// tenant. The zero value keeps the closed-loop schedule bit-identical to
+	// previous releases.
+	Traffic traffic.Pattern
+	// Tenants shapes the open-loop tenant population: a Zipf(s) rank
+	// distribution over N tenants. Ignored unless Traffic is enabled.
+	Tenants traffic.Tenants
+	// SLO maps tenant ranks to service classes (gold/silver/bronze) with
+	// per-class latency targets. Ignored unless Traffic is enabled.
+	SLO traffic.SLO
+	// Autoscale is the queue-depth replica autoscaler threaded into each
+	// cluster group: scale up from Min replicas when the admission queue
+	// reaches UpQueueDepth, drain back at DownQueueDepth. Requires
+	// Replicas > 1; the zero value keeps every replica active.
+	Autoscale traffic.Autoscale
 	// legacyPhaseC routes the queueing reduction through the pre-DES serial
 	// per-partition loops instead of the event engine. Test-only: it is the
 	// golden oracle the byte-identity differential tests replay against.
@@ -142,6 +161,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Devices == 0 {
 		c.Devices = 1
+	}
+	// Open-loop traffic with a bounded queue defaults to class-differentiated
+	// admission: shed bronze before gold. Explicit PriorityClasses (or an
+	// unbounded queue) is left alone, and closed-loop replays never see this.
+	if c.Traffic.Enabled() && c.Resilience.MaxQueue > 0 && c.Resilience.PriorityClasses == 0 {
+		c.Resilience.PriorityClasses = traffic.NumClasses
 	}
 	return c
 }
@@ -189,6 +214,24 @@ type Report struct {
 	BreakerOpens      int     // circuit-breaker open transitions
 	ReplicaRestarts   int     // warm restarts of rejoining crashed replicas
 	UnavailableCycles float64 // summed modeled time replicas spent breaker-open
+	// Open-loop traffic outcome totals. All zero outside open-loop mode
+	// (Config.Traffic disabled); they reconcile exactly with the
+	// traffic.class* counter deltas, and the PerClass rows sum to the
+	// corresponding top-level totals.
+	SLOViolations  int // served calls whose latency missed their class target
+	AutoscaleUps   int // autoscaler replica activations across all groups
+	AutoscaleDowns int // autoscaler replica drains across all groups
+	PerClass       [traffic.NumClasses]ClassReport
+}
+
+// ClassReport is one SLO class's slice of an open-loop replay: class 0 is
+// gold, the last class is bronze. A fixed-size array field keeps Report
+// directly comparable, which the byte-identity tests rely on.
+type ClassReport struct {
+	Calls         int // calls sampled into this class
+	ShedCalls     int // rejected by class-differentiated admission
+	SLOViolations int // served but over the class latency target
+	GoodputBytes  int // uncompressed bytes of served calls
 }
 
 // payloadKinds gives replayed calls realistic byte content.
@@ -260,6 +303,7 @@ type callSpec struct {
 	arrival     float64
 	dev         int
 	inst        int // device instance within the slot, in [0, Config.Devices)
+	class       int // SLO class (0 in closed-loop mode, where no class exists)
 }
 
 // sampleCalls is phase A: sample the call mix and lay out the arrival
@@ -320,20 +364,38 @@ type devReduction struct {
 	latencies []float64
 	goodput   int
 	shed      int
+	classes   [traffic.NumClasses]ClassReport
 	err       error
 }
 
 // summarize derives the merge-ready served latencies, goodput bytes and shed
-// count from the partition's per-call results, in call order.
-func (red *devReduction) summarize(specs []callSpec) {
+// count from the partition's per-call results, in call order. slo, set only
+// in open-loop mode, carries the per-class latency targets in cycles and
+// turns on the per-class accounting; closed-loop replays pass nil and touch
+// none of it.
+func (red *devReduction) summarize(specs []callSpec, slo *[traffic.NumClasses]float64) {
 	red.latencies = make([]float64, 0, len(red.results))
 	for ji, r := range red.results {
+		ci := red.idxs[ji]
 		if r.Err != nil {
 			red.shed++
+			if slo != nil {
+				cl := &red.classes[specs[ci].class]
+				cl.Calls++
+				cl.ShedCalls++
+			}
 			continue
 		}
 		red.latencies = append(red.latencies, r.Latency)
-		red.goodput += specs[red.idxs[ji]].rec.UncompressedBytes
+		red.goodput += specs[ci].rec.UncompressedBytes
+		if slo != nil {
+			cl := &red.classes[specs[ci].class]
+			cl.Calls++
+			cl.GoodputBytes += specs[ci].rec.UncompressedBytes
+			if r.Latency > slo[specs[ci].class] {
+				cl.SLOViolations++
+			}
+		}
 	}
 }
 
@@ -356,7 +418,7 @@ func reduceDevice(d int, idxs []int, specs []callSpec, outs []execOut, cfg *Conf
 		flt = make([]int, len(idxs))
 	}
 	for ji, ci := range idxs {
-		jobs[ji] = core.Job{Arrival: specs[ci].arrival}
+		jobs[ji] = core.Job{Arrival: specs[ci].arrival, Priority: specs[ci].class}
 		svc[ji] = outs[ci].service
 		if chaos {
 			post[ji] = outs[ci].post
@@ -368,17 +430,28 @@ func reduceDevice(d int, idxs []int, specs []callSpec, outs []execOut, cfg *Conf
 		return devReduction{err: err}
 	}
 	red := devReduction{dev: dev, results: results, idxs: idxs, stats: devStats}
-	red.summarize(specs)
+	red.summarize(specs, cfg.sloCycles())
 	return red
 }
 
 // Run replays cfg.Calls fleet calls through CDPU devices.
 func Run(cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	report := &Report{}
 
-	// Phase A (serial): sampling and the arrival schedule.
-	specs, xeonCycles, at := sampleCalls(cfg, report)
+	// Phase A (serial): sampling and the arrival schedule — closed-loop
+	// bandwidth spacing, or the open-loop generator when Traffic is enabled.
+	var specs []callSpec
+	var xeonCycles, at float64
+	openLoop := cfg.Traffic.Enabled()
+	if openLoop {
+		specs, xeonCycles, at = sampleOpenLoop(cfg, report)
+	} else {
+		specs, xeonCycles, at = sampleCalls(cfg, report)
+	}
 	metricSimCalls.Add(int64(len(specs)))
 	metricSimWorkers.Set(float64(cfg.Workers))
 
@@ -436,6 +509,15 @@ func Run(cfg Config) (*Report, error) {
 		report.ShedCalls += red.shed
 		report.GoodputBytes += red.goodput
 		report.Quarantines += red.stats.Quarantines
+		if openLoop {
+			for cl := range red.classes {
+				report.PerClass[cl].Calls += red.classes[cl].Calls
+				report.PerClass[cl].ShedCalls += red.classes[cl].ShedCalls
+				report.PerClass[cl].SLOViolations += red.classes[cl].SLOViolations
+				report.PerClass[cl].GoodputBytes += red.classes[cl].GoodputBytes
+				report.SLOViolations += red.classes[cl].SLOViolations
+			}
+		}
 		if clustered {
 			mergeClusterTotals(report, p, &red.tot)
 		}
@@ -447,6 +529,9 @@ func Run(cfg Config) (*Report, error) {
 		} else {
 			report.DecompUtil = max(report.DecompUtil, red.stats.Utilization)
 		}
+	}
+	if openLoop {
+		publishClassMetrics(report)
 	}
 	if len(latencies) == 0 {
 		return nil, fmt.Errorf("sim: no device traffic")

@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"cdpu/internal/comp"
+	"cdpu/internal/fleet"
+	"cdpu/internal/obs"
+	"cdpu/internal/traffic"
+	"cdpu/internal/xeon"
+)
+
+// Per-class traffic instruments, published once per Run from the serial merge
+// so they reconcile exactly with Report.PerClass.
+var (
+	metricClassCalls   = classCounters("calls")
+	metricClassShed    = classCounters("shed")
+	metricClassViol    = classCounters("slo_violations")
+	metricClassGoodput = classCounters("goodput_bytes")
+)
+
+func classCounters(name string) [traffic.NumClasses]*obs.Counter {
+	var cs [traffic.NumClasses]*obs.Counter
+	for c := range cs {
+		cs[c] = obs.Default().Counter(fmt.Sprintf("traffic.class%d.%s", c, name))
+	}
+	return cs
+}
+
+// publishClassMetrics rolls the Report's per-class totals into the traffic.*
+// counters. Called once per open-loop Run, after the serial merge.
+func publishClassMetrics(report *Report) {
+	for c := range report.PerClass {
+		metricClassCalls[c].Add(int64(report.PerClass[c].Calls))
+		metricClassShed[c].Add(int64(report.PerClass[c].ShedCalls))
+		metricClassViol[c].Add(int64(report.PerClass[c].SLOViolations))
+		metricClassGoodput[c].Add(int64(report.PerClass[c].GoodputBytes))
+	}
+}
+
+// validate rejects configurations the replay cannot give meaning to, after
+// defaults have been applied. Historically a non-finite or negative
+// OfferedGBps slipped through withDefaults (only exact 0 is remapped) and
+// produced NaN arrival schedules that surfaced as a confusing stepper error
+// many layers down; now it fails fast here with the field named.
+func (c Config) validate() error {
+	if math.IsNaN(c.OfferedGBps) || math.IsInf(c.OfferedGBps, 0) || c.OfferedGBps <= 0 {
+		return fmt.Errorf("sim: OfferedGBps %v (want finite, positive)", c.OfferedGBps)
+	}
+	if c.Calls < 0 {
+		return fmt.Errorf("sim: Calls %d (want non-negative)", c.Calls)
+	}
+	if err := c.Traffic.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	if !c.Traffic.Enabled() {
+		return nil
+	}
+	if err := c.Tenants.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	if err := c.SLO.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	if err := c.Autoscale.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	if c.Autoscale.Enabled() && c.Replicas < 2 {
+		return fmt.Errorf("sim: Autoscale requires Replicas > 1 (got %d)", c.Replicas)
+	}
+	return nil
+}
+
+// sloCycles returns the per-class latency targets in device cycles, or nil in
+// closed-loop mode — the switch that keeps per-class accounting completely
+// out of the historical reduction paths.
+func (c *Config) sloCycles() *[traffic.NumClasses]float64 {
+	if !c.Traffic.Enabled() {
+		return nil
+	}
+	var t [traffic.NumClasses]float64
+	for cl := range t {
+		t[cl] = c.SLO.TargetCycles(cl)
+	}
+	return &t
+}
+
+// sampleOpenLoop is the open-loop phase A: the call mix comes from the same
+// stateful fleet model as the closed-loop path (same positional callRNG draws
+// for payload kind and seed, so the payload corpus is directly comparable
+// across modes), but arrival times come from the seeded modulated-Poisson
+// generator and each call carries its sampled tenant's SLO class. Serial for
+// the same reason sampleCalls is: the fleet sampler and the arrival clock are
+// both stateful, cheap, and order-dependent.
+func sampleOpenLoop(cfg Config, report *Report) (specs []callSpec, xeonCycles, at float64) {
+	model := fleet.NewModel(cfg.Seed)
+	gen := traffic.NewGen(cfg.Traffic, cfg.Tenants, cfg.SLO, cfg.Seed)
+	devices := max(1, cfg.Devices)
+	var rr [numDevices]int
+	specs = make([]callSpec, 0, cfg.Calls)
+	for len(specs) < cfg.Calls {
+		rec := model.SampleCall()
+		if rec.Algo != comp.Snappy && rec.Algo != comp.ZStd {
+			continue
+		}
+		if rec.UncompressedBytes > cfg.MaxCallBytes {
+			rec.UncompressedBytes = cfg.MaxCallBytes
+		}
+		r := newCallRNG(cfg.Seed, len(specs))
+		arr := gen.Next()
+		s := callSpec{
+			rec:         rec,
+			kind:        payloadKinds[r.intn(len(payloadKinds))],
+			payloadSeed: r.int63(),
+			arrival:     arr.At,
+			dev:         deviceIndex(rec.Algo, rec.Op),
+			class:       arr.Class,
+		}
+		s.inst = rr[s.dev] % devices
+		rr[s.dev]++
+		report.UncompressedBytes += rec.UncompressedBytes
+		xeonCycles += xeon.Cycles(rec.Algo, rec.Op, rec.Level, rec.UncompressedBytes)
+		metricSimCallBytes.Observe(int64(rec.UncompressedBytes))
+		specs = append(specs, s)
+	}
+	report.Calls = len(specs)
+	return specs, xeonCycles, gen.Clock()
+}

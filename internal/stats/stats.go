@@ -105,22 +105,34 @@ func (h *Hist) CDF() []Point {
 // domain is clamped to [0, 1]: any p <= 0 returns the first present bin (the
 // infimum — every bin's cumulative weight reaches a non-positive target) and
 // any p >= 1, or NaN, returns the last. An empty histogram returns bin 0.
+//
+// The comparison is exact, on unnormalized weights: cum >= p × total. The
+// earlier normalized form carried an absolute 1e-12 tolerance, which returned
+// a too-early bin whenever a later bin's weight fraction fell below 1e-12 —
+// exactly the regime a million-tenant weighted histogram hits, where one
+// tenant's weight can be a 1e-13 sliver of the total.
 func (h *Hist) PercentileBin(p float64) int {
-	if math.IsNaN(p) || p > 1 {
-		p = 1
-	} else if p < 0 {
-		p = 0
-	}
-	cdf := h.CDF()
-	for _, pt := range cdf {
-		if pt.Cum >= p-1e-12 {
-			return pt.Bin
-		}
-	}
-	if len(cdf) == 0 {
+	bins := h.Bins()
+	if len(bins) == 0 {
 		return 0
 	}
-	return cdf[len(cdf)-1].Bin
+	if math.IsNaN(p) || p >= 1 {
+		return bins[len(bins)-1]
+	}
+	if p < 0 {
+		p = 0
+	}
+	target := p * h.total
+	cum := 0.0
+	for _, b := range bins {
+		cum += h.bins[b]
+		if cum >= target {
+			return b
+		}
+	}
+	// Unreachable for well-formed weights (cum ends at total >= target), but
+	// float rounding in a different accumulation order keeps this honest.
+	return bins[len(bins)-1]
 }
 
 // MedianBin returns the 50th-percentile bin.

@@ -325,3 +325,58 @@ func TestP99MatchesSortedIndex(t *testing.T) {
 		t.Error("empty P99")
 	}
 }
+
+// TestPercentileBinTinyWeight pins the regression the exact-CDF comparison
+// fixes: a last bin whose weight fraction is below the old 1e-12 absolute
+// tolerance must still be reachable. Under the old normalized comparison
+// (Cum >= p-1e-12) the heavy bin's cumulative fraction 1/(1+1e-13) already
+// "reached" p=1, so the documented p>=1 contract (return the last present
+// bin) was silently violated.
+func TestPercentileBinTinyWeight(t *testing.T) {
+	var h Hist
+	h.AddBin(3, 1.0)
+	h.AddBin(7, 1e-13)
+	if got := h.PercentileBin(1); got != 7 {
+		t.Errorf("p=1 with tiny-weight tail = bin %d, want 7", got)
+	}
+	if got := h.PercentileBin(0.5); got != 3 {
+		t.Errorf("p=0.5 = bin %d, want 3", got)
+	}
+	// The mirror corner: a tiny-weight FIRST bin must still be the p=0 result.
+	var g Hist
+	g.AddBin(2, 1e-13)
+	g.AddBin(9, 1.0)
+	if got := g.PercentileBin(0); got != 2 {
+		t.Errorf("p=0 with tiny-weight head = bin %d, want 2", got)
+	}
+	if got := g.PercentileBin(1e-13 / (1.0 + 1e-13) / 2); got != 2 {
+		t.Errorf("p inside tiny head fraction = bin %d, want 2", got)
+	}
+	if got := g.PercentileBin(0.5); got != 9 {
+		t.Errorf("p=0.5 = bin %d, want 9", got)
+	}
+}
+
+// TestPercentileBinExactCDF walks an exactly representable dyadic CDF and
+// checks each boundary lands on the bin whose cumulative weight first reaches
+// the target — no epsilon in either direction.
+func TestPercentileBinExactCDF(t *testing.T) {
+	var h Hist
+	for b := 1; b <= 4; b++ {
+		h.AddBin(b, 1)
+	}
+	cases := []struct {
+		p    float64
+		want int
+	}{
+		{0, 1}, {0.125, 1}, {0.25, 1}, // boundary is inclusive
+		{0.250001, 2}, {0.5, 2},
+		{0.500001, 3}, {0.75, 3},
+		{0.750001, 4}, {0.999999, 4}, {1, 4},
+	}
+	for _, c := range cases {
+		if got := h.PercentileBin(c.p); got != c.want {
+			t.Errorf("PercentileBin(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,409 @@
+// Package traffic is the open-loop arrival layer of the fleet replay: the
+// paper's hyperscale framing is millions of users offering traffic at a rate
+// the CDPUs do not control, so arrivals here come from a seeded
+// modulated-Poisson process — a piecewise-constant diurnal curve times an
+// on/off burst modulation — instead of being spaced to match a fixed offered
+// bandwidth. Each arrival is attributed to a tenant drawn from a Zipf-skewed
+// population (rank-frequency law, millions of tenants sampled in O(1) by
+// inverse transform) and to the SLO class its tenant rank maps to.
+//
+// Everything is a pure function of (replay seed, Pattern.Seed, draw index):
+// the generator is consumed in the replay's serial sampling phase, so open-loop
+// Reports stay byte-identical at any worker count. The package is a leaf —
+// internal/sim, internal/cluster and the experiment harness all import it.
+package traffic
+
+import (
+	"fmt"
+	"math"
+)
+
+// NumClasses is the fixed SLO class count: 0 = gold (highest priority),
+// 1 = silver, 2 = bronze. Fixed so per-class counters embed in comparable
+// structs (sim.Report is compared with != across the determinism tests).
+const NumClasses = 3
+
+// Pattern describes the open-loop offered-rate curve. The zero value disables
+// open-loop mode entirely (the replay keeps its closed, pre-sampled arrival
+// schedule).
+type Pattern struct {
+	// CallsPerMcycle is the base arrival rate in calls per million device
+	// cycles (2 GHz: 1 Mcycle = 0.5 ms, so 100 calls/Mcycle = 200k calls/s).
+	// 0 disables the open-loop generator.
+	CallsPerMcycle float64
+	// Diurnal scales the base rate through piecewise-constant segments spread
+	// evenly over PeriodCycles, cycling forever (nil/empty = flat). Every
+	// segment must be finite and positive.
+	Diurnal []float64
+	// PeriodCycles is the diurnal period (0 = 200e6 cycles, 100 ms — a
+	// compressed "day" so test-scale replays span several periods).
+	PeriodCycles float64
+	// BurstFactor multiplies the rate while the on/off modulation is in an
+	// on-window (0 or 1 = no burst modulation).
+	BurstFactor float64
+	// BurstOnCycles / BurstOffCycles are the mean lengths of the seeded
+	// exponential on/off windows (0 = 1e6 / 9e6: bursts ~10% of the time).
+	BurstOnCycles  float64
+	BurstOffCycles float64
+	// Seed salts the generator's draw stream on top of the replay seed, so
+	// two traffic shapes over the same call mix decorrelate.
+	Seed int64
+}
+
+// Enabled reports whether the pattern switches the replay to open-loop
+// arrivals. It is the gate the bit-compat contract hangs on: a zero Pattern
+// must leave the closed-loop engine untouched.
+func (p Pattern) Enabled() bool { return p.CallsPerMcycle != 0 }
+
+func (p Pattern) periodCycles() float64 {
+	if p.PeriodCycles == 0 {
+		return 200e6
+	}
+	return p.PeriodCycles
+}
+
+func (p Pattern) burstOn() float64 {
+	if p.BurstOnCycles == 0 {
+		return 1e6
+	}
+	return p.BurstOnCycles
+}
+
+func (p Pattern) burstOff() float64 {
+	if p.BurstOffCycles == 0 {
+		return 9e6
+	}
+	return p.BurstOffCycles
+}
+
+func (p Pattern) burstEnabled() bool { return p.BurstFactor != 0 && p.BurstFactor != 1 }
+
+// Validate rejects patterns whose rate curve would produce NaN, infinite,
+// zero-rate or negative arrival spacing — the open-loop counterpart of the
+// OfferedGBps guard on the closed-loop clock.
+func (p Pattern) Validate() error {
+	if !p.Enabled() {
+		return nil
+	}
+	if !finitePos(p.CallsPerMcycle) {
+		return fmt.Errorf("traffic: CallsPerMcycle %v (want finite, positive)", p.CallsPerMcycle)
+	}
+	for i, d := range p.Diurnal {
+		if !finitePos(d) {
+			return fmt.Errorf("traffic: Diurnal[%d] = %v (want finite, positive)", i, d)
+		}
+	}
+	if p.PeriodCycles != 0 && !finitePos(p.PeriodCycles) {
+		return fmt.Errorf("traffic: PeriodCycles %v (want finite, positive)", p.PeriodCycles)
+	}
+	if p.BurstFactor != 0 && !finitePos(p.BurstFactor) {
+		return fmt.Errorf("traffic: BurstFactor %v (want finite, positive)", p.BurstFactor)
+	}
+	if p.BurstOnCycles != 0 && !finitePos(p.BurstOnCycles) {
+		return fmt.Errorf("traffic: BurstOnCycles %v (want finite, positive)", p.BurstOnCycles)
+	}
+	if p.BurstOffCycles != 0 && !finitePos(p.BurstOffCycles) {
+		return fmt.Errorf("traffic: BurstOffCycles %v (want finite, positive)", p.BurstOffCycles)
+	}
+	return nil
+}
+
+func finitePos(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v > 0
+}
+
+// Tenants describes the Zipf-skewed tenant population.
+type Tenants struct {
+	// N is the tenant population size (0 = 1<<20, about a million tenants).
+	N int
+	// ZipfS is the rank-frequency skew exponent s — P(rank) ∝ rank^-s over
+	// ranks 1..N (0 = 1.1, a realistic multi-tenant skew; larger = heavier
+	// concentration on the top tenants).
+	ZipfS float64
+}
+
+func (t Tenants) n() int {
+	if t.N == 0 {
+		return 1 << 20
+	}
+	return t.N
+}
+
+func (t Tenants) s() float64 {
+	if t.ZipfS == 0 {
+		return 1.1
+	}
+	return t.ZipfS
+}
+
+// Validate rejects populations the sampler cannot invert.
+func (t Tenants) Validate() error {
+	if t.N < 0 {
+		return fmt.Errorf("traffic: Tenants.N %d (want non-negative)", t.N)
+	}
+	if t.ZipfS != 0 && !finitePos(t.ZipfS) {
+		return fmt.Errorf("traffic: Tenants.ZipfS %v (want finite, positive)", t.ZipfS)
+	}
+	return nil
+}
+
+// Rank maps one uniform draw u ∈ [0, 1) to a tenant rank in [1, N] under the
+// bounded continuous power law with exponent s — the O(1) inverse-transform
+// approximation of Zipf sampling that needs no N-entry table, so
+// million-tenant populations cost the same as ten-tenant ones. Rank 1 is the
+// heaviest tenant.
+func (t Tenants) Rank(u float64) int {
+	n := float64(t.n())
+	s := t.s()
+	var x float64
+	if math.Abs(s-1) < 1e-9 {
+		// s = 1: the inverse CDF degenerates to n^u.
+		x = math.Pow(n, u)
+	} else {
+		x = math.Pow((math.Pow(n, 1-s)-1)*u+1, 1/(1-s))
+	}
+	r := int(x)
+	if r < 1 {
+		r = 1
+	}
+	if r > t.n() {
+		r = t.n()
+	}
+	return r
+}
+
+// SLO maps tenant ranks to service classes and carries the per-class latency
+// targets the replay scores violations against.
+type SLO struct {
+	// TargetUs holds the per-class served-latency targets in microseconds;
+	// zero entries default to {25, 100, 400} (gold, silver, bronze).
+	TargetUs [NumClasses]float64
+	// GoldTenantFrac / SilverTenantFrac split the tenant ranks, heaviest
+	// first, into classes: ranks in the first GoldTenantFrac of the
+	// population are gold, the next SilverTenantFrac silver, the rest bronze
+	// (0 = 0.01 / 0.09). Under Zipf skew the small gold rank set carries a
+	// large call share — the hyperscale shape.
+	GoldTenantFrac   float64
+	SilverTenantFrac float64
+}
+
+var defaultTargetUs = [NumClasses]float64{25, 100, 400}
+
+// TargetUsFor returns class c's latency target in microseconds, defaults
+// applied.
+func (s SLO) TargetUsFor(c int) float64 {
+	if s.TargetUs[c] != 0 {
+		return s.TargetUs[c]
+	}
+	return defaultTargetUs[c]
+}
+
+// TargetCycles returns class c's latency target in device cycles (2 GHz:
+// 2000 cycles per microsecond).
+func (s SLO) TargetCycles(c int) float64 { return s.TargetUsFor(c) * 2000 }
+
+func (s SLO) goldFrac() float64 {
+	if s.GoldTenantFrac == 0 {
+		return 0.01
+	}
+	return s.GoldTenantFrac
+}
+
+func (s SLO) silverFrac() float64 {
+	if s.SilverTenantFrac == 0 {
+		return 0.09
+	}
+	return s.SilverTenantFrac
+}
+
+// Class returns the SLO class of a tenant rank within a population of n. The
+// fraction boundaries are rounded to whole ranks, so a 1%/9% split of 1000
+// tenants is exactly ranks 1-10 gold and 11-100 silver.
+func (s SLO) Class(rank, n int) int {
+	if rank <= int(s.goldFrac()*float64(n)+0.5) {
+		return 0
+	}
+	if rank <= int((s.goldFrac()+s.silverFrac())*float64(n)+0.5) {
+		return 1
+	}
+	return 2
+}
+
+// Validate rejects targets and rank splits the scorer cannot use.
+func (s SLO) Validate() error {
+	for c, t := range s.TargetUs {
+		if t != 0 && !finitePos(t) {
+			return fmt.Errorf("traffic: SLO.TargetUs[%d] = %v (want finite, positive)", c, t)
+		}
+	}
+	for _, f := range [2]float64{s.GoldTenantFrac, s.SilverTenantFrac} {
+		if f != 0 && (!finitePos(f) || f > 1) {
+			return fmt.Errorf("traffic: SLO tenant fraction %v (want in (0, 1])", f)
+		}
+	}
+	if s.goldFrac()+s.silverFrac() > 1 {
+		return fmt.Errorf("traffic: SLO tenant fractions sum to %v (want <= 1)", s.goldFrac()+s.silverFrac())
+	}
+	return nil
+}
+
+// Autoscale is the queue-depth replica-scaling policy a cluster replica group
+// applies on the modeled clock: scale up (activating a drained replica
+// through the warm-restart lifecycle charge) when the admission queue
+// reaches UpQueueDepth, drain the highest active replica back down when the
+// queue falls to DownQueueDepth, with a cooldown between actions. The zero
+// value disables autoscaling (every deployed replica stays active).
+type Autoscale struct {
+	// MinReplicas is the active-replica floor the group starts at and never
+	// drains below (0 = 1). The ceiling is the group's deployed replica
+	// count.
+	MinReplicas int
+	// UpQueueDepth is the admission-queue depth that activates another
+	// replica; 0 disables autoscaling entirely.
+	UpQueueDepth int
+	// DownQueueDepth is the depth at or below which the highest active
+	// replica is drained (default 0 = drain only when the queue is empty).
+	DownQueueDepth int
+	// CooldownCycles is the minimum modeled time between scaling actions
+	// (0 = 2e6 cycles, 1 ms), damping oscillation around the thresholds.
+	CooldownCycles float64
+}
+
+// Enabled reports whether the policy scales at all.
+func (a Autoscale) Enabled() bool { return a.UpQueueDepth > 0 }
+
+// Min returns the active-replica floor, defaults applied.
+func (a Autoscale) Min() int {
+	if a.MinReplicas <= 0 {
+		return 1
+	}
+	return a.MinReplicas
+}
+
+// Cooldown returns the inter-action cooldown in cycles, defaults applied.
+func (a Autoscale) Cooldown() float64 {
+	if a.CooldownCycles == 0 {
+		return 2e6
+	}
+	return a.CooldownCycles
+}
+
+// Validate rejects thresholds the scaler cannot act on.
+func (a Autoscale) Validate() error {
+	if !a.Enabled() {
+		if a.UpQueueDepth < 0 {
+			return fmt.Errorf("traffic: Autoscale.UpQueueDepth %d (want non-negative)", a.UpQueueDepth)
+		}
+		return nil
+	}
+	if a.MinReplicas < 0 {
+		return fmt.Errorf("traffic: Autoscale.MinReplicas %d (want non-negative)", a.MinReplicas)
+	}
+	if a.DownQueueDepth < 0 || a.DownQueueDepth >= a.UpQueueDepth {
+		return fmt.Errorf("traffic: Autoscale.DownQueueDepth %d (want in [0, UpQueueDepth))", a.DownQueueDepth)
+	}
+	if a.CooldownCycles != 0 && !finitePos(a.CooldownCycles) {
+		return fmt.Errorf("traffic: Autoscale.CooldownCycles %v (want finite, positive)", a.CooldownCycles)
+	}
+	return nil
+}
+
+// Arrival is one open-loop arrival: its time on the modeled clock, the tenant
+// rank that offered it, and the tenant's SLO class.
+type Arrival struct {
+	At     float64
+	Tenant int
+	Class  int
+}
+
+// genSalt decorrelates the generator's stream from every other per-call
+// stream (payload, storm, backoff, lifecycle).
+const genSalt = 0x0f72a9f1c4a11e75
+
+// Gen is the seeded open-loop arrival generator. It is stateful and serial by
+// design — like the fleet model's call sampler, it is consumed in the
+// replay's single-threaded sampling phase, and determinism comes from the
+// whole sequence being a pure function of the seeds.
+type Gen struct {
+	pat Pattern
+	ten Tenants
+	slo SLO
+
+	state uint64 // splitmix64 stream
+	clock float64
+	// On/off burst modulation, advanced lazily on the arrival clock.
+	burstOn    bool
+	burstUntil float64
+}
+
+// NewGen builds a generator for one replay. seed is the replay seed; the
+// pattern's own Seed salts the stream on top of it. The inputs are assumed
+// validated (sim.Config.validate rejects bad curves before sampling starts).
+func NewGen(pat Pattern, ten Tenants, slo SLO, seed int64) *Gen {
+	return &Gen{
+		pat: pat,
+		ten: ten,
+		slo: slo,
+		// The lazy window loop toggles before drawing, so starting "on"
+		// makes the first drawn window an off-window: traffic begins calm.
+		burstOn: true,
+		state:   (uint64(seed) ^ genSalt) + uint64(pat.Seed)*0x9e3779b97f4a7c15,
+	}
+}
+
+func (g *Gen) next() uint64 {
+	g.state += 0x9e3779b97f4a7c15
+	z := g.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (g *Gen) uniform() float64 { return float64(g.next()>>11) / (1 << 53) }
+
+// exp draws a unit-mean exponential. 1-u is in (0, 1], so the draw is finite
+// and positive.
+func (g *Gen) exp() float64 { return -math.Log(1 - g.uniform()) }
+
+// rate evaluates the arrival rate in calls per cycle at a clock instant:
+// base × diurnal segment × burst multiplier.
+func (g *Gen) rate(at float64) float64 {
+	lam := g.pat.CallsPerMcycle / 1e6
+	if len(g.pat.Diurnal) > 0 {
+		period := g.pat.periodCycles()
+		seg := int(math.Mod(at, period) / period * float64(len(g.pat.Diurnal)))
+		if seg >= len(g.pat.Diurnal) { // at exactly a period boundary
+			seg = len(g.pat.Diurnal) - 1
+		}
+		lam *= g.pat.Diurnal[seg]
+	}
+	if g.pat.burstEnabled() && g.burstOn {
+		lam *= g.pat.BurstFactor
+	}
+	return lam
+}
+
+// Next draws the next arrival. Arrival times are strictly increasing and
+// finite; the modulated-Poisson inter-arrival is drawn at the rate in effect
+// at the previous arrival instant (piecewise curves change slowly relative to
+// arrival spacing, so the boundary approximation is deliberate and keeps the
+// draw count per arrival fixed).
+func (g *Gen) Next() Arrival {
+	if g.pat.burstEnabled() {
+		for g.clock >= g.burstUntil {
+			g.burstOn = !g.burstOn
+			mean := g.pat.burstOff()
+			if g.burstOn {
+				mean = g.pat.burstOn()
+			}
+			g.burstUntil += mean * g.exp()
+		}
+	}
+	g.clock += g.exp() / g.rate(g.clock)
+	rank := g.ten.Rank(g.uniform())
+	return Arrival{At: g.clock, Tenant: rank, Class: g.slo.Class(rank, g.ten.n())}
+}
+
+// Clock returns the arrival clock after the last Next — the open-loop
+// replay's wall-clock end time.
+func (g *Gen) Clock() float64 { return g.clock }

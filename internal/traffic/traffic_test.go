@@ -1,0 +1,262 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPatternEnabled(t *testing.T) {
+	if (Pattern{}).Enabled() {
+		t.Fatal("zero Pattern must disable open-loop mode")
+	}
+	if !(Pattern{CallsPerMcycle: 10}).Enabled() {
+		t.Fatal("non-zero rate must enable open-loop mode")
+	}
+}
+
+func TestGenDeterminism(t *testing.T) {
+	pat := Pattern{CallsPerMcycle: 50, Diurnal: []float64{1, 2, 0.5}, BurstFactor: 4}
+	draw := func(seed, patSeed int64) []Arrival {
+		p := pat
+		p.Seed = patSeed
+		g := NewGen(p, Tenants{}, SLO{}, seed)
+		out := make([]Arrival, 500)
+		for i := range out {
+			out[i] = g.Next()
+		}
+		return out
+	}
+	a, b := draw(3, 0), draw(3, 0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d drifted across identical generators: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := draw(3, 9)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("Pattern.Seed did not decorrelate the stream")
+	}
+}
+
+func TestGenArrivalsStrictlyIncreasingFinite(t *testing.T) {
+	pats := []Pattern{
+		{CallsPerMcycle: 100},
+		{CallsPerMcycle: 5, Diurnal: []float64{0.2, 1, 3}, PeriodCycles: 1e6},
+		{CallsPerMcycle: 400, BurstFactor: 8, BurstOnCycles: 1e4, BurstOffCycles: 5e4},
+	}
+	for pi, pat := range pats {
+		g := NewGen(pat, Tenants{N: 1000, ZipfS: 1.2}, SLO{}, int64(pi))
+		prev := 0.0
+		for i := 0; i < 5000; i++ {
+			a := g.Next()
+			if math.IsNaN(a.At) || math.IsInf(a.At, 0) || a.At <= prev {
+				t.Fatalf("pattern %d arrival %d: At %v after %v (want finite, strictly increasing)", pi, i, a.At, prev)
+			}
+			if a.Tenant < 1 || a.Tenant > 1000 {
+				t.Fatalf("pattern %d arrival %d: tenant %d out of [1, 1000]", pi, i, a.Tenant)
+			}
+			if a.Class < 0 || a.Class >= NumClasses {
+				t.Fatalf("pattern %d arrival %d: class %d", pi, i, a.Class)
+			}
+			prev = a.At
+		}
+	}
+}
+
+// TestGenMeanRate pins the flat-pattern empirical rate to the configured one:
+// n arrivals should span about n/rate cycles.
+func TestGenMeanRate(t *testing.T) {
+	g := NewGen(Pattern{CallsPerMcycle: 100}, Tenants{}, SLO{}, 11)
+	const n = 50000
+	var last Arrival
+	for i := 0; i < n; i++ {
+		last = g.Next()
+	}
+	got := n / last.At * 1e6 // calls per Mcycle
+	if got < 95 || got > 105 {
+		t.Fatalf("empirical rate %.2f calls/Mcycle, want ~100", got)
+	}
+}
+
+// TestGenDiurnalShape drives a two-segment curve and checks the per-segment
+// arrival counts follow the segment weights.
+func TestGenDiurnalShape(t *testing.T) {
+	period := 1e6
+	g := NewGen(Pattern{CallsPerMcycle: 200, Diurnal: []float64{1, 3}, PeriodCycles: period}, Tenants{}, SLO{}, 5)
+	lo, hi := 0, 0
+	for i := 0; i < 40000; i++ {
+		a := g.Next()
+		if math.Mod(a.At, period) < period/2 {
+			lo++
+		} else {
+			hi++
+		}
+	}
+	ratio := float64(hi) / float64(lo)
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("diurnal hi/lo arrival ratio %.2f, want ~3", ratio)
+	}
+}
+
+// TestGenBurstRate checks the on/off modulation lifts the mean rate by the
+// duty-cycle-weighted factor: eff = (off + on*f) / (on + off).
+func TestGenBurstRate(t *testing.T) {
+	pat := Pattern{CallsPerMcycle: 100, BurstFactor: 10, BurstOnCycles: 2e5, BurstOffCycles: 8e5}
+	g := NewGen(pat, Tenants{}, SLO{}, 13)
+	const n = 60000
+	var last Arrival
+	for i := 0; i < n; i++ {
+		last = g.Next()
+	}
+	got := n / last.At * 1e6
+	want := 100 * (8e5 + 2e5*10) / (2e5 + 8e5) // 280
+	if got < want*0.85 || got > want*1.15 {
+		t.Fatalf("bursty empirical rate %.1f calls/Mcycle, want ~%.0f", got, want)
+	}
+}
+
+func TestZipfRankBounds(t *testing.T) {
+	for _, s := range []float64{0.5, 1.0, 1.1, 2.0} {
+		ten := Tenants{N: 1 << 20, ZipfS: s}
+		if r := ten.Rank(0); r != 1 {
+			t.Fatalf("s=%v: Rank(0) = %d, want 1 (heaviest)", s, r)
+		}
+		if r := ten.Rank(math.Nextafter(1, 0)); r < 1 || r > 1<<20 {
+			t.Fatalf("s=%v: Rank(1-) = %d out of range", s, r)
+		}
+		// Monotone in u: heavier ranks come first.
+		prev := 0
+		for _, u := range []float64{0, 0.25, 0.5, 0.75, 0.999} {
+			r := ten.Rank(u)
+			if r < prev {
+				t.Fatalf("s=%v: Rank not monotone in u (%d after %d)", s, r, prev)
+			}
+			prev = r
+		}
+	}
+}
+
+// TestZipfSkewConcentration pins the defining Zipf property: the call share
+// of the top 1% of ranks grows with s.
+func TestZipfSkewConcentration(t *testing.T) {
+	share := func(s float64) float64 {
+		ten := Tenants{N: 1 << 16, ZipfS: s}
+		g := NewGen(Pattern{CallsPerMcycle: 100}, ten, SLO{}, 17)
+		top := 0
+		const n = 30000
+		for i := 0; i < n; i++ {
+			if g.Next().Tenant <= (1<<16)/100 {
+				top++
+			}
+		}
+		return float64(top) / n
+	}
+	prev := -1.0
+	for _, s := range []float64{0.6, 1.0, 1.4} {
+		sh := share(s)
+		if sh <= prev {
+			t.Fatalf("top-1%% share not increasing with s: %.3f at s=%v after %.3f", sh, s, prev)
+		}
+		prev = sh
+	}
+	if prev < 0.5 {
+		t.Fatalf("s=1.4 top-1%% share %.3f, want majority concentration", prev)
+	}
+}
+
+func TestSLOClassSplit(t *testing.T) {
+	slo := SLO{}
+	n := 1000
+	if c := slo.Class(1, n); c != 0 {
+		t.Fatalf("rank 1 class %d, want gold", c)
+	}
+	if c := slo.Class(10, n); c != 0 { // 1% boundary inclusive
+		t.Fatalf("rank 10 class %d, want gold", c)
+	}
+	if c := slo.Class(11, n); c != 1 {
+		t.Fatalf("rank 11 class %d, want silver", c)
+	}
+	if c := slo.Class(100, n); c != 1 { // 10% boundary inclusive
+		t.Fatalf("rank 100 class %d, want silver", c)
+	}
+	if c := slo.Class(101, n); c != 2 {
+		t.Fatalf("rank 101 class %d, want bronze", c)
+	}
+	if got := slo.TargetCycles(0); got != 25*2000 {
+		t.Fatalf("gold target %v cycles, want 50000", got)
+	}
+	custom := SLO{TargetUs: [NumClasses]float64{10, 0, 0}}
+	if got := custom.TargetUsFor(0); got != 10 {
+		t.Fatalf("custom gold target %v, want 10", got)
+	}
+	if got := custom.TargetUsFor(1); got != 100 {
+		t.Fatalf("defaulted silver target %v, want 100", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Pattern{
+		{CallsPerMcycle: math.NaN()},
+		{CallsPerMcycle: math.Inf(1)},
+		{CallsPerMcycle: -3},
+		{CallsPerMcycle: 10, Diurnal: []float64{1, -1}},
+		{CallsPerMcycle: 10, Diurnal: []float64{1, math.NaN()}},
+		{CallsPerMcycle: 10, Diurnal: []float64{0}},
+		{CallsPerMcycle: 10, PeriodCycles: math.Inf(1)},
+		{CallsPerMcycle: 10, BurstFactor: math.NaN()},
+		{CallsPerMcycle: 10, BurstFactor: 2, BurstOnCycles: -5},
+		{CallsPerMcycle: 10, BurstFactor: 2, BurstOffCycles: math.NaN()},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad pattern %d validated: %+v", i, p)
+		}
+	}
+	good := []Pattern{
+		{},
+		{CallsPerMcycle: 10},
+		{CallsPerMcycle: 10, Diurnal: []float64{0.5, 2}, PeriodCycles: 1e7, BurstFactor: 5},
+	}
+	for i, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("good pattern %d rejected: %v", i, err)
+		}
+	}
+	if err := (Tenants{N: -1}).Validate(); err == nil {
+		t.Error("negative tenant population validated")
+	}
+	if err := (Tenants{ZipfS: math.NaN()}).Validate(); err == nil {
+		t.Error("NaN ZipfS validated")
+	}
+	if err := (SLO{TargetUs: [NumClasses]float64{0, -2, 0}}).Validate(); err == nil {
+		t.Error("negative SLO target validated")
+	}
+	if err := (SLO{GoldTenantFrac: 0.8, SilverTenantFrac: 0.5}).Validate(); err == nil {
+		t.Error("over-unity class split validated")
+	}
+	if err := (Autoscale{UpQueueDepth: 4, DownQueueDepth: 4}).Validate(); err == nil {
+		t.Error("DownQueueDepth >= UpQueueDepth validated")
+	}
+	if err := (Autoscale{UpQueueDepth: 4, MinReplicas: -2}).Validate(); err == nil {
+		t.Error("negative MinReplicas validated")
+	}
+	if err := (Autoscale{UpQueueDepth: 8, DownQueueDepth: 1}).Validate(); err != nil {
+		t.Errorf("good autoscale rejected: %v", err)
+	}
+}
+
+func TestAutoscaleDefaults(t *testing.T) {
+	if (Autoscale{}).Enabled() {
+		t.Fatal("zero Autoscale must be disabled")
+	}
+	a := Autoscale{UpQueueDepth: 8}
+	if !a.Enabled() || a.Min() != 1 || a.Cooldown() != 2e6 {
+		t.Fatalf("defaults: enabled=%v min=%d cooldown=%v", a.Enabled(), a.Min(), a.Cooldown())
+	}
+}
