@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all check vet build test race bench bench-json bench-resil-json bench-cluster-json bench-traffic-json bench-smoke trace-smoke chaos-smoke fuzz-smoke profile
+.PHONY: all check vet build test race bench bench-json bench-resil-json bench-cluster-json bench-traffic-json bench-overload-json bench-smoke trace-smoke chaos-smoke fuzz-smoke profile
 
 all: check
 
@@ -38,13 +38,17 @@ bench-json:
 # Cheap standing guarantees: the replay Report is byte-identical at any
 # worker count, steady-state replay stays (near) zero-alloc at every worker
 # count, the worker-scaling curve shows no gross parallel-efficiency
-# regression, and a 128-device fleet replay hits the discrete-event engine's
-# 3x multicore speedup target (the efficiency gates self-skip below 2 and 4
-# schedulable CPUs respectively).
+# regression (rows with more workers than schedulable CPUs self-skip), a
+# 128-device fleet replay hits the discrete-event engine's 3x multicore
+# speedup target (the efficiency gates self-skip below 2 and 4 schedulable
+# CPUs respectively), and the overload control plane holds its flash-crowd
+# gates (worker invariance, gold-violation ceiling, deadline-shed wasted-cycle
+# reduction, burn alerts).
 bench-smoke:
 	$(GO) run ./cmd/simbench -check
 	$(GO) run ./cmd/simbench -scaling-check
 	$(GO) run ./cmd/simbench -openloop-check
+	$(GO) run ./cmd/simbench -overload-check -calls 2000 -o /dev/null
 
 # Profile the replay hot path: pprof CPU + heap profiles of the full
 # benchmark sweep, with the top entries printed for a quick read. Open the
@@ -88,6 +92,13 @@ bench-cluster-json:
 bench-traffic-json:
 	$(GO) run ./cmd/simbench -openloop -o BENCH_traffic.json
 	@cat BENCH_traffic.json
+
+# Refresh the checked-in overload-control benchmark (healthy-path cost of the
+# always-on control plane — burn tracking + deadline admission — plus the
+# flash-crowd outcomes of the uncontrolled vs controlled fleets).
+bench-overload-json:
+	$(GO) run ./cmd/simbench -overload-check -o BENCH_overload.json
+	@cat BENCH_overload.json
 
 # Adversarial-input smoke: run every native fuzz target for FUZZTIME each,
 # starting from the checked-in seed corpora (regenerate those with

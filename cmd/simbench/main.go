@@ -50,6 +50,17 @@
 //	                                # byte-identical across worker counts, zero
 //	                                # shed below the fleet knee, shed monotone in
 //	                                # offered rate, bronze shed rate >= gold
+//	simbench -overload-check        # overload smoke + bench: a replay under the
+//	                                # full overload control plane (flash crowd,
+//	                                # burn tracking, deadline admission, burn
+//	                                # autoscaling) is byte-identical across
+//	                                # worker counts, the controlled fleet holds
+//	                                # the gold-violation ceiling the uncontrolled
+//	                                # fleet blows, deadline admission reduces
+//	                                # wasted cycles; then emits the healthy-path
+//	                                # control-plane overhead and the flash-crowd
+//	                                # outcomes as JSON (BENCH_overload.json via
+//	                                # `make bench-overload-json`)
 //	simbench -openloop              # benchmark the open-loop generator path vs
 //	                                # the closed-loop schedule and report one
 //	                                # near-knee replay + one autoscaled burst
@@ -101,9 +112,12 @@ type result struct {
 // parallel efficiency versus the serial point: speedup(workers)/workers, 1.0
 // meaning perfect linear scaling. On a host with fewer schedulable CPUs than
 // workers the extra workers cannot help, so efficiency is only meaningful up
-// to GOMAXPROCS.
+// to GOMAXPROCS; CPUs records the schedulable CPU count the row was measured
+// under so consumers (and -scaling-check) can tell real regressions from
+// oversubscribed-host noise.
 type scalePoint struct {
 	Workers     int     `json:"workers"`
+	CPUs        int     `json:"cpus"`
 	Runs        int     `json:"runs"`
 	NsPerCall   float64 `json:"ns_per_call"`
 	AllocsCall  float64 `json:"allocs_per_call"`
@@ -164,6 +178,7 @@ func measure(cfg sim.Config, workers int) (scalePoint, error) {
 	perRun := float64(br.NsPerOp())
 	return scalePoint{
 		Workers:     workers,
+		CPUs:        runtime.GOMAXPROCS(0),
 		Runs:        br.N,
 		NsPerCall:   perRun / float64(cfg.Calls),
 		AllocsCall:  float64(br.AllocsPerOp()) / float64(cfg.Calls),
@@ -261,6 +276,7 @@ func main() {
 	failoverCheck := flag.Bool("failover-check", false, "cluster smoke + bench: verify failover determinism, emit overhead/availability JSON")
 	openLoop := flag.Bool("openloop", false, "benchmark the open-loop traffic engine vs the closed-loop baseline, emit JSON")
 	openLoopCheck := flag.Bool("openloop-check", false, "smoke mode: open-loop worker invariance plus shed-curve gates, skip timing")
+	overloadCheck := flag.Bool("overload-check", false, "overload smoke + bench: verify the overload control plane, emit healthy-overhead/flash-outcome JSON")
 	httpAddr := flag.String("http", "", "serve net/http/pprof and expvar metrics on this address during the run")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the timed replays here")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile after the timed replays here")
@@ -343,6 +359,20 @@ func main() {
 		}
 		fmt.Printf("simbench: open-loop %d-call replay identical at 1 and %d workers; shed-curve gates held\n",
 			cfg.Calls, smokeWorkers())
+		return
+	}
+	if *overloadCheck {
+		smokeCfg := cfg
+		smokeCfg.Calls = min(cfg.Calls, 1400)
+		if err := smokeOverload(smokeCfg); err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "simbench: overload-controlled %d-call replay identical at 1 and %d workers; gold ceiling, deadline-shed and burn-alert gates held\n",
+			smokeCfg.Calls, smokeWorkers())
+		benchCfg := cfg
+		benchCfg.Calls = min(cfg.Calls, 1400)
+		benchOverload(benchCfg, *workers, *out)
 		return
 	}
 	if *openLoop {
@@ -443,12 +473,19 @@ func smokeScaling(cfg sim.Config) error {
 	if err != nil {
 		return err
 	}
+	procs := runtime.GOMAXPROCS(0)
 	for _, p := range points {
+		// Rows with more workers than schedulable CPUs time-slice on an
+		// oversubscribed host; their timing (and the efficiency derived from
+		// it) is noise, not signal, so they are recorded but not gated.
+		if p.Workers > p.CPUs {
+			fmt.Printf("simbench: workers=%d row skipped (only %d CPUs schedulable)\n", p.Workers, p.CPUs)
+			continue
+		}
 		if p.AllocsCall >= 2 {
 			return fmt.Errorf("workers=%d: %.2f allocs/call; steady-state replay must stay below 2", p.Workers, p.AllocsCall)
 		}
 	}
-	procs := runtime.GOMAXPROCS(0)
 	if procs < 2 {
 		fmt.Printf("simbench: allocs/call < 2 at every worker count; efficiency gates skipped (GOMAXPROCS=%d)\n", procs)
 		return nil

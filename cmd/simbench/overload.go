@@ -1,0 +1,226 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"cdpu/internal/resil"
+	"cdpu/internal/sim"
+	"cdpu/internal/traffic"
+)
+
+// goldViolationCeiling mirrors the overload-sweep experiment's headline gate:
+// under the flash crowd the controlled fleet must hold the gold class's
+// SLO-violation rate at or below this fraction, and the uncontrolled fleet
+// must land above it.
+const goldViolationCeiling = 0.10
+
+// overloadBase is the reference flash-crowd replay shared by the smoke gates
+// and the benchmark rows: base rate near the single-width fleet's capacity, a
+// 20x crowd over the head tenant band, tight per-class targets, and a small
+// heavily-skewed tenant population so per-tenant burn windows fill.
+func overloadBase(cfg sim.Config) sim.Config {
+	cfg.MaxCallBytes = 64 << 10
+	cfg.Pipelines = 2
+	cfg.Resilience = resil.Policy{MaxQueue: 32}
+	cfg.Traffic = traffic.Pattern{
+		CallsPerMcycle: 3000,
+		FlashFactor:    20, FlashOnCycles: 2e5, FlashOffCycles: 6e5, FlashRankFrac: 0.05,
+	}
+	cfg.Tenants = traffic.Tenants{N: 64, ZipfS: 1.1}
+	cfg.SLO = traffic.SLO{TargetUs: [traffic.NumClasses]float64{10, 40, 160}}
+	return cfg
+}
+
+// overloadControls arms the full control plane on a flash-crowd config:
+// burn tracking, deadline-aware admission, and burn-driven autoscaling over
+// replicas of headroom.
+func overloadControls(cfg sim.Config, replicas int) sim.Config {
+	cfg.Replicas = replicas
+	cfg.Resilience.DeadlineFactor = 2
+	cfg.Burn = traffic.BurnConfig{TopK: 8, ReservoirSize: 8, FastWindowCycles: 2e5, SlowWindowCycles: 2e6}
+	cfg.Autoscale = traffic.Autoscale{MinReplicas: 1, UpBurn: 4, DownBurn: 1, CooldownCycles: 5e4, BurnWindowCycles: 2e5}
+	return cfg
+}
+
+func goldViolRate(r *sim.Report) float64 {
+	if r.PerClass[0].Calls == 0 {
+		return 0
+	}
+	return float64(r.PerClass[0].SLOViolations) / float64(r.PerClass[0].Calls)
+}
+
+// smokeOverload is the `make bench-smoke` overload-control gate. Four
+// standing guarantees: (1) a replay under the full overload control plane —
+// flash crowd, burn tracking, deadline admission, burn-driven autoscaling —
+// is byte-identical at 1 and N workers; (2) the scenario actually exercises
+// the plane (alerts raised, deadline sheds booked, replicas scaled up); (3)
+// deadline-aware admission strictly reduces the device cycles wasted on
+// served-but-already-late work versus class-only admission; (4) the
+// controlled fleet holds the gold violation rate under the ceiling the
+// uncontrolled fleet blows through.
+func smokeOverload(cfg sim.Config) error {
+	inv := overloadControls(overloadBase(cfg), 3)
+	inv.Workers = 1
+	serial, err := sim.Run(inv)
+	if err != nil {
+		return fmt.Errorf("overload serial replay: %w", err)
+	}
+	inv.Workers = smokeWorkers()
+	sharded, err := sim.Run(inv)
+	if err != nil {
+		return fmt.Errorf("overload sharded replay: %w", err)
+	}
+	if *serial != *sharded {
+		return fmt.Errorf("overload report differs between 1 and %d workers:\n  %+v\n  %+v", inv.Workers, serial, sharded)
+	}
+	if serial.BurnAlerts == 0 {
+		return fmt.Errorf("overload: no burn alerts under the flash crowd")
+	}
+	if serial.DeadlineSheds == 0 {
+		return fmt.Errorf("overload: nothing shed on deadline under the flash crowd")
+	}
+	if serial.AutoscaleUps == 0 {
+		return fmt.Errorf("overload: burn autoscaler never scaled up")
+	}
+
+	uncontrolled, err := sim.Run(overloadBase(cfg))
+	if err != nil {
+		return fmt.Errorf("overload uncontrolled replay: %w", err)
+	}
+	dl := overloadBase(cfg)
+	dl.Resilience.DeadlineFactor = 2
+	shed, err := sim.Run(dl)
+	if err != nil {
+		return fmt.Errorf("overload deadline replay: %w", err)
+	}
+	if shed.DeadlineSheds == 0 {
+		return fmt.Errorf("overload: deadline admission shed nothing at factor 2")
+	}
+	if shed.WastedCycles >= uncontrolled.WastedCycles {
+		return fmt.Errorf("overload: deadline admission did not reduce wasted cycles: %.0f -> %.0f",
+			uncontrolled.WastedCycles, shed.WastedCycles)
+	}
+	uRate, cRate := goldViolRate(uncontrolled), goldViolRate(serial)
+	if cRate > goldViolationCeiling {
+		return fmt.Errorf("overload: controlled gold violation rate %.3f above the %.2f ceiling", cRate, goldViolationCeiling)
+	}
+	if uRate <= goldViolationCeiling {
+		return fmt.Errorf("overload: uncontrolled gold violation rate %.3f did not blow the %.2f ceiling", uRate, goldViolationCeiling)
+	}
+	return nil
+}
+
+// overloadOutcome is one fleet's modeled outcome row in BENCH_overload.json.
+type overloadOutcome struct {
+	GoldViolRate  float64 `json:"gold_violation_rate"`
+	Shed          int     `json:"shed_calls"`
+	DeadlineSheds int     `json:"deadline_sheds"`
+	BurnAlerts    int     `json:"burn_alerts"`
+	ScaleUps      int     `json:"scale_ups"`
+	WastedMcycles float64 `json:"wasted_mcycles"`
+	P99Us         float64 `json:"p99_us"`
+}
+
+func outcomeOf(r *sim.Report) overloadOutcome {
+	return overloadOutcome{
+		GoldViolRate:  goldViolRate(r),
+		Shed:          r.ShedCalls,
+		DeadlineSheds: r.DeadlineSheds,
+		BurnAlerts:    r.BurnAlerts,
+		ScaleUps:      r.AutoscaleUps,
+		WastedMcycles: r.WastedCycles / 1e6,
+		P99Us:         r.P99LatencyUs,
+	}
+}
+
+// benchOverload times the healthy open-loop path with and without the
+// overload control plane armed (burn tracking + deadline admission on a
+// quiet, under-capacity fleet — the always-on cost) and replays the flash
+// crowd uncontrolled and controlled, emitting BENCH_overload.json: what the
+// control plane costs when nothing is wrong and what it buys when the crowd
+// arrives.
+func benchOverload(cfg sim.Config, workers int, out string) {
+	time := func(c sim.Config) result {
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		perRun := float64(br.NsPerOp())
+		return result{
+			Calls:       c.Calls,
+			Workers:     workers,
+			CPUs:        runtime.NumCPU(),
+			Runs:        br.N,
+			NsPerCall:   perRun / float64(c.Calls),
+			AllocsCall:  float64(br.AllocsPerOp()) / float64(c.Calls),
+			BytesCall:   float64(br.AllocedBytesPerOp()) / float64(c.Calls),
+			CallsPerSec: float64(c.Calls) / (perRun / 1e9),
+		}
+	}
+	// The healthy rows: same quiet under-capacity traffic, control plane off
+	// and on. The delta is pure bookkeeping — the burn pass and the deadline
+	// estimate — since nothing sheds, alerts, or scales on a healthy fleet.
+	healthy := overloadBase(cfg)
+	healthy.Traffic = traffic.Pattern{CallsPerMcycle: 1000}
+	healthy.SLO = traffic.SLO{TargetUs: [traffic.NumClasses]float64{50, 200, 800}}
+	baseline := time(healthy)
+	armed := healthy
+	armed.Resilience.DeadlineFactor = 2
+	armed.Burn = traffic.BurnConfig{TopK: 8, ReservoirSize: 8, FastWindowCycles: 2e5, SlowWindowCycles: 2e6}
+	controlled := time(armed)
+
+	// The flash rows: outcome-only (one run each, no timing).
+	ur, err := sim.Run(overloadBase(cfg))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+		os.Exit(1)
+	}
+	cc := overloadControls(overloadBase(cfg), 3)
+	cr, err := sim.Run(cc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	res := struct {
+		HealthyBaseline   result `json:"healthy_baseline"`
+		HealthyControlled result `json:"healthy_controlled"`
+		// ControlOverheadPct is the wall-clock cost of the always-on control
+		// plane (burn tracking + deadline estimates) on a healthy fleet.
+		ControlOverheadPct float64         `json:"control_overhead_pct"`
+		GoldCeiling        float64         `json:"gold_violation_ceiling"`
+		FlashUncontrolled  overloadOutcome `json:"flash_uncontrolled"`
+		FlashControlled    overloadOutcome `json:"flash_controlled"`
+	}{
+		HealthyBaseline:   baseline,
+		HealthyControlled: controlled,
+		GoldCeiling:       goldViolationCeiling,
+		FlashUncontrolled: outcomeOf(ur),
+		FlashControlled:   outcomeOf(cr),
+	}
+	if baseline.NsPerCall > 0 {
+		res.ControlOverheadPct = 100 * (controlled.NsPerCall - baseline.NsPerCall) / baseline.NsPerCall
+	}
+	enc, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -152,6 +152,12 @@ type Call struct {
 	// queue sheds it once the depth reaches Resil.QueueBound(Priority), so
 	// under a priority-classed policy the lowest class is refused first.
 	Priority int
+	// Target is the call's latency deadline in cycles: deadline-aware
+	// admission (Resil.DeadlineFactor) sheds the call on arrival when its
+	// earliest possible completion would exceed DeadlineFactor·Target, and
+	// the burn-driven autoscaler counts a served call over Target as bad.
+	// 0 = no deadline.
+	Target float64
 }
 
 // Totals aggregates the failover outcomes of one Replay.
@@ -358,30 +364,34 @@ type GroupState struct {
 	nR, nP int
 	tot    Totals
 
-	free        [][]float64
-	brk         []Breaker
-	needRestart []bool
-	results     []core.JobResult
-	faultLog    [][]float64
-	pending     []float64
-	pendingHead int
-	hist        svcHist
-	cand        []int
-	busy        float64
-	first       float64
-	lastDone    float64
-	served      int
-	shed        int
-	quar        int
-	maxAttempts int
-	prev        float64 // previous arrival, for the sorted-input check
-	n           int     // calls stepped so far
+	free         [][]float64
+	brk          []Breaker
+	needRestart  []bool
+	results      []core.JobResult
+	faultLog     [][]float64
+	pending      []float64
+	pendingHead  int
+	hist         svcHist
+	cand         []int
+	busy         float64
+	first        float64
+	lastDone     float64
+	served       int
+	shed         int
+	shedDeadline int
+	quar         int
+	maxAttempts  int
+	prev         float64 // previous arrival, for the sorted-input check
+	n            int     // calls stepped so far
 	// Autoscaler state: replicas [0, active) take dispatch; the rest are
 	// drained. trackQueue keeps the pending window maintained even without a
-	// MaxQueue bound, so the scaler can read the depth.
+	// MaxQueue bound, so the scaler can read the depth. In burn-driven mode
+	// the scaler instead reads the group-level rolling burn window, fed one
+	// outcome per call at its arrival instant.
 	active     int
 	coolUntil  float64
 	trackQueue bool
+	burn       traffic.BurnWindow
 }
 
 // NewState prepares an incremental dispatch pass over n expected calls.
@@ -414,6 +424,9 @@ func (g *Group) NewState(n int) *GroupState {
 	if g.Autoscale.Enabled() {
 		st.active = min(nR, g.Autoscale.Min())
 		st.trackQueue = true
+		if g.Autoscale.BurnDriven() {
+			st.burn = traffic.NewBurnWindow(g.Autoscale.BurnWindow())
+		}
 	}
 	return st
 }
@@ -458,20 +471,41 @@ func (st *GroupState) ObserveBreakers(now float64) {
 	}
 }
 
-// autoscale applies the queue-depth replica policy at one arrival instant.
-// Scale-up activates the next drained replica and charges it the same
-// warm-restart cost a crash-rejoin pays, so capacity is never free; scale-down
-// drains the highest active replica (it finishes in-flight work but receives
-// no new dispatches). Both directions share one cooldown on the modeled
-// clock. Driven only by the serial arrival stream, the decision sequence is
-// independent of worker count.
+// autoscale applies the replica policy at one arrival instant. The trigger is
+// either the admission-queue depth (the historical mode) or, with UpBurn set,
+// the group's rolling SLO burn rate: scaling on the harm overload is doing —
+// calls shed or served over target — rather than on the queue that merely
+// predicts it. Scale-up activates the next drained replica and charges it the
+// same warm-restart cost a crash-rejoin pays, so capacity is never free;
+// scale-down drains the highest active replica (it finishes in-flight work but
+// receives no new dispatches). Both directions share one cooldown on the
+// modeled clock. Driven only by the serial arrival stream, the decision
+// sequence is independent of worker count.
 func (st *GroupState) autoscale(now float64, depth int) {
 	auto := st.g.Autoscale
 	if now < st.coolUntil {
 		return
 	}
-	if depth >= auto.UpQueueDepth && st.active < st.nR {
+	up := depth >= auto.UpQueueDepth
+	down := depth <= auto.DownQueueDepth
+	if auto.BurnDriven() {
+		rate, ok := st.burn.Rate(auto.BurnBudget())
+		if !ok {
+			return // not enough recent signal to act either way
+		}
+		up = rate >= auto.UpBurn
+		down = rate <= auto.DownBurn
+	}
+	if up && st.active < st.nR {
 		r := st.active
+		// A drained replica can still hold an open breaker from its active
+		// days; activating it would route load straight into a known-sick
+		// card. Leave it drained until the open window expires into half-open
+		// (no cooldown charged, so the very next arrival may retry).
+		st.brk[r].Observe(now)
+		if st.brk[r].State() == BreakerOpen {
+			return
+		}
 		st.active++
 		rc := st.g.Policy.restart(st.nP, st.g.ResetCycles)
 		for p := range st.free[r] {
@@ -482,12 +516,23 @@ func (st *GroupState) autoscale(now float64, depth int) {
 		st.tot.ScaleUps++
 		metricScaleUps.Inc()
 		st.coolUntil = now + auto.Cooldown()
-	} else if depth <= auto.DownQueueDepth && st.active > min(st.nR, auto.Min()) {
+	} else if down && st.active > min(st.nR, auto.Min()) {
 		st.active--
 		st.tot.ScaleDowns++
 		metricScaleDown.Inc()
 		st.coolUntil = now + auto.Cooldown()
 	}
+}
+
+// bookBurn feeds one call outcome into the burn-driven scaler's window at the
+// call's arrival instant (the serial clock every Step shares, so the scaler's
+// reads are worker-count invariant). A call is bad when it was shed or when it
+// was served past its latency target; calls with no target are always good.
+func (st *GroupState) bookBurn(at, latency float64, shed bool, target float64) {
+	if !st.g.Autoscale.BurnDriven() {
+		return
+	}
+	st.burn.Observe(at, shed || (target > 0 && latency > target))
 }
 
 // Step admits, dispatches and completes one call. Arrivals must be
@@ -515,20 +560,47 @@ func (st *GroupState) Step(c *Call) error {
 	// also maintained bound-free when the autoscaler needs to read the
 	// depth; the scaler acts before admission, so a burst can activate a
 	// replica on the very arrival that would otherwise be refused.
+	depth := 0
 	if st.trackQueue {
 		for st.pendingHead < len(st.pending) && st.pending[st.pendingHead] <= c.Arrival {
 			st.pendingHead++
 		}
-		depth := len(st.pending) - st.pendingHead
+		depth = len(st.pending) - st.pendingHead
 		if g.Autoscale.Enabled() {
 			st.autoscale(c.Arrival, depth)
 		}
-		if g.Resil.MaxQueue > 0 && depth >= g.Resil.QueueBound(c.Priority) {
-			st.results = append(st.results, core.JobResult{Start: c.Arrival, Pipeline: -1, Err: resil.ErrShed})
+	}
+	// Deadline-aware admission runs before the class-differentiated queue
+	// bound: a call that cannot possibly finish inside DeadlineFactor times
+	// its target — even started on the least-loaded active replica right now
+	// — is hopeless work, and shedding it preserves queue budget for calls
+	// whose deadlines are still live.
+	if g.Resil.DeadlineFactor > 0 && c.Target > 0 {
+		est := minFree(st.free[0])
+		for r := 1; r < st.active; r++ {
+			if f := minFree(st.free[r]); f < est {
+				est = f
+			}
+		}
+		if est < c.Arrival {
+			est = c.Arrival
+		}
+		if est+c.Service > c.Arrival+g.Resil.DeadlineFactor*c.Target {
+			st.results = append(st.results, core.JobResult{Start: c.Arrival, Pipeline: -1, Err: resil.ErrDeadlineShed})
 			st.shed++
+			st.shedDeadline++
 			resil.MetricSheds.Inc()
+			resil.MetricDeadlineSheds.Inc()
+			st.bookBurn(c.Arrival, 0, true, c.Target)
 			return nil
 		}
+	}
+	if g.Resil.MaxQueue > 0 && depth >= g.Resil.QueueBound(c.Priority) {
+		st.results = append(st.results, core.JobResult{Start: c.Arrival, Pipeline: -1, Err: resil.ErrShed})
+		st.shed++
+		resil.MetricSheds.Inc()
+		st.bookBurn(c.Arrival, 0, true, c.Target)
+		return nil
 	}
 	now := c.Arrival
 	for r := range st.brk {
@@ -623,6 +695,7 @@ func (st *GroupState) Step(c *Call) error {
 			if st.trackQueue {
 				st.pending = append(st.pending, now)
 			}
+			st.bookBurn(c.Arrival, done-c.Arrival+c.Post, false, c.Target)
 			return nil
 		}
 		finishBreakers(st.brk, &st.tot, st.lastDone)
@@ -745,6 +818,7 @@ func (st *GroupState) Step(c *Call) error {
 	if st.trackQueue {
 		st.pending = append(st.pending, start)
 	}
+	st.bookBurn(c.Arrival, latency, false, c.Target)
 	return nil
 }
 
@@ -753,7 +827,7 @@ func (st *GroupState) Step(c *Call) error {
 func (st *GroupState) Finish() ([]core.JobResult, core.DeviceStats, Totals) {
 	finishBreakers(st.brk, &st.tot, st.lastDone)
 	results := st.results
-	devStats := core.DeviceStats{Jobs: st.n, Makespan: st.lastDone - st.first, Shed: st.shed, Quarantines: st.quar}
+	devStats := core.DeviceStats{Jobs: st.n, Makespan: st.lastDone - st.first, Shed: st.shed, DeadlineShed: st.shedDeadline, Quarantines: st.quar}
 	if devStats.Makespan > 0 {
 		devStats.Utilization = st.busy / (float64(st.nR*st.nP) * devStats.Makespan)
 	}

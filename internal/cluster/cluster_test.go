@@ -604,3 +604,150 @@ func TestGroupPriorityShed(t *testing.T) {
 		t.Fatalf("classless admission still skewed against bronze: %v", flat)
 	}
 }
+
+// TestAutoscaleSkipsOpenBreaker: a drained replica whose breaker is still
+// open from its active days must not be re-activated by scale-up — routing a
+// burst into a known-sick card — until the open window expires into
+// half-open.
+func TestAutoscaleSkipsOpenBreaker(t *testing.T) {
+	auto := traffic.Autoscale{MinReplicas: 1, UpQueueDepth: 2, CooldownCycles: 1000}
+	pol := FailoverPolicy{BreakerFailures: 1, BreakerOpenCycles: 5e5}
+	g := &Group{Replicas: 2, Pipelines: 1, ResetCycles: 1000, Autoscale: auto, Policy: pol}
+	st := g.NewState(32)
+	st.brk[1].OnFailure(0) // replica 1 tripped while it was last active
+	if st.brk[1].State() != BreakerOpen {
+		t.Fatal("setup: breaker did not open")
+	}
+	// A backlog an order of magnitude over the up threshold, entirely inside
+	// the open window: the scaler must sit on its hands.
+	for i := 0; i < 20; i++ {
+		if err := st.Step(&Call{Arrival: float64(i) * 1e4, Index: i, Service: 1e5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.tot.ScaleUps != 0 || st.active != 1 {
+		t.Fatalf("scaled up into an open breaker: ups=%d active=%d", st.tot.ScaleUps, st.active)
+	}
+	// Past the open window the breaker is probe-able and the still-deep queue
+	// activates the replica on the next arrival.
+	if err := st.Step(&Call{Arrival: 6e5, Index: 20, Service: 1e5}); err != nil {
+		t.Fatal(err)
+	}
+	if st.tot.ScaleUps != 1 || st.active != 2 {
+		t.Fatalf("expired breaker still blocks scale-up: ups=%d active=%d", st.tot.ScaleUps, st.active)
+	}
+}
+
+// TestGroupBurnAutoscale: with UpBurn set the scaler keys on SLO harm, not
+// queue depth — an overloaded open phase (every call far over target) scales
+// the group up, and a quiet tail burns the window clean and drains it back.
+func TestGroupBurnAutoscale(t *testing.T) {
+	calls := synthCalls(600, 71)
+	for i := range calls {
+		if i < 400 {
+			calls[i].Arrival = float64(i) * 2000 // ~25x one replica's throughput
+		} else {
+			calls[i].Arrival = 800000 + float64(i-400)*300000
+		}
+		calls[i].Target = 2e5
+	}
+	auto := traffic.Autoscale{
+		MinReplicas: 1, UpBurn: 4, DownBurn: 1,
+		CooldownCycles: 50000, BurnWindowCycles: 4e6,
+	}
+	g := &Group{Replicas: 4, Pipelines: 2, ResetCycles: 9000, Autoscale: auto}
+	_, devStats, tot, err := g.Replay(calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tot.ScaleUps == 0 {
+		t.Fatal("burn-driven scaler never scaled up under overload")
+	}
+	if tot.ScaleDowns == 0 {
+		t.Fatal("burn-driven scaler never drained in the quiet tail")
+	}
+	if devStats.Jobs != len(calls) {
+		t.Fatalf("jobs %d, want %d", devStats.Jobs, len(calls))
+	}
+	// Replay is serial: a second pass must be byte-identical.
+	_, devStats2, tot2, err := g.Replay(calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if devStats != devStats2 || tot.ScaleUps != tot2.ScaleUps || tot.ScaleDowns != tot2.ScaleDowns {
+		t.Fatalf("burn autoscale not deterministic: %+v vs %+v", tot, tot2)
+	}
+}
+
+// TestGroupDeadlineShed: deadline-aware admission sheds exactly the calls
+// whose earliest completion already misses factor x target, cuts the device
+// cycles wasted on over-target work, and vanishes bit-exactly when the factor
+// is zero.
+func TestGroupDeadlineShed(t *testing.T) {
+	mk := func() []Call {
+		calls := synthCalls(400, 67)
+		for i := range calls {
+			calls[i].Arrival = float64(i) * 2000 // sustained overload
+			calls[i].Target = 5e4
+		}
+		return calls
+	}
+	wasted := func(calls []Call, results []core.JobResult, factor float64) float64 {
+		w := 0.0
+		for i := range results {
+			if results[i].Err == nil && results[i].Latency > factor*calls[i].Target {
+				w += results[i].Service
+			}
+		}
+		return w
+	}
+
+	classOnly := &Group{Replicas: 1, Pipelines: 2, Resil: resil.Policy{MaxQueue: 16}}
+	calls := mk()
+	baseResults, baseStats, _, err := classOnly.Replay(calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseStats.DeadlineShed != 0 {
+		t.Fatalf("deadline sheds without a DeadlineFactor: %d", baseStats.DeadlineShed)
+	}
+
+	dl := &Group{Replicas: 1, Pipelines: 2, Resil: resil.Policy{MaxQueue: 16, DeadlineFactor: 2}}
+	dlResults, dlStats, _, err := dl.Replay(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dlStats.DeadlineShed == 0 {
+		t.Fatal("no deadline sheds under sustained overload with factor 2")
+	}
+	if dlStats.DeadlineShed > dlStats.Shed {
+		t.Fatalf("DeadlineShed %d exceeds Shed %d", dlStats.DeadlineShed, dlStats.Shed)
+	}
+	n := 0
+	for i := range dlResults {
+		if errors.Is(dlResults[i].Err, resil.ErrDeadlineShed) {
+			n++
+			if dlResults[i].Service != 0 || dlResults[i].Pipeline != -1 {
+				t.Fatalf("deadline-shed call %d consumed service", i)
+			}
+		}
+	}
+	if n != dlStats.DeadlineShed {
+		t.Fatalf("ErrDeadlineShed results %d != DeadlineShed %d", n, dlStats.DeadlineShed)
+	}
+	// The policy's point: hopeless work never occupies a pipeline, so the
+	// cycles burned on calls that still blow their deadline strictly drop.
+	if bw, dw := wasted(calls, baseResults, 2), wasted(mk(), dlResults, 2); dw >= bw {
+		t.Fatalf("deadline shedding did not reduce wasted cycles: %v -> %v", bw, dw)
+	}
+
+	// Factor zero ignores targets entirely — bit-identical to the baseline.
+	off := &Group{Replicas: 1, Pipelines: 2, Resil: resil.Policy{MaxQueue: 16}}
+	offResults, offStats, _, err := off.Replay(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(offResults, baseResults) || offStats != baseStats {
+		t.Fatal("targets without a factor perturbed the replay")
+	}
+}

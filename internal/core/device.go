@@ -112,6 +112,10 @@ type Job struct {
 	// policy (resil.Policy.QueueBound; 0 = highest priority, the full
 	// MaxQueue — the historical behavior).
 	Priority int
+	// Target is the job's latency deadline in cycles for deadline-aware
+	// admission (resil.Policy.DeadlineFactor); 0 = no deadline, never
+	// deadline-shed.
+	Target float64
 }
 
 // JobResult reports one completed job.
@@ -139,14 +143,15 @@ type JobResult struct {
 // DeviceStats aggregates a batch. Latency statistics cover served jobs only;
 // Shed counts the jobs admission control rejected.
 type DeviceStats struct {
-	Jobs        int
-	Utilization float64 // busy pipeline-cycles / (pipelines * makespan)
-	MeanLatency float64
-	P50Latency  float64
-	P99Latency  float64
-	Makespan    float64 // last completion minus first arrival
-	Shed        int     // jobs rejected with resil.ErrShed
-	Quarantines int     // pipeline quarantine-and-reset events
+	Jobs         int
+	Utilization  float64 // busy pipeline-cycles / (pipelines * makespan)
+	MeanLatency  float64
+	P50Latency   float64
+	P99Latency   float64
+	Makespan     float64 // last completion minus first arrival
+	Shed         int     // jobs rejected with resil.ErrShed or resil.ErrDeadlineShed
+	DeadlineShed int     // the Shed subset rejected by deadline-aware admission
+	Quarantines  int     // pipeline quarantine-and-reset events
 }
 
 // Exec runs one payload through the device's functional pipeline, returning
@@ -267,7 +272,7 @@ func (d *Device) ReplayPolicy(jobs []Job, service, post []float64, faults []int,
 		if faults != nil {
 			f = faults[i]
 		}
-		if err := st.StepPri(job.Arrival, service[i], x, f, job.Priority); err != nil {
+		if err := st.StepCall(job.Arrival, service[i], x, f, job.Priority, job.Target); err != nil {
 			return nil, DeviceStats{}, err
 		}
 	}
@@ -287,14 +292,15 @@ type ReplayState struct {
 	withPost   bool
 	withFaults bool
 
-	free        []float64 // next-free time per pipeline
-	results     []JobResult
-	busy        float64
-	first       float64
-	lastDone    float64
-	served      int
-	shed        int
-	quarantines int
+	free         []float64 // next-free time per pipeline
+	results      []JobResult
+	busy         float64
+	first        float64
+	lastDone     float64
+	served       int
+	shed         int
+	shedDeadline int
+	quarantines  int
 	// Admission queue: starts are non-decreasing (arrivals are sorted and
 	// pipeline free times only grow), so the waiting set is a FIFO window
 	// over the start times of already-assigned jobs.
@@ -353,6 +359,17 @@ func (st *ReplayState) Step(arrival, service, post float64, faults int) error {
 // while still admitting high-priority ones. Priority 0 is bit-identical to
 // Step.
 func (st *ReplayState) StepPri(arrival, service, post float64, faults, priority int) error {
+	return st.StepCall(arrival, service, post, faults, priority, 0)
+}
+
+// StepCall is StepPri for a deadlined arrival: target is the job's latency
+// deadline in cycles. Under a policy with DeadlineFactor > 0, a job whose
+// earliest possible completion — the earliest pipeline free time plus its
+// service — would land past arrival + DeadlineFactor·target is shed with
+// resil.ErrDeadlineShed before the queue-bound check, so unmeetable work
+// never occupies a pipeline. Target 0 (or DeadlineFactor 0) is bit-identical
+// to StepPri.
+func (st *ReplayState) StepCall(arrival, service, post float64, faults, priority int, target float64) error {
 	i := st.n
 	if i > 0 && arrival < st.prev {
 		return fmt.Errorf("core: jobs not sorted by arrival")
@@ -371,6 +388,27 @@ func (st *ReplayState) StepPri(arrival, service, post float64, faults, priority 
 	st.prev = arrival
 	st.n++
 	pol := st.pol
+	if pol.DeadlineFactor > 0 && target > 0 {
+		// Earliest possible start: the least-loaded pipeline's free time (the
+		// same argmin dispatch below would use), never before the arrival.
+		est := st.free[0]
+		for k := 1; k < st.dev.pipelines; k++ {
+			if st.free[k] < est {
+				est = st.free[k]
+			}
+		}
+		if est < arrival {
+			est = arrival
+		}
+		if est+service > arrival+pol.DeadlineFactor*target {
+			st.results = append(st.results, JobResult{Start: arrival, Pipeline: -1, Err: resil.ErrDeadlineShed})
+			st.shed++
+			st.shedDeadline++
+			resil.MetricSheds.Inc()
+			resil.MetricDeadlineSheds.Inc()
+			return nil
+		}
+	}
 	if pol.MaxQueue > 0 {
 		for st.pendingHead < len(st.pending) && st.pending[st.pendingHead] <= arrival {
 			st.pendingHead++
@@ -445,7 +483,7 @@ func (st *ReplayState) StepPri(arrival, service, post float64, faults, priority 
 // the per-job results. The state must not be stepped again afterwards.
 func (st *ReplayState) Finish() ([]JobResult, DeviceStats) {
 	results := st.results
-	devStats := DeviceStats{Jobs: st.n, Makespan: st.lastDone - st.first, Shed: st.shed, Quarantines: st.quarantines}
+	devStats := DeviceStats{Jobs: st.n, Makespan: st.lastDone - st.first, Shed: st.shed, DeadlineShed: st.shedDeadline, Quarantines: st.quarantines}
 	if devStats.Makespan > 0 {
 		devStats.Utilization = st.busy / (float64(st.dev.pipelines) * devStats.Makespan)
 	}

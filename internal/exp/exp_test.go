@@ -32,6 +32,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-hash", "ablation-fse", "ablation-stats",
 		"chaining", "pipelines", "deployment", "levels", "fault-sweep",
 		"fleet-replay", "chaos-sweep", "failover-sweep", "openloop-sweep",
+		"overload-sweep",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {
@@ -305,6 +306,32 @@ func TestFailoverSweepRuns(t *testing.T) {
 	}
 	if len(abort.Rows) != 1 || abort.Rows[0][1] != "aborted" {
 		t.Errorf("abort baseline table wrong: %v", abort.Rows)
+	}
+}
+
+// TestOverloadSweepRuns: the overload-sweep experiment asserts its own
+// invariants internally (controlled gold violation rate under the ceiling the
+// uncontrolled fleet blows, deadline admission strictly reducing wasted
+// cycles at every factor, burn alerts firing only under the flash crowd), so
+// a clean return already carries the interesting guarantees; the shape checks
+// here pin the layout.
+func TestOverloadSweepRuns(t *testing.T) {
+	tables := run(t, "overload-sweep")
+	if len(tables) != 3 {
+		t.Fatalf("overload-sweep produced %d tables, want 3", len(tables))
+	}
+	headline, dl, alerts := tables[0], tables[1], tables[2]
+	if len(headline.Rows) != 3 {
+		t.Errorf("headline table has %d rows, want 3", len(headline.Rows))
+	}
+	if headline.Rows[2][0] != "controlled" {
+		t.Errorf("headline bottom row %v", headline.Rows[2])
+	}
+	if len(dl.Rows) != 4 { // class-only baseline + 3 factors
+		t.Errorf("deadline table has %d rows, want 4", len(dl.Rows))
+	}
+	if len(alerts.Rows) != 2 || alerts.Rows[1][1] != "0" {
+		t.Errorf("burn-alert table wrong: %v", alerts.Rows)
 	}
 }
 

@@ -25,6 +25,11 @@ import (
 // cycles, and the caller is expected to retry elsewhere or degrade.
 var ErrShed = errors.New("resil: call shed by admission control")
 
+// ErrDeadlineShed is the result of deadline-aware admission rejecting a call
+// whose earliest possible completion already misses its latency deadline —
+// hopeless work that would only burn device cycles on an SLO violation.
+var ErrDeadlineShed = errors.New("resil: call shed by deadline-aware admission (unmeetable)")
+
 // Recovery-event instruments. The reconciliation invariant — counter deltas
 // match the per-call outcome totals a replay Report carries — is pinned by
 // the sim tests.
@@ -37,6 +42,9 @@ var (
 	MetricQuarantines = obs.Default().Counter("resil.quarantines")
 	// MetricSheds counts calls rejected by admission control.
 	MetricSheds = obs.Default().Counter("resil.sheds")
+	// MetricDeadlineSheds counts the MetricSheds subset rejected by
+	// deadline-aware admission (unmeetable deadline, not queue pressure).
+	MetricDeadlineSheds = obs.Default().Counter("resil.deadline_sheds")
 )
 
 // Policy parameterizes fault recovery. The zero value disables every
@@ -89,6 +97,18 @@ type Policy struct {
 	// lowest class is refused first and the highest keeps the whole bound —
 	// the open-loop SLO contract of shedding bronze before gold.
 	PriorityClasses int
+	// DeadlineFactor enables deadline-aware admission on top of (and before)
+	// the class-differentiated queue bound: an arriving call whose earliest
+	// possible completion — the earliest pipeline free time plus its
+	// estimated service — would exceed DeadlineFactor times its class latency
+	// target is shed immediately with ErrDeadlineShed, so hopeless work never
+	// occupies a device. Equivalently: the call's remaining deadline budget
+	// (factor·target minus the wait it has already accrued at dispatch) no
+	// longer covers its service. 1 is strict; larger values admit calls with
+	// that much slack over target. 0 disables (the historical behavior).
+	// Calls with no known target (closed-loop replays) are never
+	// deadline-shed.
+	DeadlineFactor float64
 }
 
 // Enabled reports whether any recovery mechanism is active — false exactly

@@ -91,6 +91,7 @@ func reduceCluster(d, base int, idxs []int, specs []callSpec, outs []execOut, cf
 		Autoscale:   cfg.Autoscale,
 	}
 	calls := make([]cluster.Call, len(idxs))
+	slo := cfg.sloCycles()
 	for ji, ci := range idxs {
 		s := &specs[ci]
 		calls[ji] = cluster.Call{
@@ -104,6 +105,9 @@ func reduceCluster(d, base int, idxs []int, specs []callSpec, outs []execOut, cf
 			HangBudget: outs[ci].budget,
 			Bytes:      s.rec.UncompressedBytes,
 			Priority:   s.class,
+		}
+		if slo != nil {
+			calls[ji].Target = slo[s.class]
 		}
 		if cfg.Resilience.SoftwareFallback {
 			calls[ji].Software = softwareCycles(s)

@@ -6,6 +6,7 @@ import (
 	"cdpu/internal/cluster"
 	"cdpu/internal/core"
 	"cdpu/internal/des"
+	"cdpu/internal/traffic"
 )
 
 // This file is the bridge between the replay's phase C and the partitioned
@@ -28,6 +29,7 @@ type simPart struct {
 	outs  []execOut
 	idxs  []int
 	chaos bool
+	slo   *[traffic.NumClasses]float64 // per-class targets; nil in closed loop
 
 	q   des.Queue
 	dev *core.Device
@@ -62,6 +64,7 @@ func newSimPart(slot, base int, idxs []int, specs []callSpec, outs []execOut, cf
 		outs:    outs,
 		idxs:    idxs,
 		chaos:   chaos,
+		slo:     cfg.sloCycles(),
 		dev:     dev,
 		shared:  cfg.Contention != nil,
 		stretch: 1,
@@ -140,6 +143,10 @@ func (p *simPart) stepArrival(ci int) error {
 	s := &p.specs[ci]
 	o := &p.outs[ci]
 	p.pos++
+	var target float64
+	if p.slo != nil {
+		target = p.slo[s.class]
+	}
 	if p.gst != nil {
 		c := cluster.Call{
 			Arrival:    s.arrival,
@@ -152,6 +159,7 @@ func (p *simPart) stepArrival(ci int) error {
 			HangBudget: o.budget,
 			Bytes:      s.rec.UncompressedBytes,
 			Priority:   s.class,
+			Target:     target,
 		}
 		if p.cfg.Resilience.SoftwareFallback {
 			c.Software = softwareCycles(s)
@@ -178,7 +186,7 @@ func (p *simPart) stepArrival(ci int) error {
 		post = o.post
 		flt = o.faults
 	}
-	if err := p.dst.StepPri(s.arrival, o.service*p.stretch, post, flt, s.class); err != nil {
+	if err := p.dst.StepCall(s.arrival, o.service*p.stretch, post, flt, s.class, target); err != nil {
 		return err
 	}
 	if p.shared {

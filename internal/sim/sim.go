@@ -132,11 +132,18 @@ type Config struct {
 	// SLO maps tenant ranks to service classes (gold/silver/bronze) with
 	// per-class latency targets. Ignored unless Traffic is enabled.
 	SLO traffic.SLO
-	// Autoscale is the queue-depth replica autoscaler threaded into each
-	// cluster group: scale up from Min replicas when the admission queue
-	// reaches UpQueueDepth, drain back at DownQueueDepth. Requires
-	// Replicas > 1; the zero value keeps every replica active.
+	// Autoscale is the replica autoscaler threaded into each cluster group:
+	// scale up from Min replicas when the admission queue reaches
+	// UpQueueDepth — or, with UpBurn set, when the group's rolling SLO burn
+	// rate crosses UpBurn — and drain back at DownQueueDepth / DownBurn.
+	// Requires Replicas > 1; the zero value keeps every replica active.
 	Autoscale traffic.Autoscale
+	// Burn enables per-tenant SLO burn tracking over the replay's outcomes:
+	// the top-K tenant ranks plus a seeded reservoir of the tail each keep
+	// fast/slow rolling burn windows, and multi-window alerts surface as
+	// Report.BurnAlerts (and per-class counters). Requires open-loop Traffic;
+	// the zero value books no per-tenant state at all.
+	Burn traffic.BurnConfig
 	// legacyPhaseC routes the queueing reduction through the pre-DES serial
 	// per-partition loops instead of the event engine. Test-only: it is the
 	// golden oracle the byte-identity differential tests replay against.
@@ -221,7 +228,21 @@ type Report struct {
 	SLOViolations  int // served calls whose latency missed their class target
 	AutoscaleUps   int // autoscaler replica activations across all groups
 	AutoscaleDowns int // autoscaler replica drains across all groups
-	PerClass       [traffic.NumClasses]ClassReport
+	// DeadlineSheds is the ShedCalls subset rejected by deadline-aware
+	// admission (Resilience.DeadlineFactor): calls whose earliest possible
+	// completion already missed factor × their class target. Reconciles with
+	// the resil.deadline_sheds counter delta.
+	DeadlineSheds int
+	// WastedCycles is the device service cycles burned on calls that were
+	// served but still missed their class latency target — the waste
+	// deadline-aware admission exists to cut. Zero outside open-loop mode.
+	WastedCycles float64
+	// BurnAlerts is the total per-tenant SLO burn alerts raised by the
+	// Config.Burn tracker (multi-window fast+slow burn over threshold, edge
+	// triggered per tenant). Equals the sum of PerClass BurnAlerts and
+	// reconciles with the traffic.classN.burn_alerts counter deltas.
+	BurnAlerts int
+	PerClass   [traffic.NumClasses]ClassReport
 }
 
 // ClassReport is one SLO class's slice of an open-loop replay: class 0 is
@@ -232,6 +253,7 @@ type ClassReport struct {
 	ShedCalls     int // rejected by class-differentiated admission
 	SLOViolations int // served but over the class latency target
 	GoodputBytes  int // uncompressed bytes of served calls
+	BurnAlerts    int // per-tenant burn alerts raised by tenants of this class
 }
 
 // payloadKinds gives replayed calls realistic byte content.
@@ -304,6 +326,7 @@ type callSpec struct {
 	dev         int
 	inst        int // device instance within the slot, in [0, Config.Devices)
 	class       int // SLO class (0 in closed-loop mode, where no class exists)
+	tenant      int // sampled tenant rank (0 in closed-loop mode)
 }
 
 // sampleCalls is phase A: sample the call mix and lay out the arrival
@@ -364,6 +387,7 @@ type devReduction struct {
 	latencies []float64
 	goodput   int
 	shed      int
+	wasted    float64 // service cycles of served calls over their class target
 	classes   [traffic.NumClasses]ClassReport
 	err       error
 }
@@ -394,6 +418,7 @@ func (red *devReduction) summarize(specs []callSpec, slo *[traffic.NumClasses]fl
 			cl.GoodputBytes += specs[ci].rec.UncompressedBytes
 			if r.Latency > slo[specs[ci].class] {
 				cl.SLOViolations++
+				red.wasted += r.Service
 			}
 		}
 	}
@@ -417,8 +442,12 @@ func reduceDevice(d int, idxs []int, specs []callSpec, outs []execOut, cfg *Conf
 		post = make([]float64, len(idxs))
 		flt = make([]int, len(idxs))
 	}
+	slo := cfg.sloCycles()
 	for ji, ci := range idxs {
 		jobs[ji] = core.Job{Arrival: specs[ci].arrival, Priority: specs[ci].class}
+		if slo != nil {
+			jobs[ji].Target = slo[specs[ci].class]
+		}
 		svc[ji] = outs[ci].service
 		if chaos {
 			post[ji] = outs[ci].post
@@ -509,6 +538,8 @@ func Run(cfg Config) (*Report, error) {
 		report.ShedCalls += red.shed
 		report.GoodputBytes += red.goodput
 		report.Quarantines += red.stats.Quarantines
+		report.DeadlineSheds += red.stats.DeadlineShed
+		report.WastedCycles += red.wasted
 		if openLoop {
 			for cl := range red.classes {
 				report.PerClass[cl].Calls += red.classes[cl].Calls
@@ -531,6 +562,9 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 	if openLoop {
+		if cfg.Burn.Enabled() {
+			burnPass(&cfg, specs, reds, report)
+		}
 		publishClassMetrics(report)
 	}
 	if len(latencies) == 0 {

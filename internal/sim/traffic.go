@@ -18,6 +18,7 @@ var (
 	metricClassShed    = classCounters("shed")
 	metricClassViol    = classCounters("slo_violations")
 	metricClassGoodput = classCounters("goodput_bytes")
+	metricClassBurn    = classCounters("burn_alerts")
 )
 
 func classCounters(name string) [traffic.NumClasses]*obs.Counter {
@@ -36,6 +37,35 @@ func publishClassMetrics(report *Report) {
 		metricClassShed[c].Add(int64(report.PerClass[c].ShedCalls))
 		metricClassViol[c].Add(int64(report.PerClass[c].SLOViolations))
 		metricClassGoodput[c].Add(int64(report.PerClass[c].GoodputBytes))
+		metricClassBurn[c].Add(int64(report.PerClass[c].BurnAlerts))
+	}
+}
+
+// burnPass is the serial post-merge SLO burn pass: it rebuilds each call's
+// outcome (shed, or served over its class target) from the partition
+// reductions — index-addressed, so the rebuild is independent of how calls
+// were partitioned — and feeds the per-tenant tracker in call-index order,
+// which in open-loop mode is arrival order (the generator's clock only moves
+// forward). Alert counts are therefore byte-identical at any worker count.
+func burnPass(cfg *Config, specs []callSpec, reds []devReduction, report *Report) {
+	slo := cfg.sloCycles()
+	bad := make([]bool, len(specs))
+	for p := range reds {
+		red := &reds[p]
+		for ji := range red.results {
+			r := &red.results[ji]
+			ci := red.idxs[ji]
+			bad[ci] = r.Err != nil || r.Latency > slo[specs[ci].class]
+		}
+	}
+	trk := traffic.NewBurnTracker(cfg.Burn, cfg.Seed)
+	for i := range specs {
+		trk.Observe(specs[i].arrival, specs[i].tenant, specs[i].class, bad[i])
+	}
+	alerts := trk.Alerts()
+	for cl := range alerts {
+		report.PerClass[cl].BurnAlerts = alerts[cl]
+		report.BurnAlerts += alerts[cl]
 	}
 }
 
@@ -54,7 +84,21 @@ func (c Config) validate() error {
 	if err := c.Traffic.Validate(); err != nil {
 		return fmt.Errorf("sim: %w", err)
 	}
+	if err := c.Burn.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	if f := c.Resilience.DeadlineFactor; math.IsNaN(f) || math.IsInf(f, 0) || f < 0 {
+		return fmt.Errorf("sim: Resilience.DeadlineFactor %v (want finite, non-negative)", f)
+	}
 	if !c.Traffic.Enabled() {
+		// Burn tracking and deadline admission key on per-call tenant ranks
+		// and class targets, which only open-loop arrivals carry.
+		if c.Burn.Enabled() {
+			return fmt.Errorf("sim: Burn tracking requires open-loop Traffic")
+		}
+		if c.Resilience.DeadlineFactor > 0 {
+			return fmt.Errorf("sim: Resilience.DeadlineFactor requires open-loop Traffic")
+		}
 		return nil
 	}
 	if err := c.Tenants.Validate(); err != nil {
@@ -116,6 +160,7 @@ func sampleOpenLoop(cfg Config, report *Report) (specs []callSpec, xeonCycles, a
 			arrival:     arr.At,
 			dev:         deviceIndex(rec.Algo, rec.Op),
 			class:       arr.Class,
+			tenant:      arr.Tenant,
 		}
 		s.inst = rr[s.dev] % devices
 		rr[s.dev]++

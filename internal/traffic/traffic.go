@@ -45,6 +45,24 @@ type Pattern struct {
 	// exponential on/off windows (0 = 1e6 / 9e6: bursts ~10% of the time).
 	BurstOnCycles  float64
 	BurstOffCycles float64
+	// FlashFactor enables seeded flash-crowd events: during a flash window a
+	// sampled band of tenant ranks multiplies its arrival rate by this factor
+	// — hot-key correlated demand, as opposed to the rank-blind burst
+	// modulation above. The band is re-sampled at each window start, the
+	// total rate scales by the band's Zipf mass times the factor, and tenant
+	// draws inside the window tilt toward the band with exactly the same
+	// per-arrival draw count as calm traffic. 0 or 1 disables flash crowds
+	// (and, like every other knob here, draws nothing from the stream).
+	FlashFactor float64
+	// FlashOnCycles / FlashOffCycles are the mean lengths of the seeded
+	// exponential flash on/off windows (0 = 2e6 / 38e6: flashes ~5% of the
+	// time, each ~1 ms of modeled time).
+	FlashOnCycles  float64
+	FlashOffCycles float64
+	// FlashRankFrac is the fraction of the tenant-rank space each flash's hot
+	// band covers; the band's start rank is sampled uniformly per window
+	// (0 = 0.001 — a thousandth of the population goes hot at once).
+	FlashRankFrac float64
 	// Seed salts the generator's draw stream on top of the replay seed, so
 	// two traffic shapes over the same call mix decorrelate.
 	Seed int64
@@ -78,6 +96,29 @@ func (p Pattern) burstOff() float64 {
 
 func (p Pattern) burstEnabled() bool { return p.BurstFactor != 0 && p.BurstFactor != 1 }
 
+func (p Pattern) flashOn() float64 {
+	if p.FlashOnCycles == 0 {
+		return 2e6
+	}
+	return p.FlashOnCycles
+}
+
+func (p Pattern) flashOff() float64 {
+	if p.FlashOffCycles == 0 {
+		return 38e6
+	}
+	return p.FlashOffCycles
+}
+
+func (p Pattern) flashRankFrac() float64 {
+	if p.FlashRankFrac == 0 {
+		return 0.001
+	}
+	return p.FlashRankFrac
+}
+
+func (p Pattern) flashEnabled() bool { return p.FlashFactor != 0 && p.FlashFactor != 1 }
+
 // Validate rejects patterns whose rate curve would produce NaN, infinite,
 // zero-rate or negative arrival spacing — the open-loop counterpart of the
 // OfferedGBps guard on the closed-loop clock.
@@ -104,6 +145,18 @@ func (p Pattern) Validate() error {
 	}
 	if p.BurstOffCycles != 0 && !finitePos(p.BurstOffCycles) {
 		return fmt.Errorf("traffic: BurstOffCycles %v (want finite, positive)", p.BurstOffCycles)
+	}
+	if p.FlashFactor != 0 && !finitePos(p.FlashFactor) {
+		return fmt.Errorf("traffic: FlashFactor %v (want finite, positive)", p.FlashFactor)
+	}
+	if p.FlashOnCycles != 0 && !finitePos(p.FlashOnCycles) {
+		return fmt.Errorf("traffic: FlashOnCycles %v (want finite, positive)", p.FlashOnCycles)
+	}
+	if p.FlashOffCycles != 0 && !finitePos(p.FlashOffCycles) {
+		return fmt.Errorf("traffic: FlashOffCycles %v (want finite, positive)", p.FlashOffCycles)
+	}
+	if p.FlashRankFrac != 0 && (!finitePos(p.FlashRankFrac) || p.FlashRankFrac > 1) {
+		return fmt.Errorf("traffic: FlashRankFrac %v (want in (0, 1])", p.FlashRankFrac)
 	}
 	return nil
 }
@@ -170,6 +223,25 @@ func (t Tenants) Rank(u float64) int {
 		r = t.n()
 	}
 	return r
+}
+
+// cdf is the inverse of the transform in Rank: the probability mass the
+// bounded power law places below rank value x, so a uniform draw u lands in
+// ranks [a, b) exactly when u ∈ [cdf(a), cdf(b)). The flash-crowd sampler
+// uses it to express a rank band as an interval of the uniform draw space.
+func (t Tenants) cdf(x float64) float64 {
+	n := float64(t.n())
+	if x <= 1 {
+		return 0
+	}
+	if x >= n {
+		return 1
+	}
+	s := t.s()
+	if math.Abs(s-1) < 1e-9 {
+		return math.Log(x) / math.Log(n)
+	}
+	return (math.Pow(x, 1-s) - 1) / (math.Pow(n, 1-s) - 1)
 }
 
 // SLO maps tenant ranks to service classes and carries the per-class latency
@@ -267,10 +339,44 @@ type Autoscale struct {
 	// CooldownCycles is the minimum modeled time between scaling actions
 	// (0 = 2e6 cycles, 1 ms), damping oscillation around the thresholds.
 	CooldownCycles float64
+	// UpBurn switches the scaler from queue depth to SLO burn: a fast-window
+	// burn rate (bad-call fraction over the error budget, measured over
+	// BurnWindowCycles at arrival instants) at or above UpBurn activates the
+	// next replica; sustained burn at or below DownBurn drains one. Mutually
+	// exclusive with UpQueueDepth; 0 keeps the queue-depth mode.
+	UpBurn   float64
+	DownBurn float64
+	// BurnWindowCycles is the rolling window the scaler's burn rate is
+	// measured over (0 = 2e6 cycles, 1 ms of modeled time).
+	BurnWindowCycles float64
+	// BurnBudgetFrac is the error budget the burn rate is normalized by: a
+	// burn of 1.0 means bad calls are arriving exactly at the budgeted
+	// fraction (0 = 0.01, a 99% objective).
+	BurnBudgetFrac float64
 }
 
-// Enabled reports whether the policy scales at all.
-func (a Autoscale) Enabled() bool { return a.UpQueueDepth > 0 }
+// Enabled reports whether the policy scales at all, in either mode.
+func (a Autoscale) Enabled() bool { return a.UpQueueDepth > 0 || a.UpBurn > 0 }
+
+// BurnDriven reports whether the scaler acts on SLO burn instead of queue
+// depth.
+func (a Autoscale) BurnDriven() bool { return a.UpBurn > 0 }
+
+// BurnWindow returns the burn measurement window in cycles, defaults applied.
+func (a Autoscale) BurnWindow() float64 {
+	if a.BurnWindowCycles == 0 {
+		return 2e6
+	}
+	return a.BurnWindowCycles
+}
+
+// BurnBudget returns the error-budget fraction, defaults applied.
+func (a Autoscale) BurnBudget() float64 {
+	if a.BurnBudgetFrac == 0 {
+		return 0.01
+	}
+	return a.BurnBudgetFrac
+}
 
 // Min returns the active-replica floor, defaults applied.
 func (a Autoscale) Min() int {
@@ -288,22 +394,49 @@ func (a Autoscale) Cooldown() float64 {
 	return a.CooldownCycles
 }
 
-// Validate rejects thresholds the scaler cannot act on.
+// Validate rejects thresholds the scaler cannot act on: inverted Down >= Up
+// pairs, non-positive or non-finite cooldowns, NaN/Inf burn thresholds, and
+// mixing the two trigger modes. Misconfigurations here used to be silently
+// accepted and produced a scaler that never (or always) acted.
 func (a Autoscale) Validate() error {
 	if !a.Enabled() {
 		if a.UpQueueDepth < 0 {
 			return fmt.Errorf("traffic: Autoscale.UpQueueDepth %d (want non-negative)", a.UpQueueDepth)
+		}
+		if a.UpBurn != 0 {
+			return fmt.Errorf("traffic: Autoscale.UpBurn %v (want finite, positive)", a.UpBurn)
 		}
 		return nil
 	}
 	if a.MinReplicas < 0 {
 		return fmt.Errorf("traffic: Autoscale.MinReplicas %d (want non-negative)", a.MinReplicas)
 	}
+	if a.CooldownCycles != 0 && !finitePos(a.CooldownCycles) {
+		return fmt.Errorf("traffic: Autoscale.CooldownCycles %v (want finite, positive)", a.CooldownCycles)
+	}
+	if a.BurnDriven() {
+		if a.UpQueueDepth > 0 {
+			return fmt.Errorf("traffic: Autoscale.UpQueueDepth %d and UpBurn %v both set (pick one trigger mode)", a.UpQueueDepth, a.UpBurn)
+		}
+		if !finitePos(a.UpBurn) {
+			return fmt.Errorf("traffic: Autoscale.UpBurn %v (want finite, positive)", a.UpBurn)
+		}
+		if math.IsNaN(a.DownBurn) || math.IsInf(a.DownBurn, 0) || a.DownBurn < 0 || a.DownBurn >= a.UpBurn {
+			return fmt.Errorf("traffic: Autoscale.DownBurn %v (want finite, in [0, UpBurn))", a.DownBurn)
+		}
+		if a.BurnWindowCycles != 0 && !finitePos(a.BurnWindowCycles) {
+			return fmt.Errorf("traffic: Autoscale.BurnWindowCycles %v (want finite, positive)", a.BurnWindowCycles)
+		}
+		if a.BurnBudgetFrac != 0 && (!finitePos(a.BurnBudgetFrac) || a.BurnBudgetFrac > 1) {
+			return fmt.Errorf("traffic: Autoscale.BurnBudgetFrac %v (want in (0, 1])", a.BurnBudgetFrac)
+		}
+		return nil
+	}
 	if a.DownQueueDepth < 0 || a.DownQueueDepth >= a.UpQueueDepth {
 		return fmt.Errorf("traffic: Autoscale.DownQueueDepth %d (want in [0, UpQueueDepth))", a.DownQueueDepth)
 	}
-	if a.CooldownCycles != 0 && !finitePos(a.CooldownCycles) {
-		return fmt.Errorf("traffic: Autoscale.CooldownCycles %v (want finite, positive)", a.CooldownCycles)
+	if a.DownBurn != 0 || a.BurnWindowCycles != 0 || a.BurnBudgetFrac != 0 {
+		return fmt.Errorf("traffic: Autoscale burn knobs set without UpBurn")
 	}
 	return nil
 }
@@ -334,6 +467,17 @@ type Gen struct {
 	// On/off burst modulation, advanced lazily on the arrival clock.
 	burstOn    bool
 	burstUntil float64
+	// Flash-crowd modulation: during an on-window the sampled rank band
+	// [flashLo, flashHi) of the uniform draw space multiplies its rate by
+	// FlashFactor. flashBoost is the resulting total-rate multiplier
+	// (1 - m + m·F for band mass m); flashHot is the band's tilted share of
+	// the tenant draw space (m·F / flashBoost).
+	flashOn    bool
+	flashUntil float64
+	flashLo    float64
+	flashHi    float64
+	flashHot   float64
+	flashBoost float64
 }
 
 // NewGen builds a generator for one replay. seed is the replay seed; the
@@ -344,9 +488,10 @@ func NewGen(pat Pattern, ten Tenants, slo SLO, seed int64) *Gen {
 		pat: pat,
 		ten: ten,
 		slo: slo,
-		// The lazy window loop toggles before drawing, so starting "on"
+		// The lazy window loops toggle before drawing, so starting "on"
 		// makes the first drawn window an off-window: traffic begins calm.
 		burstOn: true,
+		flashOn: true,
 		state:   (uint64(seed) ^ genSalt) + uint64(pat.Seed)*0x9e3779b97f4a7c15,
 	}
 }
@@ -380,7 +525,51 @@ func (g *Gen) rate(at float64) float64 {
 	if g.pat.burstEnabled() && g.burstOn {
 		lam *= g.pat.BurstFactor
 	}
+	if g.pat.flashEnabled() && g.flashOn {
+		lam *= g.flashBoost
+	}
 	return lam
+}
+
+// sampleFlashBand draws one flash window's hot band: a FlashRankFrac-wide
+// slice of the rank space starting at a uniformly sampled rank, mapped into
+// the uniform draw space through the Zipf CDF. A band over the head ranks
+// carries far more mass — and therefore boosts the total rate far more — than
+// the same width over the tail, which is exactly the hot-key asymmetry flash
+// crowds are meant to model.
+func (g *Gen) sampleFlashBand() {
+	n := float64(g.ten.n())
+	w := g.pat.flashRankFrac() * n
+	if w < 1 {
+		w = 1
+	}
+	lo := 1 + g.uniform()*math.Max(0, n-w)
+	g.flashLo = g.ten.cdf(lo)
+	g.flashHi = g.ten.cdf(lo + w)
+	m := g.flashHi - g.flashLo
+	g.flashBoost = 1 - m + m*g.pat.FlashFactor
+	g.flashHot = m * g.pat.FlashFactor / g.flashBoost
+}
+
+// tilt reshapes one uniform tenant draw for an in-flash arrival: the hot band
+// [flashLo, flashHi) receives flashHot of the draw space (its mass times the
+// flash factor, renormalized) and the complement shares the rest, so band
+// tenants arrive FlashFactor times as often while the conditional rank
+// distribution inside and outside the band is unchanged. One draw in, one
+// value out — the per-arrival draw count never depends on flash state.
+func (g *Gen) tilt(u float64) float64 {
+	m := g.flashHi - g.flashLo
+	if m <= 0 || m >= 1 || g.flashHot <= 0 {
+		return u
+	}
+	if u < g.flashHot {
+		return g.flashLo + u/g.flashHot*m
+	}
+	v := (u - g.flashHot) / (1 - g.flashHot) * (1 - m)
+	if v < g.flashLo {
+		return v
+	}
+	return v + m
 }
 
 // Next draws the next arrival. Arrival times are strictly increasing and
@@ -399,8 +588,23 @@ func (g *Gen) Next() Arrival {
 			g.burstUntil += mean * g.exp()
 		}
 	}
+	if g.pat.flashEnabled() {
+		for g.clock >= g.flashUntil {
+			g.flashOn = !g.flashOn
+			mean := g.pat.flashOff()
+			if g.flashOn {
+				mean = g.pat.flashOn()
+				g.sampleFlashBand()
+			}
+			g.flashUntil += mean * g.exp()
+		}
+	}
 	g.clock += g.exp() / g.rate(g.clock)
-	rank := g.ten.Rank(g.uniform())
+	u := g.uniform()
+	if g.pat.flashEnabled() && g.flashOn {
+		u = g.tilt(u)
+	}
+	rank := g.ten.Rank(u)
 	return Arrival{At: g.clock, Tenant: rank, Class: g.slo.Class(rank, g.ten.n())}
 }
 

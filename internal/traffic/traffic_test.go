@@ -259,4 +259,196 @@ func TestAutoscaleDefaults(t *testing.T) {
 	if !a.Enabled() || a.Min() != 1 || a.Cooldown() != 2e6 {
 		t.Fatalf("defaults: enabled=%v min=%d cooldown=%v", a.Enabled(), a.Min(), a.Cooldown())
 	}
+	b := Autoscale{UpBurn: 2}
+	if !b.Enabled() || !b.BurnDriven() || b.BurnWindow() != 2e6 || b.BurnBudget() != 0.01 {
+		t.Fatalf("burn defaults: enabled=%v burn=%v window=%v budget=%v",
+			b.Enabled(), b.BurnDriven(), b.BurnWindow(), b.BurnBudget())
+	}
+	if a.BurnDriven() {
+		t.Fatal("queue-depth mode must not report burn-driven")
+	}
+}
+
+// TestAutoscaleValidate is the table the validation-guard satellite pins:
+// inverted thresholds, non-positive cooldowns and NaN/Inf burn thresholds
+// were silently accepted before; every one must now be rejected by name.
+func TestAutoscaleValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		a    Autoscale
+		ok   bool
+	}{
+		{"zero", Autoscale{}, true},
+		{"queue mode", Autoscale{UpQueueDepth: 8, DownQueueDepth: 2}, true},
+		{"burn mode", Autoscale{UpBurn: 4, DownBurn: 0.5}, true},
+		{"burn mode full", Autoscale{UpBurn: 4, DownBurn: 1, BurnWindowCycles: 1e6, BurnBudgetFrac: 0.05, CooldownCycles: 1e5}, true},
+		{"down == up depth", Autoscale{UpQueueDepth: 4, DownQueueDepth: 4}, false},
+		{"down > up depth", Autoscale{UpQueueDepth: 4, DownQueueDepth: 9}, false},
+		{"negative up depth", Autoscale{UpQueueDepth: -1}, false},
+		{"negative min replicas", Autoscale{UpQueueDepth: 4, MinReplicas: -2}, false},
+		{"negative cooldown", Autoscale{UpQueueDepth: 4, CooldownCycles: -1}, false},
+		{"NaN cooldown", Autoscale{UpQueueDepth: 4, CooldownCycles: math.NaN()}, false},
+		{"Inf cooldown", Autoscale{UpQueueDepth: 4, CooldownCycles: math.Inf(1)}, false},
+		{"NaN up burn", Autoscale{UpBurn: math.NaN()}, false},
+		{"Inf up burn", Autoscale{UpBurn: math.Inf(1)}, false},
+		{"negative up burn", Autoscale{UpBurn: -2}, false},
+		{"NaN down burn", Autoscale{UpBurn: 4, DownBurn: math.NaN()}, false},
+		{"down burn >= up burn", Autoscale{UpBurn: 4, DownBurn: 4}, false},
+		{"negative down burn", Autoscale{UpBurn: 4, DownBurn: -1}, false},
+		{"both trigger modes", Autoscale{UpQueueDepth: 4, UpBurn: 4}, false},
+		{"NaN burn window", Autoscale{UpBurn: 4, BurnWindowCycles: math.NaN()}, false},
+		{"over-unity burn budget", Autoscale{UpBurn: 4, BurnBudgetFrac: 1.5}, false},
+		{"burn knobs without up burn", Autoscale{UpQueueDepth: 4, DownBurn: 1}, false},
+	}
+	for _, tc := range cases {
+		err := tc.a.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: rejected: %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: validated: %+v", tc.name, tc.a)
+		}
+	}
+}
+
+// TestGenFlashFactorOneBitIdentical pins the flash gate the bit-compat
+// contract hangs on: FlashFactor 1 (like 0) must draw nothing from the
+// stream, so the arrival sequence is byte-identical to a flash-free pattern.
+func TestGenFlashFactorOneBitIdentical(t *testing.T) {
+	base := Pattern{CallsPerMcycle: 80, BurstFactor: 4, Diurnal: []float64{1, 2}}
+	flash := base
+	flash.FlashFactor = 1
+	flash.FlashOnCycles = 1e5
+	flash.FlashRankFrac = 0.5
+	ga := NewGen(base, Tenants{N: 5000}, SLO{}, 21)
+	gb := NewGen(flash, Tenants{N: 5000}, SLO{}, 21)
+	for i := 0; i < 2000; i++ {
+		a, b := ga.Next(), gb.Next()
+		if a != b {
+			t.Fatalf("arrival %d drifted with FlashFactor=1: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// TestGenFlashValidStream checks flash crowds keep every generator invariant:
+// finite strictly increasing arrivals, in-range tenants, and determinism.
+func TestGenFlashValidStream(t *testing.T) {
+	pat := Pattern{
+		CallsPerMcycle: 200, BurstFactor: 3,
+		FlashFactor: 25, FlashOnCycles: 2e5, FlashOffCycles: 1e6, FlashRankFrac: 0.02,
+	}
+	draw := func() []Arrival {
+		g := NewGen(pat, Tenants{N: 20000, ZipfS: 0.9}, SLO{}, 31)
+		out := make([]Arrival, 8000)
+		prev := 0.0
+		for i := range out {
+			a := g.Next()
+			if math.IsNaN(a.At) || math.IsInf(a.At, 0) || a.At <= prev {
+				t.Fatalf("arrival %d: At %v after %v", i, a.At, prev)
+			}
+			if a.Tenant < 1 || a.Tenant > 20000 {
+				t.Fatalf("arrival %d: tenant %d out of range", i, a.Tenant)
+			}
+			prev = a.At
+			out[i] = a
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("flash stream not deterministic at arrival %d", i)
+		}
+	}
+}
+
+// TestGenFlashRateLift pins the rate model with the band spanning the whole
+// population (FlashRankFrac 1, mass 1): the effective rate is the duty-cycled
+// factor, exactly as for bursts.
+func TestGenFlashRateLift(t *testing.T) {
+	pat := Pattern{CallsPerMcycle: 100, FlashFactor: 10, FlashOnCycles: 2e5, FlashOffCycles: 8e5, FlashRankFrac: 1}
+	g := NewGen(pat, Tenants{}, SLO{}, 13)
+	const n = 60000
+	var last Arrival
+	for i := 0; i < n; i++ {
+		last = g.Next()
+	}
+	got := n / last.At * 1e6
+	want := 100 * (8e5 + 2e5*10) / (2e5 + 8e5) // 280
+	if got < want*0.85 || got > want*1.15 {
+		t.Fatalf("flash empirical rate %.1f calls/Mcycle, want ~%.0f", got, want)
+	}
+}
+
+// TestGenFlashHotKeyConcentration checks the correlated-demand property the
+// model exists for: during flash windows the sampled band's tenants arrive
+// FlashFactor times as often, so the flashed stream concentrates more calls
+// per unit time than the calm stream while leaving the calm windows alone.
+func TestGenFlashHotKeyConcentration(t *testing.T) {
+	base := Pattern{CallsPerMcycle: 50}
+	flash := base
+	flash.FlashFactor = 40
+	flash.FlashOnCycles = 5e5
+	flash.FlashOffCycles = 2e6
+	flash.FlashRankFrac = 0.05
+	const n = 40000
+	end := func(p Pattern) float64 {
+		g := NewGen(p, Tenants{N: 4000, ZipfS: 0.8}, SLO{}, 41)
+		var last Arrival
+		for i := 0; i < n; i++ {
+			last = g.Next()
+		}
+		return last.At
+	}
+	calm, hot := end(base), end(flash)
+	if hot >= calm {
+		t.Fatalf("flash crowd did not add demand: %.0f cycles flashed vs %.0f calm", hot, calm)
+	}
+}
+
+// TestTenantsCDFInvertsRank pins the cdf/Rank inverse pair the flash band
+// sampler depends on: a draw just above cdf(k) lands on rank k.
+func TestTenantsCDFInvertsRank(t *testing.T) {
+	for _, s := range []float64{0.7, 1.0, 1.3} {
+		ten := Tenants{N: 100000, ZipfS: s}
+		if got := ten.cdf(1); got != 0 {
+			t.Fatalf("s=%v: cdf(1) = %v, want 0", s, got)
+		}
+		if got := ten.cdf(100000); got != 1 {
+			t.Fatalf("s=%v: cdf(n) = %v, want 1", s, got)
+		}
+		for _, k := range []float64{2, 10, 500, 40000} {
+			u := ten.cdf(k)
+			if r := ten.Rank(u * 1.0000001); r < int(k) || r > int(k)+1 {
+				t.Fatalf("s=%v: Rank(cdf(%v)+) = %d, want ~%v", s, k, r, k)
+			}
+		}
+	}
+}
+
+// TestGenTiltShape drives the tilt transform directly: the hot band receives
+// exactly its tilted share of a uniform grid, every output stays in [0, 1),
+// and the map is monotone within each piece.
+func TestGenTiltShape(t *testing.T) {
+	g := NewGen(Pattern{CallsPerMcycle: 1, FlashFactor: 8}, Tenants{N: 1000, ZipfS: 0.9}, SLO{}, 1)
+	g.flashLo, g.flashHi = 0.2, 0.3
+	m := g.flashHi - g.flashLo
+	g.flashBoost = 1 - m + m*8
+	g.flashHot = m * 8 / g.flashBoost
+	const grid = 100000
+	inBand := 0
+	for i := 0; i < grid; i++ {
+		u := (float64(i) + 0.5) / grid
+		v := g.tilt(u)
+		if v < 0 || v >= 1 {
+			t.Fatalf("tilt(%v) = %v out of [0, 1)", u, v)
+		}
+		if v >= g.flashLo && v < g.flashHi {
+			inBand++
+		}
+	}
+	got := float64(inBand) / grid
+	if math.Abs(got-g.flashHot) > 0.001 {
+		t.Fatalf("band share %.4f, want %.4f", got, g.flashHot)
+	}
 }
